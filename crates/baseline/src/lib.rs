@@ -1,0 +1,41 @@
+//! Traditional query operators, simulated on the same virtual clock as the
+//! eddy — the paper's comparators.
+//!
+//! Each operator here is a *static plan*: access methods, join algorithm
+//! and order are fixed up front, exactly what the SteM architecture
+//! competes against in the paper's figures:
+//!
+//! * [`index_join`] — the fig-5 plan: an R scan drives lookups into an
+//!   encapsulated index-join module with an internal lookup cache and a
+//!   **single input queue**, which is what produces the head-of-line
+//!   blocking the paper dissects in §4.2. (For two-table queries this also
+//!   covers the "eddy with join modules" architecture of fig 1(b): with a
+//!   single join module there is nothing for that eddy to reorder, so its
+//!   dynamics collapse to this plan's.)
+//! * [`symmetric_hash_join`] — the pipelining binary SHJ \[WA91\].
+//! * [`pipelined_shj`] — fig 2(i): a tree of binary SHJs materializing
+//!   intermediate results, with memory accounting (contrast with the n-ary
+//!   SHJ through SteMs, fig 2(iii), which stores only singletons).
+//! * [`grace_hash_join`] — blocking two-phase Grace \[FKT86\], plus the
+//!   memory-resident-partition variant that makes it Hybrid-Hash \[DKO+84\].
+//! * [`sort_merge_join`] — blocking sort-merge.
+//!
+//! All operators consume [`ArrivalStream`]s derived from the catalog's
+//! scan specs, produce exact result tuples (cross-checked against the
+//! reference executor in tests) and record the same `"results"` /
+//! `"index_probes"` / `"mem_bytes"` series the eddy reports, so bench
+//! binaries can overlay the curves.
+
+mod arrivals;
+mod grace;
+mod index_join;
+mod run;
+mod shj;
+mod sortmerge;
+
+pub use arrivals::ArrivalStream;
+pub use grace::{grace_hash_join, GraceParams};
+pub use index_join::{index_join, IndexJoinParams};
+pub use run::BaselineRun;
+pub use shj::{pipelined_shj, symmetric_hash_join, PipelineStage, ShjParams};
+pub use sortmerge::{sort_merge_join, SortMergeParams};

@@ -1,0 +1,93 @@
+//! Result accumulator shared by all baseline operators.
+
+use stems_sim::{Metrics, Time};
+use stems_types::Tuple;
+
+/// The outcome of a baseline simulation, shape-compatible with
+/// `stems_core::Report`: exact result tuples plus the figure series.
+#[derive(Debug, Default)]
+pub struct BaselineRun {
+    pub results: Vec<Tuple>,
+    pub metrics: Metrics,
+    pub end_time: Time,
+}
+
+impl BaselineRun {
+    pub fn new() -> BaselineRun {
+        BaselineRun::default()
+    }
+
+    /// Record one result tuple at virtual time `t`.
+    pub fn emit(&mut self, t: Time, tuple: Tuple) {
+        self.metrics.bump("results", t, 1);
+        self.end_time = self.end_time.max(t);
+        self.results.push(tuple);
+    }
+
+    /// Record a non-result event (probe issued, memory sample...).
+    pub fn note(&mut self, name: &str, t: Time, delta: u64) {
+        self.metrics.bump(name, t, delta);
+        self.end_time = self.end_time.max(t);
+    }
+
+    /// Record a raw observation (memory bytes etc.).
+    pub fn observe(&mut self, name: &str, t: Time, v: f64) {
+        self.metrics.observe(name, t, v);
+        self.end_time = self.end_time.max(t);
+    }
+
+    /// Canonical sorted value rows, for comparisons in tests.
+    pub fn canonical_values(&self) -> Vec<Vec<stems_types::Value>> {
+        let mut rows: Vec<Vec<stems_types::Value>> = self
+            .results
+            .iter()
+            .map(|t| {
+                t.components()
+                    .iter()
+                    .flat_map(|c| c.row.values().iter().cloned())
+                    .collect()
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = x.total_cmp(y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.len().cmp(&b.len())
+        });
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stems_types::{TableIdx, Value};
+
+    #[test]
+    fn emit_tracks_series_and_end_time() {
+        let mut run = BaselineRun::new();
+        run.emit(100, Tuple::singleton_of(TableIdx(0), vec![Value::Int(1)]));
+        run.emit(250, Tuple::singleton_of(TableIdx(0), vec![Value::Int(2)]));
+        run.note("index_probes", 400, 1);
+        assert_eq!(run.results.len(), 2);
+        assert_eq!(run.end_time, 400);
+        assert_eq!(run.metrics.counter("results"), 2);
+        let s = run.metrics.series("results").unwrap();
+        assert_eq!(s.value_at(100), 1.0);
+        assert_eq!(s.value_at(300), 2.0);
+    }
+
+    #[test]
+    fn canonical_sorted() {
+        let mut run = BaselineRun::new();
+        run.emit(10, Tuple::singleton_of(TableIdx(0), vec![Value::Int(5)]));
+        run.emit(20, Tuple::singleton_of(TableIdx(0), vec![Value::Int(1)]));
+        assert_eq!(
+            run.canonical_values(),
+            vec![vec![Value::Int(1)], vec![Value::Int(5)]]
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Blocking sort-merge join baseline.
+//!
+//! Paper §3.1: SteMs "implemented with tournament trees that spill sorted
+//! runs to disk will simulate a Sort-Merge join". This is the static-plan
+//! version: consume both inputs, sort, merge — everything emitted in a
+//! tail burst after sorting.
+
+use crate::{ArrivalStream, BaselineRun};
+use std::sync::Arc;
+use stems_storage::index_key;
+use stems_types::{Row, TableIdx, Tuple, Value};
+
+/// Sort-merge parameters.
+#[derive(Debug, Clone)]
+pub struct SortMergeParams {
+    pub left_instance: TableIdx,
+    pub left_col: usize,
+    pub right_instance: TableIdx,
+    pub right_col: usize,
+    /// Cost of one comparison during sorting, µs (sort ≈ n·log₂n·cost).
+    pub compare_cost_us: f64,
+    /// Cost per emitted result during the merge, µs.
+    pub emit_cost_us: u64,
+}
+
+impl Default for SortMergeParams {
+    fn default() -> Self {
+        SortMergeParams {
+            left_instance: TableIdx(0),
+            left_col: 0,
+            right_instance: TableIdx(1),
+            right_col: 0,
+            compare_cost_us: 1.0,
+            emit_cost_us: 10,
+        }
+    }
+}
+
+fn sort_cost(n: usize, per_cmp: f64) -> u64 {
+    if n < 2 {
+        return 0;
+    }
+    (n as f64 * (n as f64).log2() * per_cmp).round() as u64
+}
+
+/// Run a blocking sort-merge join over two scanned inputs.
+pub fn sort_merge_join(
+    left: &ArrivalStream,
+    right: &ArrivalStream,
+    params: &SortMergeParams,
+) -> BaselineRun {
+    let mut run = BaselineRun::new();
+    let keyed = |items: &[(u64, Arc<Row>)], col: usize| -> Vec<(Value, Arc<Row>)> {
+        let mut v: Vec<(Value, Arc<Row>)> = items
+            .iter()
+            .filter_map(|(_, r)| r.get(col).and_then(index_key).map(|k| (k, r.clone())))
+            .collect();
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        v
+    };
+    let l = keyed(left.items(), params.left_col);
+    let r = keyed(right.items(), params.right_col);
+
+    let inputs_done = left.completion_time().max(right.completion_time());
+    let sorted_at = inputs_done
+        + sort_cost(l.len(), params.compare_cost_us)
+        + sort_cost(r.len(), params.compare_cost_us);
+    run.observe("sorted_at", sorted_at, 1.0);
+
+    let mut t = sorted_at;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l.len() && j < r.len() {
+        match l[i].0.total_cmp(&r[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Emit the full group cross-product.
+                let key = l[i].0.clone();
+                let li0 = i;
+                while i < l.len() && l[i].0 == key {
+                    i += 1;
+                }
+                let rj0 = j;
+                while j < r.len() && r[j].0 == key {
+                    j += 1;
+                }
+                for li in li0..i {
+                    for rj in rj0..j {
+                        t += params.emit_cost_us;
+                        let result = Tuple::singleton(params.left_instance, l[li].1.clone())
+                            .concat(&Tuple::singleton(
+                                params.right_instance,
+                                r[rj].1.clone(),
+                            ));
+                        run.emit(t, result);
+                    }
+                }
+            }
+        }
+    }
+    run.end_time = run.end_time.max(t);
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stems_catalog::{ScanSpec, TableDef};
+    use stems_types::{ColumnType, Schema};
+
+    fn stream(keys: &[i64], rate: f64) -> ArrivalStream {
+        let t = TableDef::new("t", Schema::of(&[("k", ColumnType::Int)]))
+            .with_rows(keys.iter().map(|k| vec![Value::Int(*k)]).collect());
+        ArrivalStream::from_scan(&t, &ScanSpec::with_rate(rate))
+    }
+
+    #[test]
+    fn joins_groups_correctly() {
+        let left = stream(&[3, 1, 3, 7], 100.0);
+        let right = stream(&[3, 3, 1], 100.0);
+        let run = sort_merge_join(&left, &right, &SortMergeParams::default());
+        // key 3: 2×2 = 4; key 1: 1×1 = 1 → 5 results.
+        assert_eq!(run.results.len(), 5);
+        for res in &run.results {
+            assert_eq!(res.value(TableIdx(0), 0), res.value(TableIdx(1), 0));
+        }
+    }
+
+    #[test]
+    fn blocks_until_inputs_and_sort_finish() {
+        let left = stream(&(0..100).collect::<Vec<_>>(), 1000.0);
+        let right = stream(&(0..100).collect::<Vec<_>>(), 100.0); // done at 1s
+        let run = sort_merge_join(&left, &right, &SortMergeParams::default());
+        let s = run.metrics.series("results").unwrap();
+        assert_eq!(s.value_at(right.completion_time()), 0.0);
+        assert_eq!(run.results.len(), 100);
+    }
+
+    #[test]
+    fn nulls_ignored() {
+        let t = TableDef::new("t", Schema::of(&[("k", ColumnType::Int)]))
+            .with_rows(vec![vec![Value::Null], vec![Value::Int(1)]]);
+        let left = ArrivalStream::from_scan(&t, &ScanSpec::with_rate(10.0));
+        let right = stream(&[1], 10.0);
+        let run = sort_merge_join(&left, &right, &SortMergeParams::default());
+        assert_eq!(run.results.len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let left = stream(&[], 10.0);
+        let right = stream(&[1], 10.0);
+        let run = sort_merge_join(&left, &right, &SortMergeParams::default());
+        assert_eq!(run.results.len(), 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Criterion microbenchmarks: engineering costs of the SteM machinery.
+//!
+//! These are wall-clock benches of the *implementation* (the figures
+//! measure virtual time; these measure real CPU):
+//!
+//! * `stem_build/*` — dictionary insert throughput per store backend;
+//! * `stem_probe/*` — equality probe throughput per backend (hash vs the
+//!   list fallback — why SteMs index their join columns);
+//! * `dedup` — the §3.2 set-semantics duplicate filter;
+//! * `policy_choose/*` — per-routing-decision overhead of each policy;
+//! * `eddy_end_to_end` — full engine throughput (events/second) on a
+//!   two-table symmetric-hash-join workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use stems_catalog::{Catalog, ScanSpec, TableDef};
+use stems_core::policy::Feedback;
+use stems_core::router::Action;
+use stems_core::{EddyExecutor, ExecConfig, RoutingPolicyKind};
+use stems_datagen::{gen::ColGen, TableBuilder};
+use stems_sim::SimRng;
+use stems_sql::parse_query;
+use stems_storage::{DictStore, HashStore, ListStore, RowSet, StoreKind};
+use stems_types::{ColumnType, PredId, Row, Schema, TableIdx, Tuple, Value};
+
+const N_ROWS: usize = 10_000;
+
+fn rows(n: usize) -> Vec<Arc<Row>> {
+    (0..n as i64)
+        .map(|k| Row::shared(vec![Value::Int(k), Value::Int(k % 250)]))
+        .collect()
+}
+
+fn bench_stem_build(c: &mut Criterion) {
+    let data = rows(N_ROWS);
+    let mut g = c.benchmark_group("stem_build");
+    for (name, kind) in [
+        ("list", StoreKind::List),
+        ("hash", StoreKind::Hash),
+        ("adaptive", StoreKind::Adaptive { threshold: 128 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || kind.build(&[1]),
+                |mut store| {
+                    for r in &data {
+                        store.insert(r.clone());
+                    }
+                    black_box(store.len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_stem_probe(c: &mut Criterion) {
+    let data = rows(N_ROWS);
+    let mut hash = HashStore::new(&[1]);
+    let mut list = ListStore::new();
+    for r in &data {
+        hash.insert(r.clone());
+        list.insert(r.clone());
+    }
+    let mut g = c.benchmark_group("stem_probe");
+    g.bench_function("hash_indexed", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 1) % 250;
+            black_box(hash.lookup_eq(1, &Value::Int(k)).len())
+        })
+    });
+    // The list store scans: orders of magnitude slower — the reason the
+    // paper's SteMs keep "one main-memory index on each [join] column".
+    g.bench_function("list_scan", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 1) % 250;
+            black_box(list.lookup_eq(1, &Value::Int(k)).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let data = rows(N_ROWS);
+    c.bench_function("dedup_rowset", |b| {
+        b.iter_batched(
+            RowSet::new,
+            |mut set| {
+                for r in &data {
+                    set.insert(r.clone());
+                }
+                // Second pass: every row is a duplicate.
+                for r in &data {
+                    black_box(set.insert(r.clone()));
+                }
+                black_box(set.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_policy_choose(c: &mut Criterion) {
+    let actions = vec![
+        (
+            Action::ProbeStem {
+                mid: 3,
+                table: TableIdx(1),
+            },
+            stems_core::policy::Hint { est_cost_us: 50 },
+        ),
+        (
+            Action::ProbeStem {
+                mid: 4,
+                table: TableIdx(2),
+            },
+            stems_core::policy::Hint { est_cost_us: 80 },
+        ),
+        (
+            Action::Select {
+                mid: 5,
+                pred: PredId(1),
+            },
+            stems_core::policy::Hint { est_cost_us: 10 },
+        ),
+        (
+            Action::ProbeAm {
+                mid: 6,
+                table: TableIdx(2),
+            },
+            stems_core::policy::Hint {
+                est_cost_us: 200_000,
+            },
+        ),
+    ];
+    let tuple = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1)]);
+    let state = stems_core::TupleState::new();
+    let mut g = c.benchmark_group("policy_choose");
+    for kind in [
+        RoutingPolicyKind::Fixed { probe_order: None },
+        RoutingPolicyKind::Lottery,
+        RoutingPolicyKind::BenefitCost {
+            epsilon: 0.05,
+            drop_rate: 1.0,
+        },
+    ] {
+        let mut policy = kind.build();
+        // Warm the EWMAs so the benched path is steady-state.
+        for i in 0..64 {
+            policy.feedback(&Feedback::StemProbe {
+                table: TableIdx(1 + (i % 2) as u8),
+                emitted: (i % 3) as usize,
+            });
+        }
+        let mut rng = SimRng::new(7);
+        g.bench_function(policy.name(), |b| {
+            b.iter(|| black_box(policy.choose(&tuple, &state, &actions, &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_eddy_end_to_end(c: &mut Criterion) {
+    // 2000 × 2000 row symmetric hash join through the full engine.
+    let mut catalog = Catalog::new();
+    let r = TableBuilder::new("R", 2000, 71)
+        .col("a", ColGen::Mod(500))
+        .register(&mut catalog)
+        .unwrap();
+    let s = TableBuilder::new("S", 2000, 72)
+        .col("x", ColGen::Mod(500))
+        .register(&mut catalog)
+        .unwrap();
+    catalog.add_scan(r, ScanSpec::with_rate(100_000.0)).unwrap();
+    catalog.add_scan(s, ScanSpec::with_rate(100_000.0)).unwrap();
+    let query = parse_query(&catalog, "SELECT * FROM R, S WHERE R.a = S.x").unwrap();
+    c.bench_function("eddy_end_to_end_shj_2kx2k", |b| {
+        b.iter(|| {
+            let report = EddyExecutor::build(&catalog, &query, ExecConfig::default())
+                .unwrap()
+                .run();
+            black_box(report.results.len())
+        })
+    });
+
+    // Single-table pass-through: pure routing overhead per tuple.
+    let mut catalog2 = Catalog::new();
+    let t = catalog2
+        .add_table(
+            TableDef::new("T", Schema::of(&[("k", ColumnType::Int)])).with_rows(
+                (0..5000i64).map(|k| vec![Value::Int(k)]).collect(),
+            ),
+        )
+        .unwrap();
+    catalog2.add_scan(t, ScanSpec::with_rate(100_000.0)).unwrap();
+    let q2 = parse_query(&catalog2, "SELECT * FROM T WHERE T.k >= 0").unwrap();
+    c.bench_function("eddy_routing_overhead_5k_tuples", |b| {
+        b.iter(|| {
+            let report = EddyExecutor::build(&catalog2, &q2, ExecConfig::default())
+                .unwrap()
+                .run();
+            black_box(report.results.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_stem_build,
+    bench_stem_probe,
+    bench_dedup,
+    bench_policy_choose,
+    bench_eddy_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! n-ary SHJ through SteMs vs pipelined binary SHJs (paper fig 2, §2.3).
+//!
+//! "The n-way SHJ description above stores only singleton tuples in hash
+//! tables, whereas the traditional pipeline of binary SHJs materializes
+//! intermediate result tuples from joins below the root."
+//!
+//! A 3-way chain `A ⋈ B ⋈ C` with a fan-out first join makes the
+//! intermediate relation A⋈B much larger than its inputs. The pipeline of
+//! binary SHJs (fig 2(i)) must materialize every A⋈B composite in the
+//! second join's hash table; the eddy with SteMs (fig 2(iii)) stores only
+//! the base-table singletons. Output curves should be comparable; memory
+//! should differ by roughly the size of the intermediate relation — the
+//! space/time trade-off the paper calls out.
+
+use stems_baseline::{pipelined_shj, ArrivalStream, PipelineStage, ShjParams};
+use stems_bench::*;
+use stems_catalog::{reference, Catalog, QuerySpec, ScanSpec, TableInstance};
+use stems_core::{EddyExecutor, ExecConfig};
+use stems_datagen::{gen::ColGen, TableBuilder};
+use stems_sim::Series;
+use stems_types::{CmpOp, ColRef, PredId, Predicate, TableIdx};
+
+const A_ROWS: usize = 200;
+const B_ROWS: usize = 100;
+const C_ROWS: usize = 75;
+const V_DISTINCT: i64 = 20; // A⋈B fan-out: 200×100/20 = 1000 intermediates
+
+fn main() {
+    println!(
+        "exp_nary_shj: A({A_ROWS}) ⋈ B({B_ROWS}) on v ({V_DISTINCT} distinct) \
+         ⋈ C({C_ROWS}) on w — intermediate A⋈B has {} tuples",
+        A_ROWS * B_ROWS / V_DISTINCT as usize
+    );
+    let mut c = Catalog::new();
+    let a = TableBuilder::new("A", A_ROWS, 41)
+        .col("v", ColGen::Mod(V_DISTINCT))
+        .register(&mut c)
+        .expect("A");
+    let b = TableBuilder::new("B", B_ROWS, 42)
+        .col("v", ColGen::Mod(V_DISTINCT))
+        .col("w", ColGen::Mod(C_ROWS as i64 / 3))
+        .register(&mut c)
+        .expect("B");
+    let d = TableBuilder::new("C", C_ROWS, 43)
+        .col("w", ColGen::Mod(C_ROWS as i64 / 3))
+        .register(&mut c)
+        .expect("C");
+    for (src, rate) in [(a, 100.0), (b, 80.0), (d, 70.0)] {
+        c.add_scan(src, ScanSpec::with_rate(rate)).expect("scan");
+    }
+    let q = QuerySpec::new(
+        &c,
+        [(a, "a"), (b, "b"), (d, "c")]
+            .iter()
+            .map(|(s, al)| TableInstance {
+                source: *s,
+                alias: al.to_string(),
+            })
+            .collect(),
+        vec![
+            // A.v = B.v
+            Predicate::join(
+                PredId(0),
+                ColRef::new(TableIdx(0), 1),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(1), 1),
+            ),
+            // B.w = C.w
+            Predicate::join(
+                PredId(1),
+                ColRef::new(TableIdx(1), 2),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(2), 1),
+            ),
+        ],
+        None,
+    )
+    .expect("query");
+    let expected = reference::execute(&c, &q).len();
+
+    // n-ary SHJ via eddy + SteMs (fig 2(iii)).
+    let stems_run = EddyExecutor::build(&c, &q, ExecConfig::default())
+        .expect("plan")
+        .run();
+    assert_eq!(stems_run.results.len(), expected);
+
+    // Pipeline of binary SHJs (fig 2(i)).
+    let a_stream = ArrivalStream::from_scan(c.table_expect(a), &ScanSpec::with_rate(100.0));
+    let b_stream = ArrivalStream::from_scan(c.table_expect(b), &ScanSpec::with_rate(80.0));
+    let c_stream = ArrivalStream::from_scan(c.table_expect(d), &ScanSpec::with_rate(70.0));
+    let pipe = pipelined_shj(
+        (&a_stream, TableIdx(0)),
+        &[
+            PipelineStage {
+                stream: b_stream,
+                instance: TableIdx(1),
+                col: 1, // B.v
+                prev_instance: TableIdx(0),
+                prev_col: 1, // A.v
+            },
+            PipelineStage {
+                stream: c_stream,
+                instance: TableIdx(2),
+                col: 1, // C.w
+                prev_instance: TableIdx(1),
+                prev_col: 2, // B.w
+            },
+        ],
+        &ShjParams::default(),
+    );
+    assert_eq!(pipe.results.len(), expected);
+
+    let empty = Series::new();
+    let horizon = stems_run.end_time.max(pipe.end_time);
+    let s_out = stems_run.metrics.series("results").unwrap_or(&empty);
+    let p_out = pipe.metrics.series("results").unwrap_or(&empty);
+    let s_mem = stems_run
+        .metrics
+        .series("stem_bytes_total")
+        .unwrap_or(&empty);
+    let p_mem = pipe.metrics.series("mem_bytes").unwrap_or(&empty);
+
+    print!(
+        "{}",
+        series_table(
+            "results over time",
+            horizon,
+            12,
+            &[("SteMs (n-ary)", s_out), ("binary pipeline", p_out)],
+        )
+    );
+    print!(
+        "{}",
+        series_table(
+            "join-state memory (bytes)",
+            horizon,
+            12,
+            &[("SteMs (n-ary)", s_mem), ("binary pipeline", p_mem)],
+        )
+    );
+    println!(
+        "{}",
+        chart("memory footprint", "bytes", horizon, &[
+            ("SteMs", s_mem),
+            ("pipeline", p_mem),
+        ])
+    );
+    save_csv(
+        "exp_nary_shj_stems.csv",
+        &stems_run
+            .metrics
+            .to_csv(&["results", "stem_bytes_total"], horizon, 100),
+    );
+    save_csv(
+        "exp_nary_shj_pipeline.csv",
+        &pipe.metrics.to_csv(&["results", "mem_bytes"], horizon, 100),
+    );
+    println!(
+        "peak memory: SteMs {:.0} bytes, pipeline {:.0} bytes ({}× ratio); results {expected}",
+        s_mem.last_value(),
+        p_mem.last_value(),
+        (p_mem.last_value() / s_mem.last_value().max(1.0)).round(),
+    );
+
+    let mut ok = true;
+    ok &= shape_check(
+        "both produce the exact result set",
+        stems_run.results.len() == expected && pipe.results.len() == expected,
+    );
+    ok &= shape_check(
+        "SteMs store ≤ 1/3 of the pipeline's memory (singletons vs intermediates)",
+        s_mem.last_value() * 3.0 <= p_mem.last_value(),
+    );
+    ok &= shape_check(
+        "output progress comparable (within 15% of total at mid-run)",
+        {
+            let t = horizon / 2;
+            (s_out.value_at(t) - p_out.value_at(t)).abs() <= 0.15 * expected as f64 + 5.0
+        },
+    );
+    finish(ok);
+}

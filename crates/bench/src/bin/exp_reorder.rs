@@ -1,0 +1,190 @@
+//! Adaptive reordering under user interest (paper §4.1 / salient point ⑤).
+//!
+//! Reconstruction of a tech-report-only experiment: "With SteMs, the eddy
+//! can adaptively choose the way it reorders tuples in interactive
+//! environments." The §4.1 policy addition: SteMs on tables with index AMs
+//! "bounce back any probe tuple that satisfies a predicate prioritized by
+//! the user ... this speeds up the entry of matches for these tuples into
+//! the dataflow and thereby the output of prioritized results".
+//!
+//! Workload: fig-7-style Q1 (R scan drives an index-only S). The user is
+//! interested in `R.a < 30` (20% of tuples). We compare a run without
+//! priorities against one where prioritized tuples jump module queues.
+//! Expected: the time to the K-th *interesting* result drops sharply;
+//! total results and completion time stay (almost) unchanged.
+
+use stems_bench::*;
+use stems_catalog::{reference, Catalog, IndexSpec, QuerySpec, ScanSpec, TableInstance};
+use stems_core::{EddyExecutor, ExecConfig, Report};
+use stems_datagen::{gen::ColGen, TableBuilder};
+use stems_sim::{secs_f, to_secs, Series, Time};
+use stems_types::{CmpOp, ColRef, PredId, Predicate, TableIdx, Value};
+
+const R_ROWS: usize = 600;
+const DISTINCT: i64 = 150;
+const INTEREST_BOUND: i64 = 30; // a < 30 ⇒ 20% of tuples
+
+fn setup() -> (Catalog, QuerySpec) {
+    let mut c = Catalog::new();
+    let r = TableBuilder::new("R", R_ROWS, 31)
+        .col("a", ColGen::ModShuffled(DISTINCT))
+        .register(&mut c)
+        .expect("R");
+    let s = TableBuilder::new("S", DISTINCT as usize, 32)
+        .col("v", ColGen::Serial)
+        .register(&mut c)
+        .expect("S");
+    c.add_scan(r, ScanSpec::with_rate(100.0)).expect("r scan");
+    // S reachable only through its (slow) index on key.
+    c.add_index(s, IndexSpec::new(vec![0], secs_f(0.5)))
+        .expect("s index");
+    let q = QuerySpec::new(
+        &c,
+        vec![
+            TableInstance {
+                source: r,
+                alias: "r".into(),
+            },
+            TableInstance {
+                source: s,
+                alias: "s".into(),
+            },
+        ],
+        vec![Predicate::join(
+            PredId(0),
+            ColRef::new(TableIdx(0), 1),
+            CmpOp::Eq,
+            ColRef::new(TableIdx(1), 0),
+        )],
+        None,
+    )
+    .expect("query");
+    (c, q)
+}
+
+fn interest_pred() -> Predicate {
+    // Standalone predicate (not part of the query): R.a < 30.
+    Predicate::selection(
+        PredId(0),
+        ColRef::new(TableIdx(0), 1),
+        CmpOp::Lt,
+        Value::Int(INTEREST_BOUND),
+    )
+}
+
+/// Time at which the `k`-th result satisfying the interest predicate was
+/// emitted (pairing results with the "results" series points).
+fn kth_interesting(report: &Report, k: usize) -> Option<Time> {
+    let pred = interest_pred();
+    let series = report.metrics.series("results")?;
+    let mut seen = 0;
+    for (tuple, (t, _)) in report.results.iter().zip(series.points()) {
+        if pred.eval(tuple) == Some(true) {
+            seen += 1;
+            if seen == k {
+                return Some(*t);
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    println!(
+        "exp_reorder: Q1-style R({R_ROWS}) ⋈ S({DISTINCT}, index-only, 0.5s); \
+         user interest: R.a < {INTEREST_BOUND}"
+    );
+    let (c, q) = setup();
+    let expected = reference::execute(&c, &q).len();
+
+    let plain = EddyExecutor::build(&c, &q, ExecConfig::default())
+        .expect("plan")
+        .run();
+    let boosted = EddyExecutor::build(
+        &c,
+        &q,
+        ExecConfig {
+            priority_pred: Some(interest_pred()),
+            ..ExecConfig::default()
+        },
+    )
+    .expect("plan")
+    .run();
+    assert_eq!(plain.results.len(), expected);
+    assert_eq!(boosted.results.len(), expected);
+
+    let n_interesting = plain
+        .results
+        .iter()
+        .filter(|t| interest_pred().eval(t) == Some(true))
+        .count();
+    let k = n_interesting / 2;
+    let t_plain = kth_interesting(&plain, k).expect("plain kth");
+    let t_boost = kth_interesting(&boosted, k).expect("boosted kth");
+    let t_all_plain = kth_interesting(&plain, n_interesting).expect("plain all");
+    let t_all_boost = kth_interesting(&boosted, n_interesting).expect("boosted all");
+
+    println!(
+        "\ninteresting results: {n_interesting} of {expected} \
+         \n  median interesting result: plain {:.1}s, prioritized {:.1}s \
+         \n  last interesting result:   plain {:.1}s, prioritized {:.1}s \
+         \n  completion:                plain {:.1}s, prioritized {:.1}s",
+        to_secs(t_plain),
+        to_secs(t_boost),
+        to_secs(t_all_plain),
+        to_secs(t_all_boost),
+        to_secs(plain.end_time),
+        to_secs(boosted.end_time),
+    );
+
+    let empty = Series::new();
+    let horizon = plain.end_time.max(boosted.end_time);
+    print!(
+        "{}",
+        series_table(
+            "prioritized results delivered over time",
+            horizon,
+            16,
+            &[
+                (
+                    "prioritized run",
+                    boosted.metrics.series("priority_results").unwrap_or(&empty),
+                ),
+                ("all results (plain)", plain.metrics.series("results").unwrap_or(&empty)),
+            ],
+        )
+    );
+    save_csv(
+        "exp_reorder.csv",
+        &boosted
+            .metrics
+            .to_csv(&["results", "priority_results"], horizon, 100),
+    );
+
+    let mut ok = true;
+    ok &= shape_check(
+        "both runs produce the exact result set",
+        plain.results.len() == expected && boosted.results.len() == expected,
+    );
+    ok &= shape_check(
+        &format!(
+            "median interesting result arrives ≥ 2× sooner ({:.1}s → {:.1}s)",
+            to_secs(t_plain),
+            to_secs(t_boost)
+        ),
+        2 * t_boost <= t_plain,
+    );
+    ok &= shape_check(
+        &format!(
+            "all interesting results arrive sooner ({:.1}s → {:.1}s)",
+            to_secs(t_all_plain),
+            to_secs(t_all_boost)
+        ),
+        t_all_boost < t_all_plain,
+    );
+    ok &= shape_check(
+        "prioritization does not hurt completion time (within 5%)",
+        (boosted.end_time as f64) <= 1.05 * plain.end_time as f64,
+    );
+    finish(ok);
+}

@@ -1,0 +1,167 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every binary regenerates one figure (or reconstructed experiment) of
+//! the paper: it runs the SteM architecture and its baselines on the same
+//! workload, prints the figure's series as aligned rows and an ASCII
+//! chart, writes a CSV to `results/`, and evaluates the paper's
+//! qualitative claims as explicit SHAPE-CHECK lines.
+//!
+//! Binaries (one per experiment; see DESIGN.md §3 for the index):
+//! `fig7`, `fig8`, `exp_competition`, `exp_spanning_tree`, `exp_reorder`,
+//! `exp_nary_shj`, `exp_grace_hybrid`, `exp_buildfirst`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use stems_sim::{ascii_plot, to_secs, PlotSpec, Series, Time};
+
+/// Where CSV outputs go: `$STEMS_RESULTS_DIR` or `./results`.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("STEMS_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&p);
+    p
+}
+
+/// Write a CSV file into the results directory, reporting the path.
+pub fn save_csv(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    match std::fs::write(&path, content) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  ! could not write {}: {e}", path.display()),
+    }
+}
+
+/// Render several series as an aligned table sampled on a uniform time
+/// grid — the textual equivalent of one paper figure panel.
+pub fn series_table(title: &str, horizon: Time, rows: usize, series: &[(&str, &Series)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n{title}");
+    let _ = write!(out, "{:>10}", "time(s)");
+    for (name, _) in series {
+        let _ = write!(out, "{name:>16}");
+    }
+    let _ = writeln!(out);
+    for i in 0..=rows {
+        let t = (horizon as u128 * i as u128 / rows as u128) as Time;
+        let _ = write!(out, "{:>10.1}", to_secs(t));
+        for (_, s) in series {
+            let _ = write!(out, "{:>16.1}", s.value_at(t));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render the figure as an ASCII chart.
+pub fn chart(title: &str, y_label: &str, horizon: Time, series: &[(&str, &Series)]) -> String {
+    let spec = PlotSpec {
+        title: title.to_string(),
+        y_label: y_label.to_string(),
+        horizon,
+        ..PlotSpec::default()
+    };
+    ascii_plot(&spec, series)
+}
+
+/// Evaluate and print one qualitative claim from the paper. Returns the
+/// outcome so binaries can exit non-zero when a shape check fails.
+pub fn shape_check(claim: &str, ok: bool) -> bool {
+    println!("  SHAPE-CHECK [{}] {claim}", if ok { "PASS" } else { "FAIL" });
+    ok
+}
+
+/// Standard binary epilogue: exit code reflects shape checks.
+pub fn finish(all_ok: bool) {
+    if all_ok {
+        println!("\nall shape checks passed");
+    } else {
+        println!("\nSOME SHAPE CHECKS FAILED");
+        std::process::exit(1);
+    }
+}
+
+/// Convenience: the fraction of grid points in `[from, to]` where series
+/// `a` ≥ series `b` (used for "curve X dominates curve Y" claims).
+pub fn dominance_fraction(a: &Series, b: &Series, from: Time, to: Time, points: usize) -> f64 {
+    let mut wins = 0;
+    for i in 0..=points {
+        let t = from + ((to - from) as u128 * i as u128 / points as u128) as Time;
+        if a.value_at(t) >= b.value_at(t) {
+            wins += 1;
+        }
+    }
+    wins as f64 / (points + 1) as f64
+}
+
+/// Linearity measure: maximum absolute deviation of a cumulative series
+/// from the straight line through (0,0)–(horizon, final), normalized by
+/// the final value. Small ⇒ the curve is nearly linear (fig 7's SteM
+/// curve); large ⇒ strongly convex/concave (the index join parabola).
+pub fn linearity_deviation(s: &Series, horizon: Time, points: usize) -> f64 {
+    let total = s.value_at(horizon);
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut max_dev = 0.0f64;
+    for i in 0..=points {
+        let t = (horizon as u128 * i as u128 / points as u128) as Time;
+        let line = total * t as f64 / horizon as f64;
+        max_dev = max_dev.max((s.value_at(t) - line).abs());
+    }
+    max_dev / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear(rate: f64, horizon: Time) -> Series {
+        let mut s = Series::new();
+        for i in 0..=100u64 {
+            let t = horizon * i / 100;
+            s.push(t, rate * to_secs(t));
+        }
+        s
+    }
+
+    fn quadratic(scale: f64, horizon: Time) -> Series {
+        let mut s = Series::new();
+        for i in 0..=100u64 {
+            let t = horizon * i / 100;
+            s.push(t, scale * to_secs(t) * to_secs(t));
+        }
+        s
+    }
+
+    #[test]
+    fn dominance_of_faster_series() {
+        let fast = linear(2.0, 1_000_000);
+        let slow = linear(1.0, 1_000_000);
+        assert_eq!(dominance_fraction(&fast, &slow, 0, 1_000_000, 20), 1.0);
+        assert!(dominance_fraction(&slow, &fast, 100, 1_000_000, 20) < 0.1);
+    }
+
+    #[test]
+    fn linearity_separates_line_from_parabola() {
+        let h = stems_sim::secs(100);
+        let line = linear(5.0, h);
+        let para = quadratic(0.05, h);
+        assert!(linearity_deviation(&line, h, 50) < 0.02);
+        assert!(linearity_deviation(&para, h, 50) > 0.15);
+    }
+
+    #[test]
+    fn table_contains_header_and_values() {
+        let s = linear(1.0, 1_000_000);
+        let t = series_table("fig", 1_000_000, 4, &[("stems", &s)]);
+        assert!(t.contains("stems"));
+        assert!(t.contains("time(s)"));
+        assert!(t.lines().count() >= 7);
+    }
+
+    #[test]
+    fn results_dir_exists() {
+        let d = results_dir();
+        assert!(d.exists());
+    }
+}

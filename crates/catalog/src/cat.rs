@@ -1,0 +1,234 @@
+//! The catalog: named tables, their simulated contents, and access methods.
+
+use crate::{AccessMethodDef, AmId};
+use std::sync::Arc;
+use stems_types::{Result, Row, Schema, StemsError, Value};
+
+/// Identifier of a source table in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(pub u32);
+
+/// A base table: name, schema, and (for the simulation) its full contents.
+///
+/// In the paper the contents live behind remote sources; here the rows are
+/// materialized so access methods can serve them with simulated latencies
+/// and the reference executor can compute exact expected results.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    pub name: String,
+    pub schema: Schema,
+    rows: Vec<Arc<Row>>,
+}
+
+impl TableDef {
+    pub fn new(name: &str, schema: Schema) -> TableDef {
+        TableDef {
+            name: name.to_string(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Attach row data (validated lazily by [`Catalog::add_table`]).
+    pub fn with_rows(mut self, rows: Vec<Vec<Value>>) -> TableDef {
+        self.rows = rows.into_iter().map(Row::shared).collect();
+        self
+    }
+
+    /// Attach pre-shared rows (used by the data generators).
+    pub fn with_shared_rows(mut self, rows: Vec<Arc<Row>>) -> TableDef {
+        self.rows = rows;
+        self
+    }
+
+    pub fn rows(&self) -> &[Arc<Row>] {
+        &self.rows
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// The catalog maps source names to table definitions and access methods.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: Vec<TableDef>,
+    /// `(owning source, descriptor)` — AmId indexes this vector.
+    ams: Vec<(SourceId, AccessMethodDef)>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a table. Validates rows against the schema and name
+    /// uniqueness (case-insensitive).
+    pub fn add_table(&mut self, def: TableDef) -> Result<SourceId> {
+        if self
+            .tables
+            .iter()
+            .any(|t| t.name.eq_ignore_ascii_case(&def.name))
+        {
+            return Err(StemsError::Schema(format!(
+                "table `{}` already exists",
+                def.name
+            )));
+        }
+        for r in def.rows() {
+            def.schema.check_row(r.values())?;
+        }
+        let id = SourceId(self.tables.len() as u32);
+        self.tables.push(def);
+        Ok(id)
+    }
+
+    /// Register a scan access method on `source`.
+    pub fn add_scan(&mut self, source: SourceId, spec: crate::ScanSpec) -> Result<AmId> {
+        self.add_am(source, AccessMethodDef::Scan(spec))
+    }
+
+    /// Register an index access method on `source`.
+    pub fn add_index(&mut self, source: SourceId, spec: crate::IndexSpec) -> Result<AmId> {
+        self.add_am(source, AccessMethodDef::Index(spec))
+    }
+
+    fn add_am(&mut self, source: SourceId, def: AccessMethodDef) -> Result<AmId> {
+        let table = self
+            .table(source)
+            .ok_or_else(|| StemsError::UnknownName(format!("source #{}", source.0)))?;
+        def.validate(&table.schema)?;
+        let id = AmId(self.ams.len() as u32);
+        self.ams.push((source, def));
+        Ok(id)
+    }
+
+    pub fn table(&self, id: SourceId) -> Option<&TableDef> {
+        self.tables.get(id.0 as usize)
+    }
+
+    /// Table definition by id, panicking variant for internal use after
+    /// validation.
+    pub fn table_expect(&self, id: SourceId) -> &TableDef {
+        self.table(id).expect("validated source id")
+    }
+
+    pub fn source_by_name(&self, name: &str) -> Option<SourceId> {
+        self.tables
+            .iter()
+            .position(|t| t.name.eq_ignore_ascii_case(name))
+            .map(|i| SourceId(i as u32))
+    }
+
+    pub fn am(&self, id: AmId) -> Option<&(SourceId, AccessMethodDef)> {
+        self.ams.get(id.0 as usize)
+    }
+
+    /// All access methods on a source.
+    pub fn ams_of(&self, source: SourceId) -> Vec<(AmId, &AccessMethodDef)> {
+        self.ams
+            .iter()
+            .enumerate()
+            .filter(|(_, (s, _))| *s == source)
+            .map(|(i, (_, d))| (AmId(i as u32), d))
+            .collect()
+    }
+
+    /// Does the source expose at least one scan AM?
+    pub fn has_scan(&self, source: SourceId) -> bool {
+        self.ams_of(source).iter().any(|(_, d)| d.is_scan())
+    }
+
+    /// Does the source expose at least one index AM?
+    pub fn has_index(&self, source: SourceId) -> bool {
+        self.ams_of(source).iter().any(|(_, d)| d.is_index())
+    }
+
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn num_ams(&self) -> usize {
+        self.ams.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IndexSpec, ScanSpec};
+    use stems_types::ColumnType;
+
+    fn catalog_with_r() -> (Catalog, SourceId) {
+        let mut c = Catalog::new();
+        let id = c
+            .add_table(
+                TableDef::new(
+                    "R",
+                    Schema::of(&[("key", ColumnType::Int), ("a", ColumnType::Int)]),
+                )
+                .with_rows(vec![vec![1.into(), 10.into()], vec![2.into(), 20.into()]]),
+            )
+            .unwrap();
+        (c, id)
+    }
+
+    #[test]
+    fn add_and_resolve_table() {
+        let (c, id) = catalog_with_r();
+        assert_eq!(c.num_tables(), 1);
+        assert_eq!(c.source_by_name("r"), Some(id));
+        assert_eq!(c.source_by_name("R"), Some(id));
+        assert_eq!(c.source_by_name("missing"), None);
+        assert_eq!(c.table(id).unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn duplicate_table_name_rejected() {
+        let (mut c, _) = catalog_with_r();
+        let err = c
+            .add_table(TableDef::new("r", Schema::of(&[("z", ColumnType::Int)])))
+            .unwrap_err();
+        assert!(matches!(err, StemsError::Schema(_)));
+    }
+
+    #[test]
+    fn row_validation_on_add() {
+        let mut c = Catalog::new();
+        let err = c
+            .add_table(
+                TableDef::new("bad", Schema::of(&[("k", ColumnType::Int)]))
+                    .with_rows(vec![vec!["oops".into()]]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, StemsError::Schema(_)));
+    }
+
+    #[test]
+    fn access_method_registry() {
+        let (mut c, r) = catalog_with_r();
+        assert!(!c.has_scan(r) && !c.has_index(r));
+        let scan = c.add_scan(r, ScanSpec::default()).unwrap();
+        let idx = c.add_index(r, IndexSpec::new(vec![0], 100)).unwrap();
+        assert_ne!(scan, idx);
+        assert!(c.has_scan(r) && c.has_index(r));
+        assert_eq!(c.ams_of(r).len(), 2);
+        assert_eq!(c.num_ams(), 2);
+        assert!(c.am(scan).unwrap().1.is_scan());
+        assert!(c.am(idx).unwrap().1.is_index());
+    }
+
+    #[test]
+    fn am_on_unknown_source_rejected() {
+        let mut c = Catalog::new();
+        let err = c.add_scan(SourceId(9), ScanSpec::default()).unwrap_err();
+        assert!(matches!(err, StemsError::UnknownName(_)));
+    }
+
+    #[test]
+    fn am_validation_runs() {
+        let (mut c, r) = catalog_with_r();
+        assert!(c.add_index(r, IndexSpec::new(vec![7], 100)).is_err());
+    }
+}

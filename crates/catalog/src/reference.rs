@@ -1,0 +1,258 @@
+//! Oracle executor: exact expected results by brute force.
+//!
+//! The paper's Theorems 1–2 say constraint-respecting routing produces the
+//! query result exactly — no duplicates, no misses. Our test suites verify
+//! the engine against this module: a naive nested-loop join over the
+//! materialized catalog data. It is deliberately the dumbest correct
+//! implementation we can write.
+
+use crate::{Catalog, QuerySpec};
+use stems_types::{TableIdx, Tuple, Value};
+
+/// Compute the full result set of `q` by nested loops.
+pub fn execute(catalog: &Catalog, q: &QuerySpec) -> Vec<Tuple> {
+    let mut acc: Vec<Tuple> = Vec::new();
+    let mut first = true;
+    for (i, ti) in q.tables.iter().enumerate() {
+        let t = TableIdx(i as u8);
+        let rows = catalog.table_expect(ti.source).rows();
+        let mut next = Vec::new();
+        if first {
+            for r in rows {
+                next.push(Tuple::singleton(t, r.clone()));
+            }
+            first = false;
+        } else {
+            for partial in &acc {
+                for r in rows {
+                    next.push(partial.concat(&Tuple::singleton(t, r.clone())));
+                }
+            }
+        }
+        // Prune with every predicate evaluable on the new span — keeps the
+        // intermediate size manageable for tests.
+        acc = next
+            .into_iter()
+            .filter(|tpl| {
+                q.predicates
+                    .iter()
+                    .all(|p| p.eval(tpl).unwrap_or(true))
+            })
+            .collect();
+    }
+    acc
+}
+
+/// Project a result tuple per the query's SELECT list (`None` ⇒ all columns
+/// of all instances, in instance order).
+pub fn project(catalog: &Catalog, q: &QuerySpec, tuple: &Tuple) -> Vec<Value> {
+    match &q.projection {
+        Some(cols) => cols
+            .iter()
+            .map(|c| {
+                tuple
+                    .value(c.table, c.col)
+                    .cloned()
+                    .unwrap_or(Value::Null)
+            })
+            .collect(),
+        None => {
+            let mut out = Vec::new();
+            for (i, ti) in q.tables.iter().enumerate() {
+                let t = TableIdx(i as u8);
+                let arity = catalog.table_expect(ti.source).schema.arity();
+                for col in 0..arity {
+                    out.push(
+                        tuple
+                            .value(t, col)
+                            .cloned()
+                            .unwrap_or(Value::Null),
+                    );
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Canonical, order-insensitive form of a result multiset: each tuple
+/// flattened to its projected values, the whole list sorted. Two executors
+/// agree iff their canonical forms are equal.
+pub fn canonical(catalog: &Catalog, q: &QuerySpec, tuples: &[Tuple]) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = tuples.iter().map(|t| project(catalog, q, t)).collect();
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let ord = x.total_cmp(y);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        a.len().cmp(&b.len())
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ScanSpec, TableDef, TableInstance};
+    use stems_types::{CmpOp, ColRef, ColumnType, PredId, Predicate, Schema};
+
+    fn setup() -> (Catalog, QuerySpec) {
+        let mut c = Catalog::new();
+        let r = c
+            .add_table(
+                TableDef::new(
+                    "R",
+                    Schema::of(&[("key", ColumnType::Int), ("a", ColumnType::Int)]),
+                )
+                .with_rows(vec![
+                    vec![1.into(), 10.into()],
+                    vec![2.into(), 20.into()],
+                    vec![3.into(), 10.into()],
+                ]),
+            )
+            .unwrap();
+        let s = c
+            .add_table(
+                TableDef::new("S", Schema::of(&[("x", ColumnType::Int)]))
+                    .with_rows(vec![vec![10.into()], vec![30.into()]]),
+            )
+            .unwrap();
+        c.add_scan(r, ScanSpec::default()).unwrap();
+        c.add_scan(s, ScanSpec::default()).unwrap();
+        let q = QuerySpec::new(
+            &c,
+            vec![
+                TableInstance {
+                    source: r,
+                    alias: "r".into(),
+                },
+                TableInstance {
+                    source: s,
+                    alias: "s".into(),
+                },
+            ],
+            vec![Predicate::join(
+                PredId(0),
+                ColRef::new(TableIdx(0), 1),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(1), 0),
+            )],
+            None,
+        )
+        .unwrap();
+        (c, q)
+    }
+
+    #[test]
+    fn equijoin_results() {
+        let (c, q) = setup();
+        let res = execute(&c, &q);
+        // R rows with a=10 are keys 1 and 3; each joins S.x=10.
+        assert_eq!(res.len(), 2);
+        let canon = canonical(&c, &q, &res);
+        assert_eq!(
+            canon,
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Int(10)],
+                vec![Value::Int(3), Value::Int(10), Value::Int(10)],
+            ]
+        );
+    }
+
+    #[test]
+    fn selection_prunes() {
+        let (c, mut q) = setup();
+        q.predicates.push(Predicate::selection(
+            PredId(1),
+            ColRef::new(TableIdx(0), 0),
+            CmpOp::Gt,
+            Value::Int(1),
+        ));
+        let res = execute(&c, &q);
+        assert_eq!(res.len(), 1); // only key=3 survives
+    }
+
+    #[test]
+    fn projection_subset() {
+        let (c, mut q) = setup();
+        q.projection = Some(vec![ColRef::new(TableIdx(0), 0)]);
+        let res = execute(&c, &q);
+        let canon = canonical(&c, &q, &res);
+        assert_eq!(canon, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn cartesian_product_when_no_preds() {
+        let (c, mut q) = setup();
+        q.predicates.clear();
+        let res = execute(&c, &q);
+        assert_eq!(res.len(), 3 * 2);
+    }
+
+    #[test]
+    fn canonical_is_order_insensitive() {
+        let (c, q) = setup();
+        let mut res = execute(&c, &q);
+        let canon1 = canonical(&c, &q, &res);
+        res.reverse();
+        let canon2 = canonical(&c, &q, &res);
+        assert_eq!(canon1, canon2);
+    }
+
+    #[test]
+    fn cyclic_three_way_join() {
+        // Triangle query where all three predicates must hold.
+        let mut c = Catalog::new();
+        let schema = Schema::of(&[("k", ColumnType::Int)]);
+        let ids: Vec<_> = ["A", "B", "C"]
+            .iter()
+            .map(|n| {
+                let id = c
+                    .add_table(TableDef::new(n, schema.clone()).with_rows(vec![
+                        vec![1.into()],
+                        vec![2.into()],
+                    ]))
+                    .unwrap();
+                c.add_scan(id, ScanSpec::default()).unwrap();
+                id
+            })
+            .collect();
+        let q = QuerySpec::new(
+            &c,
+            ids.iter()
+                .zip(["a", "b", "cc"])
+                .map(|(s, a)| TableInstance {
+                    source: *s,
+                    alias: a.into(),
+                })
+                .collect(),
+            vec![
+                Predicate::join(
+                    PredId(0),
+                    ColRef::new(TableIdx(0), 0),
+                    CmpOp::Eq,
+                    ColRef::new(TableIdx(1), 0),
+                ),
+                Predicate::join(
+                    PredId(1),
+                    ColRef::new(TableIdx(1), 0),
+                    CmpOp::Eq,
+                    ColRef::new(TableIdx(2), 0),
+                ),
+                Predicate::join(
+                    PredId(2),
+                    ColRef::new(TableIdx(0), 0),
+                    CmpOp::Eq,
+                    ColRef::new(TableIdx(2), 0),
+                ),
+            ],
+            None,
+        )
+        .unwrap();
+        let res = execute(&c, &q);
+        // k must agree across all three: (1,1,1) and (2,2,2).
+        assert_eq!(res.len(), 2);
+    }
+}

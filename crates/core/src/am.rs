@@ -1,0 +1,638 @@
+//! Access Modules: scans and asynchronous indexes (paper §2.1.3).
+//!
+//! "An Access Module encapsulates a single access method over a data
+//! source." Scans accept only the initial *seed* and then push all rows;
+//! indexes accept *probe* tuples that bind their lookup columns, answer
+//! **asynchronously**, and finish each answer with an EOT tuple so SteMs
+//! can tell when a probe's matches are complete.
+//!
+//! Both AM kinds here are simulation-backed: the rows live in the catalog
+//! and are served with the latencies/rates of their [`ScanSpec`] /
+//! [`IndexSpec`]. The *protocol* (seeds, probes, bounce-backs, EOTs,
+//! in-flight coalescing) is exactly the paper's.
+
+use crate::stem::{make_eot_row, make_scan_eot_row};
+use std::sync::Arc;
+use stems_catalog::{IndexSpec, QuerySpec, ScanSpec, SourceId};
+use stems_sim::{secs_f, StallWindows, Time};
+use stems_storage::fxhash::{FxHashMap, FxHashSet};
+use stems_storage::index_key;
+use stems_types::{Row, TableIdx, Tuple, Value};
+
+/// A scan access method serving every instance of one source.
+///
+/// Emits one row per `1/rate` seconds per instance, shifted around stall
+/// windows; after the last row it emits the full-relation EOT tuple
+/// ("in the case of a scan AM, the predicate is simply true", §2.1.3).
+#[derive(Debug)]
+pub struct ScanAm {
+    pub source: SourceId,
+    pub instances: Vec<TableIdx>,
+    rows: Vec<Arc<Row>>,
+    arity: usize,
+    gap_us: u64,
+    start_delay_us: u64,
+    stalls: StallWindows,
+    /// Next row to emit.
+    pos: usize,
+    /// Whether the EOT has been emitted.
+    pub finished: bool,
+}
+
+impl ScanAm {
+    pub fn new(
+        source: SourceId,
+        instances: Vec<TableIdx>,
+        rows: Vec<Arc<Row>>,
+        arity: usize,
+        spec: &ScanSpec,
+    ) -> ScanAm {
+        ScanAm {
+            source,
+            instances,
+            rows,
+            arity,
+            gap_us: secs_f(1.0 / spec.rate_tps).max(1),
+            start_delay_us: spec.start_delay_us,
+            stalls: StallWindows::new(spec.stall_windows.clone()),
+            pos: 0,
+            finished: false,
+        }
+    }
+
+    /// Time of the first emission.
+    pub fn first_emit_time(&self) -> Time {
+        self.stalls.next_available(self.start_delay_us + self.gap_us)
+    }
+
+    /// Emit the next batch (one row as a singleton per instance, or the
+    /// final EOTs). Returns the emitted tuples and, if more remain, the
+    /// time of the next emission.
+    pub fn emit_next(&mut self, now: Time) -> (Vec<Tuple>, Option<Time>) {
+        if self.finished {
+            return (Vec::new(), None);
+        }
+        let mut out = Vec::new();
+        if self.pos < self.rows.len() {
+            let row = self.rows[self.pos].clone();
+            self.pos += 1;
+            for t in &self.instances {
+                out.push(Tuple::singleton(*t, row.clone()));
+            }
+            let next = self.stalls.next_available(now + self.gap_us);
+            (out, Some(next))
+        } else {
+            for t in &self.instances {
+                out.push(Tuple::singleton(*t, make_scan_eot_row(self.arity)));
+            }
+            self.finished = true;
+            (out, None)
+        }
+    }
+
+    /// Fraction of the table delivered so far.
+    pub fn progress(&self) -> f64 {
+        if self.rows.is_empty() {
+            1.0
+        } else {
+            self.pos as f64 / self.rows.len() as f64
+        }
+    }
+}
+
+/// What an index AM does with one probe.
+#[derive(Debug, PartialEq)]
+pub enum IndexProbeOutcome {
+    /// A lookup was scheduled: service starts at `start` and the response
+    /// lands at `complete`.
+    Scheduled { start: Time, complete: Time },
+    /// All servers busy: the lookup waits in the AM's pending queue
+    /// (prioritized probes wait at the front, paper §4.1) and will be
+    /// scheduled by [`IndexAm::dequeue_pending`] when a server frees.
+    Queued,
+    /// Coalesced with an identical in-flight (or already-answered) lookup
+    /// — no new work; the SteM cache will serve the caller.
+    Coalesced,
+    /// The probe tuple does not bind the index's columns (router bug).
+    Unbindable,
+}
+
+/// An asynchronous index access method (paper §2.1.3, WSQ/DSQ-style).
+///
+/// Lookups are serialized across `concurrency` virtual servers, each
+/// `latency_us` long — concurrency 1 matches the paper's "sleeps of
+/// identical duration". Identical in-flight probes are coalesced, which is
+/// how both fig-7 systems end up making ~250 probes for 1000 R tuples.
+#[derive(Debug)]
+pub struct IndexAm {
+    pub source: SourceId,
+    pub instances: Vec<TableIdx>,
+    pub spec: IndexSpec,
+    arity: usize,
+    /// Pre-built lookup structure: bind-values → rows.
+    data: FxHashMap<Vec<Value>, Vec<Arc<Row>>>,
+    stalls: StallWindows,
+    /// Lookups currently in service (≤ concurrency).
+    busy: usize,
+    /// Keys awaiting a free server: `(key, prioritized)`. Prioritized
+    /// lookups are picked first (§4.1).
+    pending: std::collections::VecDeque<(Vec<Value>, bool)>,
+    in_flight: FxHashSet<Vec<Value>>,
+    answered: FxHashSet<Vec<Value>>,
+    /// Lookups actually issued (the fig-7(ii) series).
+    pub probes_issued: u64,
+    /// Probes absorbed by coalescing.
+    pub probes_coalesced: u64,
+}
+
+impl IndexAm {
+    pub fn new(
+        source: SourceId,
+        instances: Vec<TableIdx>,
+        rows: &[Arc<Row>],
+        arity: usize,
+        spec: IndexSpec,
+    ) -> IndexAm {
+        let mut data: FxHashMap<Vec<Value>, Vec<Arc<Row>>> = FxHashMap::default();
+        for r in rows {
+            if let Some(key) = Self::key_of(r, &spec.bind_cols) {
+                data.entry(key).or_default().push(r.clone());
+            }
+        }
+        IndexAm {
+            source,
+            instances,
+            stalls: StallWindows::new(spec.stall_windows.clone()),
+            busy: 0,
+            pending: std::collections::VecDeque::new(),
+            arity,
+            data,
+            spec,
+            in_flight: FxHashSet::default(),
+            answered: FxHashSet::default(),
+            probes_issued: 0,
+            probes_coalesced: 0,
+        }
+    }
+
+    fn key_of(row: &Row, bind_cols: &[usize]) -> Option<Vec<Value>> {
+        bind_cols
+            .iter()
+            .map(|c| row.get(*c).and_then(index_key))
+            .collect()
+    }
+
+    /// Derive the bind values a probe tuple supplies for instance `t` of
+    /// this source: for every bind column, an equi-join predicate from the
+    /// tuple's span or a constant equality selection must cover it.
+    pub fn bind_values(
+        &self,
+        tuple: &Tuple,
+        t: TableIdx,
+        query: &QuerySpec,
+    ) -> Option<Vec<Value>> {
+        let linking: Vec<&stems_types::Predicate> = query
+            .preds_linking(tuple.span(), t)
+            .into_iter()
+            .map(|id| query.predicate(id))
+            .collect();
+        let bindings = crate::stem::probe_bindings(&linking, tuple, t, query);
+        self.spec
+            .bind_cols
+            .iter()
+            .map(|c| {
+                bindings
+                    .iter()
+                    .find(|(col, _)| col == c)
+                    .and_then(|(_, v)| index_key(v))
+            })
+            .collect()
+    }
+
+    /// Accept a probe for instance `t`. The probe tuple itself is bounced
+    /// back by the engine regardless (AMs "asynchronously bounce back each
+    /// probe tuple", Table 1). `prioritized` lookups jump the pending
+    /// queue (paper §4.1).
+    pub fn probe(
+        &mut self,
+        tuple: &Tuple,
+        t: TableIdx,
+        query: &QuerySpec,
+        now: Time,
+        prioritized: bool,
+    ) -> (IndexProbeOutcome, Option<Vec<Value>>) {
+        let Some(key) = self.bind_values(tuple, t, query) else {
+            return (IndexProbeOutcome::Unbindable, None);
+        };
+        if self.in_flight.contains(&key) || self.answered.contains(&key) {
+            self.probes_coalesced += 1;
+            return (IndexProbeOutcome::Coalesced, Some(key));
+        }
+        if self.pending.iter().any(|(k, _)| *k == key) {
+            // Already queued; a prioritized duplicate promotes it.
+            if prioritized {
+                if let Some(pos) = self
+                    .pending
+                    .iter()
+                    .position(|(k, p)| *k == key && !*p)
+                {
+                    let (k, _) = self.pending.remove(pos).expect("position valid");
+                    self.pending.push_front((k, true));
+                }
+            }
+            self.probes_coalesced += 1;
+            return (IndexProbeOutcome::Coalesced, Some(key));
+        }
+        if self.busy < self.spec.concurrency.max(1) {
+            let (start, complete) = self.begin_service(key.clone(), now);
+            (IndexProbeOutcome::Scheduled { start, complete }, Some(key))
+        } else {
+            if prioritized {
+                self.pending.push_front((key.clone(), true));
+            } else {
+                self.pending.push_back((key.clone(), false));
+            }
+            (IndexProbeOutcome::Queued, Some(key))
+        }
+    }
+
+    fn begin_service(&mut self, key: Vec<Value>, now: Time) -> (Time, Time) {
+        let start = self.stalls.next_available(now);
+        let complete = start + self.spec.latency_us;
+        self.busy += 1;
+        self.in_flight.insert(key);
+        self.probes_issued += 1;
+        (start, complete)
+    }
+
+    /// Called by the engine right after a response: pull the next pending
+    /// lookup (prioritized first) into the freed server. Returns the key
+    /// and its service window for event scheduling.
+    pub fn dequeue_pending(&mut self, now: Time) -> Option<(Vec<Value>, Time, Time)> {
+        // Prefer a prioritized entry anywhere in the queue.
+        let pos = self
+            .pending
+            .iter()
+            .position(|(_, p)| *p)
+            .or(if self.pending.is_empty() { None } else { Some(0) })?;
+        let (key, _) = self.pending.remove(pos).expect("position valid");
+        let (start, complete) = self.begin_service(key.clone(), now);
+        Some((key, start, complete))
+    }
+
+    /// Lookups waiting for a server.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Deliver the response for `key`: matching rows (filtered by the
+    /// table's own selection predicates — "the AM applies the others after
+    /// the lookup", §2.1.3 fn 2) as singletons per instance, plus the EOT
+    /// tuple encoding the probed bindings.
+    pub fn respond(&mut self, key: &[Value], query: &QuerySpec) -> Vec<Tuple> {
+        self.in_flight.remove(key);
+        self.answered.insert(key.to_vec());
+        self.busy = self.busy.saturating_sub(1);
+        let rows = self.data.get(key).cloned().unwrap_or_default();
+        let mut out = Vec::new();
+        for t in &self.instances {
+            // Selections on this instance that the AM can check locally.
+            let sels: Vec<&stems_types::Predicate> = query
+                .predicates
+                .iter()
+                .filter(|p| p.is_selection() && p.tables().contains(*t))
+                .collect();
+            for r in &rows {
+                let single = Tuple::singleton(*t, r.clone());
+                if sels.iter().all(|p| p.eval(&single).unwrap_or(false)) {
+                    out.push(single);
+                }
+            }
+            let bindings: Vec<(usize, Value)> = self
+                .spec
+                .bind_cols
+                .iter()
+                .zip(key.iter())
+                .map(|(c, v)| (*c, v.clone()))
+                .collect();
+            out.push(Tuple::singleton(*t, make_eot_row(self.arity, &bindings)));
+        }
+        out
+    }
+
+    /// Current backlog estimate: pending lookups (plus in-service ones)
+    /// times the per-lookup latency, divided across servers.
+    pub fn queue_delay(&self, _now: Time) -> Time {
+        let servers = self.spec.concurrency.max(1) as u64;
+        (self.pending.len() as u64 + self.busy as u64) * self.spec.latency_us / servers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stems_catalog::{Catalog, TableDef, TableInstance};
+    use stems_types::{CmpOp, ColRef, ColumnType, PredId, Predicate, Schema};
+
+    fn rows(vals: &[(i64, i64)]) -> Vec<Arc<Row>> {
+        vals.iter()
+            .map(|(a, b)| Row::shared(vec![Value::Int(*a), Value::Int(*b)]))
+            .collect()
+    }
+
+    fn rs_query() -> (Catalog, QuerySpec) {
+        let mut c = Catalog::new();
+        let r = c
+            .add_table(TableDef::new(
+                "R",
+                Schema::of(&[("key", ColumnType::Int), ("a", ColumnType::Int)]),
+            ))
+            .unwrap();
+        let s = c
+            .add_table(TableDef::new(
+                "S",
+                Schema::of(&[("x", ColumnType::Int), ("y", ColumnType::Int)]),
+            ))
+            .unwrap();
+        c.add_scan(r, ScanSpec::default()).unwrap();
+        c.add_index(s, IndexSpec::new(vec![0], 1000)).unwrap();
+        let q = QuerySpec::new(
+            &c,
+            vec![
+                TableInstance {
+                    source: r,
+                    alias: "r".into(),
+                },
+                TableInstance {
+                    source: s,
+                    alias: "s".into(),
+                },
+            ],
+            vec![Predicate::join(
+                PredId(0),
+                ColRef::new(TableIdx(0), 1),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(1), 0),
+            )],
+            None,
+        )
+        .unwrap();
+        (c, q)
+    }
+
+    #[test]
+    fn scan_emits_rows_then_eot() {
+        let spec = ScanSpec::with_rate(10.0); // 100ms per tuple
+        let mut scan = ScanAm::new(
+            SourceId(0),
+            vec![TableIdx(0)],
+            rows(&[(1, 10), (2, 20)]),
+            2,
+            &spec,
+        );
+        let t0 = scan.first_emit_time();
+        assert_eq!(t0, 100_000);
+        let (batch1, next1) = scan.emit_next(t0);
+        assert_eq!(batch1.len(), 1);
+        assert!(!batch1[0].is_eot());
+        assert_eq!(next1, Some(200_000));
+        let (batch2, next2) = scan.emit_next(next1.unwrap());
+        assert_eq!(batch2.len(), 1);
+        assert!(next2.is_some());
+        let (eot, done) = scan.emit_next(next2.unwrap());
+        assert_eq!(eot.len(), 1);
+        assert!(eot[0].is_eot());
+        assert_eq!(done, None);
+        assert!(scan.finished);
+        assert_eq!(scan.emit_next(999_999_999).0.len(), 0);
+    }
+
+    #[test]
+    fn scan_respects_stall_windows() {
+        let spec = ScanSpec {
+            rate_tps: 10.0,
+            start_delay_us: 0,
+            stall_windows: vec![(50_000, 500_000)],
+        };
+        let scan = ScanAm::new(SourceId(0), vec![TableIdx(0)], rows(&[(1, 1)]), 2, &spec);
+        // First emission would be at 100ms, inside the stall: pushed to end.
+        assert_eq!(scan.first_emit_time(), 500_000);
+    }
+
+    #[test]
+    fn scan_serves_multiple_instances() {
+        let spec = ScanSpec::with_rate(1000.0);
+        let mut scan = ScanAm::new(
+            SourceId(0),
+            vec![TableIdx(0), TableIdx(2)],
+            rows(&[(5, 6)]),
+            2,
+            &spec,
+        );
+        let (batch, _) = scan.emit_next(1000);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].span(), stems_types::TableSet::single(TableIdx(0)));
+        assert_eq!(batch[1].span(), stems_types::TableSet::single(TableIdx(2)));
+        // Same Arc row shared between instances.
+        assert!(Arc::ptr_eq(
+            &batch[0].components()[0].row,
+            &batch[1].components()[0].row
+        ));
+    }
+
+    #[test]
+    fn index_probe_queues_behind_busy_server() {
+        let (_c, q) = rs_query();
+        let spec = IndexSpec::new(vec![0], 1000);
+        let mut am = IndexAm::new(
+            SourceId(1),
+            vec![TableIdx(1)],
+            &rows(&[(10, 1), (10, 2), (20, 3)]),
+            2,
+            spec,
+        );
+        let r1 = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1), Value::Int(10)]);
+        let r2 = Tuple::singleton_of(TableIdx(0), vec![Value::Int(2), Value::Int(20)]);
+        let (o1, k1) = am.probe(&r1, TableIdx(1), &q, 0, false);
+        assert_eq!(
+            o1,
+            IndexProbeOutcome::Scheduled {
+                start: 0,
+                complete: 1000
+            }
+        );
+        // Second distinct probe waits in the pending queue.
+        let (o2, _) = am.probe(&r2, TableIdx(1), &q, 10, false);
+        assert_eq!(o2, IndexProbeOutcome::Queued);
+        assert_eq!(am.probes_issued, 1);
+        assert_eq!(am.pending_len(), 1);
+        assert!(am.queue_delay(10) > 0);
+        // Responses: matches + EOT; then the pending lookup starts.
+        let resp = am.respond(&k1.unwrap(), &q);
+        assert_eq!(resp.len(), 3); // two x=10 rows + EOT
+        assert!(resp.last().unwrap().is_eot());
+        let (key2, start2, complete2) = am.dequeue_pending(1000).expect("pending lookup");
+        assert_eq!(key2, vec![Value::Int(20)]);
+        assert_eq!(start2, 1000);
+        assert_eq!(complete2, 2000);
+        assert_eq!(am.probes_issued, 2);
+        assert!(am.dequeue_pending(2000).is_none());
+    }
+
+    #[test]
+    fn prioritized_probes_jump_the_pending_queue() {
+        let (_c, q) = rs_query();
+        let mut am = IndexAm::new(
+            SourceId(1),
+            vec![TableIdx(1)],
+            &rows(&[(10, 1), (20, 2), (30, 3), (40, 4)]),
+            2,
+            IndexSpec::new(vec![0], 1000),
+        );
+        let mk = |a: i64| Tuple::singleton_of(TableIdx(0), vec![Value::Int(0), Value::Int(a)]);
+        let (_, k1) = am.probe(&mk(10), TableIdx(1), &q, 0, false); // in service
+        am.probe(&mk(20), TableIdx(1), &q, 0, false); // pending lo
+        am.probe(&mk(30), TableIdx(1), &q, 0, false); // pending lo
+        am.probe(&mk(40), TableIdx(1), &q, 0, true); // pending HI
+        am.respond(&k1.unwrap(), &q);
+        let (key, _, _) = am.dequeue_pending(1000).expect("next");
+        assert_eq!(key, vec![Value::Int(40)], "prioritized probe served first");
+        // A prioritized duplicate promotes an already-pending key.
+        let mut am2 = IndexAm::new(
+            SourceId(1),
+            vec![TableIdx(1)],
+            &rows(&[(10, 1), (20, 2), (30, 3)]),
+            2,
+            IndexSpec::new(vec![0], 1000),
+        );
+        let (_, k1) = am2.probe(&mk(10), TableIdx(1), &q, 0, false);
+        am2.probe(&mk(20), TableIdx(1), &q, 0, false);
+        am2.probe(&mk(30), TableIdx(1), &q, 0, false);
+        let (o, _) = am2.probe(&mk(30), TableIdx(1), &q, 0, true); // promote 30
+        assert_eq!(o, IndexProbeOutcome::Coalesced);
+        am2.respond(&k1.unwrap(), &q);
+        let (key, _, _) = am2.dequeue_pending(1000).expect("next");
+        assert_eq!(key, vec![Value::Int(30)]);
+    }
+
+    #[test]
+    fn identical_inflight_probes_coalesce() {
+        let (_c, q) = rs_query();
+        let mut am = IndexAm::new(
+            SourceId(1),
+            vec![TableIdx(1)],
+            &rows(&[(10, 1)]),
+            2,
+            IndexSpec::new(vec![0], 1000),
+        );
+        let mk = |key: i64, a: i64| {
+            Tuple::singleton_of(TableIdx(0), vec![Value::Int(key), Value::Int(a)])
+        };
+        let (o1, _) = am.probe(&mk(1, 10), TableIdx(1), &q, 0, false);
+        assert!(matches!(o1, IndexProbeOutcome::Scheduled { .. }));
+        // Different R tuple, same bind value: coalesced.
+        let (o2, _) = am.probe(&mk(2, 10), TableIdx(1), &q, 5, false);
+        assert_eq!(o2, IndexProbeOutcome::Coalesced);
+        assert_eq!(am.probes_issued, 1);
+        assert_eq!(am.probes_coalesced, 1);
+        // After the answer, same key is still coalesced (cache hit path).
+        am.respond(&[Value::Int(10)], &q);
+        let (o3, _) = am.probe(&mk(3, 10), TableIdx(1), &q, 2000, false);
+        assert_eq!(o3, IndexProbeOutcome::Coalesced);
+    }
+
+    #[test]
+    fn concurrency_runs_probes_in_parallel() {
+        let (_c, q) = rs_query();
+        let mut am = IndexAm::new(
+            SourceId(1),
+            vec![TableIdx(1)],
+            &rows(&[(10, 1), (20, 2)]),
+            2,
+            IndexSpec::new(vec![0], 1000).with_concurrency(2),
+        );
+        let mk = |key: i64, a: i64| {
+            Tuple::singleton_of(TableIdx(0), vec![Value::Int(key), Value::Int(a)])
+        };
+        let (o1, _) = am.probe(&mk(1, 10), TableIdx(1), &q, 0, false);
+        let (o2, _) = am.probe(&mk(2, 20), TableIdx(1), &q, 0, false);
+        assert_eq!(
+            o1,
+            IndexProbeOutcome::Scheduled {
+                start: 0,
+                complete: 1000
+            }
+        );
+        assert_eq!(
+            o2,
+            IndexProbeOutcome::Scheduled {
+                start: 0,
+                complete: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn zero_match_probe_still_answers_with_eot() {
+        let (_c, q) = rs_query();
+        let mut am = IndexAm::new(
+            SourceId(1),
+            vec![TableIdx(1)],
+            &rows(&[(10, 1)]),
+            2,
+            IndexSpec::new(vec![0], 1000),
+        );
+        let r = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1), Value::Int(77)]);
+        let (_, key) = am.probe(&r, TableIdx(1), &q, 0, false);
+        let resp = am.respond(&key.unwrap(), &q);
+        assert_eq!(resp.len(), 1);
+        assert!(resp[0].is_eot());
+        // EOT encodes the probed binding so the SteM records coverage.
+        assert_eq!(
+            resp[0].components()[0].row.get(0),
+            Some(&Value::Int(77))
+        );
+    }
+
+    #[test]
+    fn unbindable_probe_rejected() {
+        let (_c, q) = rs_query();
+        let mut am = IndexAm::new(
+            SourceId(1),
+            vec![TableIdx(1)],
+            &rows(&[(10, 1)]),
+            2,
+            IndexSpec::new(vec![1], 1000), // binds y, which no pred covers
+        );
+        let r = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1), Value::Int(10)]);
+        let (o, k) = am.probe(&r, TableIdx(1), &q, 0, false);
+        assert_eq!(o, IndexProbeOutcome::Unbindable);
+        assert!(k.is_none());
+    }
+
+    #[test]
+    fn index_applies_local_selections() {
+        let (c, q) = rs_query();
+        let mut q2 = q.clone();
+        q2.predicates.push(Predicate::selection(
+            PredId(1),
+            ColRef::new(TableIdx(1), 1),
+            CmpOp::Gt,
+            Value::Int(1),
+        ));
+        let q2 = QuerySpec::new(&c, q2.tables, q2.predicates, None).unwrap();
+        let mut am = IndexAm::new(
+            SourceId(1),
+            vec![TableIdx(1)],
+            &rows(&[(10, 1), (10, 5)]),
+            2,
+            IndexSpec::new(vec![0], 1000),
+        );
+        let r = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1), Value::Int(10)]);
+        let (_, key) = am.probe(&r, TableIdx(1), &q2, 0, false);
+        let resp = am.respond(&key.unwrap(), &q2);
+        // Only (10,5) passes y > 1; plus EOT.
+        assert_eq!(resp.len(), 2);
+        assert_eq!(resp[0].value(TableIdx(1), 1), Some(&Value::Int(5)));
+    }
+}

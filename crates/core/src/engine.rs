@@ -1,0 +1,952 @@
+//! The eddy executor: a discrete-event loop that routes tuples between
+//! modules (paper §2.1.1).
+//!
+//! "The eddy's role is to continuously route tuples among the rest of the
+//! modules, according to a routing policy. ... A tuple is removed from the
+//! eddy's dataflow and sent to the output if it spans all base tables and
+//! is verified to pass all predicates. The eddy terminates the query when
+//! there are no tuples in the dataflow, and each module has finished
+//! processing all the tuples sent to it."
+//!
+//! Every module runs as a serial server with its own input queue and
+//! per-operation virtual service times; index AMs additionally answer
+//! probes asynchronously with their configured latency. Termination is the
+//! natural emptiness of the event agenda — exactly the paper's condition.
+
+use crate::am::IndexProbeOutcome;
+use crate::plan::{instantiate, Module, PlanLayout, PlanOptions};
+use crate::policy::{Feedback, Hint, RoutingPolicy, RoutingPolicyKind};
+use crate::report::Report;
+use crate::router::{self, Action, NoCandidates};
+use crate::stem::{eot_bindings, BuildResult, ProbeOutcome};
+use crate::tuple_state::{CompletionNeed, PriorProber, TupleState};
+use std::collections::VecDeque;
+use stems_catalog::{Catalog, QuerySpec};
+use stems_sim::{EventQueue, Metrics, SimRng, Time};
+use stems_storage::fxhash::FxHashSet;
+use stems_types::{Predicate, Result, StemsError, TableIdx, Timestamp, Tuple, Value};
+
+/// Virtual service times of local (in-process) operations, in µs. These
+/// stand in for the CPU costs of the paper's Java modules; remote costs
+/// (scan rates, index latencies) come from the access-method specs.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    pub stem_build_us: u64,
+    pub stem_probe_us: u64,
+    pub per_match_us: u64,
+    pub sm_us: u64,
+    pub am_accept_us: u64,
+    /// Probe-cost multiplier for Grace-mode clustered releases (< 1.0
+    /// models the I/O locality of partition-clustered probing, §3.1).
+    pub clustered_probe_discount: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            stem_build_us: 20,
+            stem_probe_us: 30,
+            per_match_us: 5,
+            sm_us: 10,
+            am_accept_us: 10,
+            clustered_probe_discount: 1.0,
+        }
+    }
+}
+
+/// Execution configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    pub policy: RoutingPolicyKind,
+    pub seed: u64,
+    pub costs: CostModel,
+    /// Instantiation options (SteM backends, BuildFirst mode, §3.5
+    /// exemptions).
+    pub plan: PlanOptions,
+    /// Restrict SteM probes to these join-graph edges (static spanning
+    /// tree emulation, §3.4). `None` = fully dynamic.
+    pub probe_edges: Option<Vec<(TableIdx, TableIdx)>>,
+    /// User-interest predicate (§4.1): matching tuples jump module queues
+    /// and their results are counted separately.
+    pub priority_pred: Option<Predicate>,
+    /// BoundedRepetition backstop.
+    pub max_hops: u32,
+    /// Simulation guards.
+    pub max_events: u64,
+    pub max_time: Option<Time>,
+    /// Verify invariants while running (tests); violations are collected
+    /// in the report instead of panicking.
+    pub check_constraints: bool,
+    /// Record a routing trace (capped at `trace_limit` events) — the
+    /// observability hook for debugging policies and demos.
+    pub trace: bool,
+    pub trace_limit: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            policy: RoutingPolicyKind::default(),
+            seed: 42,
+            costs: CostModel::default(),
+            plan: PlanOptions::default(),
+            probe_edges: None,
+            priority_pred: None,
+            max_hops: 1_000_000,
+            max_events: 200_000_000,
+            max_time: None,
+            check_constraints: false,
+            trace: false,
+            trace_limit: 100_000,
+        }
+    }
+}
+
+/// A tuple handed to a module's input queue.
+#[derive(Debug)]
+struct Envelope {
+    tuple: Tuple,
+    state: TupleState,
+    purpose: Purpose,
+    clustered: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Purpose {
+    Build,
+    Probe,
+    Select,
+    /// Probe an index AM *for* the given table instance.
+    AmProbe(TableIdx),
+}
+
+/// A tuple re-entering the eddy after a module finished with it.
+struct Delivery {
+    tuple: Tuple,
+    state: TupleState,
+    clustered: bool,
+}
+
+/// Signal attached to a completed build, used to wake parked tuples.
+enum UnparkSignal {
+    AnyBuild(TableIdx),
+    Eot {
+        table: TableIdx,
+        /// `None` = full-relation (scan) EOT.
+        bindings: Option<Vec<(usize, Value)>>,
+    },
+}
+
+enum Event {
+    /// A module may begin its next queued envelope.
+    Start(usize),
+    /// A module finished an envelope: deliver its emissions.
+    Complete(usize, Vec<Delivery>, Option<UnparkSignal>),
+    /// A scan emits its next row (or EOT).
+    ScanEmit(usize),
+    /// An index lookup entered service (fig-7(ii)'s probe counter).
+    AmIssue(usize),
+    /// An index lookup finished; deliver matches + EOT.
+    AmResponse(usize, Vec<Value>),
+}
+
+enum ParkKind {
+    /// Unbuilt re-prober (§3.5): any build to the table may help.
+    AnyBuild,
+    /// Built prior prober awaiting coverage: only a matching EOT helps.
+    Coverage(Vec<(usize, Value)>),
+}
+
+struct ParkedTuple {
+    tuple: Tuple,
+    state: TupleState,
+    table: TableIdx,
+    kind: ParkKind,
+}
+
+struct ModuleRt {
+    queue: VecDeque<Envelope>,
+    busy: bool,
+}
+
+/// The eddy executor. Build one with [`EddyExecutor::build`], run it to
+/// completion with [`EddyExecutor::run`].
+pub struct EddyExecutor {
+    query: QuerySpec,
+    config: ExecConfig,
+    modules: Vec<Module>,
+    rt: Vec<ModuleRt>,
+    layout: PlanLayout,
+    agenda: EventQueue<Event>,
+    policy: Box<dyn RoutingPolicy>,
+    rng: SimRng,
+    now: Time,
+    ts_counter: Timestamp,
+    parked: Vec<ParkedTuple>,
+    results: Vec<Tuple>,
+    metrics: Metrics,
+    events: u64,
+    violations: Vec<String>,
+    output_seen: FxHashSet<Tuple>,
+    trace: Vec<crate::report::TraceEvent>,
+}
+
+impl EddyExecutor {
+    /// Instantiate the query (paper §2.2 steps 1–4) and seed the scans
+    /// (step 5).
+    pub fn build(catalog: &Catalog, query: &QuerySpec, config: ExecConfig) -> Result<Self> {
+        if let Some(p) = &config.priority_pred {
+            if !p.is_selection() {
+                return Err(StemsError::Schema(
+                    "priority predicate must be a selection".into(),
+                ));
+            }
+        }
+        let (modules, layout) = instantiate(catalog, query, &config.plan)?;
+        let rt = modules
+            .iter()
+            .map(|_| ModuleRt {
+                queue: VecDeque::new(),
+                busy: false,
+            })
+            .collect();
+        let policy = config.policy.build();
+        let rng = SimRng::new(config.seed);
+        let mut exec = EddyExecutor {
+            query: query.clone(),
+            modules,
+            rt,
+            layout,
+            agenda: EventQueue::new(),
+            policy,
+            rng,
+            now: 0,
+            ts_counter: 0,
+            parked: Vec::new(),
+            results: Vec::new(),
+            metrics: Metrics::new(),
+            events: 0,
+            violations: Vec::new(),
+            output_seen: FxHashSet::default(),
+            trace: Vec::new(),
+            config,
+        };
+        // Step 5: seed tuples to the scans.
+        for &mid in exec.layout.scan_mids.clone().iter() {
+            if let Module::ScanAm(scan) = &exec.modules[mid] {
+                exec.agenda.push(scan.first_emit_time(), Event::ScanEmit(mid));
+            }
+        }
+        Ok(exec)
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(mut self) -> Report {
+        while let Some((t, ev)) = self.agenda.pop() {
+            self.now = t;
+            self.events += 1;
+            if let Some(max) = self.config.max_time {
+                if self.now > max {
+                    break;
+                }
+            }
+            if self.events > self.config.max_events {
+                self.violations
+                    .push("max_events exceeded — possible routing livelock".into());
+                break;
+            }
+            match ev {
+                Event::Start(mid) => self.on_start(mid),
+                Event::Complete(mid, deliveries, unpark) => {
+                    self.on_complete(mid, deliveries, unpark)
+                }
+                Event::ScanEmit(mid) => self.on_scan_emit(mid),
+                Event::AmIssue(_mid) => {
+                    self.metrics.bump("index_probes", self.now, 1);
+                }
+                Event::AmResponse(mid, key) => self.on_am_response(mid, key),
+            }
+        }
+        self.metrics.observe("end", self.now, 1.0);
+        Report {
+            results: self.results,
+            metrics: self.metrics,
+            end_time: self.now,
+            events: self.events,
+            violations: self.violations,
+            policy_name: self.policy.name(),
+            trace: self.trace,
+        }
+    }
+
+    fn record(&mut self, kind: crate::report::TraceKind, tuple: &Tuple) {
+        if self.config.trace && self.trace.len() < self.config.trace_limit {
+            self.trace.push(crate::report::TraceEvent {
+                t: self.now,
+                kind,
+                tuple: tuple.to_string(),
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_start(&mut self, mid: usize) {
+        if self.rt[mid].busy {
+            return;
+        }
+        let Some(env) = self.rt[mid].queue.pop_front() else {
+            return;
+        };
+        self.rt[mid].busy = true;
+        let (dur, deliveries, unpark) = self.process(mid, env);
+        self.agenda
+            .push(self.now + dur.max(1), Event::Complete(mid, deliveries, unpark));
+    }
+
+    fn on_complete(
+        &mut self,
+        mid: usize,
+        deliveries: Vec<Delivery>,
+        unpark: Option<UnparkSignal>,
+    ) {
+        self.rt[mid].busy = false;
+        if !self.rt[mid].queue.is_empty() {
+            self.agenda.push(self.now, Event::Start(mid));
+        }
+        if matches!(unpark, Some(UnparkSignal::AnyBuild(_))) {
+            // A build happened: sample total SteM memory (the fig-2
+            // singleton-vs-intermediate storage comparison watches this).
+            let total: usize = self
+                .modules
+                .iter()
+                .filter_map(|m| match m {
+                    Module::Stem(s) => Some(s.approx_bytes()),
+                    _ => None,
+                })
+                .sum();
+            self.metrics
+                .observe("stem_bytes_total", self.now, total as f64);
+        }
+        for d in deliveries {
+            self.accept(d.tuple, d.state, d.clustered);
+        }
+        if let Some(sig) = unpark {
+            self.unpark(sig);
+        }
+    }
+
+    fn on_scan_emit(&mut self, mid: usize) {
+        let Module::ScanAm(scan) = &mut self.modules[mid] else {
+            return;
+        };
+        let (tuples, next) = scan.emit_next(self.now);
+        if let Some(nt) = next {
+            self.agenda.push(nt, Event::ScanEmit(mid));
+        }
+        for t in tuples {
+            if !t.is_eot() {
+                self.metrics.bump("scanned", self.now, 1);
+            }
+            self.ingest(t, None);
+        }
+    }
+
+    fn on_am_response(&mut self, mid: usize, key: Vec<Value>) {
+        let mut module = std::mem::replace(&mut self.modules[mid], Module::Hole);
+        let mut next = None;
+        let tuples = match &mut module {
+            Module::IndexAm(am) => {
+                let tuples = am.respond(&key, &self.query);
+                // The freed server picks up the next pending lookup
+                // (prioritized first, §4.1).
+                next = am.dequeue_pending(self.now);
+                tuples
+            }
+            _ => Vec::new(),
+        };
+        self.modules[mid] = module;
+        if let Some((key2, start, complete)) = next {
+            self.agenda.push(start, Event::AmIssue(mid));
+            self.agenda.push(complete, Event::AmResponse(mid, key2));
+        }
+        self.metrics.bump("am_responses", self.now, 1);
+        for t in tuples {
+            self.ingest(t, Some(mid));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Module processing (at service start)
+    // ------------------------------------------------------------------
+
+    fn process(
+        &mut self,
+        mid: usize,
+        env: Envelope,
+    ) -> (u64, Vec<Delivery>, Option<UnparkSignal>) {
+        let mut module = std::mem::replace(&mut self.modules[mid], Module::Hole);
+        let out = match (&mut module, env.purpose) {
+            (Module::Stem(stem), Purpose::Build) => self.process_build(stem, env),
+            (Module::Stem(stem), Purpose::Probe) => self.process_probe(stem, env),
+            (Module::Sm(sm), Purpose::Select) => self.process_select(sm, env),
+            (Module::IndexAm(am), Purpose::AmProbe(t)) => self.process_am_probe(mid, am, env, t),
+            _ => {
+                self.violations
+                    .push(format!("envelope {:?} routed to wrong module", env.purpose));
+                (1, Vec::new(), None)
+            }
+        };
+        self.modules[mid] = module;
+        out
+    }
+
+    fn process_build(
+        &mut self,
+        stem: &mut crate::stem::Stem,
+        env: Envelope,
+    ) -> (u64, Vec<Delivery>, Option<UnparkSignal>) {
+        let table = stem.instance;
+        let is_eot = env.tuple.is_eot();
+        let eot_binds = if is_eot {
+            eot_bindings(&env.tuple.components()[0].row)
+        } else {
+            None
+        };
+        let next_ts = self.ts_counter + 1;
+        let result = stem.build(&env.tuple, &env.state, next_ts);
+        let dur = self.config.costs.stem_build_us;
+        match result {
+            BuildResult::Fresh(stamped) => {
+                self.ts_counter = next_ts;
+                self.observe_am_build(&env.state, true);
+                self.observe_stem_mem(stem);
+                (
+                    dur,
+                    vec![Delivery {
+                        tuple: stamped,
+                        state: env.state,
+                        clustered: false,
+                    }],
+                    Some(UnparkSignal::AnyBuild(table)),
+                )
+            }
+            BuildResult::Deferred => {
+                self.ts_counter = next_ts;
+                self.observe_am_build(&env.state, true);
+                (dur, Vec::new(), Some(UnparkSignal::AnyBuild(table)))
+            }
+            BuildResult::Duplicate => {
+                self.observe_am_build(&env.state, false);
+                self.metrics.bump("duplicates_absorbed", self.now, 1);
+                (dur, Vec::new(), None)
+            }
+            BuildResult::Eot => {
+                let mut deliveries = Vec::new();
+                if stem.scan_complete() && stem.deferred_len() > 0 {
+                    // Grace mode: the build phase ended; release the
+                    // withheld bounce-backs clustered by partition.
+                    for (tuple, state) in stem.release_deferred() {
+                        deliveries.push(Delivery {
+                            tuple,
+                            state,
+                            clustered: true,
+                        });
+                    }
+                }
+                (
+                    dur,
+                    deliveries,
+                    Some(UnparkSignal::Eot {
+                        table,
+                        bindings: eot_binds,
+                    }),
+                )
+            }
+        }
+    }
+
+    fn process_probe(
+        &mut self,
+        stem: &mut crate::stem::Stem,
+        env: Envelope,
+    ) -> (u64, Vec<Delivery>, Option<UnparkSignal>) {
+        let table = stem.instance;
+        let reply = stem.probe(&env.tuple, &env.state, &self.query);
+        self.policy.feedback(&Feedback::StemProbe {
+            table,
+            emitted: reply.results.len(),
+        });
+        self.metrics.bump("stem_probes", self.now, 1);
+
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        for (tuple, done) in reply.results {
+            // Track intermediate-result formation per span size — the
+            // §3.4 spanning-tree experiments watch these to see progress
+            // continue while a source is stalled.
+            self.metrics
+                .bump(&format!("span{}_formed", tuple.span().len()), self.now, 1);
+            let mut state = TupleState::for_result(done);
+            state.prioritized = env.state.prioritized || self.is_prioritized(&tuple);
+            deliveries.push(Delivery {
+                tuple,
+                state,
+                clustered: false,
+            });
+        }
+
+        match reply.outcome {
+            ProbeOutcome::Consumed => {
+                self.metrics.bump("probes_consumed", self.now, 1);
+            }
+            ProbeOutcome::Bounced(need) => {
+                let mut state = env.state;
+                state.mark_probed(table);
+                state.last_match_ts = state.last_match_ts.max(reply.observed_ts);
+                state.last_probe_version = router::stem_version(stem);
+                match state.prior_prober {
+                    // Re-bounce of an existing prior prober for the same
+                    // table: once the need has weakened to Optional it
+                    // never strengthens back to Required.
+                    Some(pp) if pp.table == table => {
+                        let need = if pp.need == CompletionNeed::Optional {
+                            CompletionNeed::Optional
+                        } else {
+                            need
+                        };
+                        state.prior_prober = Some(PriorProber { table, need });
+                    }
+                    // A prior prober for a *different* table probed this
+                    // SteM: the router must never allow that.
+                    Some(pp) => {
+                        self.violations.push(format!(
+                            "ProbeCompletion violated: prior prober for {} probed {}",
+                            pp.table, table
+                        ));
+                    }
+                    None => {
+                        state.prior_prober = Some(PriorProber { table, need });
+                    }
+                }
+                self.metrics.bump("probes_bounced", self.now, 1);
+                deliveries.push(Delivery {
+                    tuple: env.tuple,
+                    state,
+                    clustered: false,
+                });
+            }
+        }
+
+        let base = self.config.costs.stem_probe_us
+            + self.config.costs.per_match_us * deliveries.len() as u64;
+        let dur = if env.clustered {
+            ((base as f64) * self.config.costs.clustered_probe_discount).max(1.0) as u64
+        } else {
+            base
+        };
+        (dur, deliveries, None)
+    }
+
+    fn process_select(
+        &mut self,
+        sm: &crate::sm::Sm,
+        env: Envelope,
+    ) -> (u64, Vec<Delivery>, Option<UnparkSignal>) {
+        let dur = self.config.costs.sm_us;
+        self.metrics.bump("sm_applied", self.now, 1);
+        match sm.apply(&env.tuple) {
+            Some(true) => {
+                self.policy.feedback(&Feedback::Selected {
+                    pred: sm.pred_id(),
+                    passed: true,
+                });
+                let mut state = env.state;
+                state.done.insert(sm.pred_id());
+                (
+                    dur,
+                    vec![Delivery {
+                        tuple: env.tuple,
+                        state,
+                        clustered: false,
+                    }],
+                    None,
+                )
+            }
+            Some(false) => {
+                self.policy.feedback(&Feedback::Selected {
+                    pred: sm.pred_id(),
+                    passed: false,
+                });
+                self.metrics.bump("filtered", self.now, 1);
+                (dur, Vec::new(), None)
+            }
+            None => {
+                self.violations.push(format!(
+                    "selection {} not evaluable on routed tuple",
+                    sm.describe()
+                ));
+                (dur, Vec::new(), None)
+            }
+        }
+    }
+
+    fn process_am_probe(
+        &mut self,
+        mid: usize,
+        am: &mut crate::am::IndexAm,
+        env: Envelope,
+        t: TableIdx,
+    ) -> (u64, Vec<Delivery>, Option<UnparkSignal>) {
+        let (outcome, key) = am.probe(
+            &env.tuple,
+            t,
+            &self.query,
+            self.now,
+            env.state.prioritized,
+        );
+        match outcome {
+            IndexProbeOutcome::Scheduled { start, complete } => {
+                self.agenda.push(start, Event::AmIssue(mid));
+                self.agenda
+                    .push(complete, Event::AmResponse(mid, key.expect("scheduled key")));
+            }
+            IndexProbeOutcome::Queued => {
+                self.metrics.bump("probes_queued", self.now, 1);
+            }
+            IndexProbeOutcome::Coalesced => {
+                self.metrics.bump("probes_coalesced", self.now, 1);
+            }
+            IndexProbeOutcome::Unbindable => {
+                self.violations
+                    .push("router sent an unbindable probe to an index AM".into());
+            }
+        }
+        // The AM asynchronously bounces back the probe tuple (Table 1).
+        let mut state = env.state;
+        state.mark_am_probed(t);
+        (
+            self.config.costs.am_accept_us,
+            vec![Delivery {
+                tuple: env.tuple,
+                state,
+                clustered: false,
+            }],
+            None,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // The eddy: ingestion, routing, output, parking
+    // ------------------------------------------------------------------
+
+    /// A singleton enters the dataflow from an AM.
+    fn ingest(&mut self, tuple: Tuple, origin_am: Option<usize>) {
+        let mut state = TupleState::new();
+        state.origin_am = origin_am;
+        state.prioritized = self.is_prioritized(&tuple);
+        self.accept(tuple, state, false);
+    }
+
+    fn is_prioritized(&self, tuple: &Tuple) -> bool {
+        self.config
+            .priority_pred
+            .as_ref()
+            .is_some_and(|p| p.eval(tuple) == Some(true))
+    }
+
+    /// Route one tuple: output, park, retire, or enqueue to a module.
+    fn accept(&mut self, tuple: Tuple, mut state: TupleState, clustered: bool) {
+        state.hops += 1;
+        if state.hops > self.config.max_hops {
+            self.metrics.bump("hops_exceeded", self.now, 1);
+            self.violations
+                .push("BoundedRepetition backstop hit (max_hops)".into());
+            return;
+        }
+
+        if tuple.is_eot() {
+            let t = tuple.components()[0].table;
+            if let Some(mid) = self.layout.stem_mid[t.as_usize()] {
+                self.enqueue(mid, Envelope {
+                    tuple,
+                    state,
+                    purpose: Purpose::Build,
+                    clustered: false,
+                });
+            }
+            return;
+        }
+
+        if tuple.span() == self.query.full_span() && state.done.is_superset_of(self.query.all_preds())
+        {
+            self.output(tuple, &state);
+            return;
+        }
+
+        match router::candidates(
+            &self.modules,
+            &self.layout,
+            &self.query,
+            &tuple,
+            &state,
+            self.config.probe_edges.as_deref(),
+        ) {
+            Err(NoCandidates::Retire) => {
+                self.metrics.bump("retired", self.now, 1);
+                self.record(crate::report::TraceKind::Retire, &tuple);
+            }
+            Err(NoCandidates::Park { table }) => {
+                self.record(crate::report::TraceKind::Park { table }, &tuple);
+                self.park(tuple, state, table);
+            }
+            Ok(acts) => {
+                let pairs: Vec<(Action, Hint)> = acts
+                    .into_iter()
+                    .map(|a| {
+                        let h = self.hint_for(&a);
+                        (a, h)
+                    })
+                    .collect();
+                let idx = if pairs.len() == 1 {
+                    0
+                } else {
+                    self.policy.choose(&tuple, &state, &pairs, &mut self.rng)
+                };
+                let (action, _) = pairs[idx];
+                if self.config.trace {
+                    self.record(
+                        crate::report::TraceKind::Route {
+                            action: action.kind(),
+                            table: match action {
+                                Action::Build { table, .. }
+                                | Action::ProbeStem { table, .. }
+                                | Action::ProbeAm { table, .. } => Some(table),
+                                _ => None,
+                            },
+                        },
+                        &tuple,
+                    );
+                }
+                if self.config.check_constraints {
+                    self.check_choice(&tuple, &state, &action);
+                }
+                match action {
+                    Action::Drop => {
+                        self.metrics.bump("policy_drops", self.now, 1);
+                    }
+                    Action::Build { mid, .. } => self.enqueue(mid, Envelope {
+                        tuple,
+                        state,
+                        purpose: Purpose::Build,
+                        clustered,
+                    }),
+                    Action::ProbeStem { mid, .. } => self.enqueue(mid, Envelope {
+                        tuple,
+                        state,
+                        purpose: Purpose::Probe,
+                        clustered,
+                    }),
+                    Action::Select { mid, .. } => self.enqueue(mid, Envelope {
+                        tuple,
+                        state,
+                        purpose: Purpose::Select,
+                        clustered,
+                    }),
+                    Action::ProbeAm { mid, table } => {
+                        self.metrics.bump("am_probe_choices", self.now, 1);
+                        self.enqueue(mid, Envelope {
+                            tuple,
+                            state,
+                            purpose: Purpose::AmProbe(table),
+                            clustered,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, mid: usize, env: Envelope) {
+        // §4.1: prioritized tuples jump the queue so their partial results
+        // surface sooner.
+        if env.state.prioritized {
+            self.rt[mid].queue.push_front(env);
+        } else {
+            self.rt[mid].queue.push_back(env);
+        }
+        if !self.rt[mid].busy {
+            self.agenda.push(self.now, Event::Start(mid));
+        }
+    }
+
+    fn output(&mut self, tuple: Tuple, state: &TupleState) {
+        self.record(crate::report::TraceKind::Output, &tuple);
+        if self.config.check_constraints && !self.output_seen.insert(tuple.clone()) {
+            self.violations
+                .push(format!("duplicate result emitted: {tuple}"));
+        }
+        self.metrics.bump("results", self.now, 1);
+        if state.prioritized {
+            self.metrics.bump("priority_results", self.now, 1);
+        }
+        self.results.push(tuple);
+    }
+
+    fn park(&mut self, tuple: Tuple, state: TupleState, table: TableIdx) {
+        let all_built = tuple
+            .components()
+            .iter()
+            .all(|c| c.ts != stems_types::UNBUILT_TS);
+        let kind = if all_built {
+            // Compute the coverage bindings this tuple is waiting for.
+            let linking: Vec<&Predicate> = self
+                .query
+                .preds_linking(tuple.span(), table)
+                .into_iter()
+                .map(|id| self.query.predicate(id))
+                .collect();
+            ParkKind::Coverage(crate::stem::probe_bindings(
+                &linking,
+                &tuple,
+                table,
+                &self.query,
+            ))
+        } else {
+            ParkKind::AnyBuild
+        };
+        self.metrics.bump("parked", self.now, 1);
+        self.parked.push(ParkedTuple {
+            tuple,
+            state,
+            table,
+            kind,
+        });
+    }
+
+    fn unpark(&mut self, sig: UnparkSignal) {
+        let woken: Vec<ParkedTuple> = match &sig {
+            UnparkSignal::AnyBuild(t) => {
+                let mut woken = Vec::new();
+                let mut keep = Vec::new();
+                for p in self.parked.drain(..) {
+                    if p.table == *t && matches!(p.kind, ParkKind::AnyBuild) {
+                        woken.push(p);
+                    } else {
+                        keep.push(p);
+                    }
+                }
+                self.parked = keep;
+                woken
+            }
+            UnparkSignal::Eot { table, bindings } => {
+                let mut woken = Vec::new();
+                let mut keep = Vec::new();
+                for p in self.parked.drain(..) {
+                    let wake = p.table == *table
+                        && match (&p.kind, bindings) {
+                            (ParkKind::AnyBuild, _) => true,
+                            (ParkKind::Coverage(_), None) => true,
+                            (ParkKind::Coverage(pb), Some(eb)) => {
+                                eb.iter().all(|b| pb.contains(b))
+                            }
+                        };
+                    if wake {
+                        woken.push(p);
+                    } else {
+                        keep.push(p);
+                    }
+                }
+                self.parked = keep;
+                woken
+            }
+        };
+        for p in woken {
+            self.metrics.bump("unparked", self.now, 1);
+            self.accept(p.tuple, p.state, false);
+        }
+    }
+
+    /// Rough cost estimate per candidate action — queue backlog plus one
+    /// service (for AMs: lookup latency and server backlog).
+    fn hint_for(&self, a: &Action) -> Hint {
+        let c = &self.config.costs;
+        let est = match a {
+            Action::Build { mid, .. } => {
+                c.stem_build_us * (1 + self.rt[*mid].queue.len() as u64)
+            }
+            Action::ProbeStem { mid, .. } => {
+                c.stem_probe_us * (1 + self.rt[*mid].queue.len() as u64)
+            }
+            Action::Select { mid, .. } => c.sm_us * (1 + self.rt[*mid].queue.len() as u64),
+            Action::ProbeAm { mid, .. } => {
+                let backlog = match &self.modules[*mid] {
+                    Module::IndexAm(am) => am.queue_delay(self.now) + am.spec.latency_us,
+                    _ => 0,
+                };
+                backlog + c.am_accept_us * (1 + self.rt[*mid].queue.len() as u64)
+            }
+            Action::Drop => 1,
+        };
+        Hint { est_cost_us: est }
+    }
+
+    /// Extra runtime verification of the Table 2 constraints (tests only).
+    fn check_choice(&mut self, tuple: &Tuple, state: &TupleState, action: &Action) {
+        // BuildFirst: an unbuilt singleton from a build-required table may
+        // only build.
+        if tuple.is_singleton() {
+            let t = tuple.components()[0].table;
+            let unbuilt = tuple.components()[0].ts == stems_types::UNBUILT_TS;
+            if unbuilt
+                && self.layout.build_required[t.as_usize()]
+                && !matches!(action, Action::Build { .. })
+            {
+                self.violations
+                    .push(format!("BuildFirst violated for {tuple}"));
+            }
+        }
+        // ProbeCompletion: prior probers only touch their completion table.
+        if let Some(pp) = state.prior_prober {
+            match action {
+                Action::ProbeStem { table, .. } | Action::ProbeAm { table, .. }
+                    if *table != pp.table => {
+                        self.violations.push(format!(
+                            "ProbeCompletion violated: {tuple} bound to {} routed to {table}",
+                            pp.table
+                        ));
+                    }
+                Action::Drop
+                    if state.completion_required() => {
+                        self.violations.push(format!(
+                            "required prior prober {tuple} dropped by policy"
+                        ));
+                    }
+                _ => {}
+            }
+        }
+    }
+
+    fn observe_am_build(&mut self, state: &TupleState, fresh: bool) {
+        if let Some(mid) = state.origin_am {
+            self.policy.feedback(&Feedback::AmBuild { mid, fresh });
+            if fresh {
+                self.metrics.bump("am_fresh_builds", self.now, 1);
+            } else {
+                self.metrics.bump("am_dup_builds", self.now, 1);
+            }
+        }
+    }
+
+    fn observe_stem_mem(&mut self, stem: &crate::stem::Stem) {
+        // Sampled sparsely to keep the series small.
+        if stem.build_count.is_multiple_of(64) {
+            self.metrics.observe(
+                &format!("stem_bytes_{}", stem.instance),
+                self.now,
+                stem.approx_bytes() as f64,
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! State Modules (SteMs), eddy routing, and the routing-constraint layer —
+//! the contribution of *"Using State Modules for Adaptive Query Processing"*
+//! (Raman, Deshpande & Hellerstein, ICDE 2003).
+//!
+//! # Architecture (paper §2)
+//!
+//! Four module kinds run "concurrently" (here: interleaved on a
+//! deterministic discrete-event simulation, which the paper notes is an
+//! equivalent single-threaded realization):
+//!
+//! * **Selection Modules** ([`sm::Sm`]) — one per selection predicate.
+//! * **Access Modules** ([`am::ScanAm`], [`am::IndexAm`]) — one per access
+//!   method; scans push rows at a rate, indexes answer bound probes
+//!   asynchronously and emit End-Of-Transmission tuples.
+//! * **State Modules** ([`stem::Stem`]) — "half joins": a dictionary per
+//!   table instance handling build/probe, duplicate elimination, EOT
+//!   bookkeeping, timestamp filtering and bounce-back decisions.
+//! * the **eddy** ([`EddyExecutor`]) — routes every tuple between the other
+//!   modules according to a [`policy::RoutingPolicy`], under the
+//!   correctness constraints of paper Table 2 enforced by [`router`].
+//!
+//! Join algorithms are not programmed anywhere: they *emerge* from routing.
+//! Hash-backed SteMs + build-then-probe routing is an n-ary symmetric hash
+//! join (§2.3); probing an index AM after a SteM miss is an index join with
+//! a shared lookup cache (§3.3); and a benefit/cost policy that splits
+//! bounced probes between "probe the index" and "wait for the scan"
+//! hybridizes index and hash joins mid-flight (§4.3).
+//!
+//! # Correctness
+//!
+//! The router enforces, per paper Table 2:
+//! * **BuildFirst** — singletons build into their SteM before probing
+//!   (always, like the paper's implementation §4.1, unless a table is
+//!   explicitly exempted per the §3.5 relaxation);
+//! * **BoundedRepetition** — no unbounded re-routing; re-probes happen only
+//!   under the §3.5 LastMatchTimeStamp discipline and only when the target
+//!   SteM has changed;
+//! * **ProbeCompletion** — a tuple bounced back from a SteM probe becomes a
+//!   *prior prober* (Definition 3): it may not probe other SteMs and stays
+//!   routable only to its probe-completion table's SteM/AMs;
+//!
+//! while the SteMs enforce **SteM BounceBack** (including §3.2 duplicate
+//! absorption and the §3.3/§4.1 index-AM rules) and **TimeStamp** (§3.1)
+//! internally — invisible to the routing policy, exactly as the paper
+//! prescribes.
+
+pub mod am;
+pub mod engine;
+pub mod plan;
+pub mod policy;
+pub mod report;
+pub mod router;
+pub mod sm;
+pub mod stem;
+pub mod tuple_state;
+
+pub use engine::{EddyExecutor, ExecConfig};
+pub use plan::{PlanLayout, StemOptions};
+pub use policy::{
+    BenefitCostPolicy, FixedOrderPolicy, LotteryPolicy, RoutingPolicy, RoutingPolicyKind,
+};
+pub use report::{Report, TraceEvent, TraceKind};
+pub use tuple_state::TupleState;

@@ -1,0 +1,384 @@
+//! Query instantiation (paper §2.2).
+//!
+//! "The use of an eddy and SteMs obviates the need for query optimization
+//! because there are no a priori decisions to be made." Instantiation is:
+//!
+//! 1. check bind-field feasibility (Nail!-style fixpoint);
+//! 2. create an AM on *each* access method that could be used;
+//! 3. create an SM on each selection predicate;
+//! 4. create a SteM on each table;
+//! 5. seed the scans.
+//!
+//! This module performs steps 1–4, producing the module vector and a
+//! [`PlanLayout`] index the router uses; the engine performs step 5.
+
+use crate::am::{IndexAm, ScanAm};
+use crate::sm::Sm;
+use crate::stem::Stem;
+pub use crate::stem::StemOptions;
+use stems_catalog::{feasible, AccessMethodDef, Catalog, QuerySpec};
+use stems_types::{PredId, Result, TableIdx, TableSet};
+
+/// One instantiated module.
+pub enum Module {
+    Stem(Stem),
+    ScanAm(ScanAm),
+    IndexAm(IndexAm),
+    Sm(Sm),
+    /// Placeholder left behind while the engine temporarily moves a module
+    /// out of the vector to process an envelope (never routed to).
+    Hole,
+}
+
+impl Module {
+    /// Short kind tag for metrics/tracing.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Module::Stem(_) => "stem",
+            Module::ScanAm(_) => "scan",
+            Module::IndexAm(_) => "index",
+            Module::Sm(_) => "sm",
+            Module::Hole => "hole",
+        }
+    }
+}
+
+/// Index over the instantiated modules, consulted by the router on every
+/// routing decision.
+#[derive(Debug, Clone, Default)]
+pub struct PlanLayout {
+    pub n_tables: usize,
+    /// Module id of the SteM on each table instance (`None` under the §3.5
+    /// relaxation).
+    pub stem_mid: Vec<Option<usize>>,
+    /// `(selection predicate, module id)` pairs.
+    pub sm_mids: Vec<(PredId, usize)>,
+    /// Scan AM module ids.
+    pub scan_mids: Vec<usize>,
+    /// Index AM module ids per table instance.
+    pub index_mids: Vec<Vec<usize>>,
+    /// BuildFirst requirement per instance: true whenever the instance has
+    /// a SteM (see [`PlanOptions`] for how this maps onto paper Table 2).
+    pub build_required: Vec<bool>,
+    /// Whether each instance's source has a scan AM.
+    pub has_scan: Vec<bool>,
+}
+
+/// Per-table configuration overrides used at instantiation time.
+///
+/// BuildFirst note: paper Table 2 *requires* building first only for
+/// tables with multiple AMs or an index AM; §3.5 then relaxes further by
+/// dropping the SteM on single-scan tables altogether. Like the paper's
+/// own implementation (§4.1: "singleton tuples are always first built into
+/// their corresponding SteMs ... this simplifies our implementation"),
+/// every instance that *has* a SteM builds first; `no_stem` realizes the
+/// §3.5 relaxation, and its validity condition is exactly the complement
+/// of Table 2's BuildFirst condition.
+#[derive(Debug, Clone, Default)]
+pub struct PlanOptions {
+    /// Default SteM options.
+    pub default_stem: StemOptions,
+    /// Per-instance SteM overrides.
+    pub stem_overrides: Vec<(TableIdx, StemOptions)>,
+    /// Instances exempt from SteM creation and building (§3.5 relaxation).
+    /// Only legal for instances whose source has exactly one scan AM.
+    pub no_stem: TableSet,
+}
+
+impl PlanOptions {
+    fn stem_opts_for(&self, t: TableIdx) -> StemOptions {
+        self.stem_overrides
+            .iter()
+            .find(|(i, _)| *i == t)
+            .map(|(_, o)| o.clone())
+            .unwrap_or_else(|| self.default_stem.clone())
+    }
+}
+
+/// Instantiate the modules for a query (§2.2 steps 1–4).
+pub fn instantiate(
+    catalog: &Catalog,
+    query: &QuerySpec,
+    opts: &PlanOptions,
+) -> Result<(Vec<Module>, PlanLayout)> {
+    feasible::check(catalog, query)?;
+    let n = query.n_tables();
+    let mut modules: Vec<Module> = Vec::new();
+    let mut layout = PlanLayout {
+        n_tables: n,
+        stem_mid: vec![None; n],
+        sm_mids: Vec::new(),
+        scan_mids: Vec::new(),
+        index_mids: vec![Vec::new(); n],
+        build_required: vec![false; n],
+        has_scan: vec![false; n],
+    };
+
+    // Step 2: one AM module per catalog access method that the query uses.
+    let mut seen_sources = Vec::new();
+    for (i, ti) in query.tables.iter().enumerate() {
+        let t = TableIdx(i as u8);
+        let table = catalog.table_expect(ti.source);
+        let instances = query.instances_of(ti.source);
+        layout.has_scan[i] = catalog.has_scan(ti.source);
+
+        layout.build_required[i] = if opts.no_stem.contains(t) {
+            validate_no_stem(catalog, query, t)?;
+            false
+        } else {
+            true
+        };
+
+        // AMs are created once per source (they serve every instance; the
+        // creation loop below links them to all instances at once).
+        if seen_sources.contains(&ti.source) {
+            continue;
+        }
+        seen_sources.push(ti.source);
+
+        for (_am_id, def) in catalog.ams_of(ti.source) {
+            match def {
+                AccessMethodDef::Scan(spec) => {
+                    let mid = modules.len();
+                    modules.push(Module::ScanAm(ScanAm::new(
+                        ti.source,
+                        instances.clone(),
+                        table.rows().to_vec(),
+                        table.schema.arity(),
+                        spec,
+                    )));
+                    layout.scan_mids.push(mid);
+                }
+                AccessMethodDef::Index(spec) => {
+                    let mid = modules.len();
+                    modules.push(Module::IndexAm(IndexAm::new(
+                        ti.source,
+                        instances.clone(),
+                        table.rows(),
+                        table.schema.arity(),
+                        spec.clone(),
+                    )));
+                    for inst in &instances {
+                        layout.index_mids[inst.as_usize()].push(mid);
+                    }
+                }
+            }
+        }
+    }
+
+    // Step 3: SMs on selection predicates.
+    for p in query.selections() {
+        let mid = modules.len();
+        modules.push(Module::Sm(Sm::new(p.clone())));
+        layout.sm_mids.push((p.id, mid));
+    }
+
+    // Step 4: SteMs on each instance (unless §3.5-relaxed).
+    for (i, ti) in query.tables.iter().enumerate() {
+        let t = TableIdx(i as u8);
+        if opts.no_stem.contains(t) {
+            continue;
+        }
+        let mid = modules.len();
+        modules.push(Module::Stem(Stem::new(
+            t,
+            ti.source,
+            &query.join_cols_of(t),
+            catalog.has_scan(ti.source),
+            catalog.has_index(ti.source),
+            opts.stem_opts_for(t),
+        )));
+        layout.stem_mid[i] = Some(mid);
+    }
+
+    Ok((modules, layout))
+}
+
+/// The §3.5 relaxation is sound only for tables with a single scan AM
+/// ("as long as there is only one access method on R and that access
+/// method is scan").
+fn validate_no_stem(catalog: &Catalog, query: &QuerySpec, t: TableIdx) -> Result<()> {
+    let source = query.instance(t).source;
+    let ams = catalog.ams_of(source);
+    let ok = ams.len() == 1 && ams[0].1.is_scan() && query.instances_of(source).len() == 1;
+    if ok {
+        Ok(())
+    } else {
+        Err(stems_types::StemsError::Schema(format!(
+            "table instance {t} cannot skip its SteM: the §3.5 relaxation \
+             requires exactly one scan access method and no self-join",
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stems_catalog::{IndexSpec, ScanSpec, SourceId, TableDef, TableInstance};
+    use stems_types::{CmpOp, ColRef, ColumnType, Predicate, Schema, Value};
+
+    fn setup(index_on_s: bool) -> (Catalog, QuerySpec) {
+        let mut c = Catalog::new();
+        let r = c
+            .add_table(TableDef::new(
+                "R",
+                Schema::of(&[("key", ColumnType::Int), ("a", ColumnType::Int)]),
+            ))
+            .unwrap();
+        let s = c
+            .add_table(TableDef::new(
+                "S",
+                Schema::of(&[("x", ColumnType::Int), ("y", ColumnType::Int)]),
+            ))
+            .unwrap();
+        c.add_scan(r, ScanSpec::default()).unwrap();
+        c.add_scan(s, ScanSpec::default()).unwrap();
+        if index_on_s {
+            c.add_index(s, IndexSpec::new(vec![0], 1000)).unwrap();
+        }
+        let q = QuerySpec::new(
+            &c,
+            vec![
+                TableInstance {
+                    source: r,
+                    alias: "r".into(),
+                },
+                TableInstance {
+                    source: s,
+                    alias: "s".into(),
+                },
+            ],
+            vec![
+                Predicate::join(
+                    PredId(0),
+                    ColRef::new(TableIdx(0), 1),
+                    CmpOp::Eq,
+                    ColRef::new(TableIdx(1), 0),
+                ),
+                Predicate::selection(
+                    PredId(1),
+                    ColRef::new(TableIdx(0), 0),
+                    CmpOp::Gt,
+                    Value::Int(0),
+                ),
+            ],
+            None,
+        )
+        .unwrap();
+        (c, q)
+    }
+
+    #[test]
+    fn module_census_matches_paper_recipe() {
+        let (c, q) = setup(true);
+        let opts = PlanOptions::default();
+        let (modules, layout) = instantiate(&c, &q, &opts).unwrap();
+        // 2 scans + 1 index + 1 SM + 2 SteMs.
+        assert_eq!(modules.len(), 6);
+        assert_eq!(layout.scan_mids.len(), 2);
+        assert_eq!(layout.index_mids[1].len(), 1);
+        assert_eq!(layout.index_mids[0].len(), 0);
+        assert_eq!(layout.sm_mids.len(), 1);
+        assert!(layout.stem_mid[0].is_some() && layout.stem_mid[1].is_some());
+        assert!(layout.build_required[0] && layout.build_required[1]);
+        assert!(layout.has_scan[0] && layout.has_scan[1]);
+    }
+
+    #[test]
+    fn build_required_unless_relaxed() {
+        let (c, q) = setup(true);
+        // Default: every SteM'd instance builds first (paper §4.1).
+        let (_m, layout) = instantiate(&c, &q, &PlanOptions::default()).unwrap();
+        assert!(layout.build_required[0] && layout.build_required[1]);
+        // §3.5 relaxation: exempted instance neither builds nor has a SteM.
+        let opts = PlanOptions {
+            no_stem: TableSet::single(TableIdx(0)),
+            ..Default::default()
+        };
+        let (_m, layout) = instantiate(&c, &q, &opts).unwrap();
+        assert!(!layout.build_required[0]);
+        assert!(layout.build_required[1]);
+    }
+
+    #[test]
+    fn no_stem_relaxation_validated() {
+        let (c, q) = setup(true);
+        // Relaxing R (single scan AM) is fine.
+        let opts = PlanOptions {
+            no_stem: TableSet::single(TableIdx(0)),
+            ..Default::default()
+        };
+        let (_m, layout) = instantiate(&c, &q, &opts).unwrap();
+        assert!(layout.stem_mid[0].is_none());
+        assert!(layout.stem_mid[1].is_some());
+        // Relaxing S (scan + index) must fail.
+        let opts = PlanOptions {
+            no_stem: TableSet::single(TableIdx(1)),
+            ..Default::default()
+        };
+        assert!(instantiate(&c, &q, &opts).is_err());
+    }
+
+    #[test]
+    fn infeasible_query_rejected_at_instantiation() {
+        let mut c = Catalog::new();
+        let r = c
+            .add_table(TableDef::new("R", Schema::of(&[("k", ColumnType::Int)])))
+            .unwrap();
+        // R has NO access method at all.
+        let q = QuerySpec::new(
+            &c,
+            vec![TableInstance {
+                source: r,
+                alias: "r".into(),
+            }],
+            vec![],
+            None,
+        )
+        .unwrap();
+        assert!(instantiate(&c, &q, &PlanOptions::default()).is_err());
+        let _ = SourceId(0);
+    }
+
+    #[test]
+    fn self_join_shares_ams_not_stems() {
+        let mut c = Catalog::new();
+        let r = c
+            .add_table(TableDef::new(
+                "R",
+                Schema::of(&[("k", ColumnType::Int), ("v", ColumnType::Int)]),
+            ))
+            .unwrap();
+        c.add_scan(r, ScanSpec::default()).unwrap();
+        let q = QuerySpec::new(
+            &c,
+            vec![
+                TableInstance {
+                    source: r,
+                    alias: "r1".into(),
+                },
+                TableInstance {
+                    source: r,
+                    alias: "r2".into(),
+                },
+            ],
+            vec![Predicate::join(
+                PredId(0),
+                ColRef::new(TableIdx(0), 1),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(1), 1),
+            )],
+            None,
+        )
+        .unwrap();
+        let (modules, layout) = instantiate(&c, &q, &PlanOptions::default()).unwrap();
+        // One scan AM serving both instances + two SteMs.
+        assert_eq!(layout.scan_mids.len(), 1);
+        match &modules[layout.scan_mids[0]] {
+            Module::ScanAm(s) => assert_eq!(s.instances.len(), 2),
+            _ => panic!("expected scan"),
+        }
+        assert!(layout.stem_mid[0].is_some() && layout.stem_mid[1].is_some());
+        assert_ne!(layout.stem_mid[0], layout.stem_mid[1]);
+    }
+}

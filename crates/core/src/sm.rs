@@ -1,0 +1,84 @@
+//! Selection Modules (paper §2.1.2).
+//!
+//! "Selection modules are simple. When a selection module receives an input
+//! tuple, it returns it to the eddy if it passes the selection predicate,
+//! and removes it from the dataflow otherwise. To track the progress made,
+//! if the tuple passes the predicate, the SM marks this fact in the tuple's
+//! TupleState."
+
+use stems_types::{PredId, Predicate, Tuple};
+
+/// A selection module wrapping one predicate.
+#[derive(Debug, Clone)]
+pub struct Sm {
+    pub pred: Predicate,
+}
+
+impl Sm {
+    pub fn new(pred: Predicate) -> Sm {
+        debug_assert!(pred.is_selection(), "SMs wrap selection predicates");
+        Sm { pred }
+    }
+
+    pub fn pred_id(&self) -> PredId {
+        self.pred.id
+    }
+
+    /// Apply the predicate. `Some(true)` = passes (mark done and bounce
+    /// back), `Some(false)` = fails (drop), `None` = not evaluable on this
+    /// tuple's span (router error; treated as a drop in release builds).
+    pub fn apply(&self, tuple: &Tuple) -> Option<bool> {
+        self.pred.eval(tuple)
+    }
+
+    /// Observed selectivity helpers are kept by the policy, not here; the
+    /// SM itself is stateless, as in the paper.
+    pub fn describe(&self) -> String {
+        self.pred.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stems_types::{CmpOp, ColRef, TableIdx, Value};
+
+    fn sm_gt(threshold: i64) -> Sm {
+        Sm::new(Predicate::selection(
+            PredId(0),
+            ColRef::new(TableIdx(0), 0),
+            CmpOp::Gt,
+            Value::Int(threshold),
+        ))
+    }
+
+    #[test]
+    fn passes_and_fails() {
+        let sm = sm_gt(10);
+        let hi = Tuple::singleton_of(TableIdx(0), vec![Value::Int(99)]);
+        let lo = Tuple::singleton_of(TableIdx(0), vec![Value::Int(3)]);
+        assert_eq!(sm.apply(&hi), Some(true));
+        assert_eq!(sm.apply(&lo), Some(false));
+    }
+
+    #[test]
+    fn not_evaluable_on_wrong_span() {
+        let sm = sm_gt(10);
+        let other = Tuple::singleton_of(TableIdx(1), vec![Value::Int(99)]);
+        assert_eq!(sm.apply(&other), None);
+    }
+
+    #[test]
+    fn applies_to_composites() {
+        let sm = sm_gt(10);
+        let a = Tuple::singleton_of(TableIdx(0), vec![Value::Int(50)]);
+        let b = Tuple::singleton_of(TableIdx(1), vec![Value::Int(1)]);
+        assert_eq!(sm.apply(&a.concat(&b)), Some(true));
+    }
+
+    #[test]
+    fn describe_mentions_predicate() {
+        assert!(sm_gt(7).describe().contains('>'));
+        assert_eq!(sm_gt(7).pred_id(), PredId(0));
+    }
+}

@@ -1,0 +1,891 @@
+//! The State Module — a "half join" (paper §2.1.4).
+//!
+//! A SteM owns a dictionary of singleton tuples from one table instance and
+//! handles:
+//!
+//! * **build** — insert with set-semantics duplicate absorption (§3.2) and
+//!   global timestamp assignment (§3.1); EOT tuples are built into an EOT
+//!   index that tracks which probes the SteM can answer *completely*;
+//! * **probe** — find matches, concatenate, filter by the TimeStamp and
+//!   LastMatchTimeStamp rules, and decide whether to bounce the probe back
+//!   (SteM BounceBack, Table 2 + §3.3/§4.1);
+//! * **eviction** — optional FIFO window, the CACQ/PSoup-style extension
+//!   the paper describes for queries over unbounded streams (§2.3, §6);
+//! * **deferred clustered bounce-back** — the §3.1 "asynchronous hash
+//!   index" trick that makes routing simulate a Grace hash join: build
+//!   acknowledgements are withheld and later released clustered by hash
+//!   partition.
+
+use crate::tuple_state::{CompletionNeed, TupleState};
+use std::sync::Arc;
+use stems_catalog::{QuerySpec, SourceId};
+use stems_storage::fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+use stems_storage::{index_key, DictStore, RowSet, StoreKind};
+use stems_types::{PredSet, Row, TableIdx, Timestamp, Tuple, Value, UNBUILT_TS};
+
+/// Configuration of one SteM.
+#[derive(Debug, Clone)]
+pub struct StemOptions {
+    /// Dictionary backend.
+    pub store: StoreKind,
+    /// FIFO eviction window (None = unbounded, the paper's default for
+    /// snapshot queries).
+    pub eviction_window: Option<usize>,
+    /// Withhold build bounce-backs until the table's scan completes, then
+    /// release them clustered by hash partition (§3.1 Grace simulation).
+    pub deferred_bounce: bool,
+    /// Partition fan-out used to cluster deferred bounce-backs, and how
+    /// many of those partitions bounce immediately ("memory-resident",
+    /// yielding Hybrid-Hash, §3.1).
+    pub partitions: usize,
+    pub mem_partitions: usize,
+}
+
+impl Default for StemOptions {
+    fn default() -> Self {
+        StemOptions {
+            store: StoreKind::Hash,
+            eviction_window: None,
+            deferred_bounce: false,
+            partitions: 8,
+            mem_partitions: 0,
+        }
+    }
+}
+
+/// Result of building a tuple into a SteM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildResult {
+    /// Inserted; the returned tuple carries its new build timestamp and
+    /// must be bounced back to the eddy ("so that \[it\] can probe the other
+    /// SteMs", Table 2).
+    Fresh(Tuple),
+    /// Inserted, but the bounce-back is withheld for clustered release
+    /// (Grace mode). The engine gets it later from [`Stem::release_deferred`].
+    Deferred,
+    /// Absorbed as a set-semantics duplicate (§3.2) — removed from the
+    /// dataflow.
+    Duplicate,
+    /// An EOT tuple; recorded in the EOT index and absorbed.
+    Eot,
+}
+
+/// Whether a probed tuple is bounced back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// All matches were returned; the probe tuple leaves the SteM's
+    /// responsibility ("never bounce back probe tuples" in the
+    /// fully-covered case).
+    Consumed,
+    /// Bounced back per SteM BounceBack; the tuple becomes a prior prober
+    /// for this table (Definition 3).
+    Bounced(CompletionNeed),
+}
+
+/// Everything a probe produces.
+#[derive(Debug)]
+pub struct ProbeReply {
+    /// Concatenated results with their updated donebits.
+    pub results: Vec<(Tuple, PredSet)>,
+    pub outcome: ProbeOutcome,
+    /// The SteM's max build timestamp at probe time — recorded into the
+    /// prober's LastMatchTimeStamp when bounced (§3.5).
+    pub observed_ts: Timestamp,
+    /// Matches found (before timestamp filtering) — policy feedback.
+    pub raw_matches: usize,
+}
+
+/// A State Module over one table instance.
+///
+/// Self-joins note: the paper shares one SteM per *source* across FROM
+/// instances; we share row storage via `Arc<Row>` but keep per-instance
+/// dictionaries, which preserves the memory-sharing benefit while keeping
+/// the timestamp bookkeeping per instance (see DESIGN.md).
+pub struct Stem {
+    pub instance: TableIdx,
+    pub source: SourceId,
+    store: Box<dyn DictStore + Send>,
+    dedup: RowSet,
+    ts_of: FxHashMap<Arc<Row>, Timestamp>,
+    /// Scan EOT seen: the full relation is present.
+    eot_full: bool,
+    /// Index-probe EOTs: sorted `(col, value)` binding sets known complete.
+    eot_keys: FxHashSet<Vec<(usize, Value)>>,
+    /// Max build timestamp among stored tuples.
+    pub max_ts: Timestamp,
+    /// Builds accepted (fresh, non-EOT).
+    pub build_count: u64,
+    /// Duplicates absorbed (§3.2 competition bookkeeping).
+    pub duplicates_absorbed: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+    pub has_scan_am: bool,
+    pub has_index_am: bool,
+    opts: StemOptions,
+    /// Build tuples whose bounce-back is withheld (Grace mode).
+    deferred: Vec<(Tuple, TupleState)>,
+    /// Column used to cluster deferred bounce-backs (first join column).
+    part_col: usize,
+    hasher: FxBuildHasher,
+}
+
+impl std::fmt::Debug for Stem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stem")
+            .field("instance", &self.instance)
+            .field("len", &self.store.len())
+            .field("backend", &self.store.backend())
+            .field("eot_full", &self.eot_full)
+            .field("max_ts", &self.max_ts)
+            .finish()
+    }
+}
+
+impl Stem {
+    /// Create a SteM for `instance` of `source`, indexing `join_cols`
+    /// ("one main-memory index on each column involved in a join
+    /// predicate", §2.1.4).
+    pub fn new(
+        instance: TableIdx,
+        source: SourceId,
+        join_cols: &[usize],
+        has_scan_am: bool,
+        has_index_am: bool,
+        opts: StemOptions,
+    ) -> Stem {
+        Stem {
+            instance,
+            source,
+            store: opts.store.build(join_cols),
+            dedup: RowSet::new(),
+            ts_of: FxHashMap::default(),
+            eot_full: false,
+            eot_keys: FxHashSet::default(),
+            max_ts: 0,
+            build_count: 0,
+            duplicates_absorbed: 0,
+            evictions: 0,
+            has_scan_am,
+            has_index_am,
+            opts,
+            deferred: Vec::new(),
+            part_col: join_cols.first().copied().unwrap_or(0),
+            hasher: FxBuildHasher::default(),
+        }
+    }
+
+    /// Number of stored (non-EOT) tuples.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.store.len() == 0
+    }
+
+    /// Has the full relation arrived (scan EOT)?
+    pub fn scan_complete(&self) -> bool {
+        self.eot_full
+    }
+
+    /// EOT change counter (keyed EOTs + scan completion); combined with
+    /// `build_count` it forms the SteM's version for re-probe gating.
+    pub fn eot_version(&self) -> u64 {
+        self.eot_keys.len() as u64 + self.eot_full as u64
+    }
+
+    /// Approximate memory footprint.
+    pub fn approx_bytes(&self) -> usize {
+        self.store.approx_bytes() + self.dedup.approx_bytes()
+    }
+
+    /// Which dictionary backend is currently in use.
+    pub fn backend(&self) -> &'static str {
+        self.store.backend()
+    }
+
+    /// Build a singleton tuple (or EOT tuple) into the SteM. `ts` is the
+    /// caller-supplied next global timestamp; it is consumed only on a
+    /// fresh insert.
+    pub fn build(&mut self, tuple: &Tuple, state: &TupleState, ts: Timestamp) -> BuildResult {
+        debug_assert!(tuple.is_singleton(), "SteMs store singleton tuples only");
+        let comp = &tuple.components()[0];
+        debug_assert_eq!(comp.table, self.instance, "build routed to wrong SteM");
+        let row = comp.row.clone();
+
+        if row.is_eot() {
+            if let Some(bindings) = eot_bindings(&row) {
+                self.eot_keys.insert(bindings);
+            } else {
+                self.eot_full = true;
+            }
+            return BuildResult::Eot;
+        }
+
+        if !self.dedup.insert(row.clone()) {
+            self.duplicates_absorbed += 1;
+            return BuildResult::Duplicate;
+        }
+
+        self.store.insert(row.clone());
+        self.ts_of.insert(row.clone(), ts);
+        self.max_ts = self.max_ts.max(ts);
+        self.build_count += 1;
+
+        if let Some(window) = self.opts.eviction_window {
+            while self.store.len() > window {
+                if let Some(old) = self.store.oldest() {
+                    self.store.remove(&old);
+                    self.dedup.forget(&old);
+                    self.ts_of.remove(&old);
+                    self.evictions += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let stamped = tuple.with_timestamp(self.instance, ts);
+        if self.opts.deferred_bounce && !self.partition_is_resident(&row) {
+            self.deferred.push((stamped, state.clone()));
+            BuildResult::Deferred
+        } else {
+            BuildResult::Fresh(stamped)
+        }
+    }
+
+    fn partition_is_resident(&self, row: &Row) -> bool {
+        if self.opts.mem_partitions == 0 {
+            return false;
+        }
+        self.partition_of(row) < self.opts.mem_partitions
+    }
+
+    fn partition_of(&self, row: &Row) -> usize {
+        use std::hash::BuildHasher;
+        let key = row.get(self.part_col).cloned().unwrap_or(Value::Null);
+        (self.hasher.hash_one(&key) % self.opts.partitions.max(1) as u64) as usize
+    }
+
+    /// Release deferred bounce-backs, clustered by hash partition (the
+    /// Grace "asynchronous" bounce, §3.1). Called by the engine when the
+    /// table's scan completes, or when the policy asks for early release
+    /// (SHJ↔Grace hybridization).
+    pub fn release_deferred(&mut self) -> Vec<(Tuple, TupleState)> {
+        let mut out = std::mem::take(&mut self.deferred);
+        out.sort_by_key(|(t, _)| {
+            let row = &t.components()[0].row;
+            self.partition_of(row)
+        });
+        out
+    }
+
+    /// How many bounce-backs are currently withheld.
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Probe the SteM with `tuple` (spanning tables other than this
+    /// instance). Returns concatenated matches passing every newly
+    /// evaluable predicate and both timestamp rules, plus the bounce
+    /// decision per SteM BounceBack.
+    pub fn probe(&self, tuple: &Tuple, state: &TupleState, query: &QuerySpec) -> ProbeReply {
+        let t = self.instance;
+        debug_assert!(!tuple.span().contains(t), "probe tuple already spans {t}");
+        let probe_ts = tuple.timestamp();
+
+        // Predicates linking the probe's span to this table.
+        let linking: Vec<&stems_types::Predicate> = query
+            .preds_linking(tuple.span(), t)
+            .into_iter()
+            .map(|id| query.predicate(id))
+            .collect();
+
+        // Candidate fetch: use an equi predicate's hash index when we have
+        // one; otherwise scan-filter.
+        let candidates: Vec<Arc<Row>> = match equi_binding(&linking, tuple, t) {
+            Some((col, val)) => self.store.lookup_eq(col, &val),
+            None => self.store.scan(),
+        };
+
+        // Every query predicate that becomes evaluable on the joined span
+        // and is not already marked done.
+        let result_span = tuple.span().with(t);
+        let newly_evaluable: Vec<&stems_types::Predicate> = query
+            .predicates
+            .iter()
+            .filter(|p| p.evaluable_on(result_span) && !state.done.contains(p.id))
+            .collect();
+
+        let raw_matches = candidates.len();
+        let mut results = Vec::new();
+        for row in candidates {
+            let ts_u = *self.ts_of.get(&row).unwrap_or(&UNBUILT_TS);
+            // TimeStamp rule (§3.1): only the later-built side generates
+            // the result. LastMatchTimeStamp rule (§3.5): repeated probes
+            // skip matches already returned.
+            if ts_u >= probe_ts || ts_u <= state.last_match_ts {
+                continue;
+            }
+            let cand = tuple.concat(&Tuple::singleton(t, row).with_timestamp(t, ts_u));
+            if newly_evaluable
+                .iter()
+                .all(|p| p.eval(&cand).unwrap_or(false))
+            {
+                let mut done = state.done;
+                for p in &newly_evaluable {
+                    done.insert(p.id);
+                }
+                results.push((cand, done));
+            }
+        }
+
+        let outcome = self.bounce_decision(&linking, tuple, query);
+        ProbeReply {
+            results,
+            outcome,
+            observed_ts: self.max_ts,
+            raw_matches,
+        }
+    }
+
+    /// SteM BounceBack (paper Table 2, plus the §4.1 refinement for tables
+    /// with index AMs).
+    fn bounce_decision(
+        &self,
+        linking: &[&stems_types::Predicate],
+        tuple: &Tuple,
+        query: &QuerySpec,
+    ) -> ProbeOutcome {
+        if self.covers(linking, tuple, query) {
+            return ProbeOutcome::Consumed;
+        }
+        let all_built = tuple.components().iter().all(|c| c.ts != UNBUILT_TS);
+        if !all_built {
+            // §3.5: the prober is not cached anywhere, so it must keep
+            // re-probing this SteM until coverage (LastMatchTimeStamp
+            // prevents duplicate concatenations).
+            return ProbeOutcome::Bounced(CompletionNeed::Required);
+        }
+        match (self.has_scan_am, self.has_index_am) {
+            // Scan covers completeness; no index to offer: consume.
+            (true, false) => ProbeOutcome::Consumed,
+            // Index AM available: bounce so the policy *may* probe it
+            // (§4.1; completeness already covered by the scan, so the
+            // policy may also drop the tuple).
+            (true, true) => ProbeOutcome::Bounced(CompletionNeed::Optional),
+            // No scan: the probe MUST complete through an AM (§3.3).
+            (false, _) => ProbeOutcome::Bounced(CompletionNeed::Required),
+        }
+    }
+
+    /// Does the EOT index guarantee all matches for this probe are present?
+    fn covers(
+        &self,
+        linking: &[&stems_types::Predicate],
+        tuple: &Tuple,
+        query: &QuerySpec,
+    ) -> bool {
+        if self.eot_full {
+            return true;
+        }
+        if self.eot_keys.is_empty() {
+            return false;
+        }
+        let bindings = probe_bindings(linking, tuple, self.instance, query);
+        if bindings.is_empty() {
+            return false;
+        }
+        // An EOT for binding set B covers any probe whose bindings ⊇ B.
+        // Bindings are tiny (1–3 columns): enumerate non-empty subsets.
+        let n = bindings.len().min(16);
+        for mask in 1u32..(1 << n) {
+            let mut subset: Vec<(usize, Value)> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| bindings[i].clone())
+                .collect();
+            subset.sort_by_key(|a| a.0);
+            if self.eot_keys.contains(&subset) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The `(col, value)` pairs a probe binds on table `t`: equi-join columns
+/// fed from the probe tuple, plus constant equality selections on `t`.
+/// Values are normalized through [`index_key`] so coverage matching agrees
+/// with what index AMs put into their EOT tuples; un-indexable values
+/// (NULL/EOT) bind nothing.
+pub fn probe_bindings(
+    linking: &[&stems_types::Predicate],
+    tuple: &Tuple,
+    t: TableIdx,
+    query: &QuerySpec,
+) -> Vec<(usize, Value)> {
+    let mut out: Vec<(usize, Value)> = Vec::new();
+    for p in linking {
+        if let Some((l, r)) = p.equi_join_cols() {
+            let (tcol, ocol) = if l.table == t { (l, r) } else { (r, l) };
+            if let Some(v) = tuple.value(ocol.table, ocol.col).and_then(index_key) {
+                out.push((tcol.col, v));
+            }
+        }
+    }
+    for p in query.predicates.iter() {
+        if p.op == stems_types::CmpOp::Eq {
+            if let (stems_types::Operand::Col(c), stems_types::Operand::Const(v)) =
+                (&p.left, &p.right)
+            {
+                if c.table == t {
+                    if let Some(v) = index_key(v) {
+                        out.push((c.col, v));
+                    }
+                }
+            } else if let (stems_types::Operand::Const(v), stems_types::Operand::Col(c)) =
+                (&p.left, &p.right)
+            {
+                if c.table == t {
+                    if let Some(v) = index_key(v) {
+                        out.push((c.col, v));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by_key(|a| a.0);
+    out.dedup();
+    out
+}
+
+/// First equi-join predicate that binds a column of `t` from the probe
+/// tuple — the hash-lookup opportunity.
+fn equi_binding(
+    linking: &[&stems_types::Predicate],
+    tuple: &Tuple,
+    t: TableIdx,
+) -> Option<(usize, Value)> {
+    for p in linking {
+        if let Some((l, r)) = p.equi_join_cols() {
+            let (tcol, ocol) = if l.table == t { (l, r) } else { (r, l) };
+            if let Some(v) = tuple.value(ocol.table, ocol.col) {
+                return Some((tcol.col, v.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Decode an EOT row into its binding set; `None` means a full-relation
+/// (scan) EOT. Paper §2.1.3: "the EOT tuple is a regular tuple with a
+/// special EOT value in all the non-bound fields".
+pub(crate) fn eot_bindings(row: &Row) -> Option<Vec<(usize, Value)>> {
+    let bound: Vec<(usize, Value)> = row
+        .values()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_eot())
+        .map(|(i, v)| (i, v.clone()))
+        .collect();
+    if bound.is_empty() {
+        None
+    } else {
+        Some(bound)
+    }
+}
+
+/// Build the EOT row for an index probe answering `bindings` over a table
+/// of the given arity.
+pub fn make_eot_row(arity: usize, bindings: &[(usize, Value)]) -> Arc<Row> {
+    let mut vals = vec![Value::Eot; arity];
+    for (c, v) in bindings {
+        vals[*c] = v.clone();
+    }
+    Row::shared(vals)
+}
+
+/// The full-relation EOT row a scan emits when exhausted.
+pub fn make_scan_eot_row(arity: usize) -> Arc<Row> {
+    Row::shared(vec![Value::Eot; arity])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stems_catalog::{Catalog, ScanSpec, TableDef, TableInstance};
+    use stems_types::{CmpOp, ColRef, ColumnType, PredId, Predicate, Schema};
+
+    /// Two-table setup: R(key, a) ⋈ S(x, y) on R.a = S.x.
+    fn setup() -> (Catalog, QuerySpec) {
+        let mut c = Catalog::new();
+        let r = c
+            .add_table(TableDef::new(
+                "R",
+                Schema::of(&[("key", ColumnType::Int), ("a", ColumnType::Int)]),
+            ))
+            .unwrap();
+        let s = c
+            .add_table(TableDef::new(
+                "S",
+                Schema::of(&[("x", ColumnType::Int), ("y", ColumnType::Int)]),
+            ))
+            .unwrap();
+        c.add_scan(r, ScanSpec::default()).unwrap();
+        c.add_scan(s, ScanSpec::default()).unwrap();
+        let q = QuerySpec::new(
+            &c,
+            vec![
+                TableInstance {
+                    source: r,
+                    alias: "r".into(),
+                },
+                TableInstance {
+                    source: s,
+                    alias: "s".into(),
+                },
+            ],
+            vec![Predicate::join(
+                PredId(0),
+                ColRef::new(TableIdx(0), 1),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(1), 0),
+            )],
+            None,
+        )
+        .unwrap();
+        (c, q)
+    }
+
+    fn s_stem(has_scan: bool, has_index: bool) -> Stem {
+        Stem::new(
+            TableIdx(1),
+            SourceId(1),
+            &[0],
+            has_scan,
+            has_index,
+            StemOptions::default(),
+        )
+    }
+
+    fn s_tuple(x: i64, y: i64) -> Tuple {
+        Tuple::singleton_of(TableIdx(1), vec![Value::Int(x), Value::Int(y)])
+    }
+
+    fn r_tuple(key: i64, a: i64) -> Tuple {
+        Tuple::singleton_of(TableIdx(0), vec![Value::Int(key), Value::Int(a)])
+    }
+
+    fn build_fresh(stem: &mut Stem, t: &Tuple, ts: Timestamp) -> Tuple {
+        match stem.build(t, &TupleState::new(), ts) {
+            BuildResult::Fresh(stamped) => stamped,
+            other => panic!("expected Fresh, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_assigns_timestamp_and_bounces() {
+        let mut stem = s_stem(true, false);
+        let stamped = build_fresh(&mut stem, &s_tuple(10, 1), 5);
+        assert_eq!(stamped.timestamp(), 5);
+        assert_eq!(stem.len(), 1);
+        assert_eq!(stem.max_ts, 5);
+        assert_eq!(stem.build_count, 1);
+    }
+
+    #[test]
+    fn duplicate_builds_absorbed() {
+        let mut stem = s_stem(true, false);
+        build_fresh(&mut stem, &s_tuple(10, 1), 1);
+        // Same row value from a competing AM: absorbed (§3.2).
+        let r = stem.build(&s_tuple(10, 1), &TupleState::new(), 2);
+        assert_eq!(r, BuildResult::Duplicate);
+        assert_eq!(stem.len(), 1);
+        assert_eq!(stem.duplicates_absorbed, 1);
+        // max_ts unchanged — the duplicate consumed no timestamp.
+        assert_eq!(stem.max_ts, 1);
+    }
+
+    #[test]
+    fn probe_finds_matches_and_concatenates() {
+        let (_c, q) = setup();
+        let mut stem = s_stem(true, false);
+        build_fresh(&mut stem, &s_tuple(10, 1), 1);
+        build_fresh(&mut stem, &s_tuple(20, 2), 2);
+        // r (built later, ts 3) probes: matches only x=10.
+        let r = r_tuple(100, 10).with_timestamp(TableIdx(0), 3);
+        let reply = stem.probe(&r, &TupleState::new(), &q);
+        assert_eq!(reply.results.len(), 1);
+        let (result, done) = &reply.results[0];
+        assert_eq!(result.span().len(), 2);
+        assert!(done.contains(PredId(0)));
+        assert_eq!(result.value(TableIdx(1), 1), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn timestamp_rule_suppresses_earlier_side() {
+        let (_c, q) = setup();
+        let mut stem = s_stem(true, false);
+        // s built at ts 7, probe r built at ts 3: 7 ≥ 3 ⇒ suppressed; the
+        // s tuple's own probe path is responsible for this result.
+        build_fresh(&mut stem, &s_tuple(10, 1), 7);
+        let r = r_tuple(100, 10).with_timestamp(TableIdx(0), 3);
+        let reply = stem.probe(&r, &TupleState::new(), &q);
+        assert!(reply.results.is_empty());
+        assert_eq!(reply.raw_matches, 1);
+    }
+
+    #[test]
+    fn unbuilt_probe_sees_everything() {
+        let (_c, q) = setup();
+        let mut stem = s_stem(true, false);
+        build_fresh(&mut stem, &s_tuple(10, 1), 7);
+        // Unbuilt probe has ts = ∞ (paper: "before building, ts is ∞").
+        let r = r_tuple(100, 10);
+        let reply = stem.probe(&r, &TupleState::new(), &q);
+        assert_eq!(reply.results.len(), 1);
+    }
+
+    #[test]
+    fn last_match_timestamp_dedups_reprobes() {
+        let (_c, q) = setup();
+        let mut stem = s_stem(true, false);
+        build_fresh(&mut stem, &s_tuple(10, 1), 1);
+        build_fresh(&mut stem, &s_tuple(10, 2), 2);
+        let r = r_tuple(100, 10); // unbuilt, re-probing per §3.5
+        let mut state = TupleState::new();
+        let first = stem.probe(&r, &state, &q);
+        assert_eq!(first.results.len(), 2);
+        // Record observed ts, as the engine does on bounce.
+        state.last_match_ts = first.observed_ts;
+        // New tuple arrives, then re-probe: only the new one returned.
+        build_fresh(&mut stem, &s_tuple(10, 3), 9);
+        let second = stem.probe(&r, &state, &q);
+        assert_eq!(second.results.len(), 1);
+        assert_eq!(
+            second.results[0].0.value(TableIdx(1), 1),
+            Some(&Value::Int(3))
+        );
+    }
+
+    #[test]
+    fn bounce_rules_follow_table2() {
+        let (_c, q) = setup();
+        let r_built = r_tuple(1, 10).with_timestamp(TableIdx(0), 1);
+        let state = TupleState::new();
+
+        // scan-only, incomplete, prober built ⇒ consumed (scan covers it).
+        let stem = s_stem(true, false);
+        assert_eq!(
+            stem.probe(&r_built, &state, &q).outcome,
+            ProbeOutcome::Consumed
+        );
+
+        // index AM present ⇒ optional bounce (§4.1 hybridization hook).
+        let stem = s_stem(true, true);
+        assert_eq!(
+            stem.probe(&r_built, &state, &q).outcome,
+            ProbeOutcome::Bounced(CompletionNeed::Optional)
+        );
+
+        // no scan ⇒ required bounce (§3.3 index join flow).
+        let stem = s_stem(false, true);
+        assert_eq!(
+            stem.probe(&r_built, &state, &q).outcome,
+            ProbeOutcome::Bounced(CompletionNeed::Required)
+        );
+
+        // unbuilt prober ⇒ required bounce regardless (§3.5 re-probe).
+        let stem = s_stem(true, false);
+        let r_unbuilt = r_tuple(1, 10);
+        assert_eq!(
+            stem.probe(&r_unbuilt, &state, &q).outcome,
+            ProbeOutcome::Bounced(CompletionNeed::Required)
+        );
+    }
+
+    #[test]
+    fn scan_eot_makes_everything_covered() {
+        let (_c, q) = setup();
+        let mut stem = s_stem(false, true);
+        let eot = Tuple::singleton(TableIdx(1), make_scan_eot_row(2));
+        assert_eq!(
+            stem.build(&eot, &TupleState::new(), 99),
+            BuildResult::Eot
+        );
+        assert!(stem.scan_complete());
+        let r = r_tuple(1, 10).with_timestamp(TableIdx(0), 1);
+        assert_eq!(
+            stem.probe(&r, &TupleState::new(), &q).outcome,
+            ProbeOutcome::Consumed
+        );
+        // EOT consumed no timestamp and is not a data row.
+        assert_eq!(stem.len(), 0);
+        assert_eq!(stem.max_ts, 0);
+    }
+
+    #[test]
+    fn keyed_eot_covers_matching_probes_only() {
+        let (_c, q) = setup();
+        let mut stem = s_stem(false, true);
+        // Index answered bindings {x=10}: EOT row (10, EOT).
+        let eot = Tuple::singleton(TableIdx(1), make_eot_row(2, &[(0, Value::Int(10))]));
+        stem.build(&eot, &TupleState::new(), 50);
+        let state = TupleState::new();
+        let covered = r_tuple(1, 10).with_timestamp(TableIdx(0), 1);
+        assert_eq!(
+            stem.probe(&covered, &state, &q).outcome,
+            ProbeOutcome::Consumed
+        );
+        let uncovered = r_tuple(2, 20).with_timestamp(TableIdx(0), 2);
+        assert_eq!(
+            stem.probe(&uncovered, &state, &q).outcome,
+            ProbeOutcome::Bounced(CompletionNeed::Required)
+        );
+    }
+
+    #[test]
+    fn probe_results_skip_eot_rows() {
+        let (_c, q) = setup();
+        let mut stem = s_stem(false, true);
+        stem.build(
+            &Tuple::singleton(TableIdx(1), make_eot_row(2, &[(0, Value::Int(10))])),
+            &TupleState::new(),
+            1,
+        );
+        build_fresh(&mut stem, &s_tuple(10, 5), 2);
+        let r = r_tuple(1, 10).with_timestamp(TableIdx(0), 9);
+        let reply = stem.probe(&r, &TupleState::new(), &q);
+        // Only the data row joins; the EOT "row" never appears in results.
+        assert_eq!(reply.results.len(), 1);
+        assert_eq!(
+            reply.results[0].0.value(TableIdx(1), 1),
+            Some(&Value::Int(5))
+        );
+    }
+
+    #[test]
+    fn eviction_window_fifo() {
+        let mut opts = StemOptions::default();
+        opts.eviction_window = Some(2);
+        let mut stem = Stem::new(TableIdx(1), SourceId(1), &[0], true, false, opts);
+        build_fresh(&mut stem, &s_tuple(1, 1), 1);
+        build_fresh(&mut stem, &s_tuple(2, 2), 2);
+        build_fresh(&mut stem, &s_tuple(3, 3), 3);
+        assert_eq!(stem.len(), 2);
+        assert_eq!(stem.evictions, 1);
+        // Evicted row may re-enter (dedup forgot it).
+        match stem.build(&s_tuple(1, 1), &TupleState::new(), 4) {
+            BuildResult::Fresh(_) => {}
+            other => panic!("evicted row should rebuild, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deferred_bounce_clusters_by_partition() {
+        let mut opts = StemOptions::default();
+        opts.deferred_bounce = true;
+        opts.partitions = 4;
+        let mut stem = Stem::new(TableIdx(1), SourceId(1), &[0], true, false, opts);
+        for i in 0..20 {
+            let r = stem.build(&s_tuple(i, i), &TupleState::new(), (i + 1) as u64);
+            assert_eq!(r, BuildResult::Deferred);
+        }
+        assert_eq!(stem.deferred_len(), 20);
+        let released = stem.release_deferred();
+        assert_eq!(released.len(), 20);
+        assert_eq!(stem.deferred_len(), 0);
+        // Released order is clustered: partition ids are non-decreasing.
+        let parts: Vec<usize> = released
+            .iter()
+            .map(|(t, _)| stem.partition_of(&t.components()[0].row))
+            .collect();
+        let mut sorted = parts.clone();
+        sorted.sort_unstable();
+        assert_eq!(parts, sorted);
+    }
+
+    #[test]
+    fn hybrid_mem_partitions_bounce_immediately() {
+        let mut opts = StemOptions::default();
+        opts.deferred_bounce = true;
+        opts.partitions = 2;
+        opts.mem_partitions = 1;
+        let mut stem = Stem::new(TableIdx(1), SourceId(1), &[0], true, false, opts);
+        let mut fresh = 0;
+        let mut deferred = 0;
+        for i in 0..50 {
+            match stem.build(&s_tuple(i, i), &TupleState::new(), (i + 1) as u64) {
+                BuildResult::Fresh(_) => fresh += 1,
+                BuildResult::Deferred => deferred += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Both behaviours must occur (hybrid-hash: memory-resident
+        // partitions pipeline, the rest wait).
+        assert!(fresh > 0, "no immediate bounces");
+        assert!(deferred > 0, "no deferred bounces");
+    }
+
+    #[test]
+    fn selection_predicates_checked_at_concat() {
+        let (c, q) = setup();
+        // Add a selection on S.y > 3.
+        let mut q2 = q.clone();
+        q2.predicates.push(Predicate::selection(
+            PredId(1),
+            ColRef::new(TableIdx(1), 1),
+            CmpOp::Gt,
+            Value::Int(3),
+        ));
+        let q2 = QuerySpec::new(&c, q2.tables, q2.predicates, None).unwrap();
+        let mut stem = s_stem(true, false);
+        build_fresh(&mut stem, &s_tuple(10, 1), 1); // fails y > 3
+        build_fresh(&mut stem, &s_tuple(10, 9), 2); // passes
+        let r = r_tuple(1, 10).with_timestamp(TableIdx(0), 5);
+        let reply = stem.probe(&r, &TupleState::new(), &q2);
+        assert_eq!(reply.results.len(), 1);
+        let (tup, done) = &reply.results[0];
+        assert_eq!(tup.value(TableIdx(1), 1), Some(&Value::Int(9)));
+        assert!(done.contains(PredId(0)) && done.contains(PredId(1)));
+    }
+
+    #[test]
+    fn cartesian_probe_scans_store() {
+        // Query with no predicates: probe returns cross product rows.
+        let (c, q) = setup();
+        let q = QuerySpec::new(&c, q.tables, vec![], None).unwrap();
+        let mut stem = s_stem(true, false);
+        build_fresh(&mut stem, &s_tuple(10, 1), 1);
+        build_fresh(&mut stem, &s_tuple(20, 2), 2);
+        let r = r_tuple(1, 999).with_timestamp(TableIdx(0), 5);
+        let reply = stem.probe(&r, &TupleState::new(), &q);
+        assert_eq!(reply.results.len(), 2);
+    }
+
+    #[test]
+    fn probe_bindings_include_constant_selections() {
+        let (c, q) = setup();
+        let mut q2 = q.clone();
+        q2.predicates.push(Predicate::selection(
+            PredId(1),
+            ColRef::new(TableIdx(1), 1),
+            CmpOp::Eq,
+            Value::Int(7),
+        ));
+        let q2 = QuerySpec::new(&c, q2.tables, q2.predicates, None).unwrap();
+        let linking: Vec<&Predicate> = q2
+            .preds_linking(TableSet::single(TableIdx(0)), TableIdx(1))
+            .into_iter()
+            .map(|id| q2.predicate(id))
+            .collect();
+        let r = r_tuple(1, 10);
+        let b = probe_bindings(&linking, &r, TableIdx(1), &q2);
+        assert_eq!(
+            b,
+            vec![(0, Value::Int(10)), (1, Value::Int(7))]
+        );
+    }
+
+    use stems_types::TableSet;
+}

@@ -1,0 +1,237 @@
+//! General-purpose table builders.
+
+use stems_catalog::{Catalog, SourceId, TableDef};
+use stems_sim::SimRng;
+use stems_types::{Column, ColumnType, Result, Schema, Value};
+
+/// Builder for a synthetic table: a unique serial `key` column plus any
+/// number of generated attribute columns.
+///
+/// The serial key guarantees row distinctness, keeping multiset semantics
+/// aligned between the set-semantics SteMs and the reference executor.
+pub struct TableBuilder {
+    name: String,
+    rows: usize,
+    columns: Vec<(String, ColGen)>,
+    rng: SimRng,
+}
+
+/// How an attribute column is generated.
+#[derive(Debug, Clone)]
+pub enum ColGen {
+    /// `key % n` — evenly distributed, deterministic (the paper's "250
+    /// distinct values" columns are uniform like this).
+    Mod(i64),
+    /// `key % n`, then shuffled across rows: exactly `n` distinct values
+    /// with equal frequencies, in random row order — Table 3's "250
+    /// distinct values, randomly assigned".
+    ModShuffled(i64),
+    /// Uniform random in `[lo, hi]`.
+    Uniform(i64, i64),
+    /// Zipf-distributed over `n` distinct values with exponent `theta`.
+    Zipf { n: usize, theta: f64 },
+    /// The row's serial number itself (secondary unique key).
+    Serial,
+    /// A random permutation of `0..rows` (unique, shuffled — the paper's
+    /// "randomly assigned" key columns).
+    Permutation,
+}
+
+impl TableBuilder {
+    pub fn new(name: &str, rows: usize, seed: u64) -> TableBuilder {
+        TableBuilder {
+            name: name.to_string(),
+            rows,
+            columns: Vec::new(),
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Add a generated attribute column.
+    pub fn col(mut self, name: &str, gen: ColGen) -> TableBuilder {
+        self.columns.push((name.to_string(), gen));
+        self
+    }
+
+    /// Materialize the table definition (schema: `key` + attribute cols).
+    pub fn build(mut self) -> TableDef {
+        let mut cols = vec![Column::new("key", ColumnType::Int)];
+        for (name, _) in &self.columns {
+            cols.push(Column::new(name, ColumnType::Int));
+        }
+        let schema = Schema::new(cols).expect("generated schema is valid");
+
+        // Pre-compute permutation / shuffled-mod columns.
+        let mut perms: Vec<Vec<i64>> = Vec::new();
+        for (_, g) in &self.columns {
+            match g {
+                ColGen::Permutation => {
+                    let mut p: Vec<i64> = (0..self.rows as i64).collect();
+                    self.rng.shuffle(&mut p);
+                    perms.push(p);
+                }
+                ColGen::ModShuffled(n) => {
+                    let mut p: Vec<i64> =
+                        (0..self.rows as i64).map(|k| k % n.max(&1)).collect();
+                    self.rng.shuffle(&mut p);
+                    perms.push(p);
+                }
+                _ => perms.push(Vec::new()),
+            }
+        }
+        let zipf_tables: Vec<Option<ZipfSampler>> = self
+            .columns
+            .iter()
+            .map(|(_, g)| match g {
+                ColGen::Zipf { n, theta } => Some(ZipfSampler::new(*n, *theta)),
+                _ => None,
+            })
+            .collect();
+
+        let mut rows = Vec::with_capacity(self.rows);
+        for k in 0..self.rows as i64 {
+            let mut vals = vec![Value::Int(k)];
+            for (ci, (_, g)) in self.columns.iter().enumerate() {
+                let v = match g {
+                    ColGen::Mod(n) => k % n.max(&1),
+                    ColGen::Uniform(lo, hi) => self.rng.range_inclusive(*lo, *hi),
+                    ColGen::Zipf { .. } => zipf_tables[ci]
+                        .as_ref()
+                        .expect("sampler built above")
+                        .sample(&mut self.rng),
+                    ColGen::Serial => k,
+                    ColGen::Permutation | ColGen::ModShuffled(_) => perms[ci][k as usize],
+                };
+                vals.push(Value::Int(v));
+            }
+            rows.push(vals);
+        }
+        TableDef::new(&self.name, schema).with_rows(rows)
+    }
+
+    /// Build and register in a catalog.
+    pub fn register(self, catalog: &mut Catalog) -> Result<SourceId> {
+        catalog.add_table(self.build())
+    }
+}
+
+/// Inverse-CDF Zipf sampler over `0..n`.
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, theta: f64) -> ZipfSampler {
+        let n = n.max(1);
+        let mut weights: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        ZipfSampler { cdf: weights }
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> i64 {
+        let u = rng.unit();
+        self.cdf.partition_point(|c| *c < u) as i64
+    }
+}
+
+/// Standalone helper: `count` zipf-distributed values over `n` distinct
+/// outcomes (used by workload sweeps).
+pub fn zipf_values(count: usize, n: usize, theta: f64, seed: u64) -> Vec<i64> {
+    let sampler = ZipfSampler::new(n, theta);
+    let mut rng = SimRng::new(seed);
+    (0..count).map(|_| sampler.sample(&mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_keys_are_unique_and_ordered() {
+        let t = TableBuilder::new("t", 100, 1).col("a", ColGen::Mod(7)).build();
+        assert_eq!(t.num_rows(), 100);
+        for (i, r) in t.rows().iter().enumerate() {
+            assert_eq!(r.get(0), Some(&Value::Int(i as i64)));
+        }
+    }
+
+    #[test]
+    fn mod_column_has_exactly_n_distinct() {
+        let t = TableBuilder::new("t", 1000, 1).col("a", ColGen::Mod(250)).build();
+        let distinct: std::collections::HashSet<_> = t
+            .rows()
+            .iter()
+            .map(|r| r.get(1).cloned().unwrap())
+            .collect();
+        assert_eq!(distinct.len(), 250);
+    }
+
+    #[test]
+    fn permutation_column_is_a_bijection() {
+        let t = TableBuilder::new("t", 64, 3)
+            .col("p", ColGen::Permutation)
+            .build();
+        let mut vals: Vec<i64> = t
+            .rows()
+            .iter()
+            .map(|r| match r.get(1) {
+                Some(Value::Int(v)) => *v,
+                _ => panic!(),
+            })
+            .collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let t = TableBuilder::new("t", 500, 5)
+            .col("u", ColGen::Uniform(-3, 3))
+            .build();
+        for r in t.rows() {
+            match r.get(1) {
+                Some(Value::Int(v)) => assert!((-3..=3).contains(v)),
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_values() {
+        let vals = zipf_values(10_000, 100, 1.2, 7);
+        let zeros = vals.iter().filter(|v| **v == 0).count();
+        let nineties = vals.iter().filter(|v| **v >= 90).count();
+        assert!(zeros > 1_000, "zipf head too light: {zeros}");
+        assert!(zeros > nineties * 5);
+        assert!(vals.iter().all(|v| (0..100).contains(v)));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = TableBuilder::new("t", 50, 9)
+            .col("u", ColGen::Uniform(0, 1000))
+            .build();
+        let b = TableBuilder::new("t", 50, 9)
+            .col("u", ColGen::Uniform(0, 1000))
+            .build();
+        assert_eq!(
+            a.rows().iter().map(|r| r.values().to_vec()).collect::<Vec<_>>(),
+            b.rows().iter().map(|r| r.values().to_vec()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn register_adds_to_catalog() {
+        let mut c = Catalog::new();
+        let id = TableBuilder::new("t", 10, 1)
+            .col("a", ColGen::Serial)
+            .register(&mut c)
+            .unwrap();
+        assert_eq!(c.table(id).unwrap().num_rows(), 10);
+    }
+}

@@ -1,0 +1,265 @@
+//! The paper's Table 3 sources and the Q1/Q4 experiment setups.
+//!
+//! Table 3 (paper §4): "Index lookups are implemented as sleeps of
+//! identical duration."
+//!
+//! * **R** `(key, a)` — 1000 tuples, scan AM; `a` has 250 distinct values
+//!   randomly assigned (exactly four rows per value, shuffled).
+//! * **S** `(x, y)` — asynchronous index AMs on both x and y; x = y per
+//!   tuple. One row per distinct `R.a` value, so Q1 yields 1000 results.
+//! * **T** `(key)` — async index AM on `key` **and** a scan AM.
+//!
+//! Rates/latencies are chosen so the virtual-time curves land where the
+//! paper's wall-clock curves do: Q1 runs ≈ 400 s dominated by 250
+//! serialized index lookups (fig 7); in Q4 the R scan finishes ≈ 59 s and
+//! the hash join wins overall (fig 8, incl. footnote 6).
+
+use crate::gen::{ColGen, TableBuilder};
+use stems_catalog::{Catalog, IndexSpec, QuerySpec, ScanSpec, SourceId, TableDef, TableInstance};
+use stems_sim::secs_f;
+use stems_types::{CmpOp, ColRef, ColumnType, PredId, Predicate, Result, Schema, TableIdx};
+
+/// Sizing and timing knobs for the Table 3 reproduction.
+#[derive(Debug, Clone)]
+pub struct Table3Config {
+    pub seed: u64,
+    /// |R| and the number of distinct `R.a` values.
+    pub r_rows: usize,
+    pub r_distinct: usize,
+    /// R scan rate for Q1 (fast local scan; the index dominates).
+    pub q1_r_scan_tps: f64,
+    /// S index lookup latency (the paper's "sleep"), seconds.
+    pub s_index_latency_s: f64,
+    /// |T|; T.key matches R.key 1:1 in Q4.
+    pub t_rows: usize,
+    /// Q4 rates: R scan ≈ 17 tps (1000 rows ≈ 59 s), T scan ≈ 7 tps.
+    pub q4_r_scan_tps: f64,
+    pub q4_t_scan_tps: f64,
+    /// T index lookup latency, seconds.
+    pub t_index_latency_s: f64,
+}
+
+impl Default for Table3Config {
+    fn default() -> Self {
+        Table3Config {
+            seed: 2003,
+            r_rows: 1000,
+            r_distinct: 250,
+            q1_r_scan_tps: 50.0,
+            s_index_latency_s: 1.6,
+            t_rows: 1000,
+            q4_r_scan_tps: 17.0,
+            q4_t_scan_tps: 7.0,
+            t_index_latency_s: 0.18,
+        }
+    }
+}
+
+/// Materialized Table 3 catalogs and queries.
+pub struct Table3;
+
+impl Table3 {
+    /// Build R per Table 3 (serial key + shuffled `a` with `r_distinct`
+    /// values).
+    pub fn r_table(cfg: &Table3Config) -> TableDef {
+        TableBuilder::new("R", cfg.r_rows, cfg.seed)
+            .col("a", ColGen::ModShuffled(cfg.r_distinct as i64))
+            .build()
+    }
+
+    /// Build S: one row per distinct `a` value, x = y (Table 3: "All
+    /// tuples have identical values of x and y").
+    pub fn s_table(cfg: &Table3Config) -> TableDef {
+        let rows = (0..cfg.r_distinct as i64)
+            .map(|v| vec![v.into(), v.into()])
+            .collect();
+        TableDef::new(
+            "S",
+            Schema::of(&[("x", ColumnType::Int), ("y", ColumnType::Int)]),
+        )
+        .with_rows(rows)
+    }
+
+    /// Build T: `t_rows` single-column key rows, in shuffled order — the
+    /// scan "outputs all T tuples in an arbitrary order" (paper §4.3),
+    /// which is what makes the hash join's early output quadratic: "only
+    /// some of the R probes find matches in the tuples scanned from T".
+    pub fn t_table(cfg: &Table3Config) -> TableDef {
+        let mut keys: Vec<i64> = (0..cfg.t_rows as i64).collect();
+        let mut rng = stems_sim::SimRng::new(cfg.seed ^ 0x7A11);
+        rng.shuffle(&mut keys);
+        let rows = keys.into_iter().map(|k| vec![k.into()]).collect();
+        TableDef::new("T", Schema::of(&[("key", ColumnType::Int)])).with_rows(rows)
+    }
+
+    /// Q1: `SELECT * FROM R, S WHERE R.a = S.x` — R by scan, S only by
+    /// asynchronous index AMs (on both x and y; only x is usable here).
+    pub fn q1(cfg: &Table3Config) -> Result<(Catalog, QuerySpec, SourceId, SourceId)> {
+        let mut c = Catalog::new();
+        let r = c.add_table(Self::r_table(cfg))?;
+        let s = c.add_table(Self::s_table(cfg))?;
+        c.add_scan(r, ScanSpec::with_rate(cfg.q1_r_scan_tps))?;
+        c.add_index(s, IndexSpec::new(vec![0], secs_f(cfg.s_index_latency_s)))?;
+        c.add_index(s, IndexSpec::new(vec![1], secs_f(cfg.s_index_latency_s)))?;
+        let q = QuerySpec::new(
+            &c,
+            vec![
+                TableInstance {
+                    source: r,
+                    alias: "R".into(),
+                },
+                TableInstance {
+                    source: s,
+                    alias: "S".into(),
+                },
+            ],
+            vec![Predicate::join(
+                PredId(0),
+                ColRef::new(TableIdx(0), 1),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(1), 0),
+            )],
+            None,
+        )?;
+        Ok((c, q, r, s))
+    }
+
+    /// Q4: `SELECT * FROM R, T WHERE R.key = T.key` — R by scan; T by
+    /// **both** a scan and an index on key (the hybridization setup).
+    pub fn q4(cfg: &Table3Config) -> Result<(Catalog, QuerySpec, SourceId, SourceId)> {
+        let mut c = Catalog::new();
+        let r = c.add_table(Self::r_table(cfg))?;
+        let t = c.add_table(Self::t_table(cfg))?;
+        c.add_scan(r, ScanSpec::with_rate(cfg.q4_r_scan_tps))?;
+        c.add_scan(t, ScanSpec::with_rate(cfg.q4_t_scan_tps))?;
+        c.add_index(t, IndexSpec::new(vec![0], secs_f(cfg.t_index_latency_s)))?;
+        let q = QuerySpec::new(
+            &c,
+            vec![
+                TableInstance {
+                    source: r,
+                    alias: "R".into(),
+                },
+                TableInstance {
+                    source: t,
+                    alias: "T".into(),
+                },
+            ],
+            vec![Predicate::join(
+                PredId(0),
+                ColRef::new(TableIdx(0), 0),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(1), 0),
+            )],
+            None,
+        )?;
+        Ok((c, q, r, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stems_catalog::reference;
+    use stems_types::Value;
+
+    fn small() -> Table3Config {
+        Table3Config {
+            r_rows: 100,
+            r_distinct: 25,
+            t_rows: 100,
+            ..Table3Config::default()
+        }
+    }
+
+    #[test]
+    fn r_has_exact_distinct_counts() {
+        let cfg = Table3Config::default();
+        let r = Table3::r_table(&cfg);
+        assert_eq!(r.num_rows(), 1000);
+        let mut counts = std::collections::HashMap::new();
+        for row in r.rows() {
+            *counts.entry(row.get(1).cloned().unwrap()).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 250);
+        assert!(counts.values().all(|c| *c == 4));
+    }
+
+    #[test]
+    fn r_assignment_is_shuffled() {
+        let cfg = Table3Config::default();
+        let r = Table3::r_table(&cfg);
+        // Not the plain cyclic pattern: some prefix repeats a value.
+        let first_100: Vec<_> = r.rows()[..100]
+            .iter()
+            .map(|row| row.get(1).cloned().unwrap())
+            .collect();
+        let distinct: std::collections::HashSet<_> = first_100.iter().cloned().collect();
+        assert!(distinct.len() < 100, "first 100 rows all distinct — unshuffled?");
+    }
+
+    #[test]
+    fn s_rows_have_x_equal_y() {
+        let cfg = small();
+        let s = Table3::s_table(&cfg);
+        assert_eq!(s.num_rows(), 25);
+        for row in s.rows() {
+            assert_eq!(row.get(0), row.get(1));
+        }
+    }
+
+    #[test]
+    fn q1_yields_one_result_per_r_row() {
+        let cfg = small();
+        let (c, q, _, _) = Table3::q1(&cfg).unwrap();
+        let res = reference::execute(&c, &q);
+        assert_eq!(res.len(), cfg.r_rows);
+    }
+
+    #[test]
+    fn q4_is_one_to_one() {
+        let cfg = small();
+        let (c, q, _, _) = Table3::q4(&cfg).unwrap();
+        let res = reference::execute(&c, &q);
+        assert_eq!(res.len(), cfg.r_rows.min(cfg.t_rows));
+        // Every result has matching keys.
+        for t in &res {
+            assert_eq!(
+                t.value(TableIdx(0), 0).cloned(),
+                t.value(TableIdx(1), 0).cloned()
+            );
+        }
+    }
+
+    #[test]
+    fn q1_feasible_despite_index_only_s() {
+        let cfg = small();
+        let (c, q, _, _) = Table3::q1(&cfg).unwrap();
+        assert!(stems_catalog::feasible::check(&c, &q).is_ok());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = Table3::r_table(&Table3Config::default());
+        let b = Table3::r_table(&Table3Config::default());
+        assert_eq!(
+            a.rows().first().map(|r| r.values().to_vec()),
+            b.rows().first().map(|r| r.values().to_vec())
+        );
+        let c = Table3::r_table(&Table3Config {
+            seed: 7,
+            ..Table3Config::default()
+        });
+        assert_ne!(
+            a.rows()
+                .iter()
+                .map(|r| r.get(1).cloned().unwrap())
+                .collect::<Vec<_>>(),
+            c.rows()
+                .iter()
+                .map(|r| r.get(1).cloned().unwrap())
+                .collect::<Vec<_>>()
+        );
+        let _ = Value::Int(0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Virtual time.
+
+/// Virtual time in microseconds since query start.
+///
+/// Microsecond resolution lets us model both the paper's multi-second index
+/// latencies and sub-millisecond per-tuple routing costs on one axis.
+pub type Time = u64;
+
+/// A span of virtual time, also in microseconds.
+pub type Duration = u64;
+
+/// Microseconds per (virtual) second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// `n` virtual seconds as a [`Duration`].
+pub const fn secs(n: u64) -> Duration {
+    n * MICROS_PER_SEC
+}
+
+/// Fractional virtual seconds as a [`Duration`] (rounded to the nearest µs).
+pub fn secs_f(n: f64) -> Duration {
+    debug_assert!(n >= 0.0, "negative duration");
+    (n * MICROS_PER_SEC as f64).round() as Duration
+}
+
+/// A [`Time`]/[`Duration`] as fractional seconds — the unit of the paper's
+/// figure axes.
+pub fn to_secs(t: Time) -> f64 {
+    t as f64 / MICROS_PER_SEC as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(secs(3), 3_000_000);
+        assert_eq!(secs_f(1.5), 1_500_000);
+        assert_eq!(to_secs(secs(400)), 400.0);
+        assert!((to_secs(secs_f(0.25)) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn secs_f_rounds() {
+        assert_eq!(secs_f(0.0000004), 0);
+        assert_eq!(secs_f(0.0000006), 1);
+    }
+}

@@ -1,0 +1,394 @@
+//! Recursive-descent parser + name resolution against a catalog.
+
+use crate::token::{tokenize, Token};
+use stems_catalog::{Catalog, QuerySpec, TableInstance};
+use stems_types::{
+    CmpOp, ColRef, Operand, PredId, Predicate, Result, StemsError, TableIdx, Value,
+};
+
+/// Parse an SPJ query and resolve names against `catalog`.
+///
+/// Grammar:
+/// ```text
+/// query   := SELECT proj FROM table (, table)* [WHERE pred (AND pred)*]
+/// proj    := * | colref (, colref)*
+/// table   := ident [[AS] ident]
+/// pred    := operand cmp operand
+/// operand := colref | int | float | string
+/// colref  := [ident .] ident
+/// cmp     := = | <> | != | < | <= | > | >=
+/// ```
+pub fn parse_query(catalog: &Catalog, sql: &str) -> Result<QuerySpec> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser {
+        toks: &tokens,
+        pos: 0,
+    };
+    p.expect_kw("SELECT")?;
+    let proj = p.parse_projection()?;
+    p.expect_kw("FROM")?;
+    let tables = p.parse_from(catalog)?;
+    let mut predicates = Vec::new();
+    if p.peek_kw("WHERE") {
+        p.pos += 1;
+        loop {
+            predicates.push(p.parse_predicate(&tables, catalog, predicates.len())?);
+            if p.peek_kw("AND") {
+                p.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    if p.pos != p.toks.len() {
+        return Err(StemsError::Parse(format!(
+            "unexpected trailing input at token {}",
+            p.pos
+        )));
+    }
+    // Resolve projection now that the FROM list is known.
+    let projection = match proj {
+        Proj::Star => None,
+        Proj::Cols(cols) => Some(
+            cols.into_iter()
+                .map(|c| resolve_col(&c, &tables, catalog))
+                .collect::<Result<Vec<_>>>()?,
+        ),
+    };
+    QuerySpec::new(catalog, tables, predicates, projection)
+}
+
+enum Proj {
+    Star,
+    Cols(Vec<RawCol>),
+}
+
+/// An unresolved `[alias.]column` reference.
+#[derive(Debug, Clone)]
+struct RawCol {
+    alias: Option<String>,
+    col: String,
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(StemsError::Parse(format!(
+                "expected {kw} at token {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn take_ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(StemsError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_projection(&mut self) -> Result<Proj> {
+        if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            return Ok(Proj::Star);
+        }
+        let mut cols = vec![self.parse_rawcol()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            cols.push(self.parse_rawcol()?);
+        }
+        Ok(Proj::Cols(cols))
+    }
+
+    fn parse_rawcol(&mut self) -> Result<RawCol> {
+        let first = self.take_ident()?;
+        if self.peek() == Some(&Token::Dot) {
+            self.pos += 1;
+            let col = self.take_ident()?;
+            Ok(RawCol {
+                alias: Some(first),
+                col,
+            })
+        } else {
+            Ok(RawCol {
+                alias: None,
+                col: first,
+            })
+        }
+    }
+
+    fn parse_from(&mut self, catalog: &Catalog) -> Result<Vec<TableInstance>> {
+        let mut tables = Vec::new();
+        loop {
+            let name = self.take_ident()?;
+            let source = catalog
+                .source_by_name(&name)
+                .ok_or_else(|| StemsError::UnknownName(format!("table `{name}`")))?;
+            // optional [AS] alias — but not the keywords WHERE/AND.
+            let mut alias = name.clone();
+            if self.peek_kw("AS") {
+                self.pos += 1;
+                alias = self.take_ident()?;
+            } else if let Some(Token::Ident(s)) = self.peek() {
+                if !s.eq_ignore_ascii_case("WHERE") {
+                    alias = s.clone();
+                    self.pos += 1;
+                }
+            }
+            tables.push(TableInstance { source, alias });
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(tables)
+    }
+
+    fn parse_predicate(
+        &mut self,
+        tables: &[TableInstance],
+        catalog: &Catalog,
+        idx: usize,
+    ) -> Result<Predicate> {
+        let left = self.parse_operand(tables, catalog)?;
+        let op = match self.peek() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            other => {
+                return Err(StemsError::Parse(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        self.pos += 1;
+        let right = self.parse_operand(tables, catalog)?;
+        if matches!((&left, &right), (Operand::Const(_), Operand::Const(_))) {
+            return Err(StemsError::Parse(
+                "predicate compares two constants".into(),
+            ));
+        }
+        Ok(Predicate::new(PredId(idx as u16), left, op, right))
+    }
+
+    fn parse_operand(
+        &mut self,
+        tables: &[TableInstance],
+        catalog: &Catalog,
+    ) -> Result<Operand> {
+        match self.peek() {
+            Some(Token::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(Operand::Const(Value::Int(v)))
+            }
+            Some(Token::Float(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(Operand::Const(Value::Float(v)))
+            }
+            Some(Token::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(Operand::Const(Value::str(&s)))
+            }
+            Some(Token::Ident(_)) => {
+                let raw = self.parse_rawcol()?;
+                Ok(Operand::Col(resolve_col(&raw, tables, catalog)?))
+            }
+            other => Err(StemsError::Parse(format!(
+                "expected operand, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Resolve `[alias.]col`: with an alias, look it up; without, the column
+/// name must be unambiguous across the FROM list.
+fn resolve_col(
+    raw: &RawCol,
+    tables: &[TableInstance],
+    catalog: &Catalog,
+) -> Result<ColRef> {
+    match &raw.alias {
+        Some(alias) => {
+            let idx = tables
+                .iter()
+                .position(|t| t.alias.eq_ignore_ascii_case(alias))
+                .ok_or_else(|| StemsError::UnknownName(format!("alias `{alias}`")))?;
+            let schema = &catalog.table_expect(tables[idx].source).schema;
+            let col = schema.col_index(&raw.col).ok_or_else(|| {
+                StemsError::UnknownName(format!("column `{alias}.{}`", raw.col))
+            })?;
+            Ok(ColRef::new(TableIdx(idx as u8), col))
+        }
+        None => {
+            let mut hits = Vec::new();
+            for (i, ti) in tables.iter().enumerate() {
+                let schema = &catalog.table_expect(ti.source).schema;
+                if let Some(col) = schema.col_index(&raw.col) {
+                    hits.push(ColRef::new(TableIdx(i as u8), col));
+                }
+            }
+            match hits.len() {
+                0 => Err(StemsError::UnknownName(format!(
+                    "column `{}`",
+                    raw.col
+                ))),
+                1 => Ok(hits[0]),
+                _ => Err(StemsError::Parse(format!(
+                    "ambiguous column `{}` — qualify it with an alias",
+                    raw.col
+                ))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stems_catalog::{ScanSpec, TableDef};
+    use stems_types::{ColumnType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let r = c
+            .add_table(TableDef::new(
+                "R",
+                Schema::of(&[("key", ColumnType::Int), ("a", ColumnType::Int)]),
+            ))
+            .unwrap();
+        let s = c
+            .add_table(TableDef::new(
+                "S",
+                Schema::of(&[("x", ColumnType::Int), ("y", ColumnType::Int)]),
+            ))
+            .unwrap();
+        c.add_scan(r, ScanSpec::default()).unwrap();
+        c.add_scan(s, ScanSpec::default()).unwrap();
+        c
+    }
+
+    #[test]
+    fn basic_join_query() {
+        let c = catalog();
+        let q = parse_query(&c, "SELECT * FROM R, S WHERE R.a = S.x").unwrap();
+        assert_eq!(q.n_tables(), 2);
+        assert_eq!(q.predicates.len(), 1);
+        assert!(q.predicates[0].is_join());
+        assert!(q.projection.is_none());
+    }
+
+    #[test]
+    fn aliases_and_self_join() {
+        let c = catalog();
+        let q = parse_query(
+            &c,
+            "SELECT r1.key, r2.key FROM R r1, R AS r2 WHERE r1.a = r2.a",
+        )
+        .unwrap();
+        assert_eq!(q.n_tables(), 2);
+        assert_eq!(q.tables[0].source, q.tables[1].source);
+        assert_eq!(q.projection.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unambiguous_bare_columns_resolve() {
+        let c = catalog();
+        let q = parse_query(&c, "SELECT key FROM R, S WHERE a = x AND y > 5").unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(
+            q.projection.as_ref().unwrap()[0],
+            ColRef::new(TableIdx(0), 0)
+        );
+    }
+
+    #[test]
+    fn constants_and_operators() {
+        let c = catalog();
+        let q = parse_query(
+            &c,
+            "SELECT * FROM R WHERE R.a >= -3 AND R.key <> 7 AND R.a < 2.5",
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 3);
+        assert!(q.predicates.iter().all(|p| p.is_selection()));
+        assert_eq!(q.predicates[0].op, CmpOp::Ge);
+        assert_eq!(q.predicates[1].op, CmpOp::Ne);
+    }
+
+    #[test]
+    fn string_literal_predicates() {
+        let mut c = Catalog::new();
+        let t = c
+            .add_table(TableDef::new(
+                "people",
+                Schema::of(&[("name", ColumnType::Str)]),
+            ))
+            .unwrap();
+        c.add_scan(t, ScanSpec::default()).unwrap();
+        let q = parse_query(&c, "SELECT * FROM people WHERE name = 'O''Brien'").unwrap();
+        assert_eq!(q.predicates.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        let c = catalog();
+        // unknown table
+        assert!(parse_query(&c, "SELECT * FROM nope").is_err());
+        // unknown column
+        assert!(parse_query(&c, "SELECT * FROM R WHERE R.zzz = 1").is_err());
+        // ambiguous bare column (both R.a? no — `x` only in S; use a col in
+        // neither… actually `key` is only in R; make one ambiguous by
+        // self-join)
+        assert!(parse_query(&c, "SELECT * FROM R r1, R r2 WHERE a = 1").is_err());
+        // const-const predicate
+        assert!(parse_query(&c, "SELECT * FROM R WHERE 1 = 1").is_err());
+        // trailing junk
+        assert!(parse_query(&c, "SELECT * FROM R extra , nonsense").is_err());
+        // missing FROM
+        assert!(parse_query(&c, "SELECT *").is_err());
+        // bad operator position
+        assert!(parse_query(&c, "SELECT * FROM R WHERE R.a =").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_keywords_and_names() {
+        let c = catalog();
+        let q = parse_query(&c, "select * from r where r.A > 1").unwrap();
+        assert_eq!(q.predicates.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_alias_rejected_via_queryspec() {
+        let c = catalog();
+        assert!(parse_query(&c, "SELECT * FROM R t, S t").is_err());
+    }
+}

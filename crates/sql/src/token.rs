@@ -1,0 +1,246 @@
+//! SQL tokenizer.
+
+use stems_types::{Result, StemsError};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (case preserved; keyword checks are
+    /// case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (with `''` escaping).
+    Str(String),
+    Comma,
+    Dot,
+    Star,
+    LParen,
+    RParen,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Token {
+    /// Is this the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(StemsError::Parse(
+                                "unterminated string literal".into(),
+                            ))
+                        }
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(ch) => {
+                            s.push(*ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-'
+                    && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                    && starts_operand_position(&out)) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == '.'
+                    && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        StemsError::Parse(format!("bad float literal `{text}`"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        StemsError::Parse(format!("bad integer literal `{text}`"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => {
+                return Err(StemsError::Parse(format!(
+                    "unexpected character `{other}`"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Heuristic: a `-` starts a negative literal only where an operand can
+/// begin (start, after an operator/comma/paren).
+fn starts_operand_position(tokens: &[Token]) -> bool {
+    matches!(
+        tokens.last(),
+        None | Some(
+            Token::Comma
+                | Token::LParen
+                | Token::Eq
+                | Token::Ne
+                | Token::Lt
+                | Token::Le
+                | Token::Gt
+                | Token::Ge
+        )
+    ) || matches!(tokens.last(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("where") || s.eq_ignore_ascii_case("and"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_symbols() {
+        let toks = tokenize("SELECT * FROM r, s WHERE r.a = s.x").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[1], Token::Star);
+        assert!(toks[2].is_kw("FROM"));
+        assert!(toks.contains(&Token::Comma));
+        assert!(toks.contains(&Token::Dot));
+        assert!(toks.contains(&Token::Eq));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("a <= b >= c <> d != e < f > g").unwrap();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t, Token::Ident(_)))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![&Token::Le, &Token::Ge, &Token::Ne, &Token::Ne, &Token::Lt, &Token::Gt]
+        );
+    }
+
+    #[test]
+    fn numeric_literals() {
+        let toks = tokenize("WHERE x = -5 AND y = 3.25 AND z = 42").unwrap();
+        assert!(toks.contains(&Token::Int(-5)));
+        assert!(toks.contains(&Token::Float(3.25)));
+        assert!(toks.contains(&Token::Int(42)));
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let toks = tokenize("name = 'O''Brien'").unwrap();
+        assert!(toks.contains(&Token::Str("O'Brien".into())));
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT #").is_err());
+    }
+
+    #[test]
+    fn minus_between_identifiers_is_error_not_negative() {
+        // `a - b` is not part of our grammar; the tokenizer should not
+        // silently eat it as a negative literal.
+        assert!(tokenize("a - b").is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! List→hash adaptive store.
+
+use crate::store::DictStore;
+use crate::{HashStore, ListStore};
+use std::sync::Arc;
+use stems_types::{Row, Value};
+
+/// A store that starts as a [`ListStore`] and silently converts itself to a
+/// [`HashStore`] once it crosses a size threshold.
+///
+/// This is the paper's example of adaptation *inside* a SteM, invisible to
+/// the eddy (§3.1): "the SteM may use a linked list when it holds a small
+/// number of tuples, and switch to a hash-based implementation when the
+/// list size increases. This switch can be made independent of other
+/// modules."
+#[derive(Debug)]
+pub struct AdaptiveStore {
+    inner: Inner,
+    indexed_cols: Vec<usize>,
+    threshold: usize,
+    /// How many times the store upgraded (0 or 1; exposed for experiments).
+    pub upgrades: u32,
+}
+
+#[derive(Debug)]
+enum Inner {
+    List(ListStore),
+    Hash(HashStore),
+}
+
+impl AdaptiveStore {
+    pub fn new(indexed_cols: &[usize], threshold: usize) -> AdaptiveStore {
+        AdaptiveStore {
+            inner: Inner::List(ListStore::new()),
+            indexed_cols: indexed_cols.to_vec(),
+            threshold,
+            upgrades: 0,
+        }
+    }
+
+    fn maybe_upgrade(&mut self) {
+        let should = matches!(&self.inner, Inner::List(l) if l.len() > self.threshold);
+        if should {
+            if let Inner::List(list) = &mut self.inner {
+                let rows = list.take_rows();
+                let mut hash = HashStore::new(&self.indexed_cols);
+                for r in rows {
+                    hash.insert(r);
+                }
+                self.inner = Inner::Hash(hash);
+                self.upgrades += 1;
+            }
+        }
+    }
+
+    fn as_dyn(&self) -> &dyn DictStore {
+        match &self.inner {
+            Inner::List(l) => l,
+            Inner::Hash(h) => h,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn DictStore {
+        match &mut self.inner {
+            Inner::List(l) => l,
+            Inner::Hash(h) => h,
+        }
+    }
+}
+
+impl DictStore for AdaptiveStore {
+    fn insert(&mut self, row: Arc<Row>) {
+        self.as_dyn_mut().insert(row);
+        self.maybe_upgrade();
+    }
+
+    fn lookup_eq(&self, col: usize, key: &Value) -> Vec<Arc<Row>> {
+        self.as_dyn().lookup_eq(col, key)
+    }
+
+    fn scan(&self) -> Vec<Arc<Row>> {
+        self.as_dyn().scan()
+    }
+
+    fn remove(&mut self, row: &Row) -> bool {
+        self.as_dyn_mut().remove(row)
+    }
+
+    fn oldest(&self) -> Option<Arc<Row>> {
+        self.as_dyn().oldest()
+    }
+
+    fn len(&self) -> usize {
+        self.as_dyn().len()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.as_dyn().approx_bytes()
+    }
+
+    fn backend(&self) -> &'static str {
+        self.as_dyn().backend()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::conformance::{self, row};
+
+    #[test]
+    fn conformance_suite_small_threshold() {
+        // Upgrades mid-suite; behaviour must be indistinguishable.
+        conformance::run_suite(Box::new(AdaptiveStore::new(&[1], 2)));
+    }
+
+    #[test]
+    fn conformance_suite_large_threshold() {
+        // Never upgrades; stays a list throughout.
+        conformance::run_suite(Box::new(AdaptiveStore::new(&[1], 1_000)));
+    }
+
+    #[test]
+    fn upgrade_happens_exactly_once_at_threshold() {
+        let mut s = AdaptiveStore::new(&[0], 3);
+        for i in 0..3 {
+            s.insert(row(&[i]));
+        }
+        assert_eq!(s.backend(), "list");
+        assert_eq!(s.upgrades, 0);
+        s.insert(row(&[3]));
+        assert_eq!(s.backend(), "hash");
+        assert_eq!(s.upgrades, 1);
+        for i in 4..10 {
+            s.insert(row(&[i]));
+        }
+        assert_eq!(s.upgrades, 1);
+        // Data survived the upgrade.
+        assert_eq!(s.len(), 10);
+        for i in 0..10 {
+            assert_eq!(s.lookup_eq(0, &Value::Int(i)).len(), 1, "key {i}");
+        }
+    }
+
+    #[test]
+    fn scan_order_preserved_across_upgrade() {
+        let mut s = AdaptiveStore::new(&[0], 1);
+        s.insert(row(&[10]));
+        s.insert(row(&[11]));
+        s.insert(row(&[12]));
+        let keys: Vec<_> = s.scan().iter().map(|r| r.get(0).cloned().unwrap()).collect();
+        assert_eq!(keys, vec![Value::Int(10), Value::Int(11), Value::Int(12)]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Hash store with secondary indexes per join column.
+
+use crate::fxhash::FxHashMap;
+use crate::store::{index_key, DictStore};
+use std::sync::Arc;
+use stems_types::{Row, Value};
+
+/// A dictionary with one secondary hash index per join column.
+///
+/// This is the paper's default SteM backend (§2.1.4): "a SteM on a table S
+/// has one main-memory index ... on each column of S that is involved in a
+/// join predicate. These are all secondary indexes having pointers to the
+/// same tuples in memory." Routing through hash-backed SteMs realizes the
+/// n-ary symmetric hash join of §2.3.
+///
+/// Rows also live in an insertion-order list (the scan path, FIFO eviction
+/// order, and the upgrade target for [`crate::AdaptiveStore`]).
+#[derive(Debug)]
+pub struct HashStore {
+    /// Rows in insertion order; removal leaves tombstones (`None`) so that
+    /// index entries (which store positions) stay valid.
+    slots: Vec<Option<Arc<Row>>>,
+    /// `(col, key) → row positions` secondary indexes.
+    indexes: Vec<(usize, FxHashMap<Value, Vec<usize>>)>,
+    live: usize,
+    bytes: usize,
+}
+
+impl HashStore {
+    /// Create a store with secondary indexes on `indexed_cols`.
+    pub fn new(indexed_cols: &[usize]) -> HashStore {
+        let mut cols: Vec<usize> = indexed_cols.to_vec();
+        cols.sort_unstable();
+        cols.dedup();
+        HashStore {
+            slots: Vec::new(),
+            indexes: cols.into_iter().map(|c| (c, FxHashMap::default())).collect(),
+            live: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Which columns carry secondary indexes.
+    pub fn indexed_cols(&self) -> Vec<usize> {
+        self.indexes.iter().map(|(c, _)| *c).collect()
+    }
+
+    fn has_index_on(&self, col: usize) -> bool {
+        self.indexes.iter().any(|(c, _)| *c == col)
+    }
+}
+
+impl DictStore for HashStore {
+    fn insert(&mut self, row: Arc<Row>) {
+        let pos = self.slots.len();
+        self.bytes += row.approx_bytes();
+        for (col, idx) in &mut self.indexes {
+            if let Some(k) = row.get(*col).and_then(index_key) {
+                idx.entry(k).or_default().push(pos);
+            }
+        }
+        self.slots.push(Some(row));
+        self.live += 1;
+    }
+
+    fn lookup_eq(&self, col: usize, key: &Value) -> Vec<Arc<Row>> {
+        let Some(k) = index_key(key) else {
+            return Vec::new();
+        };
+        if self.has_index_on(col) {
+            let (_, idx) = self
+                .indexes
+                .iter()
+                .find(|(c, _)| *c == col)
+                .expect("checked above");
+            idx.get(&k)
+                .map(|positions| {
+                    positions
+                        .iter()
+                        .filter_map(|p| self.slots[*p].clone())
+                        .collect()
+                })
+                .unwrap_or_default()
+        } else {
+            // No index on this column: fall back to scan-filter. Correct,
+            // just slower — mirrors a SteM probed on an unindexed predicate.
+            self.slots
+                .iter()
+                .flatten()
+                .filter(|r| {
+                    r.get(col)
+                        .and_then(index_key)
+                        .is_some_and(|rk| rk == k)
+                })
+                .cloned()
+                .collect()
+        }
+    }
+
+    fn scan(&self) -> Vec<Arc<Row>> {
+        self.slots.iter().flatten().cloned().collect()
+    }
+
+    fn remove(&mut self, row: &Row) -> bool {
+        let Some(pos) = self
+            .slots
+            .iter()
+            .position(|r| r.as_deref() == Some(row))
+        else {
+            return false;
+        };
+        let removed = self.slots[pos].take().expect("position found above");
+        self.bytes = self.bytes.saturating_sub(removed.approx_bytes());
+        self.live -= 1;
+        for (col, idx) in &mut self.indexes {
+            if let Some(k) = removed.get(*col).and_then(index_key) {
+                if let Some(positions) = idx.get_mut(&k) {
+                    positions.retain(|p| *p != pos);
+                    if positions.is_empty() {
+                        idx.remove(&k);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn oldest(&self) -> Option<Arc<Row>> {
+        self.slots.iter().flatten().next().cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // Rows + a rough 16 bytes of index overhead per (index, row) pair.
+        self.bytes
+            + self.indexes.len() * self.live * 16
+            + std::mem::size_of::<HashStore>()
+    }
+
+    fn backend(&self) -> &'static str {
+        "hash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::conformance::{self, row};
+
+    #[test]
+    fn conformance_suite() {
+        conformance::run_suite(Box::new(HashStore::new(&[1])));
+    }
+
+    #[test]
+    fn conformance_without_matching_index() {
+        // Same behaviour expected when lookups hit the scan-filter path.
+        conformance::run_suite(Box::new(HashStore::new(&[0])));
+    }
+
+    #[test]
+    fn multiple_secondary_indexes_share_rows() {
+        // Mirrors the paper's S table: indexes on both x and y.
+        let mut s = HashStore::new(&[0, 1]);
+        s.insert(row(&[7, 8]));
+        let by_x = s.lookup_eq(0, &Value::Int(7));
+        let by_y = s.lookup_eq(1, &Value::Int(8));
+        assert_eq!(by_x.len(), 1);
+        assert_eq!(by_y.len(), 1);
+        // same allocation, not a copy
+        assert!(Arc::ptr_eq(&by_x[0], &by_y[0]));
+    }
+
+    #[test]
+    fn duplicate_index_cols_deduped() {
+        let s = HashStore::new(&[1, 1, 0]);
+        assert_eq!(s.indexed_cols(), vec![0, 1]);
+    }
+
+    #[test]
+    fn removal_cleans_index_entries() {
+        let mut s = HashStore::new(&[0]);
+        s.insert(row(&[5]));
+        s.insert(row(&[5]));
+        assert!(s.remove(&row(&[5])));
+        assert_eq!(s.lookup_eq(0, &Value::Int(5)).len(), 1);
+        assert!(s.remove(&row(&[5])));
+        assert_eq!(s.lookup_eq(0, &Value::Int(5)).len(), 0);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn out_of_range_index_column_is_harmless() {
+        let mut s = HashStore::new(&[9]);
+        s.insert(row(&[1, 2]));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.lookup_eq(9, &Value::Int(1)).len(), 0);
+        assert_eq!(s.lookup_eq(0, &Value::Int(1)).len(), 1);
+    }
+}

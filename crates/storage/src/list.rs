@@ -1,0 +1,103 @@
+//! Append-only list store.
+
+use crate::store::{index_key, DictStore};
+use std::sync::Arc;
+use stems_types::{Row, Value};
+
+/// The simplest dictionary: rows in insertion order, lookups by scan.
+///
+/// Cheap to build into (no index maintenance) and perfectly adequate while
+/// small — which is why the paper suggests starting SteMs as linked lists
+/// and adapting to hash later (§3.1); see [`crate::AdaptiveStore`].
+#[derive(Debug, Default)]
+pub struct ListStore {
+    rows: Vec<Arc<Row>>,
+    bytes: usize,
+}
+
+impl ListStore {
+    pub fn new() -> ListStore {
+        ListStore::default()
+    }
+
+    /// Drain the rows out (used when an [`crate::AdaptiveStore`] upgrades
+    /// itself to a hash store).
+    pub(crate) fn take_rows(&mut self) -> Vec<Arc<Row>> {
+        self.bytes = 0;
+        std::mem::take(&mut self.rows)
+    }
+}
+
+impl DictStore for ListStore {
+    fn insert(&mut self, row: Arc<Row>) {
+        self.bytes += row.approx_bytes();
+        self.rows.push(row);
+    }
+
+    fn lookup_eq(&self, col: usize, key: &Value) -> Vec<Arc<Row>> {
+        let Some(k) = index_key(key) else {
+            return Vec::new();
+        };
+        self.rows
+            .iter()
+            .filter(|r| {
+                r.get(col)
+                    .and_then(index_key)
+                    .is_some_and(|rk| rk == k)
+            })
+            .cloned()
+            .collect()
+    }
+
+    fn scan(&self) -> Vec<Arc<Row>> {
+        self.rows.clone()
+    }
+
+    fn remove(&mut self, row: &Row) -> bool {
+        if let Some(pos) = self.rows.iter().position(|r| r.as_ref() == row) {
+            let r = self.rows.remove(pos);
+            self.bytes = self.bytes.saturating_sub(r.approx_bytes());
+            true
+        } else {
+            false
+        }
+    }
+
+    fn oldest(&self) -> Option<Arc<Row>> {
+        self.rows.first().cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.bytes + std::mem::size_of::<ListStore>()
+    }
+
+    fn backend(&self) -> &'static str {
+        "list"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        conformance::run_suite(Box::new(ListStore::new()));
+    }
+
+    #[test]
+    fn take_rows_empties_store() {
+        let mut s = ListStore::new();
+        s.insert(conformance::row(&[1]));
+        s.insert(conformance::row(&[2]));
+        let rows = s.take_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.approx_bytes(), std::mem::size_of::<ListStore>());
+    }
+}

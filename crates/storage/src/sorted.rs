@@ -1,0 +1,198 @@
+//! Sorted store for merge-style and range access.
+
+use crate::store::{index_key, DictStore};
+use std::cmp::Ordering;
+use std::sync::Arc;
+use stems_types::{CmpOp, Row, Value};
+
+/// A dictionary kept sorted on one column.
+///
+/// Stands in for the paper's "tournament trees that spill sorted runs to
+/// disk" (§3.1, the sort-merge-join simulation). Beyond equality probes it
+/// supports range lookups, which SteMs use for non-equi join predicates
+/// (`<`, `<=`, `>`, `>=`) instead of full scans.
+#[derive(Debug)]
+pub struct SortedStore {
+    sort_col: usize,
+    /// Rows sorted by `index_key(row[sort_col])` under `Value::total_cmp`;
+    /// rows with un-indexable keys (NULL/EOT) are kept separately.
+    rows: Vec<(Value, Arc<Row>)>,
+    unkeyed: Vec<Arc<Row>>,
+    /// Insertion sequence per row, to reconstruct arrival order for `scan`.
+    arrival: Vec<Arc<Row>>,
+    bytes: usize,
+}
+
+impl SortedStore {
+    pub fn new(sort_col: usize) -> SortedStore {
+        SortedStore {
+            sort_col,
+            rows: Vec::new(),
+            unkeyed: Vec::new(),
+            arrival: Vec::new(),
+            bytes: 0,
+        }
+    }
+
+    /// All rows in sort order (the "merge" cursor).
+    pub fn sorted(&self) -> impl Iterator<Item = &Arc<Row>> {
+        self.rows.iter().map(|(_, r)| r)
+    }
+
+    fn lower_bound(&self, key: &Value) -> usize {
+        self.rows
+            .partition_point(|(k, _)| k.total_cmp(key) == Ordering::Less)
+    }
+
+    /// Rows whose sort-column value satisfies `row[col] op key`.
+    /// Equality uses binary search; inequalities use a split point.
+    pub fn lookup_range(&self, op: CmpOp, key: &Value) -> Vec<Arc<Row>> {
+        let Some(k) = index_key(key) else {
+            return Vec::new();
+        };
+        let lb = self.lower_bound(&k);
+        let ub = self
+            .rows
+            .partition_point(|(rk, _)| rk.total_cmp(&k) != Ordering::Greater);
+        let idx: Box<dyn Iterator<Item = usize>> = match op {
+            CmpOp::Eq => Box::new(lb..ub),
+            CmpOp::Lt => Box::new(0..lb),
+            CmpOp::Le => Box::new(0..ub),
+            CmpOp::Gt => Box::new(ub..self.rows.len()),
+            CmpOp::Ge => Box::new(lb..self.rows.len()),
+            CmpOp::Ne => Box::new((0..lb).chain(ub..self.rows.len())),
+        };
+        idx.map(|i| self.rows[i].1.clone()).collect()
+    }
+}
+
+impl DictStore for SortedStore {
+    fn insert(&mut self, row: Arc<Row>) {
+        self.bytes += row.approx_bytes();
+        self.arrival.push(row.clone());
+        match row.get(self.sort_col).and_then(index_key) {
+            Some(k) => {
+                let pos = self
+                    .rows
+                    .partition_point(|(rk, _)| rk.total_cmp(&k) != Ordering::Greater);
+                self.rows.insert(pos, (k, row));
+            }
+            None => self.unkeyed.push(row),
+        }
+    }
+
+    fn lookup_eq(&self, col: usize, key: &Value) -> Vec<Arc<Row>> {
+        if col == self.sort_col {
+            self.lookup_range(CmpOp::Eq, key)
+        } else {
+            let Some(k) = index_key(key) else {
+                return Vec::new();
+            };
+            self.arrival
+                .iter()
+                .filter(|r| r.get(col).and_then(index_key).is_some_and(|rk| rk == k))
+                .cloned()
+                .collect()
+        }
+    }
+
+    fn scan(&self) -> Vec<Arc<Row>> {
+        self.arrival.clone()
+    }
+
+    fn remove(&mut self, row: &Row) -> bool {
+        let Some(apos) = self.arrival.iter().position(|r| r.as_ref() == row) else {
+            return false;
+        };
+        let removed = self.arrival.remove(apos);
+        self.bytes = self.bytes.saturating_sub(removed.approx_bytes());
+        if let Some(pos) = self.rows.iter().position(|(_, r)| r.as_ref() == row) {
+            self.rows.remove(pos);
+        } else if let Some(pos) = self.unkeyed.iter().position(|r| r.as_ref() == row) {
+            self.unkeyed.remove(pos);
+        }
+        true
+    }
+
+    fn oldest(&self) -> Option<Arc<Row>> {
+        self.arrival.first().cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.arrival.len()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.bytes + std::mem::size_of::<SortedStore>()
+    }
+
+    fn backend(&self) -> &'static str {
+        "sorted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::conformance::{self, row};
+
+    #[test]
+    fn conformance_on_sort_column() {
+        conformance::run_suite(Box::new(SortedStore::new(1)));
+    }
+
+    #[test]
+    fn conformance_off_sort_column() {
+        conformance::run_suite(Box::new(SortedStore::new(0)));
+    }
+
+    #[test]
+    fn sorted_iteration_order() {
+        let mut s = SortedStore::new(0);
+        for k in [5, 1, 9, 3, 7] {
+            s.insert(row(&[k]));
+        }
+        let keys: Vec<i64> = s
+            .sorted()
+            .map(|r| match r.get(0) {
+                Some(Value::Int(i)) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn range_lookups() {
+        let mut s = SortedStore::new(0);
+        for k in 0..10 {
+            s.insert(row(&[k]));
+        }
+        assert_eq!(s.lookup_range(CmpOp::Lt, &Value::Int(3)).len(), 3);
+        assert_eq!(s.lookup_range(CmpOp::Le, &Value::Int(3)).len(), 4);
+        assert_eq!(s.lookup_range(CmpOp::Gt, &Value::Int(7)).len(), 2);
+        assert_eq!(s.lookup_range(CmpOp::Ge, &Value::Int(7)).len(), 3);
+        assert_eq!(s.lookup_range(CmpOp::Eq, &Value::Int(5)).len(), 1);
+        assert_eq!(s.lookup_range(CmpOp::Ne, &Value::Int(5)).len(), 9);
+    }
+
+    #[test]
+    fn duplicate_sort_keys_all_found() {
+        let mut s = SortedStore::new(0);
+        s.insert(row(&[4, 1]));
+        s.insert(row(&[4, 2]));
+        s.insert(row(&[4, 3]));
+        assert_eq!(s.lookup_range(CmpOp::Eq, &Value::Int(4)).len(), 3);
+        assert_eq!(s.lookup_range(CmpOp::Lt, &Value::Int(4)).len(), 0);
+        assert_eq!(s.lookup_range(CmpOp::Gt, &Value::Int(4)).len(), 0);
+    }
+
+    #[test]
+    fn scan_keeps_arrival_order_despite_sorting() {
+        let mut s = SortedStore::new(0);
+        s.insert(row(&[9]));
+        s.insert(row(&[1]));
+        let arrived: Vec<_> = s.scan().iter().map(|r| r.get(0).cloned().unwrap()).collect();
+        assert_eq!(arrived, vec![Value::Int(9), Value::Int(1)]);
+    }
+}

@@ -1,0 +1,227 @@
+//! The dictionary-store abstraction shared by all SteM backends.
+
+use crate::{AdaptiveStore, HashStore, ListStore, PartitionedStore, SortedStore};
+use std::sync::Arc;
+use stems_types::{Row, Value};
+
+/// Normalize a value for use as an equality-index key.
+///
+/// Returns `None` for values that can never satisfy an SQL equality
+/// predicate (`NULL`, the EOT marker) — such rows are stored but excluded
+/// from secondary indexes. Integral floats normalize to `Int` so that
+/// `R.a = S.x` with mixed `Int`/`Float` columns still finds every match an
+/// index-free scan would (index lookups must be *complete* w.r.t.
+/// [`Value::sql_eq`]; candidate rows are always re-verified by the caller).
+pub fn index_key(v: &Value) -> Option<Value> {
+    match v {
+        Value::Null | Value::Eot => None,
+        Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e15 => Some(Value::Int(*f as i64)),
+        other => Some(other.clone()),
+    }
+}
+
+/// A dictionary of rows from one table, supporting the three SteM
+/// operations of the paper: insert (build), search (probe) and optionally
+/// delete (eviction).
+///
+/// `lookup_eq` implements the hot path — equality search on one column —
+/// and must return **every** row whose column `col` is `sql_eq` to `key`
+/// (it may return extra candidates; the SteM re-verifies predicates on the
+/// concatenated tuple). Non-equality predicates go through `scan`.
+pub trait DictStore: std::fmt::Debug {
+    /// Insert a row. Duplicate handling is the caller's job ([`crate::RowSet`]).
+    fn insert(&mut self, row: Arc<Row>);
+
+    /// Rows matching `row[col] = key` (superset allowed, see trait docs).
+    fn lookup_eq(&self, col: usize, key: &Value) -> Vec<Arc<Row>>;
+
+    /// All rows in insertion order.
+    fn scan(&self) -> Vec<Arc<Row>>;
+
+    /// Remove one row equal (by value) to `row`. Returns whether a row was
+    /// removed. Used for eviction in windowed/continuous queries.
+    fn remove(&mut self, row: &Row) -> bool;
+
+    /// The oldest still-present row (insertion order), for FIFO eviction.
+    fn oldest(&self) -> Option<Arc<Row>>;
+
+    /// Number of rows.
+    fn len(&self) -> usize;
+
+    /// True if no rows are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate heap footprint, for the memory-accounting series.
+    fn approx_bytes(&self) -> usize;
+
+    /// A short human-readable description of the backend currently in use
+    /// ("list", "hash", ...), so experiments can log store adaptations.
+    fn backend(&self) -> &'static str;
+}
+
+/// Factory describing which [`DictStore`] a SteM should use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Default)]
+pub enum StoreKind {
+    /// Append-only list; lookups scan.
+    List,
+    /// Hash indexes on the given columns.
+    #[default]
+    Hash,
+    /// List that converts itself to hash once it exceeds `threshold` rows
+    /// (paper §3.1's example of SteM-internal adaptation).
+    Adaptive { threshold: usize },
+    /// Grace-style hash partitions on the first indexed column, with a
+    /// memory-resident prefix (§3.1's "asynchronous hash index").
+    Partitioned {
+        partitions: usize,
+        mem_resident: usize,
+    },
+    /// Kept sorted on the first indexed column ("tournament trees",
+    /// §3.1's sort-merge simulation); range probes are cheap.
+    Sorted,
+}
+
+
+impl StoreKind {
+    /// Instantiate the store. `indexed_cols` lists the columns involved in
+    /// equi-join predicates — the SteM builds "one main-memory index ... on
+    /// each column ... involved in a join predicate" (paper §2.1.4).
+    pub fn build(&self, indexed_cols: &[usize]) -> Box<dyn DictStore + Send> {
+        let primary_col = indexed_cols.first().copied().unwrap_or(0);
+        match self {
+            StoreKind::List => Box::new(ListStore::new()),
+            StoreKind::Hash => Box::new(HashStore::new(indexed_cols)),
+            StoreKind::Adaptive { threshold } => {
+                Box::new(AdaptiveStore::new(indexed_cols, *threshold))
+            }
+            StoreKind::Partitioned {
+                partitions,
+                mem_resident,
+            } => Box::new(PartitionedStore::new(
+                primary_col,
+                (*partitions).max(1),
+                *mem_resident,
+            )),
+            StoreKind::Sorted => Box::new(SortedStore::new(primary_col)),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! Shared conformance suite run against every store backend.
+
+    use super::*;
+    use stems_types::Value;
+
+    pub fn row(vals: &[i64]) -> Arc<Row> {
+        Row::shared(vals.iter().map(|v| Value::Int(*v)).collect())
+    }
+
+    /// Insert a standard dataset and exercise every trait method.
+    pub fn run_suite(mut store: Box<dyn DictStore + Send>) {
+        assert!(store.is_empty());
+        assert_eq!(store.oldest(), None);
+
+        // rows: (key, a) with a in {10, 20}
+        store.insert(row(&[1, 10]));
+        store.insert(row(&[2, 20]));
+        store.insert(row(&[3, 10]));
+        assert_eq!(store.len(), 3);
+        assert!(!store.is_empty());
+        assert!(store.approx_bytes() > 0);
+
+        // equality lookup on col 1
+        let hits = store.lookup_eq(1, &Value::Int(10));
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|r| r.get(1) == Some(&Value::Int(10))));
+        assert_eq!(store.lookup_eq(1, &Value::Int(99)).len(), 0);
+
+        // NULL / EOT keys match nothing
+        assert_eq!(store.lookup_eq(1, &Value::Null).len(), 0);
+        assert_eq!(store.lookup_eq(1, &Value::Eot).len(), 0);
+
+        // numeric coercion: Float(10.0) must find Int(10) rows
+        assert_eq!(store.lookup_eq(1, &Value::Float(10.0)).len(), 2);
+
+        // scan preserves insertion order
+        let all = store.scan();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].get(0), Some(&Value::Int(1)));
+        assert_eq!(all[2].get(0), Some(&Value::Int(3)));
+        assert_eq!(store.oldest().unwrap().get(0), Some(&Value::Int(1)));
+
+        // rows containing NULL in an indexed column are stored but never
+        // returned by equality lookups
+        store.insert(Row::shared(vec![Value::Int(4), Value::Null]));
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.lookup_eq(1, &Value::Int(10)).len(), 2);
+        assert_eq!(store.lookup_eq(1, &Value::Null).len(), 0);
+
+        // removal
+        assert!(store.remove(&row(&[1, 10])));
+        assert!(!store.remove(&row(&[1, 10])));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.lookup_eq(1, &Value::Int(10)).len(), 1);
+        assert_eq!(store.oldest().unwrap().get(0), Some(&Value::Int(2)));
+
+        // duplicates are allowed at this layer (dedup is RowSet's job)
+        store.insert(row(&[2, 20]));
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.lookup_eq(1, &Value::Int(20)).len(), 2);
+        // remove deletes one copy at a time
+        assert!(store.remove(&row(&[2, 20])));
+        assert_eq!(store.lookup_eq(1, &Value::Int(20)).len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_key_normalizes() {
+        assert_eq!(index_key(&Value::Null), None);
+        assert_eq!(index_key(&Value::Eot), None);
+        assert_eq!(index_key(&Value::Int(5)), Some(Value::Int(5)));
+        assert_eq!(index_key(&Value::Float(5.0)), Some(Value::Int(5)));
+        assert_eq!(index_key(&Value::Float(5.5)), Some(Value::Float(5.5)));
+        assert_eq!(index_key(&Value::str("x")), Some(Value::str("x")));
+    }
+
+    #[test]
+    fn kind_builds_expected_backend() {
+        assert_eq!(StoreKind::List.build(&[]).backend(), "list");
+        assert_eq!(StoreKind::Hash.build(&[0]).backend(), "hash");
+        assert_eq!(
+            StoreKind::Adaptive { threshold: 4 }.build(&[0]).backend(),
+            "list"
+        );
+        assert_eq!(
+            StoreKind::Partitioned {
+                partitions: 4,
+                mem_resident: 0
+            }
+            .build(&[1])
+            .backend(),
+            "partitioned"
+        );
+        assert_eq!(StoreKind::Sorted.build(&[1]).backend(), "sorted");
+        assert_eq!(StoreKind::default(), StoreKind::Hash);
+    }
+
+    #[test]
+    fn partitioned_and_sorted_pass_conformance_via_kind() {
+        conformance::run_suite(
+            StoreKind::Partitioned {
+                partitions: 4,
+                mem_resident: 1,
+            }
+            .build(&[1]),
+        );
+        conformance::run_suite(StoreKind::Sorted.build(&[1]));
+    }
+}

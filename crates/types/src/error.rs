@@ -1,0 +1,68 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, StemsError>;
+
+/// Errors surfaced by the stems query processor.
+///
+/// The library is infallible on the hot path (routing, probing); errors
+/// occur at setup time (schema mismatches, invalid queries) or when a user
+/// request cannot be satisfied (e.g. a query with no feasible access plan,
+/// paper §2.2 step 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StemsError {
+    /// A schema-level inconsistency: wrong arity, unknown column, type clash.
+    Schema(String),
+    /// The query references tables or columns not present in the catalog.
+    UnknownName(String),
+    /// The query cannot be executed given the bind-field constraints of its
+    /// sources (paper §2.2 step 1, the Nail! feasibility check).
+    Infeasible(String),
+    /// SQL text could not be parsed.
+    Parse(String),
+    /// A routing-constraint violation detected by the constraint checker
+    /// (only produced when the checker is enabled; see `stems-core`).
+    ConstraintViolation(String),
+    /// Internal invariant breakage — indicates a bug in the engine.
+    Internal(String),
+}
+
+impl fmt::Display for StemsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StemsError::Schema(m) => write!(f, "schema error: {m}"),
+            StemsError::UnknownName(m) => write!(f, "unknown name: {m}"),
+            StemsError::Infeasible(m) => write!(f, "query infeasible: {m}"),
+            StemsError::Parse(m) => write!(f, "parse error: {m}"),
+            StemsError::ConstraintViolation(m) => {
+                write!(f, "routing constraint violation: {m}")
+            }
+            StemsError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StemsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = StemsError::Schema("arity mismatch".into());
+        assert_eq!(e.to_string(), "schema error: arity mismatch");
+        let e = StemsError::Infeasible("no access path for T".into());
+        assert!(e.to_string().contains("infeasible"));
+        let e = StemsError::ConstraintViolation("BuildFirst".into());
+        assert!(e.to_string().contains("BuildFirst"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&StemsError::Parse("x".into()));
+    }
+}

@@ -1,0 +1,431 @@
+//! The select-project-join predicate language.
+//!
+//! Queries are conjunctions of comparison predicates. Each predicate gets a
+//! [`PredId`]; a tuple's "donebits" (paper §2.1.1: "the predicates that the
+//! tuple has passed — our implementation uses a bitmap") are a [`PredSet`].
+
+use crate::{TableIdx, TableSet, Tuple, Value};
+use std::fmt;
+
+/// Identifier of a predicate within one query (index into the query's
+/// predicate list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u16);
+
+impl PredId {
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bitmap of predicates a tuple has passed — the paper's "donebits".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PredSet(pub u64);
+
+/// Maximum number of predicates per query.
+pub const MAX_PREDS: usize = 64;
+
+impl PredSet {
+    pub const EMPTY: PredSet = PredSet(0);
+
+    pub fn single(p: PredId) -> PredSet {
+        debug_assert!((p.0 as usize) < MAX_PREDS);
+        PredSet(1 << p.0)
+    }
+
+    pub fn all(n: usize) -> PredSet {
+        assert!(n <= MAX_PREDS);
+        if n == MAX_PREDS {
+            PredSet(u64::MAX)
+        } else {
+            PredSet((1u64 << n) - 1)
+        }
+    }
+
+    pub fn contains(self, p: PredId) -> bool {
+        self.0 & (1 << p.0) != 0
+    }
+
+    pub fn insert(&mut self, p: PredId) {
+        self.0 |= 1 << p.0;
+    }
+
+    pub fn union(self, other: PredSet) -> PredSet {
+        PredSet(self.0 | other.0)
+    }
+
+    pub fn minus(self, other: PredSet) -> PredSet {
+        PredSet(self.0 & !other.0)
+    }
+
+    pub fn is_superset_of(self, other: PredSet) -> bool {
+        other.0 & !self.0 == 0
+    }
+
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn iter(self) -> impl Iterator<Item = PredId> {
+        (0..MAX_PREDS as u16)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(PredId)
+    }
+}
+
+/// A column reference `<table instance>.<column position>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    pub table: TableIdx,
+    pub col: usize,
+}
+
+impl ColRef {
+    pub fn new(table: TableIdx, col: usize) -> ColRef {
+        ColRef { table, col }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.c{}", self.table, self.col)
+    }
+}
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with sides swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        use CmpOp::*;
+        match self {
+            Eq => Eq,
+            Ne => Ne,
+            Lt => Gt,
+            Le => Ge,
+            Gt => Lt,
+            Ge => Le,
+        }
+    }
+
+    /// Apply the operator to two values using SQL comparison semantics
+    /// (NULL/EOT never satisfy any comparison, including `<>`).
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        use CmpOp::*;
+        if a.is_null() || a.is_eot() || b.is_null() || b.is_eot() {
+            return false;
+        }
+        match self {
+            Eq => a.sql_eq(b),
+            Ne => !a.sql_eq(b),
+            Lt => matches!(a.sql_cmp(b), Some(std::cmp::Ordering::Less)),
+            Le => matches!(
+                a.sql_cmp(b),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            ),
+            Gt => matches!(a.sql_cmp(b), Some(std::cmp::Ordering::Greater)),
+            Ge => matches!(
+                a.sql_cmp(b),
+                Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+            ),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use CmpOp::*;
+        let s = match self {
+            Eq => "=",
+            Ne => "<>",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One side of a comparison: a column or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Operand {
+    Col(ColRef),
+    Const(Value),
+}
+
+impl Operand {
+    /// The table instance referenced, if this operand is a column.
+    pub fn table(&self) -> Option<TableIdx> {
+        match self {
+            Operand::Col(c) => Some(c.table),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// Resolve the operand against a tuple. `None` if the tuple does not
+    /// span the referenced table.
+    pub fn resolve<'a>(&'a self, t: &'a Tuple) -> Option<&'a Value> {
+        match self {
+            Operand::Col(c) => t.value(c.table, c.col),
+            Operand::Const(v) => Some(v),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Col(c) => write!(f, "{c}"),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A comparison predicate over at most two table instances.
+///
+/// * selections: `col op const` (one table) — become Selection Modules;
+/// * join predicates: `col op col` over two tables — enforced at SteMs and
+///   index AMs (paper §2.1.4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    pub id: PredId,
+    pub left: Operand,
+    pub op: CmpOp,
+    pub right: Operand,
+}
+
+impl Predicate {
+    pub fn new(id: PredId, left: Operand, op: CmpOp, right: Operand) -> Predicate {
+        Predicate {
+            id,
+            left,
+            op,
+            right,
+        }
+    }
+
+    /// Shorthand for a two-column join predicate.
+    pub fn join(id: PredId, l: ColRef, op: CmpOp, r: ColRef) -> Predicate {
+        Predicate::new(id, Operand::Col(l), op, Operand::Col(r))
+    }
+
+    /// Shorthand for a column-vs-constant selection.
+    pub fn selection(id: PredId, col: ColRef, op: CmpOp, v: Value) -> Predicate {
+        Predicate::new(id, Operand::Col(col), op, Operand::Const(v))
+    }
+
+    /// The set of table instances the predicate mentions.
+    pub fn tables(&self) -> TableSet {
+        let mut s = TableSet::EMPTY;
+        if let Some(t) = self.left.table() {
+            s.insert(t);
+        }
+        if let Some(t) = self.right.table() {
+            s.insert(t);
+        }
+        s
+    }
+
+    /// True if the predicate touches at most one table (a selection).
+    pub fn is_selection(&self) -> bool {
+        self.tables().len() <= 1
+    }
+
+    /// True if the predicate relates two distinct tables (a join predicate).
+    pub fn is_join(&self) -> bool {
+        self.tables().len() == 2
+    }
+
+    /// True if this predicate can be evaluated on a tuple spanning `span`.
+    pub fn evaluable_on(&self, span: TableSet) -> bool {
+        self.tables().is_subset_of(span)
+    }
+
+    /// For an equi-join predicate, the two column refs `(left, right)`.
+    pub fn equi_join_cols(&self) -> Option<(ColRef, ColRef)> {
+        match (&self.left, self.op, &self.right) {
+            (Operand::Col(l), CmpOp::Eq, Operand::Col(r)) if l.table != r.table => {
+                Some((*l, *r))
+            }
+            _ => None,
+        }
+    }
+
+    /// For a join predicate, the column on side `table` and the opposite
+    /// operand, with the operator oriented so `table`'s column is on the
+    /// left. `None` if `table` is not mentioned.
+    pub fn oriented_for(&self, table: TableIdx) -> Option<(ColRef, CmpOp, &Operand)> {
+        match (&self.left, &self.right) {
+            (Operand::Col(l), r) if l.table == table => Some((*l, self.op, r)),
+            (l, Operand::Col(r)) if r.table == table => Some((*r, self.op.flipped(), l)),
+            _ => None,
+        }
+    }
+
+    /// Evaluate the predicate over a tuple. `None` when the tuple does not
+    /// span the predicate's tables; otherwise whether the predicate holds.
+    /// EOT components make every predicate fail (EOT tuples never join).
+    pub fn eval(&self, t: &Tuple) -> Option<bool> {
+        let l = self.left.resolve(t)?;
+        let r = self.right.resolve(t)?;
+        Some(self.op.eval(l, r))
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}: {} {} {}", self.id.0, self.left, self.op, self.right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Row;
+
+    fn r_tuple(key: i64, a: i64) -> Tuple {
+        Tuple::singleton(
+            TableIdx(0),
+            Row::shared(vec![Value::Int(key), Value::Int(a)]),
+        )
+    }
+
+    fn s_tuple(x: i64) -> Tuple {
+        Tuple::singleton(TableIdx(1), Row::shared(vec![Value::Int(x)]))
+    }
+
+    fn join_pred() -> Predicate {
+        // R.a = S.x
+        Predicate::join(
+            PredId(0),
+            ColRef::new(TableIdx(0), 1),
+            CmpOp::Eq,
+            ColRef::new(TableIdx(1), 0),
+        )
+    }
+
+    #[test]
+    fn predset_ops() {
+        let mut s = PredSet::EMPTY;
+        s.insert(PredId(3));
+        assert!(s.contains(PredId(3)));
+        assert!(!s.contains(PredId(0)));
+        assert_eq!(PredSet::all(4).len(), 4);
+        assert!(PredSet::all(4).is_superset_of(s));
+        assert_eq!(s.union(PredSet::single(PredId(1))).len(), 2);
+        assert_eq!(PredSet::all(2).minus(PredSet::single(PredId(0))).len(), 1);
+        let ids: Vec<_> = PredSet::all(3).iter().collect();
+        assert_eq!(ids, vec![PredId(0), PredId(1), PredId(2)]);
+        assert_eq!(PredSet::all(MAX_PREDS).len(), MAX_PREDS);
+    }
+
+    #[test]
+    fn classify_selection_vs_join() {
+        let p = join_pred();
+        assert!(p.is_join());
+        assert!(!p.is_selection());
+        let s = Predicate::selection(
+            PredId(1),
+            ColRef::new(TableIdx(0), 0),
+            CmpOp::Gt,
+            Value::Int(10),
+        );
+        assert!(s.is_selection());
+        assert!(!s.is_join());
+        assert_eq!(s.tables(), TableSet::single(TableIdx(0)));
+    }
+
+    #[test]
+    fn eval_requires_span() {
+        let p = join_pred();
+        assert_eq!(p.eval(&r_tuple(1, 5)), None);
+        let joined = r_tuple(1, 5).concat(&s_tuple(5));
+        assert_eq!(p.eval(&joined), Some(true));
+        let not = r_tuple(1, 5).concat(&s_tuple(6));
+        assert_eq!(p.eval(&not), Some(false));
+    }
+
+    #[test]
+    fn eot_never_satisfies() {
+        let p = join_pred();
+        let eot_s = Tuple::singleton_of(TableIdx(1), vec![Value::Eot]);
+        let joined = r_tuple(1, 5).concat(&eot_s);
+        assert_eq!(p.eval(&joined), Some(false));
+    }
+
+    #[test]
+    fn oriented_for_flips_operator() {
+        // R.a < S.x
+        let p = Predicate::join(
+            PredId(0),
+            ColRef::new(TableIdx(0), 1),
+            CmpOp::Lt,
+            ColRef::new(TableIdx(1), 0),
+        );
+        let (c, op, _other) = p.oriented_for(TableIdx(1)).unwrap();
+        assert_eq!(c.table, TableIdx(1));
+        assert_eq!(op, CmpOp::Gt);
+        let (c, op, _) = p.oriented_for(TableIdx(0)).unwrap();
+        assert_eq!(c.table, TableIdx(0));
+        assert_eq!(op, CmpOp::Lt);
+        assert!(p.oriented_for(TableIdx(2)).is_none());
+    }
+
+    #[test]
+    fn equi_join_cols_only_for_two_table_eq() {
+        assert!(join_pred().equi_join_cols().is_some());
+        let sel = Predicate::selection(
+            PredId(0),
+            ColRef::new(TableIdx(0), 0),
+            CmpOp::Eq,
+            Value::Int(1),
+        );
+        assert!(sel.equi_join_cols().is_none());
+        let lt = Predicate::join(
+            PredId(0),
+            ColRef::new(TableIdx(0), 0),
+            CmpOp::Lt,
+            ColRef::new(TableIdx(1), 0),
+        );
+        assert!(lt.equi_join_cols().is_none());
+    }
+
+    #[test]
+    fn cmp_op_eval_table() {
+        use Value::Int;
+        assert!(CmpOp::Eq.eval(&Int(1), &Int(1)));
+        assert!(CmpOp::Ne.eval(&Int(1), &Int(2)));
+        assert!(!CmpOp::Ne.eval(&Value::Null, &Int(2)));
+        assert!(CmpOp::Lt.eval(&Int(1), &Int(2)));
+        assert!(CmpOp::Le.eval(&Int(2), &Int(2)));
+        assert!(CmpOp::Gt.eval(&Int(3), &Int(2)));
+        assert!(CmpOp::Ge.eval(&Int(2), &Int(2)));
+        assert!(!CmpOp::Lt.eval(&Int(2), &Value::Eot));
+    }
+
+    #[test]
+    fn selection_against_constant() {
+        let sel = Predicate::selection(
+            PredId(2),
+            ColRef::new(TableIdx(0), 1),
+            CmpOp::Ge,
+            Value::Int(5),
+        );
+        assert_eq!(sel.eval(&r_tuple(0, 7)), Some(true));
+        assert_eq!(sel.eval(&r_tuple(0, 3)), Some(false));
+    }
+}

@@ -1,0 +1,34 @@
+//! Data model for the `stems` adaptive query processor.
+//!
+//! This crate defines the fundamental vocabulary shared by every other crate
+//! in the workspace:
+//!
+//! * [`Value`] — a dynamically typed scalar, including the special
+//!   [`Value::Eot`] marker used by End-Of-Transmission tuples (paper §2.1.3).
+//! * [`Row`] — one base-table row (a boxed slice of values).
+//! * [`Tuple`] — a (possibly composite) tuple made of *base-table
+//!   components* (paper Definition 1), together with its *span* and the
+//!   build [`Timestamp`] of each component.
+//! * [`Predicate`] / [`Operand`] — the select-project-join predicate
+//!   language, evaluable over partial tuples.
+//! * [`Schema`] — column names and types of a table.
+//!
+//! The terminology follows the paper: a tuple *spans* the set of base tables
+//! whose components it carries; a *singleton* tuple has exactly one
+//! component (Definition 2).
+
+mod error;
+mod expr;
+mod row;
+mod schema;
+mod span;
+mod tuple;
+mod value;
+
+pub use error::{Result, StemsError};
+pub use expr::{CmpOp, ColRef, Operand, PredId, PredSet, Predicate, MAX_PREDS};
+pub use row::Row;
+pub use schema::{Column, ColumnType, Schema};
+pub use span::{TableIdx, TableSet, MAX_TABLES};
+pub use tuple::{Component, Timestamp, Tuple, UNBUILT_TS};
+pub use value::Value;

@@ -1,0 +1,113 @@
+//! Base-table rows.
+
+use crate::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// One base-table row: an immutable, shared slice of values.
+///
+/// Rows are reference-counted ([`Arc<Row>`]) so a row stored in a SteM, held
+/// in an AM lookup cache, and flowing through the eddy as a component of
+/// several composite tuples is a single allocation. This mirrors the paper's
+/// design where SteM indexes are "secondary indexes having pointers to the
+/// same tuples in memory" (§2.1.4).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Row {
+    values: Box<[Value]>,
+}
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Row {
+        Row {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Shared row, ready to be used as a tuple component.
+    pub fn shared(values: Vec<Value>) -> Arc<Row> {
+        Arc::new(Row::new(values))
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at column position `idx`.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if any field carries the EOT marker — i.e. this row encodes an
+    /// End-Of-Transmission tuple (paper §2.1.3).
+    pub fn is_eot(&self) -> bool {
+        self.values.iter().any(Value::is_eot)
+    }
+
+    /// Approximate heap footprint for memory accounting.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Row>() + self.values.iter().map(Value::approx_bytes).sum::<usize>()
+    }
+}
+
+impl fmt::Debug for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_arity() {
+        let r = Row::new(vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.get(0), Some(&Value::Int(1)));
+        assert_eq!(r.get(2), None);
+    }
+
+    #[test]
+    fn eot_detection() {
+        let normal = Row::new(vec![Value::Int(15), Value::str("John")]);
+        let eot = Row::new(vec![Value::Int(15), Value::Eot]);
+        assert!(!normal.is_eot());
+        assert!(eot.is_eot());
+    }
+
+    #[test]
+    fn rows_hash_and_eq_by_value() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Row::new(vec![Value::Int(1)]));
+        assert!(set.contains(&Row::new(vec![Value::Int(1)])));
+        assert!(!set.contains(&Row::new(vec![Value::Int(2)])));
+    }
+
+    #[test]
+    fn debug_format() {
+        let r = Row::new(vec![Value::Int(1), Value::str("a")]);
+        assert_eq!(format!("{r:?}"), "(1, a)");
+        assert_eq!(format!("{r}"), "(1, a)");
+    }
+}

@@ -1,0 +1,267 @@
+//! Composite tuples: base-table components, spans, timestamps.
+
+use crate::{Row, TableIdx, TableSet, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Global, monotonically increasing build timestamp (paper §3.1, the
+/// TimeStamp constraint). Timestamps are assigned by the engine when a
+/// singleton tuple *builds* into a SteM.
+pub type Timestamp = u64;
+
+/// The timestamp of a tuple that has not yet been built into a SteM.
+///
+/// The paper defines an unbuilt tuple's timestamp as infinity, so that a
+/// probe by a fresh tuple always passes the `ts(probe) > ts(match)` test.
+pub const UNBUILT_TS: Timestamp = u64::MAX;
+
+/// One base-table component of a tuple (paper Definition 1): a row of one
+/// table instance, plus the build timestamp of that row.
+#[derive(Debug, Clone)]
+pub struct Component {
+    pub table: TableIdx,
+    pub row: Arc<Row>,
+    /// Build timestamp; [`UNBUILT_TS`] until the singleton builds into a SteM.
+    pub ts: Timestamp,
+}
+
+impl Component {
+    pub fn new(table: TableIdx, row: Arc<Row>) -> Component {
+        Component {
+            table,
+            row,
+            ts: UNBUILT_TS,
+        }
+    }
+}
+
+impl PartialEq for Component {
+    /// Components compare by table and row *value* — timestamps are
+    /// execution metadata, not data (duplicate elimination must identify
+    /// copies of the same row that built at different times, §3.2).
+    fn eq(&self, other: &Component) -> bool {
+        self.table == other.table && self.row == other.row
+    }
+}
+
+impl Eq for Component {}
+
+impl std::hash::Hash for Component {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.table.hash(state);
+        self.row.hash(state);
+    }
+}
+
+/// A (possibly composite) tuple: an ordered set of base-table components.
+///
+/// Components are kept sorted by table index, giving every tuple value a
+/// canonical form — two tuples assembled along different join orders compare
+/// equal, which is what the duplicate-avoidance theorems (paper Theorems
+/// 1–2) quantify over.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    comps: Vec<Component>,
+}
+
+impl Tuple {
+    /// A singleton tuple (paper Definition 2) for `table`.
+    pub fn singleton(table: TableIdx, row: Arc<Row>) -> Tuple {
+        Tuple {
+            comps: vec![Component::new(table, row)],
+        }
+    }
+
+    /// A singleton from owned values (convenience for tests/examples).
+    pub fn singleton_of(table: TableIdx, values: Vec<Value>) -> Tuple {
+        Tuple::singleton(table, Row::shared(values))
+    }
+
+    /// Build from components (sorted internally). Panics if two components
+    /// share a table instance.
+    pub fn from_components(mut comps: Vec<Component>) -> Tuple {
+        comps.sort_by_key(|c| c.table);
+        for w in comps.windows(2) {
+            assert!(
+                w[0].table != w[1].table,
+                "tuple cannot span the same table instance twice"
+            );
+        }
+        Tuple { comps }
+    }
+
+    /// The set of tables this tuple spans (paper Definition 1).
+    pub fn span(&self) -> TableSet {
+        self.comps.iter().map(|c| c.table).collect()
+    }
+
+    /// True for single-component tuples (paper Definition 2).
+    pub fn is_singleton(&self) -> bool {
+        self.comps.len() == 1
+    }
+
+    /// Components in table order.
+    pub fn components(&self) -> &[Component] {
+        &self.comps
+    }
+
+    /// The component for `table`, if spanned.
+    pub fn component(&self, table: TableIdx) -> Option<&Component> {
+        self.comps.iter().find(|c| c.table == table)
+    }
+
+    /// The tuple's timestamp: the max over component timestamps, i.e. "the
+    /// timestamp of its last arriving base-table component" (paper §3.1).
+    /// Unbuilt components make the whole tuple [`UNBUILT_TS`].
+    pub fn timestamp(&self) -> Timestamp {
+        self.comps.iter().map(|c| c.ts).max().unwrap_or(UNBUILT_TS)
+    }
+
+    /// Fetch the value at `(table, col)`. `None` if the table is not
+    /// spanned or the column is out of range.
+    pub fn value(&self, table: TableIdx, col: usize) -> Option<&Value> {
+        self.component(table).and_then(|c| c.row.get(col))
+    }
+
+    /// Concatenate two tuples with disjoint spans (the SteM concatenates
+    /// probe tuples with matches, paper Table 1). Panics on overlapping
+    /// spans — the router must never join overlapping tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        assert!(
+            self.span().is_disjoint_from(other.span()),
+            "concat of overlapping tuples: {} vs {}",
+            self.span(),
+            other.span()
+        );
+        let mut comps = self.comps.clone();
+        comps.extend(other.comps.iter().cloned());
+        Tuple::from_components(comps)
+    }
+
+    /// A copy of this tuple with the component for `table` stamped with
+    /// build timestamp `ts`. Panics if the table is not spanned.
+    pub fn with_timestamp(&self, table: TableIdx, ts: Timestamp) -> Tuple {
+        let mut comps = self.comps.clone();
+        let c = comps
+            .iter_mut()
+            .find(|c| c.table == table)
+            .expect("with_timestamp: table not spanned");
+        c.ts = ts;
+        Tuple { comps }
+    }
+
+    /// True if any component row is an EOT tuple.
+    pub fn is_eot(&self) -> bool {
+        self.comps.iter().any(|c| c.row.is_eot())
+    }
+
+    /// Approximate heap footprint (shared rows counted fully; used for the
+    /// memory-accounting series, not allocator-exact).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Tuple>()
+            + self
+                .comps
+                .iter()
+                .map(|c| std::mem::size_of::<Component>() + c.row.approx_bytes())
+                .sum::<usize>()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.comps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ⋈ ")?;
+            }
+            write!(f, "{}:{}", c.table, c.row)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Arc<Row> {
+        Row::shared(vals.iter().map(|v| Value::Int(*v)).collect())
+    }
+
+    #[test]
+    fn singleton_span_and_flag() {
+        let t = Tuple::singleton(TableIdx(2), row(&[1, 2]));
+        assert!(t.is_singleton());
+        assert_eq!(t.span(), TableSet::single(TableIdx(2)));
+        assert_eq!(t.timestamp(), UNBUILT_TS);
+    }
+
+    #[test]
+    fn concat_merges_and_sorts() {
+        let s = Tuple::singleton(TableIdx(1), row(&[10]));
+        let r = Tuple::singleton(TableIdx(0), row(&[20]));
+        let rs = s.concat(&r);
+        assert_eq!(rs.span(), TableSet::all(2));
+        assert_eq!(rs.components()[0].table, TableIdx(0));
+        assert_eq!(rs.components()[1].table, TableIdx(1));
+        assert!(!rs.is_singleton());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn concat_rejects_overlap() {
+        let a = Tuple::singleton(TableIdx(0), row(&[1]));
+        let b = Tuple::singleton(TableIdx(0), row(&[2]));
+        let _ = a.concat(&b);
+    }
+
+    #[test]
+    fn timestamp_is_max_of_components() {
+        let r = Tuple::singleton(TableIdx(0), row(&[1])).with_timestamp(TableIdx(0), 5);
+        let s = Tuple::singleton(TableIdx(1), row(&[2])).with_timestamp(TableIdx(1), 9);
+        assert_eq!(r.concat(&s).timestamp(), 9);
+        let unbuilt = Tuple::singleton(TableIdx(2), row(&[3]));
+        assert_eq!(r.concat(&unbuilt).timestamp(), UNBUILT_TS);
+    }
+
+    #[test]
+    fn equality_ignores_timestamps() {
+        let a = Tuple::singleton(TableIdx(0), row(&[1])).with_timestamp(TableIdx(0), 1);
+        let b = Tuple::singleton(TableIdx(0), row(&[1])).with_timestamp(TableIdx(0), 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn canonical_order_makes_join_order_irrelevant() {
+        let r = Tuple::singleton(TableIdx(0), row(&[1]));
+        let s = Tuple::singleton(TableIdx(1), row(&[2]));
+        let t = Tuple::singleton(TableIdx(2), row(&[3]));
+        let rst1 = r.concat(&s).concat(&t);
+        let rst2 = t.concat(&s).concat(&r);
+        assert_eq!(rst1, rst2);
+    }
+
+    #[test]
+    fn value_lookup() {
+        let t = Tuple::singleton(TableIdx(1), row(&[7, 8]));
+        assert_eq!(t.value(TableIdx(1), 1), Some(&Value::Int(8)));
+        assert_eq!(t.value(TableIdx(0), 0), None);
+        assert_eq!(t.value(TableIdx(1), 9), None);
+    }
+
+    #[test]
+    fn eot_propagates() {
+        let t = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1), Value::Eot]);
+        assert!(t.is_eot());
+        let n = Tuple::singleton_of(TableIdx(1), vec![Value::Int(1)]);
+        assert!(!n.is_eot());
+        assert!(t.concat(&n).is_eot());
+    }
+
+    #[test]
+    fn display_shows_components() {
+        let t = Tuple::singleton(TableIdx(0), row(&[1]))
+            .concat(&Tuple::singleton(TableIdx(1), row(&[2])));
+        assert_eq!(t.to_string(), "[t0:(1) ⋈ t1:(2)]");
+    }
+}

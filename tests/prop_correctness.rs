@@ -1,0 +1,269 @@
+//! Property-based verification of the paper's correctness theorems.
+//!
+//! Theorem 1 (Duplicate Avoidance) and Theorem 2 (Correctness) say that
+//! *any* routing policy satisfying the Table 2 constraints produces the
+//! exact query result in finitely many steps. The constraint layer is
+//! baked into the engine, so the property we can actually test is: for
+//! randomized schemas, data, join topologies, access-method mixes, store
+//! backends, policies and seeds, the eddy's output equals the reference
+//! nested-loop executor's — no duplicates, no misses, and the run
+//! terminates (no livelock, checked by the engine's event guard).
+
+use proptest::prelude::*;
+use stems::catalog::{reference, Catalog, IndexSpec, QuerySpec, ScanSpec, TableInstance};
+use stems::core::plan::PlanOptions;
+use stems::core::StemOptions;
+use stems::prelude::*;
+use stems::storage::StoreKind;
+
+#[derive(Debug, Clone)]
+struct TableSpec {
+    rows: Vec<(i64, i64)>, // (serial key, join value)
+    scan_rate: f64,
+    /// Index on the join value column (col 1) in addition to the scan.
+    extra_index: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Topology {
+    Chain,
+    Star,
+    Cycle,
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    tables: Vec<TableSpec>,
+    topology: Topology,
+    policy: u8,
+    seed: u64,
+    store: u8,
+    /// Constant for an extra selection on table 0 (None = no selection).
+    selection_lt: Option<i64>,
+}
+
+fn table_spec(max_rows: usize, distinct: i64) -> impl Strategy<Value = TableSpec> {
+    (
+        prop::collection::vec(0..distinct, 0..max_rows),
+        100.0..2000.0f64,
+        any::<bool>(),
+    )
+        .prop_map(|(vals, rate, extra_index)| TableSpec {
+            rows: vals
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (i as i64, v))
+                .collect(),
+            scan_rate: rate,
+            extra_index,
+        })
+}
+
+fn case() -> impl Strategy<Value = Case> {
+    (
+        prop::collection::vec(table_spec(18, 6), 2..4),
+        prop_oneof![
+            Just(Topology::Chain),
+            Just(Topology::Star),
+            Just(Topology::Cycle)
+        ],
+        0u8..3,
+        any::<u64>(),
+        0u8..5,
+        prop::option::of(0..6i64),
+    )
+        .prop_map(|(tables, topology, policy, seed, store, selection_lt)| Case {
+            tables,
+            topology,
+            policy,
+            seed,
+            store,
+            selection_lt,
+        })
+}
+
+fn build_case(case: &Case) -> (Catalog, QuerySpec) {
+    let mut catalog = Catalog::new();
+    let mut sources = Vec::new();
+    for (i, t) in case.tables.iter().enumerate() {
+        let def = TableDef::new(
+            &format!("t{i}"),
+            Schema::of(&[("k", ColumnType::Int), ("v", ColumnType::Int)]),
+        )
+        .with_rows(
+            t.rows
+                .iter()
+                .map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)])
+                .collect(),
+        );
+        let id = catalog.add_table(def).expect("table");
+        catalog
+            .add_scan(id, ScanSpec::with_rate(t.scan_rate))
+            .expect("scan");
+        if t.extra_index {
+            catalog
+                .add_index(id, IndexSpec::new(vec![1], 5_000))
+                .expect("index");
+        }
+        sources.push(id);
+    }
+
+    let n = sources.len();
+    let mut preds = Vec::new();
+    let push_join = |a: usize, b: usize, preds: &mut Vec<Predicate>| {
+        preds.push(Predicate::join(
+            PredId(preds.len() as u16),
+            ColRef::new(TableIdx(a as u8), 1),
+            CmpOp::Eq,
+            ColRef::new(TableIdx(b as u8), 1),
+        ));
+    };
+    match case.topology {
+        Topology::Chain => {
+            for i in 0..n - 1 {
+                push_join(i, i + 1, &mut preds);
+            }
+        }
+        Topology::Star => {
+            for i in 1..n {
+                push_join(0, i, &mut preds);
+            }
+        }
+        Topology::Cycle => {
+            for i in 0..n - 1 {
+                push_join(i, i + 1, &mut preds);
+            }
+            if n > 2 {
+                push_join(0, n - 1, &mut preds);
+            }
+        }
+    }
+    if let Some(c) = case.selection_lt {
+        preds.push(Predicate::selection(
+            PredId(preds.len() as u16),
+            ColRef::new(TableIdx(0), 1),
+            CmpOp::Lt,
+            Value::Int(c),
+        ));
+    }
+    let query = QuerySpec::new(
+        &catalog,
+        sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| TableInstance {
+                source: *s,
+                alias: format!("t{i}"),
+            })
+            .collect(),
+        preds,
+        None,
+    )
+    .expect("query");
+    (catalog, query)
+}
+
+fn policy_of(case: &Case) -> RoutingPolicyKind {
+    match case.policy {
+        0 => RoutingPolicyKind::Fixed { probe_order: None },
+        1 => RoutingPolicyKind::Lottery,
+        _ => RoutingPolicyKind::BenefitCost {
+            epsilon: 0.25,
+            drop_rate: 1.0,
+        },
+    }
+}
+
+fn store_of(case: &Case) -> StoreKind {
+    match case.store {
+        0 => StoreKind::List,
+        1 => StoreKind::Hash,
+        2 => StoreKind::Adaptive { threshold: 4 },
+        3 => StoreKind::Partitioned {
+            partitions: 4,
+            mem_resident: 1,
+        },
+        _ => StoreKind::Sorted,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// Theorems 1–2: exact results, any topology × policy × store × seed.
+    #[test]
+    fn eddy_matches_reference(case in case()) {
+        let (catalog, query) = build_case(&case);
+        let config = ExecConfig {
+            policy: policy_of(&case),
+            seed: case.seed,
+            plan: PlanOptions {
+                default_stem: StemOptions {
+                    store: store_of(&case),
+                    ..StemOptions::default()
+                },
+                ..PlanOptions::default()
+            },
+            check_constraints: true,
+            max_events: 20_000_000,
+            ..ExecConfig::default()
+        };
+        let report = EddyExecutor::build(&catalog, &query, config)
+            .expect("plan")
+            .run();
+        prop_assert!(
+            report.violations.is_empty(),
+            "violations: {:?}",
+            report.violations
+        );
+        let expected = reference::canonical(&catalog, &query, &reference::execute(&catalog, &query));
+        let got = report.canonical(&catalog, &query);
+        prop_assert_eq!(got, expected, "mismatch: {}", report.summary());
+    }
+
+    /// The §3.5 relaxation preserves exactness whenever it is legal
+    /// (single-scan table, no self-join).
+    #[test]
+    fn relaxed_buildfirst_matches_reference(case in case()) {
+        let mut case = case;
+        // Make table 0 eligible: single scan AM.
+        case.tables[0].extra_index = false;
+        let (catalog, query) = build_case(&case);
+        let config = ExecConfig {
+            policy: policy_of(&case),
+            seed: case.seed,
+            plan: PlanOptions {
+                no_stem: TableSet::single(TableIdx(0)),
+                ..PlanOptions::default()
+            },
+            check_constraints: true,
+            max_events: 20_000_000,
+            ..ExecConfig::default()
+        };
+        let report = EddyExecutor::build(&catalog, &query, config)
+            .expect("plan")
+            .run();
+        prop_assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+        let expected = reference::canonical(&catalog, &query, &reference::execute(&catalog, &query));
+        prop_assert_eq!(report.canonical(&catalog, &query), expected);
+    }
+
+    /// Determinism: identical configuration ⇒ identical execution trace.
+    #[test]
+    fn identical_runs_are_identical(case in case()) {
+        let (catalog, query) = build_case(&case);
+        let mk = || ExecConfig {
+            policy: policy_of(&case),
+            seed: case.seed,
+            ..ExecConfig::default()
+        };
+        let a = EddyExecutor::build(&catalog, &query, mk()).expect("plan").run();
+        let b = EddyExecutor::build(&catalog, &query, mk()).expect("plan").run();
+        prop_assert_eq!(a.end_time, b.end_time);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.results.len(), b.results.len());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the storage substrate: all dictionary backends must
+//! be observationally equivalent (a SteM may swap its store without anyone
+//! noticing — paper §3.1), and the dedup/sorted structures must match
+//! naive models.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use stems::storage::{index_key, RowSet, SortedStore, StoreKind};
+use stems::storage::DictStore;
+use stems::types::{CmpOp, Row, Value};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Remove(i64, i64),
+    Lookup(i64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..20i64, 0..6i64).prop_map(|(k, v)| Op::Insert(k, v)),
+            (0..20i64, 0..6i64).prop_map(|(k, v)| Op::Remove(k, v)),
+            (0..8i64).prop_map(Op::Lookup),
+        ],
+        0..60,
+    )
+}
+
+fn row(k: i64, v: i64) -> Arc<Row> {
+    Row::shared(vec![Value::Int(k), Value::Int(v)])
+}
+
+/// Apply ops to a store and a naive Vec model; compare every observation.
+fn check_store_against_model(kind: StoreKind, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut store = kind.build(&[1]);
+    let mut model: Vec<Arc<Row>> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                store.insert(row(*k, *v));
+                model.push(row(*k, *v));
+            }
+            Op::Remove(k, v) => {
+                let store_removed = store.remove(&row(*k, *v));
+                let model_removed = model
+                    .iter()
+                    .position(|r| r.as_ref() == row(*k, *v).as_ref())
+                    .map(|i| {
+                        model.remove(i);
+                    })
+                    .is_some();
+                prop_assert_eq!(store_removed, model_removed);
+            }
+            Op::Lookup(key) => {
+                let mut got: Vec<Vec<Value>> = store
+                    .lookup_eq(1, &Value::Int(*key))
+                    .iter()
+                    .map(|r| r.values().to_vec())
+                    .collect();
+                let mut want: Vec<Vec<Value>> = model
+                    .iter()
+                    .filter(|r| r.get(1) == Some(&Value::Int(*key)))
+                    .map(|r| r.values().to_vec())
+                    .collect();
+                got.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+                want.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+                prop_assert_eq!(got, want);
+            }
+        }
+        prop_assert_eq!(store.len(), model.len());
+    }
+    // Final scan must agree as a multiset.
+    let mut got: Vec<Vec<Value>> = store.scan().iter().map(|r| r.values().to_vec()).collect();
+    let mut want: Vec<Vec<Value>> = model.iter().map(|r| r.values().to_vec()).collect();
+    got.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    want.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    prop_assert_eq!(got, want);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn list_store_matches_model(ops in ops()) {
+        check_store_against_model(StoreKind::List, &ops)?;
+    }
+
+    #[test]
+    fn hash_store_matches_model(ops in ops()) {
+        check_store_against_model(StoreKind::Hash, &ops)?;
+    }
+
+    #[test]
+    fn adaptive_store_matches_model(ops in ops()) {
+        check_store_against_model(StoreKind::Adaptive { threshold: 5 }, &ops)?;
+    }
+
+    /// RowSet is exactly "have I seen this value before".
+    #[test]
+    fn rowset_matches_hashset_model(pairs in prop::collection::vec((0..10i64, 0..4i64), 0..80)) {
+        let mut set = RowSet::new();
+        let mut model: std::collections::HashSet<(i64, i64)> = Default::default();
+        for (k, v) in pairs {
+            let fresh = set.insert(row(k, v));
+            prop_assert_eq!(fresh, model.insert((k, v)));
+        }
+        prop_assert_eq!(set.len(), model.len());
+    }
+
+    /// SortedStore range lookups equal a naive filter.
+    #[test]
+    fn sorted_store_ranges_match_filter(
+        vals in prop::collection::vec(-20..20i64, 0..50),
+        key in -25..25i64,
+    ) {
+        let mut store = SortedStore::new(0);
+        for (i, v) in vals.iter().enumerate() {
+            store.insert(Row::shared(vec![Value::Int(*v), Value::Int(i as i64)]));
+        }
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Ne] {
+            let got = store.lookup_range(op, &Value::Int(key)).len();
+            let want = vals.iter().filter(|v| op.eval(&Value::Int(**v), &Value::Int(key))).count();
+            prop_assert_eq!(got, want, "op {:?}", op);
+        }
+    }
+
+    /// index_key normalization: sql-equal values get identical keys.
+    #[test]
+    fn index_key_respects_sql_equality(a in -1000..1000i64) {
+        let int_key = index_key(&Value::Int(a));
+        let float_key = index_key(&Value::Float(a as f64));
+        prop_assert_eq!(int_key, float_key);
+        prop_assert_eq!(index_key(&Value::Null), None);
+        prop_assert_eq!(index_key(&Value::Eot), None);
+    }
+}
