@@ -72,7 +72,11 @@ pub fn grace_hash_join(
     let mut right_mem: FxHashMap<Value, Vec<Arc<Row>>> = FxHashMap::default();
 
     for (t, is_left, row) in ArrivalStream::merge(left, right) {
-        let col = if is_left { params.left_col } else { params.right_col };
+        let col = if is_left {
+            params.left_col
+        } else {
+            params.right_col
+        };
         let Some(key) = row.get(col).and_then(index_key) else {
             continue;
         };
@@ -84,9 +88,19 @@ pub fn grace_hash_join(
         }
         if mem_resident(p) {
             let (own, other, own_inst, other_inst) = if is_left {
-                (&mut left_mem, &right_mem, params.left_instance, params.right_instance)
+                (
+                    &mut left_mem,
+                    &right_mem,
+                    params.left_instance,
+                    params.right_instance,
+                )
             } else {
-                (&mut right_mem, &left_mem, params.right_instance, params.left_instance)
+                (
+                    &mut right_mem,
+                    &left_mem,
+                    params.right_instance,
+                    params.left_instance,
+                )
             };
             own.entry(key.clone()).or_default().push(row.clone());
             if let Some(matches) = other.get(&key) {

@@ -75,9 +75,8 @@ pub fn index_join(
             }
         };
         for m in matches {
-            let result = Tuple::singleton(params.outer_instance, row.clone()).concat(
-                &Tuple::singleton(params.inner_instance, m),
-            );
+            let result = Tuple::singleton(params.outer_instance, row.clone())
+                .concat(&Tuple::singleton(params.inner_instance, m));
             run.emit(done, result);
         }
         run.end_time = run.end_time.max(done);
@@ -119,7 +118,9 @@ mod tests {
     }
 
     fn inner_rows(xs: &[i64]) -> Vec<Arc<Row>> {
-        xs.iter().map(|x| Row::shared(vec![Value::Int(*x)])).collect()
+        xs.iter()
+            .map(|x| Row::shared(vec![Value::Int(*x)]))
+            .collect()
     }
 
     #[test]

@@ -58,7 +58,11 @@ pub fn symmetric_hash_join(
         own_ht.entry(key.clone()).or_default().push(row.clone());
         if let Some(matches) = other_ht.get(&key) {
             for m in matches {
-                let own_inst = if is_left { left_instance } else { right_instance };
+                let own_inst = if is_left {
+                    left_instance
+                } else {
+                    right_instance
+                };
                 let result = Tuple::singleton(own_inst, row.clone())
                     .concat(&Tuple::singleton(other_is, m.clone()));
                 run.emit(emit_at, result);
@@ -154,11 +158,7 @@ pub fn pipelined_shj(
             .entry(key.clone())
             .or_default()
             .push(tuple.clone());
-        let matches: Vec<Arc<Row>> = stages[si]
-            .right_ht
-            .get(&key)
-            .cloned()
-            .unwrap_or_default();
+        let matches: Vec<Arc<Row>> = stages[si].right_ht.get(&key).cloned().unwrap_or_default();
         let inst = stages[si].meta.instance;
         for m in matches {
             let joined = tuple.concat(&Tuple::singleton(inst, m));
@@ -190,12 +190,12 @@ pub fn pipelined_shj(
                 continue;
             };
             mem_bytes += row.approx_bytes();
-            built[si].right_ht.entry(key.clone()).or_default().push(row.clone());
-            let matches: Vec<Tuple> = built[si]
-                .left_ht
-                .get(&key)
-                .cloned()
-                .unwrap_or_default();
+            built[si]
+                .right_ht
+                .entry(key.clone())
+                .or_default()
+                .push(row.clone());
+            let matches: Vec<Tuple> = built[si].left_ht.get(&key).cloned().unwrap_or_default();
             for m in matches {
                 let joined = m.concat(&Tuple::singleton(inst, row.clone()));
                 cascade(

@@ -84,14 +84,11 @@ pub fn sort_merge_join(
                 while j < r.len() && r[j].0 == key {
                     j += 1;
                 }
-                for li in li0..i {
-                    for rj in rj0..j {
+                for lrow in &l[li0..i] {
+                    for rrow in &r[rj0..j] {
                         t += params.emit_cost_us;
-                        let result = Tuple::singleton(params.left_instance, l[li].1.clone())
-                            .concat(&Tuple::singleton(
-                                params.right_instance,
-                                r[rj].1.clone(),
-                            ));
+                        let result = Tuple::singleton(params.left_instance, lrow.1.clone())
+                            .concat(&Tuple::singleton(params.right_instance, rrow.1.clone()));
                         run.emit(t, result);
                     }
                 }

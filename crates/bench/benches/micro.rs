@@ -1,19 +1,21 @@
-//! Criterion microbenchmarks: engineering costs of the SteM machinery.
+//! Microbenchmarks: engineering costs of the SteM machinery.
 //!
 //! These are wall-clock benches of the *implementation* (the figures
-//! measure virtual time; these measure real CPU):
+//! measure virtual time; these measure real CPU), run with a small
+//! self-contained harness (`cargo bench` — no external benchmark crate):
 //!
-//! * `stem_build/*` — dictionary insert throughput per store backend;
+//! * `stem_build/*` — dictionary insert throughput per store backend,
+//!   scalar and batched;
 //! * `stem_probe/*` — equality probe throughput per backend (hash vs the
 //!   list fallback — why SteMs index their join columns);
 //! * `dedup` — the §3.2 set-semantics duplicate filter;
 //! * `policy_choose/*` — per-routing-decision overhead of each policy;
-//! * `eddy_end_to_end` — full engine throughput (events/second) on a
-//!   two-table symmetric-hash-join workload.
+//! * `eddy_end_to_end/*` — full engine throughput on a two-table
+//!   symmetric-hash-join workload, scalar (`batch=1`) vs batched routing.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Instant;
 use stems_catalog::{Catalog, ScanSpec, TableDef};
 use stems_core::policy::Feedback;
 use stems_core::router::Action;
@@ -26,37 +28,49 @@ use stems_types::{ColumnType, PredId, Row, Schema, TableIdx, Tuple, Value};
 
 const N_ROWS: usize = 10_000;
 
+/// Time `f` over `iters` iterations (after one warm-up) and print ns/op.
+fn bench(name: &str, iters: u64, mut f: impl FnMut() -> u64) {
+    black_box(f());
+    let start = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..iters {
+        sink = sink.wrapping_add(f());
+    }
+    let elapsed = start.elapsed();
+    black_box(sink);
+    let ns_per_op = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {ns_per_op:>14.1} ns/op   ({iters} iters)");
+}
+
 fn rows(n: usize) -> Vec<Arc<Row>> {
     (0..n as i64)
         .map(|k| Row::shared(vec![Value::Int(k), Value::Int(k % 250)]))
         .collect()
 }
 
-fn bench_stem_build(c: &mut Criterion) {
+fn bench_stem_build() {
     let data = rows(N_ROWS);
-    let mut g = c.benchmark_group("stem_build");
     for (name, kind) in [
         ("list", StoreKind::List),
         ("hash", StoreKind::Hash),
         ("adaptive", StoreKind::Adaptive { threshold: 128 }),
     ] {
-        g.bench_function(name, |b| {
-            b.iter_batched(
-                || kind.build(&[1]),
-                |mut store| {
-                    for r in &data {
-                        store.insert(r.clone());
-                    }
-                    black_box(store.len())
-                },
-                BatchSize::SmallInput,
-            )
+        bench(&format!("stem_build/{name}"), 20, || {
+            let mut store = kind.build(&[1]);
+            for r in &data {
+                store.insert(r.clone());
+            }
+            store.len() as u64
+        });
+        bench(&format!("stem_build/{name}_batched"), 20, || {
+            let mut store = kind.build(&[1]);
+            store.insert_batch(data.clone());
+            store.len() as u64
         });
     }
-    g.finish();
 }
 
-fn bench_stem_probe(c: &mut Criterion) {
+fn bench_stem_probe() {
     let data = rows(N_ROWS);
     let mut hash = HashStore::new(&[1]);
     let mut list = ListStore::new();
@@ -64,47 +78,39 @@ fn bench_stem_probe(c: &mut Criterion) {
         hash.insert(r.clone());
         list.insert(r.clone());
     }
-    let mut g = c.benchmark_group("stem_probe");
-    g.bench_function("hash_indexed", |b| {
-        let mut k = 0i64;
-        b.iter(|| {
-            k = (k + 1) % 250;
-            black_box(hash.lookup_eq(1, &Value::Int(k)).len())
-        })
+    let mut k = 0i64;
+    bench("stem_probe/hash_indexed", 200_000, || {
+        k = (k + 1) % 250;
+        hash.lookup_eq(1, &Value::Int(k)).len() as u64
+    });
+    let keys: Vec<Value> = (0..64i64).map(Value::Int).collect();
+    bench("stem_probe/hash_indexed_batch64", 4_000, || {
+        hash.lookup_eq_batch(1, &keys).len() as u64
     });
     // The list store scans: orders of magnitude slower — the reason the
     // paper's SteMs keep "one main-memory index on each [join] column".
-    g.bench_function("list_scan", |b| {
-        let mut k = 0i64;
-        b.iter(|| {
-            k = (k + 1) % 250;
-            black_box(list.lookup_eq(1, &Value::Int(k)).len())
-        })
+    bench("stem_probe/list_scan", 200, || {
+        k = (k + 1) % 250;
+        list.lookup_eq(1, &Value::Int(k)).len() as u64
     });
-    g.finish();
 }
 
-fn bench_dedup(c: &mut Criterion) {
+fn bench_dedup() {
     let data = rows(N_ROWS);
-    c.bench_function("dedup_rowset", |b| {
-        b.iter_batched(
-            RowSet::new,
-            |mut set| {
-                for r in &data {
-                    set.insert(r.clone());
-                }
-                // Second pass: every row is a duplicate.
-                for r in &data {
-                    black_box(set.insert(r.clone()));
-                }
-                black_box(set.len())
-            },
-            BatchSize::SmallInput,
-        )
+    bench("dedup_rowset", 20, || {
+        let mut set = RowSet::new();
+        for r in &data {
+            set.insert(r.clone());
+        }
+        // Second pass: every row is a duplicate.
+        for r in &data {
+            black_box(set.insert(r.clone()));
+        }
+        set.len() as u64
     });
 }
 
-fn bench_policy_choose(c: &mut Criterion) {
+fn bench_policy_choose() {
     let actions = vec![
         (
             Action::ProbeStem {
@@ -139,7 +145,6 @@ fn bench_policy_choose(c: &mut Criterion) {
     ];
     let tuple = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1)]);
     let state = stems_core::TupleState::new();
-    let mut g = c.benchmark_group("policy_choose");
     for kind in [
         RoutingPolicyKind::Fixed { probe_order: None },
         RoutingPolicyKind::Lottery,
@@ -157,15 +162,16 @@ fn bench_policy_choose(c: &mut Criterion) {
             });
         }
         let mut rng = SimRng::new(7);
-        g.bench_function(policy.name(), |b| {
-            b.iter(|| black_box(policy.choose(&tuple, &state, &actions, &mut rng)))
+        let name = format!("policy_choose/{}", policy.name());
+        bench(&name, 200_000, || {
+            policy.choose(&tuple, &state, &actions, &mut rng) as u64
         });
     }
-    g.finish();
 }
 
-fn bench_eddy_end_to_end(c: &mut Criterion) {
-    // 2000 × 2000 row symmetric hash join through the full engine.
+fn bench_eddy_end_to_end() {
+    // 2000 × 2000 row symmetric hash join through the full engine, scalar
+    // routing vs the batched default.
     let mut catalog = Catalog::new();
     let r = TableBuilder::new("R", 2000, 71)
         .col("a", ColGen::Mod(500))
@@ -178,42 +184,46 @@ fn bench_eddy_end_to_end(c: &mut Criterion) {
     catalog.add_scan(r, ScanSpec::with_rate(100_000.0)).unwrap();
     catalog.add_scan(s, ScanSpec::with_rate(100_000.0)).unwrap();
     let query = parse_query(&catalog, "SELECT * FROM R, S WHERE R.a = S.x").unwrap();
-    c.bench_function("eddy_end_to_end_shj_2kx2k", |b| {
-        b.iter(|| {
-            let report = EddyExecutor::build(&catalog, &query, ExecConfig::default())
-                .unwrap()
-                .run();
-            black_box(report.results.len())
-        })
-    });
+    for batch_size in [1usize, 64, 256] {
+        bench(
+            &format!("eddy_end_to_end/shj_2kx2k_batch{batch_size}"),
+            5,
+            || {
+                let config = ExecConfig {
+                    batch_size,
+                    ..ExecConfig::default()
+                };
+                let report = EddyExecutor::build(&catalog, &query, config).unwrap().run();
+                report.results.len() as u64
+            },
+        );
+    }
 
     // Single-table pass-through: pure routing overhead per tuple.
     let mut catalog2 = Catalog::new();
     let t = catalog2
         .add_table(
-            TableDef::new("T", Schema::of(&[("k", ColumnType::Int)])).with_rows(
-                (0..5000i64).map(|k| vec![Value::Int(k)]).collect(),
-            ),
+            TableDef::new("T", Schema::of(&[("k", ColumnType::Int)]))
+                .with_rows((0..5000i64).map(|k| vec![Value::Int(k)]).collect()),
         )
         .unwrap();
-    catalog2.add_scan(t, ScanSpec::with_rate(100_000.0)).unwrap();
+    catalog2
+        .add_scan(t, ScanSpec::with_rate(100_000.0))
+        .unwrap();
     let q2 = parse_query(&catalog2, "SELECT * FROM T WHERE T.k >= 0").unwrap();
-    c.bench_function("eddy_routing_overhead_5k_tuples", |b| {
-        b.iter(|| {
-            let report = EddyExecutor::build(&catalog2, &q2, ExecConfig::default())
-                .unwrap()
-                .run();
-            black_box(report.results.len())
-        })
+    bench("eddy_end_to_end/routing_overhead_5k", 5, || {
+        let report = EddyExecutor::build(&catalog2, &q2, ExecConfig::default())
+            .unwrap()
+            .run();
+        report.results.len() as u64
     });
 }
 
-criterion_group!(
-    benches,
-    bench_stem_build,
-    bench_stem_probe,
-    bench_dedup,
-    bench_policy_choose,
-    bench_eddy_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    println!("stems microbenchmarks (wall-clock)\n");
+    bench_stem_build();
+    bench_stem_probe();
+    bench_dedup();
+    bench_policy_choose();
+    bench_eddy_end_to_end();
+}

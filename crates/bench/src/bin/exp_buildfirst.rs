@@ -77,7 +77,10 @@ fn run(relaxed: bool) -> (Report, usize) {
     if relaxed {
         config.plan.no_stem = TableSet::single(TableIdx(2));
     }
-    (EddyExecutor::build(&c, &q, config).expect("plan").run(), expected)
+    (
+        EddyExecutor::build(&c, &q, config).expect("plan").run(),
+        expected,
+    )
 }
 
 fn main() {
@@ -145,12 +148,9 @@ fn main() {
         "relaxed run holds ≤ 10% of the default's SteM memory",
         r_mem.last_value() * 10.0 <= d_mem.last_value(),
     );
-    ok &= shape_check(
-        "completion times comparable (within 30%)",
-        {
-            let (a, b) = (relaxed_run.end_time as f64, default_run.end_time as f64);
-            (a - b).abs() <= 0.30 * b
-        },
-    );
+    ok &= shape_check("completion times comparable (within 30%)", {
+        let (a, b) = (relaxed_run.end_time as f64, default_run.end_time as f64);
+        (a - b).abs() <= 0.30 * b
+    });
     finish(ok);
 }

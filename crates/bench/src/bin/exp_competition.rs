@@ -98,20 +98,22 @@ fn main() {
         .end_time
         .max(fast_only.end_time)
         .max(slow_only.end_time);
-    let series: [(&str, &Series); 3] =
-        [("both AMs", ra), ("fast only", fo), ("slow only", so)];
+    let series: [(&str, &Series); 3] = [("both AMs", ra), ("fast only", fo), ("slow only", so)];
     print!(
         "{}",
-        series_table("results over time (source stall 2s–40s)", horizon, 16, &series)
+        series_table(
+            "results over time (source stall 2s–40s)",
+            horizon,
+            16,
+            &series
+        )
     );
     println!("{}", chart("competitive AMs", "results", horizon, &series));
     save_csv(
         "exp_competition.csv",
-        &racing.metrics.to_csv(
-            &["results", "duplicates_absorbed", "scanned"],
-            horizon,
-            100,
-        ),
+        &racing
+            .metrics
+            .to_csv(&["results", "duplicates_absorbed", "scanned"], horizon, 100),
     );
     // A stalled mirror keeps scanning (and being absorbed) long after the
     // last result: completion is measured as time-of-last-result.

@@ -109,11 +109,26 @@ fn main() {
     let hy = hybrid.metrics.series("results").unwrap_or(&empty);
     let horizon = shj.end_time.max(grace.end_time).max(hybrid.end_time);
     let series: [(&str, &Series); 3] = [("SHJ", sh), ("Grace", gr), ("Hybrid", hy)];
-    print!("{}", series_table("results over time", horizon, 14, &series));
-    println!("{}", chart("SHJ vs Grace vs Hybrid", "results", horizon, &series));
-    save_csv("exp_grace_hybrid_shj.csv", &shj.metrics.to_csv(&["results"], horizon, 100));
-    save_csv("exp_grace_hybrid_grace.csv", &grace.metrics.to_csv(&["results"], horizon, 100));
-    save_csv("exp_grace_hybrid_hybrid.csv", &hybrid.metrics.to_csv(&["results"], horizon, 100));
+    print!(
+        "{}",
+        series_table("results over time", horizon, 14, &series)
+    );
+    println!(
+        "{}",
+        chart("SHJ vs Grace vs Hybrid", "results", horizon, &series)
+    );
+    save_csv(
+        "exp_grace_hybrid_shj.csv",
+        &shj.metrics.to_csv(&["results"], horizon, 100),
+    );
+    save_csv(
+        "exp_grace_hybrid_grace.csv",
+        &grace.metrics.to_csv(&["results"], horizon, 100),
+    );
+    save_csv(
+        "exp_grace_hybrid_hybrid.csv",
+        &hybrid.metrics.to_csv(&["results"], horizon, 100),
+    );
 
     // First-result interactivity.
     let first = |r: &Report| {

@@ -140,10 +140,12 @@ fn main() {
     );
     println!(
         "{}",
-        chart("memory footprint", "bytes", horizon, &[
-            ("SteMs", s_mem),
-            ("pipeline", p_mem),
-        ])
+        chart(
+            "memory footprint",
+            "bytes",
+            horizon,
+            &[("SteMs", s_mem), ("pipeline", p_mem),]
+        )
     );
     save_csv(
         "exp_nary_shj_stems.csv",

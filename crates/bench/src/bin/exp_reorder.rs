@@ -150,7 +150,10 @@ fn main() {
                     "prioritized run",
                     boosted.metrics.series("priority_results").unwrap_or(&empty),
                 ),
-                ("all results (plain)", plain.metrics.series("results").unwrap_or(&empty)),
+                (
+                    "all results (plain)",
+                    plain.metrics.series("results").unwrap_or(&empty)
+                ),
             ],
         )
     );

@@ -26,8 +26,7 @@ fn fig7_shape_holds(cfg: &Table3Config) -> bool {
         .run();
     let r_table = Table3::r_table(cfg);
     let s_table = Table3::s_table(cfg);
-    let r_stream =
-        ArrivalStream::from_scan(&r_table, &ScanSpec::with_rate(cfg.q1_r_scan_tps));
+    let r_stream = ArrivalStream::from_scan(&r_table, &ScanSpec::with_rate(cfg.q1_r_scan_tps));
     let base = index_join(
         &r_stream,
         s_table.rows(),
@@ -68,10 +67,8 @@ fn fig8_shape_holds(cfg: &Table3Config) -> bool {
     .run();
     let r_table = Table3::r_table(cfg);
     let t_table = Table3::t_table(cfg);
-    let r_stream =
-        ArrivalStream::from_scan(&r_table, &ScanSpec::with_rate(cfg.q4_r_scan_tps));
-    let t_stream =
-        ArrivalStream::from_scan(&t_table, &ScanSpec::with_rate(cfg.q4_t_scan_tps));
+    let r_stream = ArrivalStream::from_scan(&r_table, &ScanSpec::with_rate(cfg.q4_r_scan_tps));
+    let t_stream = ArrivalStream::from_scan(&t_table, &ScanSpec::with_rate(cfg.q4_t_scan_tps));
     let ij = index_join(
         &r_stream,
         t_table.rows(),

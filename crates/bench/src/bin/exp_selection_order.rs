@@ -93,7 +93,11 @@ fn main() {
     let work = |r: &Report| r.counter("sm_applied");
     let per_tuple = |r: &Report| work(r) as f64 / ROWS as f64;
     println!("\n  policy        SM applications   per tuple   results");
-    for (name, r) in [("fixed", &fixed), ("benefit-cost", &adaptive), ("lottery", &lottery)] {
+    for (name, r) in [
+        ("fixed", &fixed),
+        ("benefit-cost", &adaptive),
+        ("lottery", &lottery),
+    ] {
         println!(
             "  {name:<13} {:>15} {:>11.3} {:>9}",
             work(r),
@@ -103,7 +107,11 @@ fn main() {
     }
     save_csv(
         "exp_selection_order.csv",
-        &adaptive.metrics.to_csv(&["sm_applied", "filtered", "results"], adaptive.end_time, 50),
+        &adaptive.metrics.to_csv(
+            &["sm_applied", "filtered", "results"],
+            adaptive.end_time,
+            50,
+        ),
     );
 
     // Static wide-first ⇒ 1 + P(wide) ≈ 1.9 applications/tuple.

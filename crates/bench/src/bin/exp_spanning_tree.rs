@@ -123,13 +123,21 @@ fn main() {
     let bl2 = blocked.metrics.series("span2_formed").unwrap_or(&empty);
     let horizon = dynamic.end_time.max(blocked.end_time).max(live.end_time);
 
-    let series: [(&str, &Series); 3] = [
-        ("dynamic", dy),
-        ("chain A-B,B-C", bl),
-        ("tree A-B,A-C", li),
-    ];
-    print!("{}", series_table("full results over time", horizon, 16, &series));
-    println!("{}", chart("spanning trees under a C stall", "results", horizon, &series));
+    let series: [(&str, &Series); 3] =
+        [("dynamic", dy), ("chain A-B,B-C", bl), ("tree A-B,A-C", li)];
+    print!(
+        "{}",
+        series_table("full results over time", horizon, 16, &series)
+    );
+    println!(
+        "{}",
+        chart(
+            "spanning trees under a C stall",
+            "results",
+            horizon,
+            &series
+        )
+    );
     print!(
         "{}",
         series_table(

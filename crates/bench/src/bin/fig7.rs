@@ -19,7 +19,7 @@ use stems_bench::*;
 use stems_catalog::reference;
 use stems_core::{EddyExecutor, ExecConfig};
 use stems_datagen::{Table3, Table3Config};
-use stems_sim::{secs_f, Series, to_secs};
+use stems_sim::{secs_f, to_secs, Series};
 use stems_types::TableIdx;
 
 fn main() {
@@ -61,7 +61,11 @@ fn main() {
             inner_col: 0,
         },
     );
-    assert_eq!(base.results.len(), expected, "baseline must agree on results");
+    assert_eq!(
+        base.results.len(),
+        expected,
+        "baseline must agree on results"
+    );
 
     // ---- Figure panels ----------------------------------------------------
     let horizon = report.end_time.max(base.end_time);
@@ -82,10 +86,12 @@ fn main() {
     );
     println!(
         "{}",
-        chart("fig 7(i)", "result tuples", horizon, &[
-            ("SteM", stems_out),
-            ("IndexJoin", base_out),
-        ])
+        chart(
+            "fig 7(i)",
+            "result tuples",
+            horizon,
+            &[("SteM", stems_out), ("IndexJoin", base_out),]
+        )
     );
     print!(
         "{}",
@@ -98,10 +104,12 @@ fn main() {
     );
     println!(
         "{}",
-        chart("fig 7(ii)", "index probes", horizon, &[
-            ("SteM", stems_probes),
-            ("IndexJoin", base_probes),
-        ])
+        chart(
+            "fig 7(ii)",
+            "index probes",
+            horizon,
+            &[("SteM", stems_probes), ("IndexJoin", base_probes),]
+        )
     );
 
     save_csv(
@@ -148,8 +156,7 @@ fn main() {
             to_secs(report.end_time),
             to_secs(base.end_time)
         ),
-        (report.end_time as f64 - base.end_time as f64).abs()
-            < 0.10 * base.end_time as f64,
+        (report.end_time as f64 - base.end_time as f64).abs() < 0.10 * base.end_time as f64,
     );
     finish(ok);
 }

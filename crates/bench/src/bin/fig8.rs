@@ -49,10 +49,8 @@ fn main() {
     // ---- Baselines ---------------------------------------------------------
     let r_table = Table3::r_table(&cfg);
     let t_table = Table3::t_table(&cfg);
-    let r_stream =
-        ArrivalStream::from_scan(&r_table, &ScanSpec::with_rate(cfg.q4_r_scan_tps));
-    let t_stream =
-        ArrivalStream::from_scan(&t_table, &ScanSpec::with_rate(cfg.q4_t_scan_tps));
+    let r_stream = ArrivalStream::from_scan(&r_table, &ScanSpec::with_rate(cfg.q4_r_scan_tps));
+    let t_stream = ArrivalStream::from_scan(&t_table, &ScanSpec::with_rate(cfg.q4_t_scan_tps));
 
     let ij = index_join(
         &r_stream,
@@ -96,19 +94,33 @@ fn main() {
                 &series,
             )
         );
-        println!("{}", chart(&format!("fig 8{panel}"), "results", horizon, &series));
+        println!(
+            "{}",
+            chart(&format!("fig 8{panel}"), "results", horizon, &series)
+        );
     }
 
     save_csv(
         "fig8_hybrid.csv",
         &hybrid.metrics.to_csv(
-            &["results", "index_probes", "am_probe_choices", "policy_drops"],
+            &[
+                "results",
+                "index_probes",
+                "am_probe_choices",
+                "policy_drops",
+            ],
             secs(220),
             110,
         ),
     );
-    save_csv("fig8_index_join.csv", &ij.metrics.to_csv(&["results"], secs(220), 110));
-    save_csv("fig8_hash_join.csv", &hj.metrics.to_csv(&["results"], secs(220), 110));
+    save_csv(
+        "fig8_index_join.csv",
+        &ij.metrics.to_csv(&["results"], secs(220), 110),
+    );
+    save_csv(
+        "fig8_hash_join.csv",
+        &hj.metrics.to_csv(&["results"], secs(220), 110),
+    );
 
     // Routing-fraction diagnostics: how the hybrid split bounced tuples.
     println!(
@@ -157,8 +169,7 @@ fn main() {
             to_secs(hybrid.end_time),
             to_secs(hj.end_time)
         ),
-        hybrid.end_time >= hj.end_time
-            && (hybrid.end_time as f64) <= 1.25 * hj.end_time as f64,
+        hybrid.end_time >= hj.end_time && (hybrid.end_time as f64) <= 1.25 * hj.end_time as f64,
     );
     // Paper: "the eddy keeps sending a small fraction of the R tuples to
     // probe into the T index throughout the processing to explore". R

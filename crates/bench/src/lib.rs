@@ -66,7 +66,10 @@ pub fn chart(title: &str, y_label: &str, horizon: Time, series: &[(&str, &Series
 /// Evaluate and print one qualitative claim from the paper. Returns the
 /// outcome so binaries can exit non-zero when a shape check fails.
 pub fn shape_check(claim: &str, ok: bool) -> bool {
-    println!("  SHAPE-CHECK [{}] {claim}", if ok { "PASS" } else { "FAIL" });
+    println!(
+        "  SHAPE-CHECK [{}] {claim}",
+        if ok { "PASS" } else { "FAIL" }
+    );
     ok
 }
 

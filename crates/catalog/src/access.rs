@@ -1,6 +1,6 @@
 //! Access-method descriptors.
 
-use stems_types::{StemsError, Result, Schema};
+use stems_types::{Result, Schema, StemsError};
 
 /// Identifier of an access method within the catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -113,7 +113,12 @@ mod tests {
     }
 
     /// Three tables; R gets a scan; S and T get whatever `s_ams`/`t_ams` say.
-    fn setup(s_scan: bool, s_index_on: Option<usize>, t_scan: bool, t_index_on: Option<usize>) -> Setup {
+    fn setup(
+        s_scan: bool,
+        s_index_on: Option<usize>,
+        t_scan: bool,
+        t_index_on: Option<usize>,
+    ) -> Setup {
         let mut c = Catalog::new();
         let schema = Schema::of(&[("k", ColumnType::Int), ("v", ColumnType::Int)]);
         let r = c.add_table(TableDef::new("R", schema.clone())).unwrap();
@@ -261,8 +266,14 @@ mod tests {
             QuerySpec::new(
                 &c,
                 vec![
-                    TableInstance { source: r, alias: "r".into() },
-                    TableInstance { source: s, alias: "s".into() },
+                    TableInstance {
+                        source: r,
+                        alias: "r".into(),
+                    },
+                    TableInstance {
+                        source: s,
+                        alias: "s".into(),
+                    },
                 ],
                 preds,
                 None,

@@ -181,8 +181,7 @@ impl JoinGraph {
         }
         // Connected iff exactly n-1 merges happened over n vertices.
         let root0 = find(&mut parent, 0);
-        edge_idxs.len() == self.n - 1
-            && (0..self.n).all(|v| find(&mut parent, v) == root0)
+        edge_idxs.len() == self.n - 1 && (0..self.n).all(|v| find(&mut parent, v) == root0)
     }
 }
 

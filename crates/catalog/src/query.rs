@@ -2,8 +2,8 @@
 
 use crate::{Catalog, JoinGraph, SourceId};
 use stems_types::{
-    ColRef, Operand, PredId, PredSet, Predicate, Result, StemsError, TableIdx, TableSet,
-    MAX_PREDS, MAX_TABLES,
+    ColRef, Operand, PredId, PredSet, Predicate, Result, StemsError, TableIdx, TableSet, MAX_PREDS,
+    MAX_TABLES,
 };
 
 /// One FROM-clause occurrence of a source table. Self-joins produce several
@@ -318,8 +318,14 @@ mod tests {
         assert!(QuerySpec::new(
             &c,
             vec![
-                TableInstance { source: r, alias: "t".into() },
-                TableInstance { source: s, alias: "T".into() },
+                TableInstance {
+                    source: r,
+                    alias: "t".into()
+                },
+                TableInstance {
+                    source: s,
+                    alias: "T".into()
+                },
             ],
             vec![],
             None,
@@ -328,7 +334,10 @@ mod tests {
         // column out of range
         assert!(QuerySpec::new(
             &c,
-            vec![TableInstance { source: r, alias: "r".into() }],
+            vec![TableInstance {
+                source: r,
+                alias: "r".into()
+            }],
             vec![Predicate::selection(
                 PredId(0),
                 ColRef::new(TableIdx(0), 9),
@@ -341,7 +350,10 @@ mod tests {
         // predicate id mismatch
         assert!(QuerySpec::new(
             &c,
-            vec![TableInstance { source: r, alias: "r".into() }],
+            vec![TableInstance {
+                source: r,
+                alias: "r".into()
+            }],
             vec![Predicate::selection(
                 PredId(3),
                 ColRef::new(TableIdx(0), 0),
@@ -354,7 +366,10 @@ mod tests {
         // unknown instance in predicate
         assert!(QuerySpec::new(
             &c,
-            vec![TableInstance { source: r, alias: "r".into() }],
+            vec![TableInstance {
+                source: r,
+                alias: "r".into()
+            }],
             vec![Predicate::selection(
                 PredId(0),
                 ColRef::new(TableIdx(4), 0),

@@ -33,11 +33,7 @@ pub fn execute(catalog: &Catalog, q: &QuerySpec) -> Vec<Tuple> {
         // intermediate size manageable for tests.
         acc = next
             .into_iter()
-            .filter(|tpl| {
-                q.predicates
-                    .iter()
-                    .all(|p| p.eval(tpl).unwrap_or(true))
-            })
+            .filter(|tpl| q.predicates.iter().all(|p| p.eval(tpl).unwrap_or(true)))
             .collect();
     }
     acc
@@ -49,12 +45,7 @@ pub fn project(catalog: &Catalog, q: &QuerySpec, tuple: &Tuple) -> Vec<Value> {
     match &q.projection {
         Some(cols) => cols
             .iter()
-            .map(|c| {
-                tuple
-                    .value(c.table, c.col)
-                    .cloned()
-                    .unwrap_or(Value::Null)
-            })
+            .map(|c| tuple.value(c.table, c.col).cloned().unwrap_or(Value::Null))
             .collect(),
         None => {
             let mut out = Vec::new();
@@ -62,12 +53,7 @@ pub fn project(catalog: &Catalog, q: &QuerySpec, tuple: &Tuple) -> Vec<Value> {
                 let t = TableIdx(i as u8);
                 let arity = catalog.table_expect(ti.source).schema.arity();
                 for col in 0..arity {
-                    out.push(
-                        tuple
-                            .value(t, col)
-                            .cloned()
-                            .unwrap_or(Value::Null),
-                    );
+                    out.push(tuple.value(t, col).cloned().unwrap_or(Value::Null));
                 }
             }
             out
@@ -210,10 +196,10 @@ mod tests {
             .iter()
             .map(|n| {
                 let id = c
-                    .add_table(TableDef::new(n, schema.clone()).with_rows(vec![
-                        vec![1.into()],
-                        vec![2.into()],
-                    ]))
+                    .add_table(
+                        TableDef::new(n, schema.clone())
+                            .with_rows(vec![vec![1.into()], vec![2.into()]]),
+                    )
                     .unwrap();
                 c.add_scan(id, ScanSpec::default()).unwrap();
                 id

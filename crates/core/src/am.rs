@@ -62,7 +62,8 @@ impl ScanAm {
 
     /// Time of the first emission.
     pub fn first_emit_time(&self) -> Time {
-        self.stalls.next_available(self.start_delay_us + self.gap_us)
+        self.stalls
+            .next_available(self.start_delay_us + self.gap_us)
     }
 
     /// Emit the next batch (one row as a singleton per instance, or the
@@ -185,12 +186,7 @@ impl IndexAm {
     /// Derive the bind values a probe tuple supplies for instance `t` of
     /// this source: for every bind column, an equi-join predicate from the
     /// tuple's span or a constant equality selection must cover it.
-    pub fn bind_values(
-        &self,
-        tuple: &Tuple,
-        t: TableIdx,
-        query: &QuerySpec,
-    ) -> Option<Vec<Value>> {
+    pub fn bind_values(&self, tuple: &Tuple, t: TableIdx, query: &QuerySpec) -> Option<Vec<Value>> {
         let linking: Vec<&stems_types::Predicate> = query
             .preds_linking(tuple.span(), t)
             .into_iter()
@@ -231,11 +227,7 @@ impl IndexAm {
         if self.pending.iter().any(|(k, _)| *k == key) {
             // Already queued; a prioritized duplicate promotes it.
             if prioritized {
-                if let Some(pos) = self
-                    .pending
-                    .iter()
-                    .position(|(k, p)| *k == key && !*p)
-                {
+                if let Some(pos) = self.pending.iter().position(|(k, p)| *k == key && !*p) {
                     let (k, _) = self.pending.remove(pos).expect("position valid");
                     self.pending.push_front((k, true));
                 }
@@ -274,7 +266,11 @@ impl IndexAm {
             .pending
             .iter()
             .position(|(_, p)| *p)
-            .or(if self.pending.is_empty() { None } else { Some(0) })?;
+            .or(if self.pending.is_empty() {
+                None
+            } else {
+                Some(0)
+            })?;
         let (key, _) = self.pending.remove(pos).expect("position valid");
         let (start, complete) = self.begin_service(key.clone(), now);
         Some((key, start, complete))
@@ -588,10 +584,7 @@ mod tests {
         assert_eq!(resp.len(), 1);
         assert!(resp[0].is_eot());
         // EOT encodes the probed binding so the SteM records coverage.
-        assert_eq!(
-            resp[0].components()[0].row.get(0),
-            Some(&Value::Int(77))
-        );
+        assert_eq!(resp[0].components()[0].row.get(0), Some(&Value::Int(77)));
     }
 
     #[test]

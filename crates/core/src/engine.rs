@@ -12,6 +12,19 @@
 //! per-operation virtual service times; index AMs additionally answer
 //! probes asynchronously with their configured latency. Termination is the
 //! natural emptiness of the event agenda — exactly the paper's condition.
+//!
+//! # Batched routing
+//!
+//! The default engine path routes [`TupleBatch`]es, not single tuples.
+//! Whenever a set of tuples re-enters the eddy together (a probe's
+//! concatenations, an index AM's response, a Grace release, an unpark
+//! wave), the eddy computes each tuple's legal candidate set — the Table 2
+//! constraint checks stay **per tuple** — and then groups tuples whose
+//! candidate sets are identical. Each group of up to
+//! [`ExecConfig::batch_size`] tuples pays *one* routing-policy decision,
+//! one envelope, and one pair of start/complete events, amortizing the
+//! per-tuple adaptivity overhead that tuple-at-a-time eddies suffer.
+//! `batch_size: 1` reproduces the scalar tuple-at-a-time engine exactly.
 
 use crate::am::IndexProbeOutcome;
 use crate::plan::{instantiate, Module, PlanLayout, PlanOptions};
@@ -24,7 +37,7 @@ use std::collections::VecDeque;
 use stems_catalog::{Catalog, QuerySpec};
 use stems_sim::{EventQueue, Metrics, SimRng, Time};
 use stems_storage::fxhash::FxHashSet;
-use stems_types::{Predicate, Result, StemsError, TableIdx, Timestamp, Tuple, Value};
+use stems_types::{Predicate, Result, StemsError, TableIdx, Timestamp, Tuple, TupleBatch, Value};
 
 /// Virtual service times of local (in-process) operations, in µs. These
 /// stand in for the CPU costs of the paper's Java modules; remote costs
@@ -69,6 +82,10 @@ pub struct ExecConfig {
     /// User-interest predicate (§4.1): matching tuples jump module queues
     /// and their results are counted separately.
     pub priority_pred: Option<Predicate>,
+    /// Maximum tuples routed per policy decision / module envelope. `1`
+    /// reproduces the scalar tuple-at-a-time engine; larger values
+    /// amortize routing overhead over same-destination tuples.
+    pub batch_size: usize,
     /// BoundedRepetition backstop.
     pub max_hops: u32,
     /// Simulation guards.
@@ -92,6 +109,7 @@ impl Default for ExecConfig {
             plan: PlanOptions::default(),
             probe_edges: None,
             priority_pred: None,
+            batch_size: 64,
             max_hops: 1_000_000,
             max_events: 200_000_000,
             max_time: None,
@@ -102,13 +120,16 @@ impl Default for ExecConfig {
     }
 }
 
-/// A tuple handed to a module's input queue.
+/// A batch of same-destination tuples handed to a module's input queue.
+/// `states` runs parallel to `batch`; all members were routed by one
+/// policy decision and are processed under one service envelope.
 #[derive(Debug)]
 struct Envelope {
-    tuple: Tuple,
-    state: TupleState,
+    batch: TupleBatch,
+    states: Vec<TupleState>,
     purpose: Purpose,
     clustered: bool,
+    prioritized: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,7 +162,7 @@ enum Event {
     /// A module may begin its next queued envelope.
     Start(usize),
     /// A module finished an envelope: deliver its emissions.
-    Complete(usize, Vec<Delivery>, Option<UnparkSignal>),
+    Complete(usize, Vec<Delivery>, Vec<UnparkSignal>),
     /// A scan emits its next row (or EOT).
     ScanEmit(usize),
     /// An index lookup entered service (fig-7(ii)'s probe counter).
@@ -167,6 +188,16 @@ struct ParkedTuple {
 struct ModuleRt {
     queue: VecDeque<Envelope>,
     busy: bool,
+}
+
+/// An open routing group: tuples sharing one legal candidate set, awaiting
+/// a single policy decision.
+struct RouteGroup {
+    actions: Vec<Action>,
+    batch: TupleBatch,
+    states: Vec<TupleState>,
+    clustered: bool,
+    prioritized: bool,
 }
 
 /// The eddy executor. Build one with [`EddyExecutor::build`], run it to
@@ -234,7 +265,8 @@ impl EddyExecutor {
         // Step 5: seed tuples to the scans.
         for &mid in exec.layout.scan_mids.clone().iter() {
             if let Module::ScanAm(scan) = &exec.modules[mid] {
-                exec.agenda.push(scan.first_emit_time(), Event::ScanEmit(mid));
+                exec.agenda
+                    .push(scan.first_emit_time(), Event::ScanEmit(mid));
             }
         }
         Ok(exec)
@@ -302,21 +334,21 @@ impl EddyExecutor {
         };
         self.rt[mid].busy = true;
         let (dur, deliveries, unpark) = self.process(mid, env);
-        self.agenda
-            .push(self.now + dur.max(1), Event::Complete(mid, deliveries, unpark));
+        self.agenda.push(
+            self.now + dur.max(1),
+            Event::Complete(mid, deliveries, unpark),
+        );
     }
 
-    fn on_complete(
-        &mut self,
-        mid: usize,
-        deliveries: Vec<Delivery>,
-        unpark: Option<UnparkSignal>,
-    ) {
+    fn on_complete(&mut self, mid: usize, deliveries: Vec<Delivery>, unparks: Vec<UnparkSignal>) {
         self.rt[mid].busy = false;
         if !self.rt[mid].queue.is_empty() {
             self.agenda.push(self.now, Event::Start(mid));
         }
-        if matches!(unpark, Some(UnparkSignal::AnyBuild(_))) {
+        if unparks
+            .iter()
+            .any(|u| matches!(u, UnparkSignal::AnyBuild(_)))
+        {
             // A build happened: sample total SteM memory (the fig-2
             // singleton-vs-intermediate storage comparison watches this).
             let total: usize = self
@@ -330,12 +362,12 @@ impl EddyExecutor {
             self.metrics
                 .observe("stem_bytes_total", self.now, total as f64);
         }
-        for d in deliveries {
-            self.accept(d.tuple, d.state, d.clustered);
+        self.route_deliveries(deliveries);
+        let mut woken = Vec::new();
+        for sig in unparks {
+            woken.append(&mut self.unpark(sig));
         }
-        if let Some(sig) = unpark {
-            self.unpark(sig);
-        }
+        self.route_deliveries(woken);
     }
 
     fn on_scan_emit(&mut self, mid: usize) {
@@ -346,12 +378,16 @@ impl EddyExecutor {
         if let Some(nt) = next {
             self.agenda.push(nt, Event::ScanEmit(mid));
         }
-        for t in tuples {
-            if !t.is_eot() {
-                self.metrics.bump("scanned", self.now, 1);
-            }
-            self.ingest(t, None);
-        }
+        let deliveries = tuples
+            .into_iter()
+            .map(|t| {
+                if !t.is_eot() {
+                    self.metrics.bump("scanned", self.now, 1);
+                }
+                self.ingest(t, None)
+            })
+            .collect();
+        self.route_deliveries(deliveries);
     }
 
     fn on_am_response(&mut self, mid: usize, key: Vec<Value>) {
@@ -373,20 +409,20 @@ impl EddyExecutor {
             self.agenda.push(complete, Event::AmResponse(mid, key2));
         }
         self.metrics.bump("am_responses", self.now, 1);
-        for t in tuples {
-            self.ingest(t, Some(mid));
-        }
+        // The whole response re-enters the eddy as one wave: its matches
+        // share a destination and route as a batch.
+        let deliveries = tuples
+            .into_iter()
+            .map(|t| self.ingest(t, Some(mid)))
+            .collect();
+        self.route_deliveries(deliveries);
     }
 
     // ------------------------------------------------------------------
     // Module processing (at service start)
     // ------------------------------------------------------------------
 
-    fn process(
-        &mut self,
-        mid: usize,
-        env: Envelope,
-    ) -> (u64, Vec<Delivery>, Option<UnparkSignal>) {
+    fn process(&mut self, mid: usize, env: Envelope) -> (u64, Vec<Delivery>, Vec<UnparkSignal>) {
         let mut module = std::mem::replace(&mut self.modules[mid], Module::Hole);
         let out = match (&mut module, env.purpose) {
             (Module::Stem(stem), Purpose::Build) => self.process_build(stem, env),
@@ -396,7 +432,7 @@ impl EddyExecutor {
             _ => {
                 self.violations
                     .push(format!("envelope {:?} routed to wrong module", env.purpose));
-                (1, Vec::new(), None)
+                (1, Vec::new(), Vec::new())
             }
         };
         self.modules[mid] = module;
@@ -407,189 +443,192 @@ impl EddyExecutor {
         &mut self,
         stem: &mut crate::stem::Stem,
         env: Envelope,
-    ) -> (u64, Vec<Delivery>, Option<UnparkSignal>) {
+    ) -> (u64, Vec<Delivery>, Vec<UnparkSignal>) {
         let table = stem.instance;
-        let is_eot = env.tuple.is_eot();
-        let eot_binds = if is_eot {
-            eot_bindings(&env.tuple.components()[0].row)
-        } else {
-            None
-        };
-        let next_ts = self.ts_counter + 1;
-        let result = stem.build(&env.tuple, &env.state, next_ts);
-        let dur = self.config.costs.stem_build_us;
-        match result {
-            BuildResult::Fresh(stamped) => {
-                self.ts_counter = next_ts;
-                self.observe_am_build(&env.state, true);
-                self.observe_stem_mem(stem);
-                (
-                    dur,
-                    vec![Delivery {
+        let dur = self.config.costs.stem_build_us * env.batch.len().max(1) as u64;
+        let mut ts = self.ts_counter;
+        let results = stem.build_batch(&env.batch, &env.states, &mut ts);
+        self.ts_counter = ts;
+        let mut deliveries = Vec::new();
+        let mut unparks = Vec::new();
+        for ((tuple, state), result) in env.batch.iter().zip(env.states).zip(results) {
+            match result {
+                BuildResult::Fresh(stamped) => {
+                    self.observe_am_build(&state, true);
+                    self.observe_stem_mem(stem);
+                    deliveries.push(Delivery {
                         tuple: stamped,
-                        state: env.state,
+                        state,
                         clustered: false,
-                    }],
-                    Some(UnparkSignal::AnyBuild(table)),
-                )
-            }
-            BuildResult::Deferred => {
-                self.ts_counter = next_ts;
-                self.observe_am_build(&env.state, true);
-                (dur, Vec::new(), Some(UnparkSignal::AnyBuild(table)))
-            }
-            BuildResult::Duplicate => {
-                self.observe_am_build(&env.state, false);
-                self.metrics.bump("duplicates_absorbed", self.now, 1);
-                (dur, Vec::new(), None)
-            }
-            BuildResult::Eot => {
-                let mut deliveries = Vec::new();
-                if stem.scan_complete() && stem.deferred_len() > 0 {
-                    // Grace mode: the build phase ended; release the
-                    // withheld bounce-backs clustered by partition.
-                    for (tuple, state) in stem.release_deferred() {
-                        deliveries.push(Delivery {
-                            tuple,
-                            state,
-                            clustered: true,
-                        });
-                    }
+                    });
+                    unparks.push(UnparkSignal::AnyBuild(table));
                 }
-                (
-                    dur,
-                    deliveries,
-                    Some(UnparkSignal::Eot {
+                BuildResult::Deferred => {
+                    self.observe_am_build(&state, true);
+                    unparks.push(UnparkSignal::AnyBuild(table));
+                }
+                BuildResult::Duplicate => {
+                    self.observe_am_build(&state, false);
+                    self.metrics.bump("duplicates_absorbed", self.now, 1);
+                }
+                BuildResult::Eot => {
+                    if stem.scan_complete() && stem.deferred_len() > 0 {
+                        // Grace mode: the build phase ended; release the
+                        // withheld bounce-backs clustered by partition.
+                        for (tuple, state) in stem.release_deferred() {
+                            deliveries.push(Delivery {
+                                tuple,
+                                state,
+                                clustered: true,
+                            });
+                        }
+                    }
+                    unparks.push(UnparkSignal::Eot {
                         table,
-                        bindings: eot_binds,
-                    }),
-                )
+                        bindings: eot_bindings(&tuple.components()[0].row),
+                    });
+                }
             }
         }
+        // Collapse redundant AnyBuild signals: one wake-up per batch is
+        // enough (parked tuples re-park if still not helped).
+        let mut seen_any_build = false;
+        unparks.retain(|u| match u {
+            UnparkSignal::AnyBuild(_) => {
+                let keep = !seen_any_build;
+                seen_any_build = true;
+                keep
+            }
+            UnparkSignal::Eot { .. } => true,
+        });
+        (dur, deliveries, unparks)
     }
 
     fn process_probe(
         &mut self,
         stem: &mut crate::stem::Stem,
         env: Envelope,
-    ) -> (u64, Vec<Delivery>, Option<UnparkSignal>) {
+    ) -> (u64, Vec<Delivery>, Vec<UnparkSignal>) {
         let table = stem.instance;
-        let reply = stem.probe(&env.tuple, &env.state, &self.query);
-        self.policy.feedback(&Feedback::StemProbe {
-            table,
-            emitted: reply.results.len(),
-        });
-        self.metrics.bump("stem_probes", self.now, 1);
+        let replies = stem.probe_batch(&env.batch, &env.states, &self.query);
+        let stem_version = router::stem_version(stem);
+        let n_probes = env.batch.len();
+        let clustered = env.clustered;
 
         let mut deliveries: Vec<Delivery> = Vec::new();
-        for (tuple, done) in reply.results {
-            // Track intermediate-result formation per span size — the
-            // §3.4 spanning-tree experiments watch these to see progress
-            // continue while a source is stalled.
-            self.metrics
-                .bump(&format!("span{}_formed", tuple.span().len()), self.now, 1);
-            let mut state = TupleState::for_result(done);
-            state.prioritized = env.state.prioritized || self.is_prioritized(&tuple);
-            deliveries.push(Delivery {
-                tuple,
-                state,
-                clustered: false,
+        for ((tuple, state), reply) in env.batch.into_iter().zip(env.states).zip(replies) {
+            self.policy.feedback(&Feedback::StemProbe {
+                table,
+                emitted: reply.results.len(),
             });
-        }
-
-        match reply.outcome {
-            ProbeOutcome::Consumed => {
-                self.metrics.bump("probes_consumed", self.now, 1);
-            }
-            ProbeOutcome::Bounced(need) => {
-                let mut state = env.state;
-                state.mark_probed(table);
-                state.last_match_ts = state.last_match_ts.max(reply.observed_ts);
-                state.last_probe_version = router::stem_version(stem);
-                match state.prior_prober {
-                    // Re-bounce of an existing prior prober for the same
-                    // table: once the need has weakened to Optional it
-                    // never strengthens back to Required.
-                    Some(pp) if pp.table == table => {
-                        let need = if pp.need == CompletionNeed::Optional {
-                            CompletionNeed::Optional
-                        } else {
-                            need
-                        };
-                        state.prior_prober = Some(PriorProber { table, need });
-                    }
-                    // A prior prober for a *different* table probed this
-                    // SteM: the router must never allow that.
-                    Some(pp) => {
-                        self.violations.push(format!(
-                            "ProbeCompletion violated: prior prober for {} probed {}",
-                            pp.table, table
-                        ));
-                    }
-                    None => {
-                        state.prior_prober = Some(PriorProber { table, need });
-                    }
-                }
-                self.metrics.bump("probes_bounced", self.now, 1);
+            self.metrics.bump("stem_probes", self.now, 1);
+            for (result, done) in reply.results {
+                // Track intermediate-result formation per span size — the
+                // §3.4 spanning-tree experiments watch these to see
+                // progress continue while a source is stalled.
+                self.metrics
+                    .bump(&format!("span{}_formed", result.span().len()), self.now, 1);
+                let mut rstate = TupleState::for_result(done);
+                rstate.prioritized = state.prioritized || self.is_prioritized(&result);
                 deliveries.push(Delivery {
-                    tuple: env.tuple,
-                    state,
+                    tuple: result,
+                    state: rstate,
                     clustered: false,
                 });
             }
+
+            match reply.outcome {
+                ProbeOutcome::Consumed => {
+                    self.metrics.bump("probes_consumed", self.now, 1);
+                }
+                ProbeOutcome::Bounced(need) => {
+                    let mut state = state;
+                    state.mark_probed(table);
+                    state.last_match_ts = state.last_match_ts.max(reply.observed_ts);
+                    state.last_probe_version = stem_version;
+                    match state.prior_prober {
+                        // Re-bounce of an existing prior prober for the
+                        // same table: once the need has weakened to
+                        // Optional it never strengthens back to Required.
+                        Some(pp) if pp.table == table => {
+                            let need = if pp.need == CompletionNeed::Optional {
+                                CompletionNeed::Optional
+                            } else {
+                                need
+                            };
+                            state.prior_prober = Some(PriorProber { table, need });
+                        }
+                        // A prior prober for a *different* table probed
+                        // this SteM: the router must never allow that.
+                        Some(pp) => {
+                            self.violations.push(format!(
+                                "ProbeCompletion violated: prior prober for {} probed {}",
+                                pp.table, table
+                            ));
+                        }
+                        None => {
+                            state.prior_prober = Some(PriorProber { table, need });
+                        }
+                    }
+                    self.metrics.bump("probes_bounced", self.now, 1);
+                    deliveries.push(Delivery {
+                        tuple,
+                        state,
+                        clustered: false,
+                    });
+                }
+            }
         }
 
-        let base = self.config.costs.stem_probe_us
+        let base = self.config.costs.stem_probe_us * n_probes.max(1) as u64
             + self.config.costs.per_match_us * deliveries.len() as u64;
-        let dur = if env.clustered {
+        let dur = if clustered {
             ((base as f64) * self.config.costs.clustered_probe_discount).max(1.0) as u64
         } else {
             base
         };
-        (dur, deliveries, None)
+        (dur, deliveries, Vec::new())
     }
 
     fn process_select(
         &mut self,
         sm: &crate::sm::Sm,
         env: Envelope,
-    ) -> (u64, Vec<Delivery>, Option<UnparkSignal>) {
-        let dur = self.config.costs.sm_us;
-        self.metrics.bump("sm_applied", self.now, 1);
-        match sm.apply(&env.tuple) {
-            Some(true) => {
-                self.policy.feedback(&Feedback::Selected {
-                    pred: sm.pred_id(),
-                    passed: true,
-                });
-                let mut state = env.state;
-                state.done.insert(sm.pred_id());
-                (
-                    dur,
-                    vec![Delivery {
-                        tuple: env.tuple,
+    ) -> (u64, Vec<Delivery>, Vec<UnparkSignal>) {
+        let dur = self.config.costs.sm_us * env.batch.len().max(1) as u64;
+        let verdicts = sm.apply_batch(&env.batch);
+        let mut deliveries = Vec::new();
+        for ((tuple, mut state), verdict) in env.batch.into_iter().zip(env.states).zip(verdicts) {
+            self.metrics.bump("sm_applied", self.now, 1);
+            match verdict {
+                Some(true) => {
+                    self.policy.feedback(&Feedback::Selected {
+                        pred: sm.pred_id(),
+                        passed: true,
+                    });
+                    state.done.insert(sm.pred_id());
+                    deliveries.push(Delivery {
+                        tuple,
                         state,
                         clustered: false,
-                    }],
-                    None,
-                )
-            }
-            Some(false) => {
-                self.policy.feedback(&Feedback::Selected {
-                    pred: sm.pred_id(),
-                    passed: false,
-                });
-                self.metrics.bump("filtered", self.now, 1);
-                (dur, Vec::new(), None)
-            }
-            None => {
-                self.violations.push(format!(
-                    "selection {} not evaluable on routed tuple",
-                    sm.describe()
-                ));
-                (dur, Vec::new(), None)
+                    });
+                }
+                Some(false) => {
+                    self.policy.feedback(&Feedback::Selected {
+                        pred: sm.pred_id(),
+                        passed: false,
+                    });
+                    self.metrics.bump("filtered", self.now, 1);
+                }
+                None => {
+                    self.violations.push(format!(
+                        "selection {} not evaluable on routed tuple",
+                        sm.describe()
+                    ));
+                }
             }
         }
+        (dur, deliveries, Vec::new())
     }
 
     fn process_am_probe(
@@ -598,55 +637,55 @@ impl EddyExecutor {
         am: &mut crate::am::IndexAm,
         env: Envelope,
         t: TableIdx,
-    ) -> (u64, Vec<Delivery>, Option<UnparkSignal>) {
-        let (outcome, key) = am.probe(
-            &env.tuple,
-            t,
-            &self.query,
-            self.now,
-            env.state.prioritized,
-        );
-        match outcome {
-            IndexProbeOutcome::Scheduled { start, complete } => {
-                self.agenda.push(start, Event::AmIssue(mid));
-                self.agenda
-                    .push(complete, Event::AmResponse(mid, key.expect("scheduled key")));
+    ) -> (u64, Vec<Delivery>, Vec<UnparkSignal>) {
+        let dur = self.config.costs.am_accept_us * env.batch.len().max(1) as u64;
+        let mut deliveries = Vec::new();
+        for (tuple, mut state) in env.batch.into_iter().zip(env.states) {
+            let (outcome, key) = am.probe(&tuple, t, &self.query, self.now, state.prioritized);
+            match outcome {
+                IndexProbeOutcome::Scheduled { start, complete } => {
+                    self.agenda.push(start, Event::AmIssue(mid));
+                    self.agenda.push(
+                        complete,
+                        Event::AmResponse(mid, key.expect("scheduled key")),
+                    );
+                }
+                IndexProbeOutcome::Queued => {
+                    self.metrics.bump("probes_queued", self.now, 1);
+                }
+                IndexProbeOutcome::Coalesced => {
+                    self.metrics.bump("probes_coalesced", self.now, 1);
+                }
+                IndexProbeOutcome::Unbindable => {
+                    self.violations
+                        .push("router sent an unbindable probe to an index AM".into());
+                }
             }
-            IndexProbeOutcome::Queued => {
-                self.metrics.bump("probes_queued", self.now, 1);
-            }
-            IndexProbeOutcome::Coalesced => {
-                self.metrics.bump("probes_coalesced", self.now, 1);
-            }
-            IndexProbeOutcome::Unbindable => {
-                self.violations
-                    .push("router sent an unbindable probe to an index AM".into());
-            }
-        }
-        // The AM asynchronously bounces back the probe tuple (Table 1).
-        let mut state = env.state;
-        state.mark_am_probed(t);
-        (
-            self.config.costs.am_accept_us,
-            vec![Delivery {
-                tuple: env.tuple,
+            // The AM asynchronously bounces back each probe tuple (Table 1).
+            state.mark_am_probed(t);
+            deliveries.push(Delivery {
+                tuple,
                 state,
                 clustered: false,
-            }],
-            None,
-        )
+            });
+        }
+        (dur, deliveries, Vec::new())
     }
 
     // ------------------------------------------------------------------
     // The eddy: ingestion, routing, output, parking
     // ------------------------------------------------------------------
 
-    /// A singleton enters the dataflow from an AM.
-    fn ingest(&mut self, tuple: Tuple, origin_am: Option<usize>) {
+    /// Wrap a singleton entering the dataflow from an AM.
+    fn ingest(&mut self, tuple: Tuple, origin_am: Option<usize>) -> Delivery {
         let mut state = TupleState::new();
         state.origin_am = origin_am;
         state.prioritized = self.is_prioritized(&tuple);
-        self.accept(tuple, state, false);
+        Delivery {
+            tuple,
+            state,
+            clustered: false,
+        }
     }
 
     fn is_prioritized(&self, tuple: &Tuple) -> bool {
@@ -656,122 +695,190 @@ impl EddyExecutor {
             .is_some_and(|p| p.eval(tuple) == Some(true))
     }
 
-    /// Route one tuple: output, park, retire, or enqueue to a module.
-    fn accept(&mut self, tuple: Tuple, mut state: TupleState, clustered: bool) {
-        state.hops += 1;
-        if state.hops > self.config.max_hops {
-            self.metrics.bump("hops_exceeded", self.now, 1);
-            self.violations
-                .push("BoundedRepetition backstop hit (max_hops)".into());
-            return;
-        }
-
-        if tuple.is_eot() {
-            let t = tuple.components()[0].table;
-            if let Some(mid) = self.layout.stem_mid[t.as_usize()] {
-                self.enqueue(mid, Envelope {
-                    tuple,
-                    state,
-                    purpose: Purpose::Build,
-                    clustered: false,
-                });
+    /// Route a wave of tuples re-entering the eddy together.
+    ///
+    /// Per tuple (constraint side, paper Table 2): hop accounting, output
+    /// detection, candidate computation, parking and retirement. Tuples
+    /// whose legal candidate sets are identical are then grouped, and each
+    /// group of up to `batch_size` tuples is routed by **one** policy
+    /// decision into **one** module envelope — the batching that amortizes
+    /// per-tuple adaptivity overhead. With `batch_size == 1` every group
+    /// closes immediately and this is exactly the scalar routing loop.
+    fn route_deliveries(&mut self, deliveries: Vec<Delivery>) {
+        let cap = self.config.batch_size.max(1);
+        let mut groups: Vec<RouteGroup> = Vec::new();
+        for d in deliveries {
+            let Delivery {
+                tuple,
+                mut state,
+                clustered,
+            } = d;
+            state.hops += 1;
+            if state.hops > self.config.max_hops {
+                self.metrics.bump("hops_exceeded", self.now, 1);
+                self.violations
+                    .push("BoundedRepetition backstop hit (max_hops)".into());
+                continue;
             }
-            return;
-        }
 
-        if tuple.span() == self.query.full_span() && state.done.is_superset_of(self.query.all_preds())
-        {
-            self.output(tuple, &state);
-            return;
-        }
+            let acts: Vec<Action> = if tuple.is_eot() {
+                // EOTs go straight to their table's SteM; they join the
+                // same build group as sibling data rows so arrival order
+                // into the SteM is preserved.
+                let t = tuple.components()[0].table;
+                match self.layout.stem_mid[t.as_usize()] {
+                    Some(mid) => vec![Action::Build { mid, table: t }],
+                    None => continue,
+                }
+            } else if tuple.span() == self.query.full_span()
+                && state.done.is_superset_of(self.query.all_preds())
+            {
+                self.output(tuple, &state);
+                continue;
+            } else {
+                match router::candidates(
+                    &self.modules,
+                    &self.layout,
+                    &self.query,
+                    &tuple,
+                    &state,
+                    self.config.probe_edges.as_deref(),
+                ) {
+                    Err(NoCandidates::Retire) => {
+                        self.metrics.bump("retired", self.now, 1);
+                        self.record(crate::report::TraceKind::Retire, &tuple);
+                        continue;
+                    }
+                    Err(NoCandidates::Park { table }) => {
+                        self.record(crate::report::TraceKind::Park { table }, &tuple);
+                        self.park(tuple, state, table);
+                        continue;
+                    }
+                    Ok(acts) => acts,
+                }
+            };
 
-        match router::candidates(
-            &self.modules,
-            &self.layout,
-            &self.query,
-            &tuple,
-            &state,
-            self.config.probe_edges.as_deref(),
-        ) {
-            Err(NoCandidates::Retire) => {
-                self.metrics.bump("retired", self.now, 1);
-                self.record(crate::report::TraceKind::Retire, &tuple);
+            // Find the open group with the same candidate signature, or
+            // open a new one. Signature equality is what lets one policy
+            // decision stand for every member.
+            let prio = state.prioritized;
+            match groups
+                .iter_mut()
+                .find(|g| g.actions == acts && g.clustered == clustered && g.prioritized == prio)
+            {
+                Some(g) => {
+                    g.batch.push(tuple);
+                    g.states.push(state);
+                }
+                None => groups.push(RouteGroup {
+                    actions: acts,
+                    batch: TupleBatch::single(tuple),
+                    states: vec![state],
+                    clustered,
+                    prioritized: prio,
+                }),
             }
-            Err(NoCandidates::Park { table }) => {
-                self.record(crate::report::TraceKind::Park { table }, &tuple);
-                self.park(tuple, state, table);
+            // A full group routes immediately (with cap 1 this degenerates
+            // to the scalar per-tuple loop, preserving its decision order
+            // and queue-backlog hints exactly).
+            if let Some(i) = groups.iter().position(|g| g.batch.len() >= cap) {
+                let g = groups.remove(i);
+                self.route_group(g);
             }
-            Ok(acts) => {
-                let pairs: Vec<(Action, Hint)> = acts
-                    .into_iter()
-                    .map(|a| {
-                        let h = self.hint_for(&a);
-                        (a, h)
-                    })
-                    .collect();
-                let idx = if pairs.len() == 1 {
-                    0
-                } else {
-                    self.policy.choose(&tuple, &state, &pairs, &mut self.rng)
-                };
-                let (action, _) = pairs[idx];
-                if self.config.trace {
-                    self.record(
-                        crate::report::TraceKind::Route {
-                            action: action.kind(),
-                            table: match action {
-                                Action::Build { table, .. }
-                                | Action::ProbeStem { table, .. }
-                                | Action::ProbeAm { table, .. } => Some(table),
-                                _ => None,
-                            },
+        }
+        for g in groups {
+            self.route_group(g);
+        }
+    }
+
+    /// Route one signature group: a single policy decision, per-tuple
+    /// constraint verification, one envelope.
+    fn route_group(&mut self, group: RouteGroup) {
+        let RouteGroup {
+            actions,
+            batch,
+            states,
+            clustered,
+            prioritized,
+        } = group;
+        let pairs: Vec<(Action, Hint)> = actions
+            .into_iter()
+            .map(|a| {
+                let h = self.hint_for(&a);
+                (a, h)
+            })
+            .collect();
+        let idx = if pairs.len() == 1 {
+            0
+        } else {
+            self.policy
+                .choose_batch(&batch, &states[0], &pairs, &mut self.rng)
+        };
+        let (action, _) = pairs[idx];
+        if self.config.trace {
+            for tuple in batch.iter().filter(|t| !t.is_eot()) {
+                self.record(
+                    crate::report::TraceKind::Route {
+                        action: action.kind(),
+                        table: match action {
+                            Action::Build { table, .. }
+                            | Action::ProbeStem { table, .. }
+                            | Action::ProbeAm { table, .. } => Some(table),
+                            _ => None,
                         },
-                        &tuple,
-                    );
-                }
-                if self.config.check_constraints {
-                    self.check_choice(&tuple, &state, &action);
-                }
-                match action {
-                    Action::Drop => {
-                        self.metrics.bump("policy_drops", self.now, 1);
-                    }
-                    Action::Build { mid, .. } => self.enqueue(mid, Envelope {
-                        tuple,
-                        state,
-                        purpose: Purpose::Build,
-                        clustered,
-                    }),
-                    Action::ProbeStem { mid, .. } => self.enqueue(mid, Envelope {
-                        tuple,
-                        state,
-                        purpose: Purpose::Probe,
-                        clustered,
-                    }),
-                    Action::Select { mid, .. } => self.enqueue(mid, Envelope {
-                        tuple,
-                        state,
-                        purpose: Purpose::Select,
-                        clustered,
-                    }),
-                    Action::ProbeAm { mid, table } => {
-                        self.metrics.bump("am_probe_choices", self.now, 1);
-                        self.enqueue(mid, Envelope {
-                            tuple,
-                            state,
-                            purpose: Purpose::AmProbe(table),
-                            clustered,
-                        })
-                    }
+                    },
+                    tuple,
+                );
+            }
+        }
+        if self.config.check_constraints {
+            // Constraints are per tuple: every member is verified against
+            // the chosen action, not just a representative.
+            for (tuple, state) in batch.iter().zip(&states) {
+                if !tuple.is_eot() {
+                    self.check_choice(tuple, state, &action);
                 }
             }
         }
+        let purpose = match action {
+            Action::Drop => {
+                self.metrics
+                    .bump("policy_drops", self.now, batch.len() as u64);
+                return;
+            }
+            Action::Build { .. } => Purpose::Build,
+            Action::ProbeStem { .. } => Purpose::Probe,
+            Action::Select { .. } => Purpose::Select,
+            Action::ProbeAm { table, .. } => {
+                self.metrics
+                    .bump("am_probe_choices", self.now, batch.len() as u64);
+                Purpose::AmProbe(table)
+            }
+        };
+        let mid = match action {
+            Action::Build { mid, .. }
+            | Action::ProbeStem { mid, .. }
+            | Action::Select { mid, .. }
+            | Action::ProbeAm { mid, .. } => mid,
+            Action::Drop => unreachable!("drop handled above"),
+        };
+        self.metrics.bump("route_batches", self.now, 1);
+        self.enqueue(
+            mid,
+            Envelope {
+                batch,
+                states,
+                purpose,
+                clustered,
+                prioritized,
+            },
+        );
     }
 
     fn enqueue(&mut self, mid: usize, env: Envelope) {
         // §4.1: prioritized tuples jump the queue so their partial results
         // surface sooner.
-        if env.state.prioritized {
+        if env.prioritized {
             self.rt[mid].queue.push_front(env);
         } else {
             self.rt[mid].queue.push_back(env);
@@ -825,7 +932,9 @@ impl EddyExecutor {
         });
     }
 
-    fn unpark(&mut self, sig: UnparkSignal) {
+    /// Wake parked tuples matched by the signal; the caller routes the
+    /// returned wave (batched with any siblings).
+    fn unpark(&mut self, sig: UnparkSignal) -> Vec<Delivery> {
         let woken: Vec<ParkedTuple> = match &sig {
             UnparkSignal::AnyBuild(t) => {
                 let mut woken = Vec::new();
@@ -848,9 +957,7 @@ impl EddyExecutor {
                         && match (&p.kind, bindings) {
                             (ParkKind::AnyBuild, _) => true,
                             (ParkKind::Coverage(_), None) => true,
-                            (ParkKind::Coverage(pb), Some(eb)) => {
-                                eb.iter().all(|b| pb.contains(b))
-                            }
+                            (ParkKind::Coverage(pb), Some(eb)) => eb.iter().all(|b| pb.contains(b)),
                         };
                     if wake {
                         woken.push(p);
@@ -862,10 +969,17 @@ impl EddyExecutor {
                 woken
             }
         };
-        for p in woken {
-            self.metrics.bump("unparked", self.now, 1);
-            self.accept(p.tuple, p.state, false);
-        }
+        woken
+            .into_iter()
+            .map(|p| {
+                self.metrics.bump("unparked", self.now, 1);
+                Delivery {
+                    tuple: p.tuple,
+                    state: p.state,
+                    clustered: false,
+                }
+            })
+            .collect()
     }
 
     /// Rough cost estimate per candidate action — queue backlog plus one
@@ -873,9 +987,7 @@ impl EddyExecutor {
     fn hint_for(&self, a: &Action) -> Hint {
         let c = &self.config.costs;
         let est = match a {
-            Action::Build { mid, .. } => {
-                c.stem_build_us * (1 + self.rt[*mid].queue.len() as u64)
-            }
+            Action::Build { mid, .. } => c.stem_build_us * (1 + self.rt[*mid].queue.len() as u64),
             Action::ProbeStem { mid, .. } => {
                 c.stem_probe_us * (1 + self.rt[*mid].queue.len() as u64)
             }
@@ -911,18 +1023,17 @@ impl EddyExecutor {
         if let Some(pp) = state.prior_prober {
             match action {
                 Action::ProbeStem { table, .. } | Action::ProbeAm { table, .. }
-                    if *table != pp.table => {
-                        self.violations.push(format!(
-                            "ProbeCompletion violated: {tuple} bound to {} routed to {table}",
-                            pp.table
-                        ));
-                    }
-                Action::Drop
-                    if state.completion_required() => {
-                        self.violations.push(format!(
-                            "required prior prober {tuple} dropped by policy"
-                        ));
-                    }
+                    if *table != pp.table =>
+                {
+                    self.violations.push(format!(
+                        "ProbeCompletion violated: {tuple} bound to {} routed to {table}",
+                        pp.table
+                    ));
+                }
+                Action::Drop if state.completion_required() => {
+                    self.violations
+                        .push(format!("required prior prober {tuple} dropped by policy"));
+                }
                 _ => {}
             }
         }

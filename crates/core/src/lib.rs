@@ -43,6 +43,54 @@
 //! absorption and the §3.3/§4.1 index-AM rules) and **TimeStamp** (§3.1)
 //! internally — invisible to the routing policy, exactly as the paper
 //! prescribes.
+//!
+//! # Workspace layout
+//!
+//! This crate sits at the top of the `stems` cargo workspace:
+//!
+//! ```text
+//! stems-types    values, rows, tuples, TupleBatch, predicates
+//!    ↑
+//! stems-storage  SteM dictionary backends (batch insert/probe)
+//! stems-sim      discrete-event kernel, seeded RNG, metrics
+//! stems-catalog  tables, access methods, queries, reference executor
+//!    ↑
+//! stems-core     ← this crate: SteMs, AMs, SMs, eddy, router, policies
+//!    ↑
+//! stems-sql      SQL front end      stems-baseline  classical operators
+//! stems-datagen  synthetic sources  stems-bench     figures & benches
+//! ```
+//!
+//! The root `stems` package re-exports everything (`stems::prelude`).
+//!
+//! # Batched routing (the default engine path)
+//!
+//! The paper routes tuples one at a time; every hop pays a routing-policy
+//! decision, a constraint check and a scheduler event — the per-tuple
+//! adaptivity overhead that makes tuple-at-a-time eddies expensive at
+//! high rates. The engine here amortizes that cost over
+//! [`stems_types::TupleBatch`]es:
+//!
+//! 1. Tuples re-entering the eddy together (a probe's concatenations, an
+//!    index AM's response wave, a Grace clustered release, an unpark
+//!    wave) have their legal candidate sets computed **per tuple** by
+//!    [`router::candidates`] — the Table 2 constraints are never relaxed.
+//! 2. Tuples whose candidate sets are *identical* are grouped, up to
+//!    [`ExecConfig::batch_size`] per group.
+//! 3. Each group is routed by **one**
+//!    [`policy::RoutingPolicy::choose_batch`] call (default: delegate to
+//!    the scalar `choose` on a representative member) into **one**
+//!    envelope, serviced by the destination module in bulk:
+//!    [`stem::Stem::build_batch`] / [`stem::Stem::probe_batch`] amortize
+//!    dictionary maintenance through the storage layer's
+//!    `insert_batch` / `lookup_eq_batch`, and [`sm::Sm::apply_batch`]
+//!    filters whole batches.
+//!
+//! `batch_size: 1` degenerates to exactly the scalar engine (same
+//! decisions, same event counts); `tests/prop_batch_equivalence.rs`
+//! asserts result-multiset equality between the two paths on randomized
+//! SPJ workloads, and `bench_batch` records the throughput win in
+//! `BENCH_1.json`.
 
 pub mod am;
 pub mod engine;

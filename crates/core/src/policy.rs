@@ -22,7 +22,7 @@
 use crate::router::Action;
 use stems_sim::{SimRng, Time};
 use stems_storage::fxhash::FxHashMap;
-use stems_types::{TableIdx, Tuple};
+use stems_types::{TableIdx, Tuple, TupleBatch};
 
 use crate::tuple_state::TupleState;
 
@@ -41,7 +41,10 @@ pub enum Feedback {
     /// A SteM probe finished: how many concatenations were emitted.
     StemProbe { table: TableIdx, emitted: usize },
     /// A selection was applied.
-    Selected { pred: stems_types::PredId, passed: bool },
+    Selected {
+        pred: stems_types::PredId,
+        passed: bool,
+    },
     /// A row originating from index AM `mid` built into a SteM: was it new
     /// (fresh) or absorbed as a duplicate? Freshness decays as the scan
     /// fills the SteM — the hybridization signal.
@@ -57,6 +60,29 @@ pub trait RoutingPolicy: Send {
         actions: &[(Action, Hint)],
         rng: &mut SimRng,
     ) -> usize;
+
+    /// Pick one action for a whole batch of tuples sharing the same legal
+    /// candidate set — the batched engine's hot path. One decision is
+    /// amortized over every member, which is what makes per-tuple
+    /// adaptivity affordable at high input rates.
+    ///
+    /// The default falls back to the scalar [`RoutingPolicy::choose`] on
+    /// the batch's first tuple (all members face identical candidates, so
+    /// any member is a valid representative); `state` is that tuple's
+    /// state. Policies that want batch-size-aware scoring override this.
+    fn choose_batch(
+        &mut self,
+        batch: &TupleBatch,
+        state: &TupleState,
+        actions: &[(Action, Hint)],
+        rng: &mut SimRng,
+    ) -> usize {
+        let rep = batch
+            .as_slice()
+            .first()
+            .expect("choose_batch on empty batch");
+        self.choose(rep, state, actions, rng)
+    }
 
     /// Observe an execution event (default: ignore).
     fn feedback(&mut self, _fb: &Feedback) {}
@@ -163,9 +189,7 @@ impl LotteryPolicy {
     fn weight(&self, a: &Action) -> f64 {
         match a {
             Action::Build { .. } => return 1e9, // builds are mandatory-ish
-            Action::ProbeStem { table, .. } => {
-                *self.stem_tickets.get(table).unwrap_or(&1.0)
-            }
+            Action::ProbeStem { table, .. } => *self.stem_tickets.get(table).unwrap_or(&1.0),
             Action::Select { pred, .. } => *self.sm_tickets.get(pred).unwrap_or(&1.0),
             Action::ProbeAm { .. } => 1.0,
             Action::Drop => 0.5,
@@ -278,11 +302,7 @@ impl BenefitCostPolicy {
         match a {
             Action::Build { .. } => 1e12, // BuildFirst: effectively mandatory
             Action::ProbeStem { table, .. } => {
-                let y = self
-                    .stem_yield
-                    .get(table)
-                    .map(|e| e.value)
-                    .unwrap_or(1.0);
+                let y = self.stem_yield.get(table).map(|e| e.value).unwrap_or(1.0);
                 (y + 0.05) / secs
             }
             Action::Select { pred, .. } => {
@@ -383,7 +403,12 @@ mod tests {
                 h(20),
             ),
         ];
-        let i = p.choose(&dummy_tuple(), &TupleState::new(), &acts, &mut SimRng::new(1));
+        let i = p.choose(
+            &dummy_tuple(),
+            &TupleState::new(),
+            &acts,
+            &mut SimRng::new(1),
+        );
         assert!(matches!(acts[i].0, Action::Select { .. }));
     }
 
@@ -408,7 +433,12 @@ mod tests {
                 h(50),
             ),
         ];
-        let i = p.choose(&dummy_tuple(), &TupleState::new(), &acts, &mut SimRng::new(1));
+        let i = p.choose(
+            &dummy_tuple(),
+            &TupleState::new(),
+            &acts,
+            &mut SimRng::new(1),
+        );
         assert!(matches!(
             acts[i].0,
             Action::ProbeStem {
@@ -451,7 +481,13 @@ mod tests {
         let wins: usize = (0..1000)
             .filter(|_| {
                 let i = p.choose(&dummy_tuple(), &TupleState::new(), &acts, &mut rng);
-                matches!(acts[i].0, Action::ProbeStem { table: TableIdx(1), .. })
+                matches!(
+                    acts[i].0,
+                    Action::ProbeStem {
+                        table: TableIdx(1),
+                        ..
+                    }
+                )
             })
             .count();
         assert!(wins > 800, "productive stem won only {wins}/1000");
@@ -523,8 +559,19 @@ mod tests {
                 h(100_000),
             ),
         ];
-        let i = p.choose(&dummy_tuple(), &TupleState::new(), &acts, &mut SimRng::new(3));
-        assert!(matches!(acts[i].0, Action::ProbeStem { table: TableIdx(1), .. }));
+        let i = p.choose(
+            &dummy_tuple(),
+            &TupleState::new(),
+            &acts,
+            &mut SimRng::new(3),
+        );
+        assert!(matches!(
+            acts[i].0,
+            Action::ProbeStem {
+                table: TableIdx(1),
+                ..
+            }
+        ));
     }
 
     #[test]

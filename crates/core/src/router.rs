@@ -236,12 +236,7 @@ mod tests {
     }
 
     fn plan(c: &Catalog, q: &QuerySpec) -> (Vec<Module>, PlanLayout) {
-        instantiate(
-            c,
-            q,
-            &PlanOptions::default(),
-        )
-        .unwrap()
+        instantiate(c, q, &PlanOptions::default()).unwrap()
     }
 
     fn r_tuple(key: i64, a: i64) -> Tuple {
@@ -254,7 +249,13 @@ mod tests {
         let (m, l) = plan(&c, &q);
         let acts = candidates(&m, &l, &q, &r_tuple(1, 10), &TupleState::new(), None).unwrap();
         assert_eq!(acts.len(), 1);
-        assert!(matches!(acts[0], Action::Build { table: TableIdx(0), .. }));
+        assert!(matches!(
+            acts[0],
+            Action::Build {
+                table: TableIdx(0),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -297,7 +298,13 @@ mod tests {
         });
         let acts = candidates(&m, &l, &q, &r, &st, None).unwrap();
         assert_eq!(acts.len(), 1);
-        assert!(matches!(acts[0], Action::ProbeAm { table: TableIdx(1), .. }));
+        assert!(matches!(
+            acts[0],
+            Action::ProbeAm {
+                table: TableIdx(1),
+                ..
+            }
+        ));
         assert!(!acts.contains(&Action::Drop));
         // After probing the AM (and with the stem unchanged): park.
         st.mark_am_probed(TableIdx(1));
@@ -323,9 +330,13 @@ mod tests {
         assert!(acts.contains(&Action::Drop));
         assert!(acts.iter().any(|a| matches!(a, Action::ProbeAm { .. })));
         // ProbeCompletion: no other SteM may be probed.
-        assert!(!acts
-            .iter()
-            .any(|a| matches!(a, Action::ProbeStem { table: TableIdx(0), .. })));
+        assert!(!acts.iter().any(|a| matches!(
+            a,
+            Action::ProbeStem {
+                table: TableIdx(0),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -357,7 +368,13 @@ mod tests {
             );
         }
         let acts = candidates(&m, &l, &q, &r, &st, None).unwrap();
-        assert!(matches!(acts[0], Action::ProbeStem { table: TableIdx(1), .. }));
+        assert!(matches!(
+            acts[0],
+            Action::ProbeStem {
+                table: TableIdx(1),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -406,8 +423,8 @@ mod tests {
         )
         .unwrap();
         let (m, l) = plan(&c, &q);
-        let a = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1)])
-            .with_timestamp(TableIdx(0), 1);
+        let a =
+            Tuple::singleton_of(TableIdx(0), vec![Value::Int(1)]).with_timestamp(TableIdx(0), 1);
         // Unrestricted: both SteM_B and SteM_C are candidates.
         let acts = candidates(&m, &l, &q, &a, &TupleState::new(), None).unwrap();
         assert_eq!(acts.len(), 2);
@@ -415,7 +432,13 @@ mod tests {
         let tree = vec![(TableIdx(0), TableIdx(1)), (TableIdx(1), TableIdx(2))];
         let acts = candidates(&m, &l, &q, &a, &TupleState::new(), Some(&tree)).unwrap();
         assert_eq!(acts.len(), 1);
-        assert!(matches!(acts[0], Action::ProbeStem { table: TableIdx(1), .. }));
+        assert!(matches!(
+            acts[0],
+            Action::ProbeStem {
+                table: TableIdx(1),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -425,8 +448,12 @@ mod tests {
         let (m, l) = plan(&c, &q);
         let r = r_tuple(1, 10).with_timestamp(TableIdx(0), 1);
         let acts = candidates(&m, &l, &q, &r, &TupleState::new(), None).unwrap();
-        assert!(acts
-            .iter()
-            .any(|a| matches!(a, Action::ProbeStem { table: TableIdx(1), .. })));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::ProbeStem {
+                table: TableIdx(1),
+                ..
+            }
+        )));
     }
 }

@@ -6,7 +6,7 @@
 //! if the tuple passes the predicate, the SM marks this fact in the tuple's
 //! TupleState."
 
-use stems_types::{PredId, Predicate, Tuple};
+use stems_types::{PredId, Predicate, Tuple, TupleBatch};
 
 /// A selection module wrapping one predicate.
 #[derive(Debug, Clone)]
@@ -29,6 +29,15 @@ impl Sm {
     /// tuple's span (router error; treated as a drop in release builds).
     pub fn apply(&self, tuple: &Tuple) -> Option<bool> {
         self.pred.eval(tuple)
+    }
+
+    /// Apply the predicate to every tuple of a batch. One verdict per
+    /// member, in batch order. The predicate evaluation itself is still
+    /// row-at-a-time (vectorized predicate kernels are a planned
+    /// follow-on); the batched engine path amortizes the envelope, event
+    /// and routing-decision overhead around this call.
+    pub fn apply_batch(&self, batch: &TupleBatch) -> Vec<Option<bool>> {
+        batch.iter().map(|t| self.apply(t)).collect()
     }
 
     /// Observed selectivity helpers are kept by the policy, not here; the

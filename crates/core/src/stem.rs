@@ -21,7 +21,9 @@ use std::sync::Arc;
 use stems_catalog::{QuerySpec, SourceId};
 use stems_storage::fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 use stems_storage::{index_key, DictStore, RowSet, StoreKind};
-use stems_types::{PredSet, Row, TableIdx, Timestamp, Tuple, Value, UNBUILT_TS};
+use stems_types::{
+    PredSet, Row, TableIdx, TableSet, Timestamp, Tuple, TupleBatch, Value, UNBUILT_TS,
+};
 
 /// Configuration of one SteM.
 #[derive(Debug, Clone)]
@@ -208,6 +210,46 @@ impl Stem {
     /// caller-supplied next global timestamp; it is consumed only on a
     /// fresh insert.
     pub fn build(&mut self, tuple: &Tuple, state: &TupleState, ts: Timestamp) -> BuildResult {
+        let mut counter = ts.saturating_sub(1);
+        let mut pending = Vec::new();
+        let result = self.build_inner(tuple, state, &mut counter, &mut pending);
+        self.store.insert_batch(pending);
+        self.apply_eviction();
+        result
+    }
+
+    /// Build a whole batch, consuming timestamps from `ts_counter` as
+    /// fresh inserts happen. Dedup, timestamping and bounce decisions stay
+    /// per tuple (intra-batch duplicates are absorbed exactly like
+    /// cross-batch ones); the dictionary insert is amortized through
+    /// [`DictStore::insert_batch`] and eviction runs once per batch.
+    pub fn build_batch(
+        &mut self,
+        batch: &TupleBatch,
+        states: &[TupleState],
+        ts_counter: &mut Timestamp,
+    ) -> Vec<BuildResult> {
+        debug_assert_eq!(batch.len(), states.len());
+        let mut pending = Vec::with_capacity(batch.len());
+        let out = batch
+            .iter()
+            .zip(states)
+            .map(|(tuple, state)| self.build_inner(tuple, state, ts_counter, &mut pending))
+            .collect();
+        self.store.insert_batch(pending);
+        self.apply_eviction();
+        out
+    }
+
+    /// Everything `build` does except the dictionary insert (deferred to
+    /// the caller so batches go through one `insert_batch`) and eviction.
+    fn build_inner(
+        &mut self,
+        tuple: &Tuple,
+        state: &TupleState,
+        ts_counter: &mut Timestamp,
+        pending: &mut Vec<Arc<Row>>,
+    ) -> BuildResult {
         debug_assert!(tuple.is_singleton(), "SteMs store singleton tuples only");
         let comp = &tuple.components()[0];
         debug_assert_eq!(comp.table, self.instance, "build routed to wrong SteM");
@@ -227,11 +269,35 @@ impl Stem {
             return BuildResult::Duplicate;
         }
 
-        self.store.insert(row.clone());
+        let ts = *ts_counter + 1;
+        *ts_counter = ts;
+        let windowed = self.opts.eviction_window.is_some();
+        if windowed {
+            // Windowed SteMs must insert and evict per tuple: deferring
+            // the insert would let an intra-batch duplicate of a row that
+            // eviction should already have forgotten be wrongly absorbed.
+            self.store.insert(row.clone());
+        } else {
+            pending.push(row.clone());
+        }
         self.ts_of.insert(row.clone(), ts);
         self.max_ts = self.max_ts.max(ts);
         self.build_count += 1;
+        if windowed {
+            self.apply_eviction();
+        }
 
+        let stamped = tuple.with_timestamp(self.instance, ts);
+        if self.opts.deferred_bounce && !self.partition_is_resident(&row) {
+            self.deferred.push((stamped, state.clone()));
+            BuildResult::Deferred
+        } else {
+            BuildResult::Fresh(stamped)
+        }
+    }
+
+    /// FIFO-evict down to the configured window (no-op when unbounded).
+    fn apply_eviction(&mut self) {
         if let Some(window) = self.opts.eviction_window {
             while self.store.len() > window {
                 if let Some(old) = self.store.oldest() {
@@ -243,14 +309,6 @@ impl Stem {
                     break;
                 }
             }
-        }
-
-        let stamped = tuple.with_timestamp(self.instance, ts);
-        if self.opts.deferred_bounce && !self.partition_is_resident(&row) {
-            self.deferred.push((stamped, state.clone()));
-            BuildResult::Deferred
-        } else {
-            BuildResult::Fresh(stamped)
         }
     }
 
@@ -291,22 +349,107 @@ impl Stem {
     /// decision per SteM BounceBack.
     pub fn probe(&self, tuple: &Tuple, state: &TupleState, query: &QuerySpec) -> ProbeReply {
         let t = self.instance;
-        debug_assert!(!tuple.span().contains(t), "probe tuple already spans {t}");
-        let probe_ts = tuple.timestamp();
-
-        // Predicates linking the probe's span to this table.
         let linking: Vec<&stems_types::Predicate> = query
             .preds_linking(tuple.span(), t)
             .into_iter()
             .map(|id| query.predicate(id))
             .collect();
-
         // Candidate fetch: use an equi predicate's hash index when we have
         // one; otherwise scan-filter.
         let candidates: Vec<Arc<Row>> = match equi_binding(&linking, tuple, t) {
             Some((col, val)) => self.store.lookup_eq(col, &val),
             None => self.store.scan(),
         };
+        self.probe_with_candidates(tuple, state, query, &linking, candidates)
+    }
+
+    /// Probe a whole batch. The per-tuple semantics (timestamp rules,
+    /// predicate re-verification, bounce decisions) are identical to
+    /// [`Stem::probe`]; the amortization is in the fetch: linking
+    /// predicates are resolved once per distinct probe span, and all
+    /// equality lookups on one column go through a single
+    /// [`DictStore::lookup_eq_batch`] index descent.
+    pub fn probe_batch(
+        &self,
+        batch: &TupleBatch,
+        states: &[TupleState],
+        query: &QuerySpec,
+    ) -> Vec<ProbeReply> {
+        debug_assert_eq!(batch.len(), states.len());
+        let t = self.instance;
+
+        // Linking predicates per distinct span (batches are usually
+        // span-uniform, so this is a one-entry cache).
+        let mut spans: Vec<(TableSet, Vec<&stems_types::Predicate>)> = Vec::new();
+
+        // Pass 1: bindings. Group equality keys by column for one batched
+        // lookup per column; unbindable probes share one store scan.
+        let mut plans: Vec<(usize, Option<(usize, usize)>)> = Vec::with_capacity(batch.len());
+        let mut by_col: Vec<(usize, Vec<Value>)> = Vec::new();
+        for tuple in batch.iter() {
+            let span = tuple.span();
+            let li = match spans.iter().position(|(s, _)| *s == span) {
+                Some(i) => i,
+                None => {
+                    let linking = query
+                        .preds_linking(span, t)
+                        .into_iter()
+                        .map(|id| query.predicate(id))
+                        .collect();
+                    spans.push((span, linking));
+                    spans.len() - 1
+                }
+            };
+            let plan = match equi_binding(&spans[li].1, tuple, t) {
+                Some((col, val)) => {
+                    let ci = match by_col.iter().position(|(c, _)| *c == col) {
+                        Some(i) => i,
+                        None => {
+                            by_col.push((col, Vec::new()));
+                            by_col.len() - 1
+                        }
+                    };
+                    by_col[ci].1.push(val);
+                    Some((ci, by_col[ci].1.len() - 1))
+                }
+                None => None,
+            };
+            plans.push((li, plan));
+        }
+        let mut fetched: Vec<Vec<Vec<Arc<Row>>>> = Vec::with_capacity(by_col.len());
+        for (col, keys) in &by_col {
+            fetched.push(self.store.lookup_eq_batch(*col, keys));
+        }
+        let mut full_scan: Option<Vec<Arc<Row>>> = None;
+
+        // Pass 2: per-tuple result formation, exactly the scalar path.
+        batch
+            .iter()
+            .zip(states)
+            .zip(plans)
+            .map(|((tuple, state), (li, plan))| {
+                let candidates = match plan {
+                    Some((ci, ki)) => std::mem::take(&mut fetched[ci][ki]),
+                    None => full_scan.get_or_insert_with(|| self.store.scan()).clone(),
+                };
+                self.probe_with_candidates(tuple, state, query, &spans[li].1, candidates)
+            })
+            .collect()
+    }
+
+    /// Shared probe tail: filter candidates by the timestamp rules,
+    /// concatenate, verify newly evaluable predicates, decide the bounce.
+    fn probe_with_candidates(
+        &self,
+        tuple: &Tuple,
+        state: &TupleState,
+        query: &QuerySpec,
+        linking: &[&stems_types::Predicate],
+        candidates: Vec<Arc<Row>>,
+    ) -> ProbeReply {
+        let t = self.instance;
+        debug_assert!(!tuple.span().contains(t), "probe tuple already spans {t}");
+        let probe_ts = tuple.timestamp();
 
         // Every query predicate that becomes evaluable on the joined span
         // and is not already marked done.
@@ -340,7 +483,7 @@ impl Stem {
             }
         }
 
-        let outcome = self.bounce_decision(&linking, tuple, query);
+        let outcome = self.bounce_decision(linking, tuple, query);
         ProbeReply {
             results,
             outcome,
@@ -709,10 +852,7 @@ mod tests {
         let (_c, q) = setup();
         let mut stem = s_stem(false, true);
         let eot = Tuple::singleton(TableIdx(1), make_scan_eot_row(2));
-        assert_eq!(
-            stem.build(&eot, &TupleState::new(), 99),
-            BuildResult::Eot
-        );
+        assert_eq!(stem.build(&eot, &TupleState::new(), 99), BuildResult::Eot);
         assert!(stem.scan_complete());
         let r = r_tuple(1, 10).with_timestamp(TableIdx(0), 1);
         assert_eq!(
@@ -766,8 +906,10 @@ mod tests {
 
     #[test]
     fn eviction_window_fifo() {
-        let mut opts = StemOptions::default();
-        opts.eviction_window = Some(2);
+        let opts = StemOptions {
+            eviction_window: Some(2),
+            ..StemOptions::default()
+        };
         let mut stem = Stem::new(TableIdx(1), SourceId(1), &[0], true, false, opts);
         build_fresh(&mut stem, &s_tuple(1, 1), 1);
         build_fresh(&mut stem, &s_tuple(2, 2), 2);
@@ -782,10 +924,42 @@ mod tests {
     }
 
     #[test]
+    fn windowed_build_batch_matches_scalar_eviction() {
+        // window=2, batch [r1, r2, r3, r1]: inserting r2/r3 evicts r1 and
+        // forgets it, so the second r1 must re-enter as Fresh — exactly
+        // what per-tuple scalar builds do. A batch-deferred insert would
+        // wrongly absorb it as a duplicate.
+        let opts = StemOptions {
+            eviction_window: Some(2),
+            ..StemOptions::default()
+        };
+        let mut stem = Stem::new(TableIdx(1), SourceId(1), &[0], true, false, opts);
+        let batch: TupleBatch = [s_tuple(1, 1), s_tuple(2, 2), s_tuple(3, 3), s_tuple(1, 1)]
+            .into_iter()
+            .collect();
+        let states = vec![TupleState::new(); 4];
+        let mut ts = 0;
+        let results = stem.build_batch(&batch, &states, &mut ts);
+        assert!(matches!(results[0], BuildResult::Fresh(_)));
+        assert!(matches!(results[1], BuildResult::Fresh(_)));
+        assert!(matches!(results[2], BuildResult::Fresh(_)));
+        assert!(
+            matches!(results[3], BuildResult::Fresh(_)),
+            "evicted row must rebuild mid-batch, got {:?}",
+            results[3]
+        );
+        assert_eq!(stem.len(), 2);
+        assert_eq!(stem.evictions, 2);
+        assert_eq!(ts, 4);
+    }
+
+    #[test]
     fn deferred_bounce_clusters_by_partition() {
-        let mut opts = StemOptions::default();
-        opts.deferred_bounce = true;
-        opts.partitions = 4;
+        let opts = StemOptions {
+            deferred_bounce: true,
+            partitions: 4,
+            ..StemOptions::default()
+        };
         let mut stem = Stem::new(TableIdx(1), SourceId(1), &[0], true, false, opts);
         for i in 0..20 {
             let r = stem.build(&s_tuple(i, i), &TupleState::new(), (i + 1) as u64);
@@ -807,10 +981,12 @@ mod tests {
 
     #[test]
     fn hybrid_mem_partitions_bounce_immediately() {
-        let mut opts = StemOptions::default();
-        opts.deferred_bounce = true;
-        opts.partitions = 2;
-        opts.mem_partitions = 1;
+        let opts = StemOptions {
+            deferred_bounce: true,
+            partitions: 2,
+            mem_partitions: 1,
+            ..StemOptions::default()
+        };
         let mut stem = Stem::new(TableIdx(1), SourceId(1), &[0], true, false, opts);
         let mut fresh = 0;
         let mut deferred = 0;
@@ -881,10 +1057,7 @@ mod tests {
             .collect();
         let r = r_tuple(1, 10);
         let b = probe_bindings(&linking, &r, TableIdx(1), &q2);
-        assert_eq!(
-            b,
-            vec![(0, Value::Int(10)), (1, Value::Int(7))]
-        );
+        assert_eq!(b, vec![(0, Value::Int(10)), (1, Value::Int(7))]);
     }
 
     use stems_types::TableSet;

@@ -71,8 +71,7 @@ impl TableBuilder {
                     perms.push(p);
                 }
                 ColGen::ModShuffled(n) => {
-                    let mut p: Vec<i64> =
-                        (0..self.rows as i64).map(|k| k % n.max(&1)).collect();
+                    let mut p: Vec<i64> = (0..self.rows as i64).map(|k| k % n.max(&1)).collect();
                     self.rng.shuffle(&mut p);
                     perms.push(p);
                 }
@@ -153,7 +152,9 @@ mod tests {
 
     #[test]
     fn serial_keys_are_unique_and_ordered() {
-        let t = TableBuilder::new("t", 100, 1).col("a", ColGen::Mod(7)).build();
+        let t = TableBuilder::new("t", 100, 1)
+            .col("a", ColGen::Mod(7))
+            .build();
         assert_eq!(t.num_rows(), 100);
         for (i, r) in t.rows().iter().enumerate() {
             assert_eq!(r.get(0), Some(&Value::Int(i as i64)));
@@ -162,7 +163,9 @@ mod tests {
 
     #[test]
     fn mod_column_has_exactly_n_distinct() {
-        let t = TableBuilder::new("t", 1000, 1).col("a", ColGen::Mod(250)).build();
+        let t = TableBuilder::new("t", 1000, 1)
+            .col("a", ColGen::Mod(250))
+            .build();
         let distinct: std::collections::HashSet<_> = t
             .rows()
             .iter()
@@ -220,8 +223,14 @@ mod tests {
             .col("u", ColGen::Uniform(0, 1000))
             .build();
         assert_eq!(
-            a.rows().iter().map(|r| r.values().to_vec()).collect::<Vec<_>>(),
-            b.rows().iter().map(|r| r.values().to_vec()).collect::<Vec<_>>()
+            a.rows()
+                .iter()
+                .map(|r| r.values().to_vec())
+                .collect::<Vec<_>>(),
+            b.rows()
+                .iter()
+                .map(|r| r.values().to_vec())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -195,7 +195,10 @@ mod tests {
             .map(|row| row.get(1).cloned().unwrap())
             .collect();
         let distinct: std::collections::HashSet<_> = first_100.iter().cloned().collect();
-        assert!(distinct.len() < 100, "first 100 rows all distinct — unshuffled?");
+        assert!(
+            distinct.len() < 100,
+            "first 100 rows all distinct — unshuffled?"
+        );
     }
 
     #[test]

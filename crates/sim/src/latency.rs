@@ -128,7 +128,11 @@ mod tests {
 
     #[test]
     fn stall_windows_merge_and_query() {
-        let w = StallWindows::new(vec![(secs(10), secs(20)), (secs(15), secs(25)), (secs(40), secs(41))]);
+        let w = StallWindows::new(vec![
+            (secs(10), secs(20)),
+            (secs(15), secs(25)),
+            (secs(40), secs(41)),
+        ]);
         assert!(!w.stalled_at(secs(9)));
         assert!(w.stalled_at(secs(10)));
         assert!(w.stalled_at(secs(24)));

@@ -59,6 +59,7 @@ pub fn ascii_plot(spec: &PlotSpec, series: &[(&str, &Series)]) -> String {
 
     for (idx, (_, s)) in series.iter().enumerate() {
         let glyph = GLYPHS[idx % GLYPHS.len()];
+        #[allow(clippy::needless_range_loop)]
         for col in 0..w {
             // Last column lands exactly on the horizon so completed curves
             // touch the top row.

@@ -4,11 +4,11 @@
 /// path is overkill here; plain SplitMix64 passes the statistical bar for
 /// workload generation and policy tie-breaking).
 ///
-/// We deliberately do not use `rand::thread_rng` anywhere in the library:
-/// every stochastic choice in a simulation must derive from an explicit
-/// seed, or figures stop being reproducible. `SimRng` also implements
-/// [`rand::RngCore`] so it can drive `rand` distributions in the workload
-/// generators.
+/// We deliberately do not depend on the `rand` crate anywhere in the
+/// workspace: every stochastic choice in a simulation must derive from an
+/// explicit seed, or figures stop being reproducible, and the workspace
+/// stays dependency-free. `SimRng` provides the handful of distributions
+/// the workload generators need directly.
 #[derive(Debug, Clone)]
 pub struct SimRng {
     state: u64,
@@ -79,25 +79,18 @@ impl SimRng {
     }
 }
 
-impl rand::RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        (SimRng::next_u64(self) >> 32) as u32
+impl SimRng {
+    /// Next raw 32-bit value (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
-    fn next_u64(&mut self) -> u64 {
-        SimRng::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fill a byte slice with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
-            let v = SimRng::next_u64(self).to_le_bytes();
+            let v = self.next_u64().to_le_bytes();
             chunk.copy_from_slice(&v[..chunk.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -194,8 +187,7 @@ mod tests {
     }
 
     #[test]
-    fn rngcore_fill_bytes() {
-        use rand::RngCore;
+    fn fill_bytes_produces_nonzero_output() {
         let mut r = SimRng::new(23);
         let mut buf = [0u8; 13];
         r.fill_bytes(&mut buf);

@@ -2,9 +2,7 @@
 
 use crate::token::{tokenize, Token};
 use stems_catalog::{Catalog, QuerySpec, TableInstance};
-use stems_types::{
-    CmpOp, ColRef, Operand, PredId, Predicate, Result, StemsError, TableIdx, Value,
-};
+use stems_types::{CmpOp, ColRef, Operand, PredId, Predicate, Result, StemsError, TableIdx, Value};
 
 /// Parse an SPJ query and resolve names against `catalog`.
 ///
@@ -190,18 +188,12 @@ impl<'a> Parser<'a> {
         self.pos += 1;
         let right = self.parse_operand(tables, catalog)?;
         if matches!((&left, &right), (Operand::Const(_), Operand::Const(_))) {
-            return Err(StemsError::Parse(
-                "predicate compares two constants".into(),
-            ));
+            return Err(StemsError::Parse("predicate compares two constants".into()));
         }
         Ok(Predicate::new(PredId(idx as u16), left, op, right))
     }
 
-    fn parse_operand(
-        &mut self,
-        tables: &[TableInstance],
-        catalog: &Catalog,
-    ) -> Result<Operand> {
+    fn parse_operand(&mut self, tables: &[TableInstance], catalog: &Catalog) -> Result<Operand> {
         match self.peek() {
             Some(Token::Int(v)) => {
                 let v = *v;
@@ -231,11 +223,7 @@ impl<'a> Parser<'a> {
 
 /// Resolve `[alias.]col`: with an alias, look it up; without, the column
 /// name must be unambiguous across the FROM list.
-fn resolve_col(
-    raw: &RawCol,
-    tables: &[TableInstance],
-    catalog: &Catalog,
-) -> Result<ColRef> {
+fn resolve_col(raw: &RawCol, tables: &[TableInstance], catalog: &Catalog) -> Result<ColRef> {
     match &raw.alias {
         Some(alias) => {
             let idx = tables
@@ -243,9 +231,9 @@ fn resolve_col(
                 .position(|t| t.alias.eq_ignore_ascii_case(alias))
                 .ok_or_else(|| StemsError::UnknownName(format!("alias `{alias}`")))?;
             let schema = &catalog.table_expect(tables[idx].source).schema;
-            let col = schema.col_index(&raw.col).ok_or_else(|| {
-                StemsError::UnknownName(format!("column `{alias}.{}`", raw.col))
-            })?;
+            let col = schema
+                .col_index(&raw.col)
+                .ok_or_else(|| StemsError::UnknownName(format!("column `{alias}.{}`", raw.col)))?;
             Ok(ColRef::new(TableIdx(idx as u8), col))
         }
         None => {
@@ -257,10 +245,7 @@ fn resolve_col(
                 }
             }
             match hits.len() {
-                0 => Err(StemsError::UnknownName(format!(
-                    "column `{}`",
-                    raw.col
-                ))),
+                0 => Err(StemsError::UnknownName(format!("column `{}`", raw.col))),
                 1 => Ok(hits[0]),
                 _ => Err(StemsError::Parse(format!(
                     "ambiguous column `{}` — qualify it with an alias",

@@ -98,9 +98,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 loop {
                     match bytes.get(i) {
                         None => {
-                            return Err(StemsError::Parse(
-                                "unterminated string literal".into(),
-                            ))
+                            return Err(StemsError::Parse("unterminated string literal".into()))
                         }
                         Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
                             s.push('\'');
@@ -154,18 +152,12 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
                     i += 1;
                 }
                 out.push(Token::Ident(bytes[start..i].iter().collect()));
             }
-            other => {
-                return Err(StemsError::Parse(format!(
-                    "unexpected character `{other}`"
-                )))
-            }
+            other => return Err(StemsError::Parse(format!("unexpected character `{other}`"))),
         }
     }
     Ok(out)
@@ -213,7 +205,14 @@ mod tests {
             .collect();
         assert_eq!(
             ops,
-            vec![&Token::Le, &Token::Ge, &Token::Ne, &Token::Ne, &Token::Lt, &Token::Gt]
+            vec![
+                &Token::Le,
+                &Token::Ge,
+                &Token::Ne,
+                &Token::Ne,
+                &Token::Lt,
+                &Token::Gt
+            ]
         );
     }
 

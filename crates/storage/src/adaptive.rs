@@ -148,7 +148,11 @@ mod tests {
         s.insert(row(&[10]));
         s.insert(row(&[11]));
         s.insert(row(&[12]));
-        let keys: Vec<_> = s.scan().iter().map(|r| r.get(0).cloned().unwrap()).collect();
+        let keys: Vec<_> = s
+            .scan()
+            .iter()
+            .map(|r| r.get(0).cloned().unwrap())
+            .collect();
         assert_eq!(keys, vec![Value::Int(10), Value::Int(11), Value::Int(12)]);
     }
 }

@@ -34,7 +34,10 @@ impl HashStore {
         cols.dedup();
         HashStore {
             slots: Vec::new(),
-            indexes: cols.into_iter().map(|c| (c, FxHashMap::default())).collect(),
+            indexes: cols
+                .into_iter()
+                .map(|c| (c, FxHashMap::default()))
+                .collect(),
             live: 0,
             bytes: 0,
         }
@@ -63,6 +66,38 @@ impl DictStore for HashStore {
         self.live += 1;
     }
 
+    fn insert_batch(&mut self, rows: Vec<Arc<Row>>) {
+        // One slab reservation for the whole batch; the per-row path is
+        // shared with `insert` so the two can never diverge.
+        self.slots.reserve(rows.len());
+        for row in rows {
+            self.insert(row);
+        }
+    }
+
+    fn lookup_eq_batch(&self, col: usize, keys: &[Value]) -> Vec<Vec<Arc<Row>>> {
+        // Resolve the secondary index once for the whole batch instead of
+        // re-finding it per key.
+        match self.indexes.iter().find(|(c, _)| *c == col) {
+            Some((_, idx)) => keys
+                .iter()
+                .map(|key| match index_key(key) {
+                    Some(k) => idx
+                        .get(&k)
+                        .map(|positions| {
+                            positions
+                                .iter()
+                                .filter_map(|p| self.slots[*p].clone())
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                    None => Vec::new(),
+                })
+                .collect(),
+            None => keys.iter().map(|k| self.lookup_eq(col, k)).collect(),
+        }
+    }
+
     fn lookup_eq(&self, col: usize, key: &Value) -> Vec<Arc<Row>> {
         let Some(k) = index_key(key) else {
             return Vec::new();
@@ -87,11 +122,7 @@ impl DictStore for HashStore {
             self.slots
                 .iter()
                 .flatten()
-                .filter(|r| {
-                    r.get(col)
-                        .and_then(index_key)
-                        .is_some_and(|rk| rk == k)
-                })
+                .filter(|r| r.get(col).and_then(index_key).is_some_and(|rk| rk == k))
                 .cloned()
                 .collect()
         }
@@ -102,11 +133,7 @@ impl DictStore for HashStore {
     }
 
     fn remove(&mut self, row: &Row) -> bool {
-        let Some(pos) = self
-            .slots
-            .iter()
-            .position(|r| r.as_deref() == Some(row))
-        else {
+        let Some(pos) = self.slots.iter().position(|r| r.as_deref() == Some(row)) else {
             return false;
         };
         let removed = self.slots[pos].take().expect("position found above");
@@ -135,9 +162,7 @@ impl DictStore for HashStore {
 
     fn approx_bytes(&self) -> usize {
         // Rows + a rough 16 bytes of index overhead per (index, row) pair.
-        self.bytes
-            + self.indexes.len() * self.live * 16
-            + std::mem::size_of::<HashStore>()
+        self.bytes + self.indexes.len() * self.live * 16 + std::mem::size_of::<HashStore>()
     }
 
     fn backend(&self) -> &'static str {

@@ -40,11 +40,7 @@ impl DictStore for ListStore {
         };
         self.rows
             .iter()
-            .filter(|r| {
-                r.get(col)
-                    .and_then(index_key)
-                    .is_some_and(|rk| rk == k)
-            })
+            .filter(|r| r.get(col).and_then(index_key).is_some_and(|rk| rk == k))
             .cloned()
             .collect()
     }

@@ -192,7 +192,11 @@ mod tests {
         let mut s = SortedStore::new(0);
         s.insert(row(&[9]));
         s.insert(row(&[1]));
-        let arrived: Vec<_> = s.scan().iter().map(|r| r.get(0).cloned().unwrap()).collect();
+        let arrived: Vec<_> = s
+            .scan()
+            .iter()
+            .map(|r| r.get(0).cloned().unwrap())
+            .collect();
         assert_eq!(arrived, vec![Value::Int(9), Value::Int(1)]);
     }
 }

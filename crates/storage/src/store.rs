@@ -32,8 +32,24 @@ pub trait DictStore: std::fmt::Debug {
     /// Insert a row. Duplicate handling is the caller's job ([`crate::RowSet`]).
     fn insert(&mut self, row: Arc<Row>);
 
+    /// Insert a batch of rows. Backends override this when they can
+    /// amortize work across the batch (e.g. one capacity reservation for
+    /// the whole batch); the default loops over [`DictStore::insert`].
+    fn insert_batch(&mut self, rows: Vec<Arc<Row>>) {
+        for row in rows {
+            self.insert(row);
+        }
+    }
+
     /// Rows matching `row[col] = key` (superset allowed, see trait docs).
     fn lookup_eq(&self, col: usize, key: &Value) -> Vec<Arc<Row>>;
+
+    /// One [`DictStore::lookup_eq`] result per key, in key order. The
+    /// default loops; index-backed stores override to resolve the index
+    /// once and walk all keys against it.
+    fn lookup_eq_batch(&self, col: usize, keys: &[Value]) -> Vec<Vec<Arc<Row>>> {
+        keys.iter().map(|k| self.lookup_eq(col, k)).collect()
+    }
 
     /// All rows in insertion order.
     fn scan(&self) -> Vec<Arc<Row>>;
@@ -62,8 +78,7 @@ pub trait DictStore: std::fmt::Debug {
 }
 
 /// Factory describing which [`DictStore`] a SteM should use.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum StoreKind {
     /// Append-only list; lookups scan.
     List,
@@ -83,7 +98,6 @@ pub enum StoreKind {
     /// §3.1's sort-merge simulation); range probes are cheap.
     Sorted,
 }
-
 
 impl StoreKind {
     /// Instantiate the store. `indexed_cols` lists the columns involved in
@@ -175,6 +189,14 @@ pub(crate) mod conformance {
         // remove deletes one copy at a time
         assert!(store.remove(&row(&[2, 20])));
         assert_eq!(store.lookup_eq(1, &Value::Int(20)).len(), 1);
+
+        // batch APIs must agree with the scalar path
+        let before = store.len();
+        store.insert_batch(vec![row(&[7, 30]), row(&[8, 30])]);
+        assert_eq!(store.len(), before + 2);
+        let hits = store.lookup_eq_batch(1, &[Value::Int(30), Value::Int(99), Value::Null]);
+        assert_eq!(hits[0].len(), 2);
+        assert!(hits[1].is_empty() && hits[2].is_empty());
     }
 }
 

@@ -258,9 +258,7 @@ impl Predicate {
     /// For an equi-join predicate, the two column refs `(left, right)`.
     pub fn equi_join_cols(&self) -> Option<(ColRef, ColRef)> {
         match (&self.left, self.op, &self.right) {
-            (Operand::Col(l), CmpOp::Eq, Operand::Col(r)) if l.table != r.table => {
-                Some((*l, *r))
-            }
+            (Operand::Col(l), CmpOp::Eq, Operand::Col(r)) if l.table != r.table => Some((*l, *r)),
             _ => None,
         }
     }
@@ -288,7 +286,11 @@ impl Predicate {
 
 impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "p{}: {} {} {}", self.id.0, self.left, self.op, self.right)
+        write!(
+            f,
+            "p{}: {} {} {}",
+            self.id.0, self.left, self.op, self.right
+        )
     }
 }
 

@@ -9,6 +9,8 @@
 //! * [`Tuple`] — a (possibly composite) tuple made of *base-table
 //!   components* (paper Definition 1), together with its *span* and the
 //!   build [`Timestamp`] of each component.
+//! * [`TupleBatch`] — an ordered batch of tuples moving through the
+//!   dataflow as one unit (the batched engine path).
 //! * [`Predicate`] / [`Operand`] — the select-project-join predicate
 //!   language, evaluable over partial tuples.
 //! * [`Schema`] — column names and types of a table.
@@ -17,6 +19,7 @@
 //! whose components it carries; a *singleton* tuple has exactly one
 //! component (Definition 2).
 
+mod batch;
 mod error;
 mod expr;
 mod row;
@@ -25,6 +28,7 @@ mod span;
 mod tuple;
 mod value;
 
+pub use batch::TupleBatch;
 pub use error::{Result, StemsError};
 pub use expr::{CmpOp, ColRef, Operand, PredId, PredSet, Predicate, MAX_PREDS};
 pub use row::Row;

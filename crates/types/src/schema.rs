@@ -154,9 +154,7 @@ mod tests {
         let s = rs_schema();
         assert!(s.check_row(&[Value::Int(1), Value::Int(2)]).is_ok());
         assert!(s.check_row(&[Value::Int(1)]).is_err());
-        assert!(s
-            .check_row(&[Value::Int(1), Value::str("oops")])
-            .is_err());
+        assert!(s.check_row(&[Value::Int(1), Value::str("oops")]).is_err());
     }
 
     #[test]

@@ -165,8 +165,7 @@ mod tests {
         assert_eq!(a.minus(b), TableSet::single(TableIdx(0)));
         assert!(a.is_subset_of(TableSet::all(3)));
         assert!(!a.is_disjoint_from(b));
-        assert!(TableSet::single(TableIdx(0))
-            .is_disjoint_from(TableSet::single(TableIdx(5))));
+        assert!(TableSet::single(TableIdx(0)).is_disjoint_from(TableSet::single(TableIdx(5))));
     }
 
     #[test]

@@ -245,10 +245,7 @@ mod tests {
 
     #[test]
     fn sql_cmp_orders_numbers_and_strings() {
-        assert_eq!(
-            Value::Int(1).sql_cmp(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
         assert_eq!(
             Value::str("b").sql_cmp(&Value::str("a")),
             Some(Ordering::Greater)

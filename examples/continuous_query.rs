@@ -28,14 +28,22 @@ fn build(window: Option<usize>) -> Result<(Report, usize), Box<dyn std::error::E
             "left_stream",
             Schema::of(&[("seq", ColumnType::Int), ("reading", ColumnType::Int)]),
         )
-        .with_rows((0..n).map(|i| vec![i.into(), ((i * 37) % 500).into()]).collect()),
+        .with_rows(
+            (0..n)
+                .map(|i| vec![i.into(), ((i * 37) % 500).into()])
+                .collect(),
+        ),
     )?;
     let right = catalog.add_table(
         TableDef::new(
             "right_stream",
             Schema::of(&[("seq", ColumnType::Int), ("reading", ColumnType::Int)]),
         )
-        .with_rows((0..n).map(|i| vec![i.into(), ((i * 53) % 500).into()]).collect()),
+        .with_rows(
+            (0..n)
+                .map(|i| vec![i.into(), ((i * 53) % 500).into()])
+                .collect(),
+        ),
     )?;
     catalog.add_scan(left, ScanSpec::with_rate(200.0))?;
     catalog.add_scan(right, ScanSpec::with_rate(200.0))?;
@@ -68,12 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let peak = |r: &Report| {
         r.metrics
             .series("stem_bytes_total")
-            .map(|s| {
-                s.points()
-                    .iter()
-                    .map(|(_, v)| *v)
-                    .fold(0.0f64, f64::max)
-            })
+            .map(|s| s.points().iter().map(|(_, v)| *v).fold(0.0f64, f64::max))
             .unwrap_or(0.0)
     };
 

@@ -100,11 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .series("results")
         .expect("results series exists");
     for t in [2, 5, 10, 20, 30] {
-        println!(
-            "   results by {:>3}s: {:>4}",
-            t,
-            series.value_at(secs(t))
-        );
+        println!("   results by {:>3}s: {:>4}", t, series.value_at(secs(t)));
     }
     println!(
         "   last result at {:.1}s despite the fast mirror stalling 1s–20s",

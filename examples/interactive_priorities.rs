@@ -32,7 +32,11 @@ fn setup() -> Result<(Catalog, QuerySpec), Box<dyn std::error::Error>> {
             "citations",
             Schema::of(&[("paper_id", ColumnType::Int), ("count", ColumnType::Int)]),
         )
-        .with_rows((0..n).map(|i| vec![i.into(), ((i * 7) % 1000).into()]).collect()),
+        .with_rows(
+            (0..n)
+                .map(|i| vec![i.into(), ((i * 7) % 1000).into()])
+                .collect(),
+        ),
     )?;
     catalog.add_scan(papers, ScanSpec::with_rate(150.0))?;
     // citations only answer keyed lookups, 250 ms each.
@@ -94,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plain.results.len()
     );
     println!("   time to k-th interesting result (seconds):");
-    println!("   {:>6} {:>12} {:>12}", "k", "unprioritized", "prioritized");
+    println!(
+        "   {:>6} {:>12} {:>12}",
+        "k", "unprioritized", "prioritized"
+    );
     for k in [1, hot_total / 4, hot_total / 2, hot_total] {
         let k = k.max(1);
         println!(

@@ -63,9 +63,7 @@ pub mod prelude {
     pub use stems_catalog::{
         AccessMethodDef, Catalog, IndexSpec, QuerySpec, ScanSpec, SourceId, TableDef,
     };
-    pub use stems_core::{
-        EddyExecutor, ExecConfig, Report, RoutingPolicyKind,
-    };
+    pub use stems_core::{EddyExecutor, ExecConfig, Report, RoutingPolicyKind};
     pub use stems_sql::parse_query;
     pub use stems_types::{
         CmpOp, ColRef, Column, ColumnType, Operand, PredId, Predicate, Row, Schema, TableIdx,

@@ -367,7 +367,10 @@ fn eviction_yields_duplicate_free_subset() {
     let report = EddyExecutor::build(&c, &q, config).unwrap().run();
     assert!(report.violations.is_empty(), "{:?}", report.violations);
     assert!(report.results.len() < exact, "window should lose matches");
-    assert!(report.results.len() > 0, "window should still find close matches");
+    assert!(
+        !report.results.is_empty(),
+        "window should still find close matches"
+    );
     // Every produced result is a genuine join result.
     let valid = reference::canonical(&c, &q, &reference::execute(&c, &q));
     for row in report.canonical(&c, &q) {
@@ -549,9 +552,7 @@ fn band_join_less_than() {
 fn routing_trace_records_tuple_lives() {
     use stems::core::TraceKind;
     let mut c = Catalog::new();
-    let r = c
-        .add_table(kv_table("R", vec![(1, 10), (2, 20)]))
-        .unwrap();
+    let r = c.add_table(kv_table("R", vec![(1, 10), (2, 20)])).unwrap();
     let s = c.add_table(kv_table("S", vec![(10, 1)])).unwrap();
     c.add_scan(r, ScanSpec::with_rate(100.0)).unwrap();
     c.add_scan(s, ScanSpec::with_rate(100.0)).unwrap();
@@ -642,9 +643,11 @@ fn routing_trace_respects_cap() {
         None,
     )
     .unwrap();
-    let mut config = ExecConfig::default();
-    config.trace = true;
-    config.trace_limit = 100;
+    let config = ExecConfig {
+        trace: true,
+        trace_limit: 100,
+        ..ExecConfig::default()
+    };
     let report = EddyExecutor::build(&c, &q, config).unwrap().run();
     assert_eq!(report.trace.len(), 100);
 }

@@ -2,8 +2,8 @@
 //! against the reference executor and the baseline operators.
 
 use stems::baseline::{
-    grace_hash_join, index_join, sort_merge_join, symmetric_hash_join, ArrivalStream,
-    GraceParams, IndexJoinParams, ShjParams, SortMergeParams,
+    grace_hash_join, index_join, sort_merge_join, symmetric_hash_join, ArrivalStream, GraceParams,
+    IndexJoinParams, ShjParams, SortMergeParams,
 };
 use stems::catalog::reference;
 use stems::datagen::{gen::ColGen, Table3, Table3Config, TableBuilder};
@@ -152,14 +152,8 @@ fn eddy_and_baselines_agree() {
     let eddy = run_and_verify(&catalog, &query, checked());
     let expected = eddy.results.len();
 
-    let r_stream = ArrivalStream::from_scan(
-        catalog.table_expect(r),
-        &ScanSpec::with_rate(200.0),
-    );
-    let s_stream = ArrivalStream::from_scan(
-        catalog.table_expect(s),
-        &ScanSpec::with_rate(150.0),
-    );
+    let r_stream = ArrivalStream::from_scan(catalog.table_expect(r), &ScanSpec::with_rate(200.0));
+    let s_stream = ArrivalStream::from_scan(catalog.table_expect(s), &ScanSpec::with_rate(150.0));
 
     let ij = index_join(
         &r_stream,
@@ -286,9 +280,7 @@ fn infeasible_query_is_rejected_with_clear_error() {
         .unwrap();
     catalog.add_scan(r, ScanSpec::default()).unwrap();
     // S only has an index on `key`, but the join binds `v`: infeasible.
-    catalog
-        .add_index(s, IndexSpec::new(vec![0], 1000))
-        .unwrap();
+    catalog.add_index(s, IndexSpec::new(vec![0], 1000)).unwrap();
     let query = parse_query(&catalog, "SELECT * FROM R, S WHERE R.v = S.v").unwrap();
     let err = match EddyExecutor::build(&catalog, &query, ExecConfig::default()) {
         Err(e) => e,
