@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 use stems_catalog::{ScanSpec, TableDef};
-use stems_sim::{secs_f, StallWindows, Time};
+use stems_sim::{burst_gap, secs_f, StallWindows, Time};
 use stems_types::Row;
 
 /// Rows of one table with their arrival times, in time order.
@@ -14,15 +14,20 @@ pub struct ArrivalStream {
 }
 
 impl ArrivalStream {
-    /// Derive arrivals from a table and its scan spec.
+    /// Derive arrivals from a table and its scan spec. Chunked specs
+    /// deliver rows in bursts — every row of a chunk lands at the instant
+    /// the chunk has accumulated, exactly the cadence the eddy's `ScanAm`
+    /// uses — so baseline comparisons see the same arrival process.
     pub fn from_scan(table: &TableDef, spec: &ScanSpec) -> ArrivalStream {
         let gap = secs_f(1.0 / spec.rate_tps).max(1);
         let stalls = StallWindows::new(spec.stall_windows.clone());
         let mut items = Vec::with_capacity(table.num_rows());
         let mut t = spec.start_delay_us;
-        for row in table.rows() {
-            t = stalls.next_available(t + gap);
-            items.push((t, row.clone()));
+        for burst in table.rows().chunks(spec.chunk.max(1)) {
+            t = stalls.next_available(t + burst_gap(gap, burst.len()));
+            for row in burst {
+                items.push((t, row.clone()));
+            }
         }
         ArrivalStream { items }
     }
@@ -101,11 +106,28 @@ mod tests {
             rate_tps: 10.0,
             start_delay_us: 0,
             stall_windows: vec![(150_000, 400_000)],
+            chunk: 1,
         };
         let s = ArrivalStream::from_scan(&table(3), &spec);
         let times: Vec<Time> = s.items().iter().map(|(t, _)| *t).collect();
         // Second row would land at 200k (inside stall) → pushed to 400k.
         assert_eq!(times, vec![100_000, 400_000, 500_000]);
+    }
+
+    #[test]
+    fn chunked_arrivals_match_scan_am_cadence() {
+        // 5 rows, chunk 2 at 10 tps: bursts land at 200ms, 400ms, and the
+        // short tail one row-gap later — the ScanAm emission schedule.
+        let s = ArrivalStream::from_scan(&table(5), &ScanSpec::with_rate(10.0).with_chunk(2));
+        let times: Vec<Time> = s.items().iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![200_000, 200_000, 400_000, 400_000, 500_000]);
+        // A stall deferring a whole burst defers every row in it.
+        let stalled = ScanSpec::with_rate(10.0)
+            .with_chunk(2)
+            .stalled_during(150_000, 300_000);
+        let s = ArrivalStream::from_scan(&table(2), &stalled);
+        let times: Vec<Time> = s.items().iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![300_000, 300_000]);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Chunked-ingestion + vectorized-kernel throughput, emitted as
+//! `BENCH_2.json` — the second point of the perf trajectory started by
+//! `bench_batch` (`BENCH_1.json`).
+//!
+//! Runs a selection-heavy three-table chain join — every table carries a
+//! column-vs-Int-constant selection, so base-table rows dominate routing
+//! traffic and Selection Modules dominate module work. That is exactly the
+//! workload PR 1's batching could not speed up: scans emitted one row per
+//! simulation event, so singleton ingestion paid per-row envelopes no
+//! matter the batch size. Chunked scans (`ScanSpec::chunk`) ride the
+//! batched path end to end, and `Sm::apply_batch` runs the column-at-a-time
+//! Int kernels over each envelope.
+//!
+//! Series: scalar (chunk 1, batch 1), PR 1's best (chunk 1, batch 64),
+//! chunked ingestion (chunk 64, batch 64; chunk 256, batch 256). The JSON
+//! lands in `$STEMS_BENCH_OUT` or `./BENCH_2.json`; `speedup_vs_pr1` > 1 on
+//! the chunked rows is the win this PR claims. The result multiset is
+//! asserted identical across series — the binary doubles as a smoke test of
+//! chunked/scalar equivalence.
+
+use std::time::Instant;
+use stems_catalog::{Catalog, QuerySpec, ScanSpec};
+use stems_core::{EddyExecutor, ExecConfig, RoutingPolicyKind};
+use stems_datagen::{gen::ColGen, TableBuilder};
+use stems_sql::parse_query;
+
+const RUNS: usize = 5;
+const ROWS_PER_TABLE: usize = 3000;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Build the selection-heavy chain workload with every scan delivering
+/// `chunk` rows per event. Seeds are fixed, so every chunk size sees the
+/// same rows.
+fn build(chunk: usize) -> (Catalog, QuerySpec) {
+    let mut catalog = Catalog::new();
+    TableBuilder::new("R", ROWS_PER_TABLE, 81)
+        .col("a", ColGen::Mod(500))
+        .col("u", ColGen::Mod(500))
+        .register(&mut catalog)
+        .unwrap();
+    TableBuilder::new("S", ROWS_PER_TABLE, 82)
+        .col("x", ColGen::Mod(500))
+        .col("y", ColGen::Mod(400))
+        .col("v", ColGen::Mod(500))
+        .register(&mut catalog)
+        .unwrap();
+    TableBuilder::new("T", ROWS_PER_TABLE, 83)
+        .col("b", ColGen::Mod(400))
+        .col("w", ColGen::Mod(500))
+        .register(&mut catalog)
+        .unwrap();
+    let sources: Vec<_> = (0..3).map(stems_catalog::SourceId).collect();
+    for src in sources {
+        catalog
+            .add_scan(src, ScanSpec::with_rate(100_000.0).with_chunk(chunk))
+            .unwrap();
+    }
+    let query = parse_query(
+        &catalog,
+        "SELECT * FROM R, S, T WHERE R.a = S.x AND S.y = T.b \
+         AND R.u < 300 AND S.v < 300 AND T.w < 300",
+    )
+    .unwrap();
+    (catalog, query)
+}
+
+fn main() {
+    let input_rows = (3 * ROWS_PER_TABLE) as f64;
+    // (label, scan chunk, routing batch size)
+    let series: [(&str, usize, usize); 4] = [
+        ("scalar", 1, 1),
+        ("pr1_batch64", 1, 64),
+        ("chunked_batch64", 64, 64),
+        ("chunked_batch256", 256, 256),
+    ];
+
+    let mut entries = Vec::new();
+    let mut reference_results: Option<usize> = None;
+    for (label, chunk, batch_size) in series {
+        let (catalog, query) = build(chunk);
+        let mut secs = Vec::new();
+        let mut results = 0usize;
+        for _ in 0..RUNS {
+            let config = ExecConfig {
+                batch_size,
+                policy: RoutingPolicyKind::BenefitCost {
+                    epsilon: 0.05,
+                    drop_rate: 1.0,
+                },
+                ..ExecConfig::default()
+            };
+            let start = Instant::now();
+            let report = EddyExecutor::build(&catalog, &query, config)
+                .expect("plan")
+                .run();
+            secs.push(start.elapsed().as_secs_f64());
+            results = report.results.len();
+            assert!(report.violations.is_empty(), "{:?}", report.violations);
+        }
+        match reference_results {
+            None => reference_results = Some(results),
+            Some(want) => assert_eq!(results, want, "series {label} changed the result count"),
+        }
+        let med = median(secs);
+        let rows_per_sec = input_rows / med;
+        println!(
+            "{label:>18} (chunk {chunk:>3}, batch {batch_size:>3}): \
+             {rows_per_sec:>12.0} rows/s  (median {med:.4}s over {RUNS} runs, {results} results)"
+        );
+        entries.push((label, chunk, batch_size, rows_per_sec, med, results));
+    }
+
+    let scalar = entries[0].3;
+    let pr1 = entries[1].3;
+    let json = format!(
+        "{{\n  \"benchmark\": \"eddy_chain3_sel3_{rows}x{rows}x{rows}_benefit_cost\",\n  \
+         \"metric\": \"input_rows_per_sec_wall\",\n  \"runs\": {RUNS},\n  \
+         \"series\": [\n{}\n  ]\n}}\n",
+        entries
+            .iter()
+            .map(|(label, chunk, bs, rps, med, res)| format!(
+                "    {{\"label\": \"{label}\", \"chunk\": {chunk}, \"batch_size\": {bs}, \
+                 \"rows_per_sec\": {rps:.0}, \"median_secs\": {med:.6}, \"results\": {res}, \
+                 \"speedup_vs_scalar\": {:.3}, \"speedup_vs_pr1\": {:.3}}}",
+                rps / scalar,
+                rps / pr1
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        rows = ROWS_PER_TABLE,
+    );
+    let path = std::env::var("STEMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_2.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_2.json");
+    println!("wrote {path}");
+}

@@ -11,7 +11,10 @@ pub struct AmId(pub u32);
 /// Scans "only accept a special empty probe tuple we call a seed tuple, and
 /// in return, output all tuples in their data source" (paper §2.1.3). In
 /// the simulation they deliver rows at `rate_tps` starting after
-/// `start_delay_us`, pausing inside stall windows.
+/// `start_delay_us`, pausing inside stall windows. `chunk` controls the
+/// arrival shape: rows accumulate source-side and land `chunk` at a time,
+/// so the same average rate can model a smooth local scan (`chunk: 1`) or
+/// bursty remote delivery (a page, a network buffer, a message batch).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScanSpec {
     /// Delivery rate in tuples per virtual second.
@@ -20,6 +23,10 @@ pub struct ScanSpec {
     pub start_delay_us: u64,
     /// `[start, end)` unavailability windows in virtual µs.
     pub stall_windows: Vec<(u64, u64)>,
+    /// Rows delivered per emission event. The average rate is unchanged:
+    /// a chunk of `n` rows arrives after `n` per-row gaps. `1` is the
+    /// paper's row-at-a-time arrival.
+    pub chunk: usize,
 }
 
 impl Default for ScanSpec {
@@ -28,6 +35,7 @@ impl Default for ScanSpec {
             rate_tps: 1_000.0,
             start_delay_us: 0,
             stall_windows: Vec::new(),
+            chunk: 1,
         }
     }
 }
@@ -39,6 +47,12 @@ impl ScanSpec {
             rate_tps,
             ..ScanSpec::default()
         }
+    }
+
+    /// Deliver rows `chunk` at a time (bursty/remote arrival).
+    pub fn with_chunk(mut self, chunk: usize) -> ScanSpec {
+        self.chunk = chunk;
+        self
     }
 
     /// Add a stall window (virtual µs).
@@ -124,6 +138,11 @@ impl AccessMethodDef {
                         s.rate_tps
                     )));
                 }
+                if s.chunk == 0 {
+                    return Err(StemsError::Schema(
+                        "scan chunk must be at least one row per emission".into(),
+                    ));
+                }
             }
             AccessMethodDef::Index(ix) => {
                 if ix.bind_cols.is_empty() {
@@ -174,6 +193,16 @@ mod tests {
             let s = AccessMethodDef::Scan(ScanSpec::with_rate(r));
             assert!(s.validate(&schema()).is_err(), "rate {r}");
         }
+    }
+
+    #[test]
+    fn scan_chunk_builder_and_validation() {
+        assert_eq!(ScanSpec::default().chunk, 1);
+        let s = ScanSpec::with_rate(50.0).with_chunk(64);
+        assert_eq!(s.chunk, 64);
+        assert!(AccessMethodDef::Scan(s).validate(&schema()).is_ok());
+        let zero = AccessMethodDef::Scan(ScanSpec::default().with_chunk(0));
+        assert!(zero.validate(&schema()).is_err());
     }
 
     #[test]

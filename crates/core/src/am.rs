@@ -14,16 +14,19 @@
 use crate::stem::{make_eot_row, make_scan_eot_row};
 use std::sync::Arc;
 use stems_catalog::{IndexSpec, QuerySpec, ScanSpec, SourceId};
-use stems_sim::{secs_f, StallWindows, Time};
+use stems_sim::{burst_gap, secs_f, StallWindows, Time};
 use stems_storage::fxhash::{FxHashMap, FxHashSet};
 use stems_storage::index_key;
-use stems_types::{Row, TableIdx, Tuple, Value};
+use stems_types::{Row, TableIdx, Tuple, TupleBatch, Value};
 
 /// A scan access method serving every instance of one source.
 ///
-/// Emits one row per `1/rate` seconds per instance, shifted around stall
-/// windows; after the last row it emits the full-relation EOT tuple
-/// ("in the case of a scan AM, the predicate is simply true", §2.1.3).
+/// Delivers rows at `rate_tps`, `chunk` rows per emission event ([`ScanSpec`]
+/// models bursty/remote arrival; a chunk of `n` rows lands after `n`
+/// per-row gaps, so the average rate is chunk-independent), shifted around
+/// stall windows. After the last row it emits the full-relation EOT tuple
+/// ("in the case of a scan AM, the predicate is simply true", §2.1.3) —
+/// always strictly after the final data chunk, exactly once per instance.
 #[derive(Debug)]
 pub struct ScanAm {
     pub source: SourceId,
@@ -33,6 +36,9 @@ pub struct ScanAm {
     gap_us: u64,
     start_delay_us: u64,
     stalls: StallWindows,
+    /// Rows delivered per emission event (the spec's `chunk`, clamped by
+    /// the engine to its routing batch size).
+    chunk: usize,
     /// Next row to emit.
     pos: usize,
     /// Whether the EOT has been emitted.
@@ -55,33 +61,57 @@ impl ScanAm {
             gap_us: secs_f(1.0 / spec.rate_tps).max(1),
             start_delay_us: spec.start_delay_us,
             stalls: StallWindows::new(spec.stall_windows.clone()),
+            chunk: spec.chunk.max(1),
             pos: 0,
             finished: false,
         }
     }
 
-    /// Time of the first emission.
-    pub fn first_emit_time(&self) -> Time {
-        self.stalls
-            .next_available(self.start_delay_us + self.gap_us)
+    /// Clamp the emission chunk to the engine's routing batch size: the
+    /// eddy routes at most `batch_size` tuples per envelope, so a larger
+    /// burst would only be split again at ingestion.
+    pub fn clamp_chunk(&mut self, cap: usize) {
+        self.chunk = self.chunk.min(cap.max(1)).max(1);
     }
 
-    /// Emit the next batch (one row as a singleton per instance, or the
-    /// final EOTs). Returns the emitted tuples and, if more remain, the
-    /// time of the next emission.
-    pub fn emit_next(&mut self, now: Time) -> (Vec<Tuple>, Option<Time>) {
+    /// Rows delivered per emission event.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Time of the first emission (when the first chunk has accumulated).
+    pub fn first_emit_time(&self) -> Time {
+        let first = self.chunk.min(self.rows.len()).max(1);
+        self.stalls
+            .next_available(self.start_delay_us + burst_gap(self.gap_us, first))
+    }
+
+    /// Emit the next batch: up to `chunk` rows as singletons per instance,
+    /// or the final EOTs once the data is exhausted. Returns the emitted
+    /// batch and, if more remain, the time of the next emission.
+    pub fn emit_next(&mut self, now: Time) -> (TupleBatch, Option<Time>) {
         if self.finished {
-            return (Vec::new(), None);
+            return (TupleBatch::new(), None);
         }
-        let mut out = Vec::new();
+        let mut out = TupleBatch::with_capacity(self.chunk * self.instances.len());
         if self.pos < self.rows.len() {
-            let row = self.rows[self.pos].clone();
-            self.pos += 1;
-            for t in &self.instances {
-                out.push(Tuple::singleton(*t, row.clone()));
+            let take = self.chunk.min(self.rows.len() - self.pos);
+            for row in &self.rows[self.pos..self.pos + take] {
+                for t in &self.instances {
+                    out.push(Tuple::singleton(*t, row.clone()));
+                }
             }
-            let next = self.stalls.next_available(now + self.gap_us);
-            (out, Some(next))
+            self.pos += take;
+            let remaining = self.rows.len() - self.pos;
+            // Next event: the next chunk once it has accumulated, or the
+            // EOT one per-row gap after the final data chunk (matching
+            // row-at-a-time cadence, where the EOT follows the last row).
+            let next_gap = if remaining > 0 {
+                burst_gap(self.gap_us, self.chunk.min(remaining))
+            } else {
+                self.gap_us
+            };
+            (out, Some(self.stalls.next_available(now + next_gap)))
         } else {
             for t in &self.instances {
                 out.push(Tuple::singleton(*t, make_scan_eot_row(self.arity)));
@@ -390,14 +420,14 @@ mod tests {
         assert_eq!(t0, 100_000);
         let (batch1, next1) = scan.emit_next(t0);
         assert_eq!(batch1.len(), 1);
-        assert!(!batch1[0].is_eot());
+        assert!(!batch1.as_slice()[0].is_eot());
         assert_eq!(next1, Some(200_000));
         let (batch2, next2) = scan.emit_next(next1.unwrap());
         assert_eq!(batch2.len(), 1);
         assert!(next2.is_some());
         let (eot, done) = scan.emit_next(next2.unwrap());
         assert_eq!(eot.len(), 1);
-        assert!(eot[0].is_eot());
+        assert!(eot.as_slice()[0].is_eot());
         assert_eq!(done, None);
         assert!(scan.finished);
         assert_eq!(scan.emit_next(999_999_999).0.len(), 0);
@@ -409,6 +439,7 @@ mod tests {
             rate_tps: 10.0,
             start_delay_us: 0,
             stall_windows: vec![(50_000, 500_000)],
+            chunk: 1,
         };
         let scan = ScanAm::new(SourceId(0), vec![TableIdx(0)], rows(&[(1, 1)]), 2, &spec);
         // First emission would be at 100ms, inside the stall: pushed to end.
@@ -426,6 +457,7 @@ mod tests {
             &spec,
         );
         let (batch, _) = scan.emit_next(1000);
+        let batch = batch.as_slice();
         assert_eq!(batch.len(), 2);
         assert_eq!(batch[0].span(), stems_types::TableSet::single(TableIdx(0)));
         assert_eq!(batch[1].span(), stems_types::TableSet::single(TableIdx(2)));
@@ -434,6 +466,143 @@ mod tests {
             &batch[0].components()[0].row,
             &batch[1].components()[0].row
         ));
+    }
+
+    #[test]
+    fn chunked_scan_emits_batches_then_single_eot() {
+        // 5 rows, chunk 2 → data batches of 2, 2, 1 — then one EOT event.
+        let spec = ScanSpec::with_rate(10.0).with_chunk(2); // 100ms per row
+        let mut scan = ScanAm::new(
+            SourceId(0),
+            vec![TableIdx(0)],
+            rows(&[(1, 1), (2, 2), (3, 3), (4, 4), (5, 5)]),
+            2,
+            &spec,
+        );
+        // First chunk lands when both rows have accumulated.
+        let t0 = scan.first_emit_time();
+        assert_eq!(t0, 200_000);
+        let (b1, n1) = scan.emit_next(t0);
+        assert_eq!(b1.len(), 2);
+        assert!(b1.iter().all(|t| !t.is_eot()));
+        assert_eq!(n1, Some(400_000));
+        let (b2, n2) = scan.emit_next(n1.unwrap());
+        assert_eq!(b2.len(), 2);
+        // Tail chunk is short: only one row remains, so one row-gap away.
+        assert_eq!(n2, Some(500_000));
+        let (b3, n3) = scan.emit_next(n2.unwrap());
+        assert_eq!(b3.len(), 1);
+        assert!(b3.iter().all(|t| !t.is_eot()));
+        // EOT follows the last data batch by one row gap…
+        assert_eq!(n3, Some(600_000));
+        assert!(!scan.finished);
+        let (eot, done) = scan.emit_next(n3.unwrap());
+        // …and fires exactly once.
+        assert_eq!(eot.len(), 1);
+        assert!(eot.as_slice()[0].is_eot());
+        assert_eq!(done, None);
+        assert!(scan.finished);
+        assert!(scan.emit_next(999_999_999).0.is_empty());
+    }
+
+    #[test]
+    fn chunk_larger_than_table_delivers_one_batch() {
+        let spec = ScanSpec::with_rate(1000.0).with_chunk(100);
+        let mut scan = ScanAm::new(
+            SourceId(0),
+            vec![TableIdx(0)],
+            rows(&[(1, 1), (2, 2), (3, 3)]),
+            2,
+            &spec,
+        );
+        // The first (and only) chunk accumulates in 3 row gaps, not 100.
+        assert_eq!(scan.first_emit_time(), 3_000);
+        let (b, next) = scan.emit_next(3_000);
+        assert_eq!(b.len(), 3);
+        let (eot, done) = scan.emit_next(next.unwrap());
+        assert_eq!(eot.len(), 1);
+        assert!(eot.as_slice()[0].is_eot());
+        assert_eq!(done, None);
+    }
+
+    #[test]
+    fn chunked_scan_eot_respects_stall_windows() {
+        // The stall covers the second chunk's natural arrival; both the
+        // chunk and the trailing EOT are pushed past the window, and the
+        // EOT still strictly follows the last data batch.
+        let spec = ScanSpec {
+            rate_tps: 10.0, // 100ms per row
+            start_delay_us: 0,
+            stall_windows: vec![(300_000, 900_000)],
+            chunk: 2,
+        };
+        let mut scan = ScanAm::new(
+            SourceId(0),
+            vec![TableIdx(0)],
+            rows(&[(1, 1), (2, 2), (3, 3), (4, 4)]),
+            2,
+            &spec,
+        );
+        let t0 = scan.first_emit_time();
+        assert_eq!(t0, 200_000);
+        let (b1, n1) = scan.emit_next(t0);
+        assert_eq!(b1.len(), 2);
+        // 400ms is inside the stall → deferred to its end.
+        assert_eq!(n1, Some(900_000));
+        let (b2, n2) = scan.emit_next(n1.unwrap());
+        assert_eq!(b2.len(), 2);
+        assert!(b2.iter().all(|t| !t.is_eot()));
+        assert_eq!(n2, Some(1_000_000));
+        let (eot, done) = scan.emit_next(n2.unwrap());
+        assert_eq!(eot.len(), 1);
+        assert!(eot.as_slice()[0].is_eot());
+        assert_eq!(done, None);
+    }
+
+    #[test]
+    fn chunked_scan_serves_every_instance_per_row() {
+        let spec = ScanSpec::with_rate(1000.0).with_chunk(3);
+        let mut scan = ScanAm::new(
+            SourceId(0),
+            vec![TableIdx(0), TableIdx(1)],
+            rows(&[(1, 1), (2, 2), (3, 3)]),
+            2,
+            &spec,
+        );
+        let (b, next) = scan.emit_next(3_000);
+        // 3 rows × 2 instances, rows-major so per-instance order is the
+        // same as row-at-a-time emission.
+        assert_eq!(b.len(), 6);
+        let spans: Vec<_> = b.iter().map(|t| t.components()[0].table).collect();
+        assert_eq!(
+            spans,
+            vec![
+                TableIdx(0),
+                TableIdx(1),
+                TableIdx(0),
+                TableIdx(1),
+                TableIdx(0),
+                TableIdx(1)
+            ]
+        );
+        // One EOT per instance, once.
+        let (eot, done) = scan.emit_next(next.unwrap());
+        assert_eq!(eot.len(), 2);
+        assert!(eot.iter().all(|t| t.is_eot()));
+        assert_eq!(done, None);
+        assert!(scan.emit_next(u64::MAX).0.is_empty());
+    }
+
+    #[test]
+    fn clamp_chunk_caps_at_engine_batch_size() {
+        let spec = ScanSpec::with_rate(1000.0).with_chunk(256);
+        let mut scan = ScanAm::new(SourceId(0), vec![TableIdx(0)], rows(&[(1, 1)]), 2, &spec);
+        assert_eq!(scan.chunk(), 256);
+        scan.clamp_chunk(64);
+        assert_eq!(scan.chunk(), 64);
+        // A zero cap is floored: the scan must still make progress.
+        scan.clamp_chunk(0);
+        assert_eq!(scan.chunk(), 1);
     }
 
     #[test]

@@ -82,9 +82,13 @@ pub struct ExecConfig {
     /// User-interest predicate (§4.1): matching tuples jump module queues
     /// and their results are counted separately.
     pub priority_pred: Option<Predicate>,
-    /// Maximum tuples routed per policy decision / module envelope. `1`
+    /// Maximum tuples routed per policy decision / module envelope, and
+    /// the cap on rows a scan may emit per event (chunked ingestion). `1`
     /// reproduces the scalar tuple-at-a-time engine; larger values
-    /// amortize routing overhead over same-destination tuples.
+    /// amortize routing overhead over same-destination tuples. The
+    /// default (64) can be overridden with the `STEMS_BATCH_SIZE`
+    /// environment variable — CI runs the whole suite at 1 and 64 so
+    /// scalar-engine equivalence is enforced on every push.
     pub batch_size: usize,
     /// BoundedRepetition backstop.
     pub max_hops: u32,
@@ -109,7 +113,7 @@ impl Default for ExecConfig {
             plan: PlanOptions::default(),
             probe_edges: None,
             priority_pred: None,
-            batch_size: 64,
+            batch_size: default_batch_size(),
             max_hops: 1_000_000,
             max_events: 200_000_000,
             max_time: None,
@@ -117,6 +121,23 @@ impl Default for ExecConfig {
             trace: false,
             trace_limit: 100_000,
         }
+    }
+}
+
+/// The default routing batch size: 64 unless overridden by the
+/// `STEMS_BATCH_SIZE` environment variable (used by the CI equivalence
+/// matrix to force the scalar engine across the whole test suite). A set
+/// but invalid value panics rather than silently falling back — a
+/// misconfigured CI leg must fail loudly, not re-test the default engine
+/// while claiming scalar-engine coverage.
+fn default_batch_size() -> usize {
+    match std::env::var("STEMS_BATCH_SIZE") {
+        Err(std::env::VarError::NotPresent) => 64,
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("STEMS_BATCH_SIZE must be a positive integer, got {s:?}"),
+        },
+        Err(e) => panic!("STEMS_BATCH_SIZE is not valid unicode: {e}"),
     }
 }
 
@@ -262,9 +283,13 @@ impl EddyExecutor {
             trace: Vec::new(),
             config,
         };
-        // Step 5: seed tuples to the scans.
+        // Step 5: seed tuples to the scans. Emission chunks are capped at
+        // the routing batch size — a larger burst would only be split
+        // again at ingestion.
+        let batch_size = exec.config.batch_size;
         for &mid in exec.layout.scan_mids.clone().iter() {
-            if let Module::ScanAm(scan) = &exec.modules[mid] {
+            if let Module::ScanAm(scan) = &mut exec.modules[mid] {
+                scan.clamp_chunk(batch_size);
                 exec.agenda
                     .push(scan.first_emit_time(), Event::ScanEmit(mid));
             }
@@ -374,11 +399,14 @@ impl EddyExecutor {
         let Module::ScanAm(scan) = &mut self.modules[mid] else {
             return;
         };
-        let (tuples, next) = scan.emit_next(self.now);
+        let (batch, next) = scan.emit_next(self.now);
         if let Some(nt) = next {
             self.agenda.push(nt, Event::ScanEmit(mid));
         }
-        let deliveries = tuples
+        // The whole chunk enters routing as one wave: same-span singletons
+        // share a candidate set, so they ride one envelope instead of
+        // exploding into per-row deliveries with per-row policy decisions.
+        let deliveries = batch
             .into_iter()
             .map(|t| {
                 if !t.is_eot() {

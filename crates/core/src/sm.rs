@@ -31,13 +31,21 @@ impl Sm {
         self.pred.eval(tuple)
     }
 
-    /// Apply the predicate to every tuple of a batch. One verdict per
-    /// member, in batch order. The predicate evaluation itself is still
-    /// row-at-a-time (vectorized predicate kernels are a planned
-    /// follow-on); the batched engine path amortizes the envelope, event
-    /// and routing-decision overhead around this call.
+    /// Apply the predicate to every tuple of a batch: one verdict per
+    /// member, in batch order, verdict-for-verdict identical to calling
+    /// [`Sm::apply`] in a loop.
+    ///
+    /// Dispatch rules (see [`stems_types::IntConstKernel`]): a selection
+    /// of shape `col <op> Int-constant` — either orientation, any
+    /// [`stems_types::CmpOp`] — whose batch column is all-`Int` runs as a
+    /// column-at-a-time kernel: the column is gathered once, then one
+    /// tight primitive comparison loop with the operator and constant
+    /// hoisted out. Any other predicate shape, and any batch containing a
+    /// `Null`, EOT, non-`Int`, or missing column value, falls back to the
+    /// scalar [`stems_types::Predicate::eval`] loop, which remains the
+    /// semantic ground truth (`tests/prop_kernel_equivalence.rs`).
     pub fn apply_batch(&self, batch: &TupleBatch) -> Vec<Option<bool>> {
-        batch.iter().map(|t| self.apply(t)).collect()
+        self.pred.eval_batch(batch)
     }
 
     /// Observed selectivity helpers are kept by the policy, not here; the
@@ -89,5 +97,25 @@ mod tests {
     fn describe_mentions_predicate() {
         assert!(sm_gt(7).describe().contains('>'));
         assert_eq!(sm_gt(7).pred_id(), PredId(0));
+    }
+
+    #[test]
+    fn apply_batch_agrees_with_scalar_apply() {
+        let sm = sm_gt(10);
+        let batch: TupleBatch = vec![
+            Tuple::singleton_of(TableIdx(0), vec![Value::Int(99)]),
+            Tuple::singleton_of(TableIdx(0), vec![Value::Int(3)]),
+            Tuple::singleton_of(TableIdx(0), vec![Value::Int(10)]),
+            Tuple::singleton_of(TableIdx(1), vec![Value::Int(50)]), // wrong span
+            Tuple::singleton_of(TableIdx(0), vec![Value::Null]),
+        ]
+        .into_iter()
+        .collect();
+        let want: Vec<_> = batch.iter().map(|t| sm.apply(t)).collect();
+        assert_eq!(sm.apply_batch(&batch), want);
+        assert_eq!(
+            want,
+            vec![Some(true), Some(false), Some(false), None, Some(false)]
+        );
     }
 }

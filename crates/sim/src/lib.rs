@@ -39,4 +39,4 @@ pub use latency::{LatencyModel, StallWindows};
 pub use metrics::{Metrics, Series};
 pub use plot::{ascii_plot, PlotSpec};
 pub use rng::SimRng;
-pub use time::{secs, secs_f, to_secs, Duration, Time, MICROS_PER_SEC};
+pub use time::{burst_gap, secs, secs_f, to_secs, Duration, Time, MICROS_PER_SEC};

@@ -29,6 +29,20 @@ pub fn to_secs(t: Time) -> f64 {
     t as f64 / MICROS_PER_SEC as f64
 }
 
+/// Cadence of chunked (bursty) emission: the virtual time for `n` items
+/// to accumulate at one `item_gap` each, delivered together as a single
+/// event. Floored at one µs so even a degenerate burst advances time —
+/// the discrete-event agenda must never re-fire at the same instant
+/// forever.
+pub const fn burst_gap(item_gap: Duration, n: usize) -> Duration {
+    let d = item_gap.saturating_mul(n as u64);
+    if d == 0 {
+        1
+    } else {
+        d
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,5 +59,14 @@ mod tests {
     fn secs_f_rounds() {
         assert_eq!(secs_f(0.0000004), 0);
         assert_eq!(secs_f(0.0000006), 1);
+    }
+
+    #[test]
+    fn burst_gap_scales_and_floors() {
+        assert_eq!(burst_gap(100, 1), 100);
+        assert_eq!(burst_gap(100, 7), 700);
+        assert_eq!(burst_gap(100, 0), 1);
+        assert_eq!(burst_gap(0, 5), 1);
+        assert_eq!(burst_gap(u64::MAX, 2), u64::MAX);
     }
 }

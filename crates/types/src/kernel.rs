@@ -1,0 +1,202 @@
+//! Column-at-a-time predicate kernels.
+//!
+//! The scalar entry point, [`Predicate::eval`], resolves both operands and
+//! dispatches on [`crate::Value`]'s type tag for every tuple. When a
+//! selection of the common shape `col <op> Int-constant` is applied to a
+//! whole [`TupleBatch`], that per-tuple dispatch dominates: the operator,
+//! the constant, and the column are loop-invariant. [`Predicate::eval_batch`]
+//! recognizes that shape, gathers the column once, and runs one tight
+//! monomorphic comparison loop over primitive `i64`s — the standard
+//! column-at-a-time lever that makes adaptive operators cheap enough to
+//! re-route freely.
+//!
+//! # Dispatch rules
+//!
+//! 1. [`Predicate::int_const_kernel`] recognizes `Col op Const(Int)` and the
+//!    flipped `Const(Int) op Col` orientation (the operator is flipped so the
+//!    column is always on the left). Everything else — join predicates,
+//!    non-`Int` constants, `Const op Const` — evaluates via the scalar loop.
+//! 2. The kernel's gather phase requires every batch member to supply an
+//!    `Int` at the kernel's column. The first `Null`, `Float`, `Str`,
+//!    `Bool`, EOT marker, or missing column (tuple not spanning the table)
+//!    aborts the gather and the **whole batch** falls back to the scalar
+//!    loop, which is the semantic ground truth for SQL three-valued logic
+//!    and numeric coercion.
+//! 3. Either way the result is verdict-for-verdict identical to mapping
+//!    [`Predicate::eval`] over the batch — `tests/prop_kernel_equivalence.rs`
+//!    locks this down over randomized batches.
+
+use crate::{CmpOp, ColRef, Operand, Predicate, TupleBatch, Value};
+
+/// A predicate specialized to `Int(col) <op> Int(constant)`, with the
+/// column on the left (flipped from the source predicate if needed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntConstKernel {
+    pub col: ColRef,
+    pub op: CmpOp,
+    pub rhs: i64,
+}
+
+impl Predicate {
+    /// Recognize the vectorizable `col <op> Int-constant` shape, in either
+    /// orientation. `None` for every other predicate shape.
+    pub fn int_const_kernel(&self) -> Option<IntConstKernel> {
+        match (&self.left, &self.right) {
+            (Operand::Col(c), Operand::Const(Value::Int(k))) => Some(IntConstKernel {
+                col: *c,
+                op: self.op,
+                rhs: *k,
+            }),
+            (Operand::Const(Value::Int(k)), Operand::Col(c)) => Some(IntConstKernel {
+                col: *c,
+                op: self.op.flipped(),
+                rhs: *k,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Evaluate the predicate over every tuple of a batch: one verdict per
+    /// member, in batch order, verdict-for-verdict identical to mapping
+    /// [`Predicate::eval`]. Uses the columnar kernel when the predicate and
+    /// the batch qualify (see the module docs for the dispatch rules).
+    pub fn eval_batch(&self, batch: &TupleBatch) -> Vec<Option<bool>> {
+        match self.int_const_kernel() {
+            Some(k) => k.eval(self, batch),
+            None => batch.iter().map(|t| self.eval(t)).collect(),
+        }
+    }
+}
+
+impl IntConstKernel {
+    /// Gather the kernel column, then compare column-at-a-time. `pred` is
+    /// the source predicate, used for the scalar fallback when the gather
+    /// finds a non-`Int` entry.
+    pub fn eval(&self, pred: &Predicate, batch: &TupleBatch) -> Vec<Option<bool>> {
+        let mut col: Vec<i64> = Vec::with_capacity(batch.len());
+        for t in batch {
+            match t.value(self.col.table, self.col.col) {
+                Some(Value::Int(v)) => col.push(*v),
+                // Null/EOT/Float/Str/Bool or a tuple that does not span the
+                // column's table: the all-Int invariant is broken, so the
+                // whole batch takes the scalar path (rule 2).
+                _ => return batch.iter().map(|t| pred.eval(t)).collect(),
+            }
+        }
+        let rhs = self.rhs;
+        fn run(col: &[i64], f: impl Fn(i64) -> bool) -> Vec<Option<bool>> {
+            col.iter().map(|&v| Some(f(v))).collect()
+        }
+        match self.op {
+            CmpOp::Eq => run(&col, |v| v == rhs),
+            CmpOp::Ne => run(&col, |v| v != rhs),
+            CmpOp::Lt => run(&col, |v| v < rhs),
+            CmpOp::Le => run(&col, |v| v <= rhs),
+            CmpOp::Gt => run(&col, |v| v > rhs),
+            CmpOp::Ge => run(&col, |v| v >= rhs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PredId, TableIdx, Tuple};
+
+    fn t0(v: Value) -> Tuple {
+        Tuple::singleton_of(TableIdx(0), vec![v])
+    }
+
+    fn batch(vals: Vec<Value>) -> TupleBatch {
+        vals.into_iter().map(t0).collect()
+    }
+
+    fn sel(op: CmpOp, k: i64) -> Predicate {
+        Predicate::selection(PredId(0), ColRef::new(TableIdx(0), 0), op, Value::Int(k))
+    }
+
+    #[test]
+    fn recognizes_both_orientations() {
+        let p = sel(CmpOp::Lt, 5);
+        let k = p.int_const_kernel().unwrap();
+        assert_eq!(k.op, CmpOp::Lt);
+        assert_eq!(k.rhs, 5);
+        // 5 > col  ⇔  col < 5
+        let flipped = Predicate::new(
+            PredId(0),
+            Operand::Const(Value::Int(5)),
+            CmpOp::Gt,
+            Operand::Col(ColRef::new(TableIdx(0), 0)),
+        );
+        let k = flipped.int_const_kernel().unwrap();
+        assert_eq!(k.op, CmpOp::Lt);
+        assert_eq!(k.rhs, 5);
+    }
+
+    #[test]
+    fn rejects_non_vectorizable_shapes() {
+        let join = Predicate::join(
+            PredId(0),
+            ColRef::new(TableIdx(0), 0),
+            CmpOp::Eq,
+            ColRef::new(TableIdx(1), 0),
+        );
+        assert!(join.int_const_kernel().is_none());
+        let float = Predicate::selection(
+            PredId(0),
+            ColRef::new(TableIdx(0), 0),
+            CmpOp::Eq,
+            Value::Float(1.0),
+        );
+        assert!(float.int_const_kernel().is_none());
+    }
+
+    #[test]
+    fn all_int_batch_runs_kernel_and_matches_scalar() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            let p = sel(op, 3);
+            let b = batch((0..7).map(Value::Int).collect());
+            let want: Vec<_> = b.iter().map(|t| p.eval(t)).collect();
+            assert_eq!(p.eval_batch(&b), want, "op {op}");
+        }
+    }
+
+    #[test]
+    fn mixed_batch_falls_back_to_scalar_semantics() {
+        let p = sel(CmpOp::Ne, 3);
+        let b = batch(vec![
+            Value::Int(3),
+            Value::Null,
+            Value::str("x"),
+            Value::Eot,
+            Value::Float(3.0),
+            Value::Int(4),
+        ]);
+        let want: Vec<_> = b.iter().map(|t| p.eval(t)).collect();
+        assert_eq!(p.eval_batch(&b), want);
+        // NULL <> 3 is not true under SQL semantics; Str <> Int is.
+        assert_eq!(want[1], Some(false));
+        assert_eq!(want[2], Some(true));
+    }
+
+    #[test]
+    fn wrong_span_yields_none() {
+        let p = sel(CmpOp::Eq, 1);
+        let b: TupleBatch = vec![Tuple::singleton_of(TableIdx(1), vec![Value::Int(1)])]
+            .into_iter()
+            .collect();
+        assert_eq!(p.eval_batch(&b), vec![None]);
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_verdicts() {
+        assert!(sel(CmpOp::Eq, 1).eval_batch(&TupleBatch::new()).is_empty());
+    }
+}

@@ -62,6 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rate_tps: 80.0,
             start_delay_us: 0,
             stall_windows: vec![(secs(1), secs(20))],
+            chunk: 1,
         },
     )?;
     catalog.add_scan(reviews, ScanSpec::with_rate(12.0))?;

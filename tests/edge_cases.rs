@@ -677,3 +677,126 @@ fn time_to_fraction_summary() {
     assert!(half >= secs(0) && full > secs(0));
     assert!(report.time_to_fraction(0.0).is_some());
 }
+
+// ---------------------------------------------------------------------
+// Chunked scan ingestion: EOT ordering under bursty arrival.
+// ---------------------------------------------------------------------
+
+/// Chunked scans under stall windows: the EOT is deferred along with the
+/// final data chunk, and the join result is still exact. Covers chunk
+/// sizes that divide, exceed, and straddle the table sizes.
+#[test]
+fn chunked_scans_with_stalls_are_exact() {
+    for chunk in [2usize, 7, 64] {
+        let mut c = Catalog::new();
+        let r = c
+            .add_table(kv_table("R", (0..30).map(|i| (i, i % 6)).collect()))
+            .unwrap();
+        let s = c
+            .add_table(kv_table("S", (0..12).map(|i| (i, i % 6)).collect()))
+            .unwrap();
+        c.add_scan(
+            r,
+            ScanSpec::with_rate(20.0)
+                .with_chunk(chunk)
+                .stalled_during(secs(1), secs(10)),
+        )
+        .unwrap();
+        c.add_scan(
+            s,
+            ScanSpec::with_rate(20.0)
+                .with_chunk(chunk)
+                .stalled_during(secs(1), secs(12)),
+        )
+        .unwrap();
+        let q = QuerySpec::new(
+            &c,
+            vec![
+                TableInstance {
+                    source: r,
+                    alias: "r".into(),
+                },
+                TableInstance {
+                    source: s,
+                    alias: "s".into(),
+                },
+            ],
+            vec![Predicate::join(
+                PredId(0),
+                ColRef::new(TableIdx(0), 1),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(1), 1),
+            )],
+            None,
+        )
+        .unwrap();
+        verify(&c, &q, checked());
+    }
+}
+
+/// A chunked self-join: one scan AM serves two instances, so every chunk
+/// fans out per instance and the scan EOT must fire exactly once per
+/// instance — a duplicated or missing EOT would corrupt SteM coverage and
+/// show up as wrong results or constraint violations.
+#[test]
+fn chunked_self_join_eot_once_per_instance() {
+    let mut c = Catalog::new();
+    let r = c
+        .add_table(kv_table("R", (0..15).map(|i| (i, i % 4)).collect()))
+        .unwrap();
+    c.add_scan(r, ScanSpec::with_rate(100.0).with_chunk(4))
+        .unwrap();
+    let q = QuerySpec::new(
+        &c,
+        vec![
+            TableInstance {
+                source: r,
+                alias: "r1".into(),
+            },
+            TableInstance {
+                source: r,
+                alias: "r2".into(),
+            },
+        ],
+        vec![Predicate::join(
+            PredId(0),
+            ColRef::new(TableIdx(0), 1),
+            CmpOp::Eq,
+            ColRef::new(TableIdx(1), 1),
+        )],
+        None,
+    )
+    .unwrap();
+    verify(&c, &q, checked());
+}
+
+/// The routing trace respects chunked EOT ordering end to end: with a
+/// single-table chunked scan every data tuple reaches the output before
+/// the engine retires, and re-running with a chunk larger than the table
+/// delivers everything in one burst with identical results.
+#[test]
+fn chunked_single_table_scan_trace_order() {
+    for chunk in [3usize, 100] {
+        let mut c = Catalog::new();
+        let r = c
+            .add_table(kv_table("R", (0..10).map(|i| (i, i)).collect()))
+            .unwrap();
+        c.add_scan(r, ScanSpec::with_rate(10.0).with_chunk(chunk))
+            .unwrap();
+        let q = QuerySpec::new(
+            &c,
+            vec![TableInstance {
+                source: r,
+                alias: "r".into(),
+            }],
+            vec![],
+            None,
+        )
+        .unwrap();
+        let report = verify(&c, &q, checked());
+        assert_eq!(report.results.len(), 10, "chunk {chunk}");
+        // The EOT trails the last data chunk by one row gap, so the query
+        // cannot end before the full table has been delivered.
+        assert!(report.end_time >= secs(1), "chunk {chunk}");
+    }
+}

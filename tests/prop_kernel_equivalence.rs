@@ -1,0 +1,172 @@
+//! Kernel/scalar equivalence: the vectorized predicate kernels must agree
+//! with scalar `Predicate::eval` verdict-for-verdict.
+//!
+//! `Predicate::eval_batch` dispatches `col <op> Int-constant` selections to
+//! a column-at-a-time kernel and falls back to the scalar loop for every
+//! other shape — and for any batch whose kernel column is not all-`Int`.
+//! Over randomized batches (all `CmpOp`s, both operand orientations,
+//! `Null`s, EOT markers, mixed `Value` types forcing the fallback path,
+//! wrong-span tuples) the batch verdict vector must equal the per-tuple
+//! scalar verdicts exactly.
+
+use stems::prelude::*;
+use stems::sim::SimRng;
+use stems::types::TupleBatch;
+
+const OPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+/// A random value, skewed toward `Int` (the kernel's fast path) but
+/// covering every variant the scalar semantics must survive.
+fn gen_value(rng: &mut SimRng, int_only: bool) -> Value {
+    if int_only {
+        return Value::Int(rng.range_inclusive(-4, 4));
+    }
+    match rng.below(10) {
+        0 => Value::Null,
+        1 => Value::Eot,
+        2 => Value::Float(rng.range_inclusive(-4, 4) as f64 / 2.0),
+        3 => Value::str(["a", "b", "zz"][rng.below(3) as usize]),
+        4 => Value::Bool(rng.chance(0.5)),
+        _ => Value::Int(rng.range_inclusive(-4, 4)),
+    }
+}
+
+/// A random single-column-vs-Int-constant selection in either orientation,
+/// or occasionally a shape the kernel must refuse (Float constant).
+fn gen_pred(rng: &mut SimRng) -> Predicate {
+    let col = ColRef::new(TableIdx(rng.below(2) as u8), rng.below(2) as usize);
+    let op = OPS[rng.below(6) as usize];
+    let k = if rng.chance(0.2) {
+        Value::Float(rng.range_inclusive(-4, 4) as f64)
+    } else {
+        Value::Int(rng.range_inclusive(-4, 4))
+    };
+    if rng.chance(0.5) {
+        Predicate::new(PredId(0), Operand::Col(col), op, Operand::Const(k))
+    } else {
+        // Constant on the left: the kernel must flip the operator.
+        Predicate::new(PredId(0), Operand::Const(k), op, Operand::Col(col))
+    }
+}
+
+fn gen_batch(rng: &mut SimRng, int_only: bool) -> TupleBatch {
+    let n = rng.below(200) as usize;
+    (0..n)
+        .map(|_| {
+            // Mostly table 0; sometimes table 1 (wrong span for half the
+            // predicates → verdict `None`), arity 2.
+            let table = TableIdx(if rng.chance(0.85) { 0 } else { 1 });
+            Tuple::singleton_of(
+                table,
+                vec![gen_value(rng, int_only), gen_value(rng, int_only)],
+            )
+        })
+        .collect()
+}
+
+/// Randomized batches, mixed value types: eval_batch ≡ map(eval).
+#[test]
+fn eval_batch_matches_scalar_on_mixed_batches() {
+    let mut rng = SimRng::new(0x5EED_C0DE);
+    for case in 0..500 {
+        let pred = gen_pred(&mut rng);
+        let batch = gen_batch(&mut rng, false);
+        let want: Vec<Option<bool>> = batch.iter().map(|t| pred.eval(t)).collect();
+        assert_eq!(pred.eval_batch(&batch), want, "case {case}: {pred}");
+    }
+}
+
+/// All-Int batches take the vectorized path (when the shape qualifies) and
+/// must still agree with the scalar loop, for every operator and both
+/// operand orientations.
+#[test]
+fn vectorized_path_matches_scalar_on_all_int_batches() {
+    let mut rng = SimRng::new(0x1217_C0DE);
+    let mut kernel_hits = 0usize;
+    for case in 0..500 {
+        let pred = gen_pred(&mut rng);
+        let batch = gen_batch(&mut rng, true);
+        if pred.int_const_kernel().is_some() {
+            kernel_hits += 1;
+        }
+        let want: Vec<Option<bool>> = batch.iter().map(|t| pred.eval(t)).collect();
+        assert_eq!(pred.eval_batch(&batch), want, "case {case}: {pred}");
+    }
+    assert!(
+        kernel_hits > 300,
+        "kernel path barely exercised: {kernel_hits}/500"
+    );
+}
+
+/// Join predicates (col-vs-col) never vectorize but still evaluate
+/// batch-equal to scalar, including over composite tuples.
+#[test]
+fn join_predicates_fall_back_and_agree() {
+    let mut rng = SimRng::new(0x101A);
+    let join = Predicate::join(
+        PredId(0),
+        ColRef::new(TableIdx(0), 1),
+        CmpOp::Eq,
+        ColRef::new(TableIdx(1), 0),
+    );
+    assert!(join.int_const_kernel().is_none());
+    for _ in 0..100 {
+        let n = rng.below(64) as usize;
+        let batch: TupleBatch = (0..n)
+            .map(|_| {
+                let left = Tuple::singleton_of(
+                    TableIdx(0),
+                    vec![gen_value(&mut rng, false), gen_value(&mut rng, false)],
+                );
+                if rng.chance(0.7) {
+                    let right = Tuple::singleton_of(
+                        TableIdx(1),
+                        vec![gen_value(&mut rng, false), gen_value(&mut rng, false)],
+                    );
+                    left.concat(&right)
+                } else {
+                    left // wrong span → None
+                }
+            })
+            .collect();
+        let want: Vec<Option<bool>> = batch.iter().map(|t| join.eval(t)).collect();
+        assert_eq!(join.eval_batch(&batch), want);
+    }
+}
+
+/// One adversarial poison value anywhere in a large Int batch must flip the
+/// whole batch onto the scalar path without changing any verdict.
+#[test]
+fn single_poison_value_does_not_corrupt_verdicts() {
+    let mut rng = SimRng::new(0xBAD_CE11);
+    for poison in [
+        Value::Null,
+        Value::Eot,
+        Value::Float(1.5),
+        Value::str("q"),
+        Value::Bool(true),
+    ] {
+        for op in OPS {
+            let pred =
+                Predicate::selection(PredId(0), ColRef::new(TableIdx(0), 0), op, Value::Int(1));
+            let mut vals: Vec<Value> = (0..97)
+                .map(|_| Value::Int(rng.range_inclusive(-2, 2)))
+                .collect();
+            let slot = rng.below(vals.len() as u64) as usize;
+            vals[slot] = poison.clone();
+            let batch: TupleBatch = vals
+                .into_iter()
+                .map(|v| Tuple::singleton_of(TableIdx(0), vec![v]))
+                .collect();
+            let want: Vec<Option<bool>> = batch.iter().map(|t| pred.eval(t)).collect();
+            assert_eq!(pred.eval_batch(&batch), want, "poison {poison} op {op}");
+        }
+    }
+}
