@@ -1,0 +1,289 @@
+//! Kernel-family throughput, emitted as `BENCH_3.json` — the third point
+//! of the perf trajectory (`BENCH_1.json`: batched routing, `BENCH_2.json`:
+//! chunked ingestion + Int kernels).
+//!
+//! Two workloads:
+//!
+//! * **int_chain** — the exact selection-heavy pure-Int chain of
+//!   `bench_ingest` (`BENCH_2.json`). The partial-gather rebuild must not
+//!   regress it: every batch is all-Int, so the typed lane covers whole
+//!   batches just like the PR-2 kernels did.
+//! * **mixed_chain** — the same 3-table chain shape with mixed-type
+//!   selection columns: a NULL-sprinkled Float column (`<` against a Float
+//!   constant), a NULL-sprinkled Str column (`IN` list), a second Int
+//!   selection on the same table (conjunction fusion), and a NULL-sprinkled
+//!   Int column. Under the PR-2 kernels every wave containing one NULL (or
+//!   any non-Int value) re-ran the whole scalar loop after a failed gather
+//!   — the double-scan bug this PR fixes; the partial gather keeps the
+//!   typed lanes engaged and only the exception rows go scalar. The
+//!   `unfused_batch64` series isolates the conjunction-fusion share of the
+//!   win.
+//!
+//! Quick mode for CI smoke: `STEMS_BENCH_ROWS` (default 3000) and
+//! `STEMS_BENCH_RUNS` (default 5) shrink the workload; the binary still
+//! asserts cross-series result equality and validates the JSON it wrote,
+//! so a rotted bench binary fails loudly rather than silently emitting
+//! garbage. Output lands in `$STEMS_BENCH_OUT` or `./BENCH_3.json`.
+
+use std::time::Instant;
+use stems_catalog::{Catalog, QuerySpec, ScanSpec};
+use stems_core::{EddyExecutor, ExecConfig, RoutingPolicyKind};
+use stems_datagen::{gen::ColGen, TableBuilder};
+use stems_sql::parse_query;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => default,
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("{name} must be a positive integer, got {s:?}"),
+        },
+        Err(e) => panic!("{name} is not valid unicode: {e}"),
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// The pure-Int selection-heavy chain of `bench_ingest` (BENCH_2's
+/// workload): no regression allowed here.
+fn build_int(rows: usize, chunk: usize) -> (Catalog, QuerySpec) {
+    let mut catalog = Catalog::new();
+    TableBuilder::new("R", rows, 81)
+        .col("a", ColGen::Mod(500))
+        .col("u", ColGen::Mod(500))
+        .register(&mut catalog)
+        .unwrap();
+    TableBuilder::new("S", rows, 82)
+        .col("x", ColGen::Mod(500))
+        .col("y", ColGen::Mod(400))
+        .col("v", ColGen::Mod(500))
+        .register(&mut catalog)
+        .unwrap();
+    TableBuilder::new("T", rows, 83)
+        .col("b", ColGen::Mod(400))
+        .col("w", ColGen::Mod(500))
+        .register(&mut catalog)
+        .unwrap();
+    for src in (0..3).map(stems_catalog::SourceId) {
+        catalog
+            .add_scan(src, ScanSpec::with_rate(100_000.0).with_chunk(chunk))
+            .unwrap();
+    }
+    let query = parse_query(
+        &catalog,
+        "SELECT * FROM R, S, T WHERE R.a = S.x AND S.y = T.b \
+         AND R.u < 300 AND S.v < 300 AND T.w < 300",
+    )
+    .unwrap();
+    (catalog, query)
+}
+
+/// The mixed-type variant: Float / Str / NULL-sprinkled selection columns,
+/// an IN-list, and two selections on one table (fusion).
+fn build_mixed(rows: usize, chunk: usize) -> (Catalog, QuerySpec) {
+    let mut catalog = Catalog::new();
+    TableBuilder::new("R", rows, 81)
+        .col("a", ColGen::Mod(500))
+        .col("u", ColGen::FloatMod(500).with_nulls(11))
+        .register(&mut catalog)
+        .unwrap();
+    TableBuilder::new("S", rows, 82)
+        .col("x", ColGen::Mod(500))
+        .col("y", ColGen::Mod(400))
+        .col("v", ColGen::StrMod(8).with_nulls(13))
+        .col("w", ColGen::Mod(500))
+        .register(&mut catalog)
+        .unwrap();
+    TableBuilder::new("T", rows, 83)
+        .col("b", ColGen::Mod(400))
+        .col("w", ColGen::Mod(500).with_nulls(7))
+        .register(&mut catalog)
+        .unwrap();
+    for src in (0..3).map(stems_catalog::SourceId) {
+        catalog
+            .add_scan(src, ScanSpec::with_rate(100_000.0).with_chunk(chunk))
+            .unwrap();
+    }
+    // FloatMod(500) spans 0.0..250.0 → `< 150.0` keeps ~60%; StrMod(8) IN
+    // 5-of-8 keeps ~62%; S.w/T.w Int selections keep 60% — selectivities
+    // comparable to the int_chain workload.
+    let query = parse_query(
+        &catalog,
+        "SELECT * FROM R, S, T WHERE R.a = S.x AND S.y = T.b \
+         AND R.u < 150.0 AND S.v IN ('s0', 's1', 's2', 's3', 's4') \
+         AND S.w < 300 AND T.w < 300",
+    )
+    .unwrap();
+    (catalog, query)
+}
+
+struct Entry {
+    label: &'static str,
+    chunk: usize,
+    batch_size: usize,
+    rows_per_sec: f64,
+    median_secs: f64,
+    results: usize,
+}
+
+#[allow(clippy::type_complexity)]
+fn run_workload(
+    name: &str,
+    rows: usize,
+    runs: usize,
+    series: &[(&'static str, usize, usize, bool)],
+    build: fn(usize, usize) -> (Catalog, QuerySpec),
+) -> Vec<Entry> {
+    let input_rows = (3 * rows) as f64;
+    let mut entries = Vec::new();
+    let mut reference_results: Option<usize> = None;
+    for &(label, chunk, batch_size, fuse) in series {
+        let (catalog, query) = build(rows, chunk);
+        let mut secs = Vec::new();
+        let mut results = 0usize;
+        for _ in 0..runs {
+            let config = ExecConfig {
+                batch_size,
+                fuse_selections: fuse,
+                policy: RoutingPolicyKind::BenefitCost {
+                    epsilon: 0.05,
+                    drop_rate: 1.0,
+                },
+                ..ExecConfig::default()
+            };
+            let start = Instant::now();
+            let report = EddyExecutor::build(&catalog, &query, config)
+                .expect("plan")
+                .run();
+            secs.push(start.elapsed().as_secs_f64());
+            results = report.results.len();
+            assert!(report.violations.is_empty(), "{:?}", report.violations);
+        }
+        match reference_results {
+            None => reference_results = Some(results),
+            Some(want) => assert_eq!(
+                results, want,
+                "{name}/{label} changed the result count — kernels are not scalar-equivalent"
+            ),
+        }
+        let med = median(secs);
+        let rows_per_sec = input_rows / med;
+        println!(
+            "{name:>11}/{label:<16} (chunk {chunk:>3}, batch {batch_size:>3}): \
+             {rows_per_sec:>12.0} rows/s  (median {med:.4}s over {runs} runs, {results} results)"
+        );
+        entries.push(Entry {
+            label,
+            chunk,
+            batch_size,
+            rows_per_sec,
+            median_secs: med,
+            results,
+        });
+    }
+    entries
+}
+
+fn series_json(entries: &[Entry]) -> String {
+    let scalar = entries[0].rows_per_sec;
+    entries
+        .iter()
+        .map(|e| {
+            format!(
+                "      {{\"label\": \"{}\", \"chunk\": {}, \"batch_size\": {}, \
+                 \"rows_per_sec\": {:.0}, \"median_secs\": {:.6}, \"results\": {}, \
+                 \"speedup_vs_scalar\": {:.3}}}",
+                e.label,
+                e.chunk,
+                e.batch_size,
+                e.rows_per_sec,
+                e.median_secs,
+                e.results,
+                e.rows_per_sec / scalar
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+/// Minimal structural validation of the emitted JSON: balanced braces and
+/// brackets outside strings, and the keys the CI smoke job greps for. Not
+/// a parser — just enough to make a silently-rotted bench fail loudly.
+fn validate_json(text: &str) {
+    let (mut depth, mut brackets, mut in_str, mut esc) = (0i64, 0i64, false, false);
+    for c in text.chars() {
+        if in_str {
+            match (esc, c) {
+                (true, _) => esc = false,
+                (false, '\\') => esc = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth += 1,
+            '}' => depth -= 1,
+            '[' => brackets += 1,
+            ']' => brackets -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0 && brackets >= 0, "malformed JSON nesting");
+    }
+    assert!(
+        depth == 0 && brackets == 0 && !in_str,
+        "unbalanced JSON output"
+    );
+    for key in ["\"benchmark\"", "\"workloads\"", "\"rows_per_sec\""] {
+        assert!(text.contains(key), "JSON output missing {key}");
+    }
+}
+
+fn main() {
+    let rows = env_usize("STEMS_BENCH_ROWS", 3000);
+    let runs = env_usize("STEMS_BENCH_RUNS", 5);
+
+    // (label, scan chunk, routing batch, fuse_selections). The scalar
+    // baselines run unfused: they are the strict one-SM-per-hop cascade
+    // the speedups claim to beat (fusion is batch-size-independent, so a
+    // fused "scalar" row would already carry part of this PR's win).
+    let int_entries = run_workload(
+        "int_chain",
+        rows,
+        runs,
+        &[("scalar", 1, 1, false), ("chunked_batch64", 64, 64, true)],
+        build_int,
+    );
+    let mixed_entries = run_workload(
+        "mixed_chain",
+        rows,
+        runs,
+        &[
+            ("scalar", 1, 1, false),
+            ("unfused_batch64", 64, 64, false),
+            ("chunked_batch64", 64, 64, true),
+        ],
+        build_mixed,
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"kernel_family_chain3_{rows}x{rows}x{rows}_benefit_cost\",\n  \
+         \"metric\": \"input_rows_per_sec_wall\",\n  \"runs\": {runs},\n  \
+         \"workloads\": [\n    {{\"name\": \"int_chain\", \"series\": [\n{}\n    ]}},\n    \
+         {{\"name\": \"mixed_chain\", \"series\": [\n{}\n    ]}}\n  ]\n}}\n",
+        series_json(&int_entries),
+        series_json(&mixed_entries),
+    );
+    validate_json(&json);
+    let path = std::env::var("STEMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_3.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_3.json");
+    // Read back what actually landed on disk — a truncated write must
+    // fail here, not in the next bench PR.
+    let on_disk = std::fs::read_to_string(&path).expect("re-read bench output");
+    validate_json(&on_disk);
+    println!("wrote {path}");
+}

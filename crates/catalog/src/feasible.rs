@@ -30,6 +30,21 @@ pub struct Feasibility {
 /// Is bind column `col` of instance `t` boundable given `accessible`?
 fn col_boundable(q: &QuerySpec, t: TableIdx, col: usize, accessible: TableSet) -> bool {
     q.predicates.iter().any(|p| {
+        // A single-member IN-list (`col IN (7)`) or scalar IN
+        // (`col IN 7`) is a degenerate equality and binds the column
+        // directly — the runtime binding side (`probe_bindings`) applies
+        // the same rule, so feasibility and probe-time bindability agree.
+        // Multi-member lists bind nothing: an index probe supplies
+        // exactly one key.
+        if p.op == CmpOp::In {
+            return match (&p.left, &p.right) {
+                (Operand::Col(c), Operand::List(items)) => {
+                    c.table == t && c.col == col && items.len() == 1
+                }
+                (Operand::Col(c), Operand::Const(_)) => c.table == t && c.col == col,
+                _ => false,
+            };
+        }
         if p.op != CmpOp::Eq {
             return false;
         }
@@ -39,6 +54,8 @@ fn col_boundable(q: &QuerySpec, t: TableIdx, col: usize, accessible: TableSet) -
                 Operand::Const(_) => true,
                 // Join predicates bind it from an accessible instance.
                 Operand::Col(o) => accessible.contains(o.table),
+                // Unreachable for Eq predicates; lists never bind here.
+                Operand::List(_) => false,
             },
             _ => false,
         }
@@ -230,6 +247,60 @@ mod tests {
         ));
         let q = chain(&s, preds);
         assert!(check(&s.catalog, &q).is_ok());
+    }
+
+    /// Predicates that reach S only through its `v` column join, leaving
+    /// the index bind column `k` to be bound (or not) by `in_items`.
+    fn in_list_preds(in_items: Vec<Value>) -> Vec<Predicate> {
+        vec![
+            Predicate::join(
+                PredId(0),
+                ColRef::new(TableIdx(1), 1),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(2), 0),
+            ),
+            Predicate::in_list(PredId(1), ColRef::new(TableIdx(1), 0), in_items),
+        ]
+    }
+
+    #[test]
+    fn single_member_in_list_binds_index() {
+        // S reachable only via its index on k, and no join reaches k:
+        // `s.k IN (7)` is a degenerate equality and binds it.
+        let s = setup(false, Some(0), true, None);
+        let q = chain(&s, in_list_preds(vec![Value::Int(7)]));
+        assert!(check(&s.catalog, &q).is_ok());
+    }
+
+    #[test]
+    fn scalar_in_binds_like_single_member_list() {
+        // `s.k IN 7` (the degenerate scalar form QuerySpec admits) must
+        // plan exactly like `s.k IN (7)`.
+        let s = setup(false, Some(0), true, None);
+        let preds = vec![
+            Predicate::join(
+                PredId(0),
+                ColRef::new(TableIdx(1), 1),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(2), 0),
+            ),
+            Predicate::selection(
+                PredId(1),
+                ColRef::new(TableIdx(1), 0),
+                CmpOp::In,
+                Value::Int(7),
+            ),
+        ];
+        let q = chain(&s, preds);
+        assert!(check(&s.catalog, &q).is_ok());
+    }
+
+    #[test]
+    fn multi_member_in_list_does_not_bind() {
+        // An index probe supplies one key; `s.k IN (7, 8)` cannot bind it.
+        let s = setup(false, Some(0), true, None);
+        let q = chain(&s, in_list_preds(vec![Value::Int(7), Value::Int(8)]));
+        assert!(check(&s.catalog, &q).is_err());
     }
 
     #[test]

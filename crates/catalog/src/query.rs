@@ -2,8 +2,8 @@
 
 use crate::{Catalog, JoinGraph, SourceId};
 use stems_types::{
-    ColRef, Operand, PredId, PredSet, Predicate, Result, StemsError, TableIdx, TableSet, MAX_PREDS,
-    MAX_TABLES,
+    CmpOp, ColRef, Operand, PredId, PredSet, Predicate, Result, StemsError, TableIdx, TableSet,
+    MAX_PREDS, MAX_TABLES,
 };
 
 /// One FROM-clause occurrence of a source table. Self-joins produce several
@@ -200,6 +200,33 @@ impl QuerySpec {
                     p.id.0
                 )));
             }
+            // IN-list shape: a constant list is only valid as the right
+            // side of `col IN (...)`; IN itself also accepts a single
+            // scalar constant (degenerate equality).
+            if matches!(p.left, Operand::List(_)) {
+                return Err(StemsError::Schema(format!(
+                    "predicate {}: constant list must be the right operand of IN",
+                    p.id.0
+                )));
+            }
+            match (p.op, &p.left, &p.right) {
+                // IN takes a column on the left and a list (or a single
+                // scalar, the degenerate equality) on the right.
+                (CmpOp::In, Operand::Col(_), Operand::List(_) | Operand::Const(_)) => {}
+                (CmpOp::In, _, _) => {
+                    return Err(StemsError::Schema(format!(
+                        "predicate {}: IN requires a column on the left and a constant list on the right",
+                        p.id.0
+                    )));
+                }
+                (op, _, Operand::List(_)) => {
+                    return Err(StemsError::Schema(format!(
+                        "predicate {}: operator {op} cannot take a constant list",
+                        p.id.0
+                    )));
+                }
+                _ => {}
+            }
         }
         if let Some(proj) = &self.projection {
             for c in proj {
@@ -257,6 +284,88 @@ mod tests {
             None,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn in_list_shapes_validated() {
+        let (c, r, _s) = setup();
+        let inst = |src| {
+            vec![TableInstance {
+                source: src,
+                alias: "R".into(),
+            }]
+        };
+        let col = ColRef::new(TableIdx(0), 1);
+        // Well-formed: col IN (list), col IN const.
+        assert!(QuerySpec::new(
+            &c,
+            inst(r),
+            vec![Predicate::in_list(PredId(0), col, vec![Value::Int(1)])],
+            None
+        )
+        .is_ok());
+        assert!(QuerySpec::new(
+            &c,
+            inst(r),
+            vec![Predicate::selection(
+                PredId(0),
+                col,
+                CmpOp::In,
+                Value::Int(1)
+            )],
+            None
+        )
+        .is_ok());
+        // Malformed: list on the left, non-column left, column right,
+        // list with a non-IN operator.
+        assert!(QuerySpec::new(
+            &c,
+            inst(r),
+            vec![Predicate::new(
+                PredId(0),
+                Operand::List(vec![Value::Int(1)]),
+                CmpOp::In,
+                Operand::Col(col),
+            )],
+            None
+        )
+        .is_err());
+        assert!(QuerySpec::new(
+            &c,
+            inst(r),
+            vec![Predicate::new(
+                PredId(0),
+                Operand::Const(Value::Int(5)),
+                CmpOp::In,
+                Operand::Col(col),
+            )],
+            None
+        )
+        .is_err());
+        assert!(QuerySpec::new(
+            &c,
+            inst(r),
+            vec![Predicate::new(
+                PredId(0),
+                Operand::Col(col),
+                CmpOp::In,
+                Operand::Col(ColRef::new(TableIdx(0), 0)),
+            )],
+            None
+        )
+        .is_err());
+        assert!(QuerySpec::new(
+            &c,
+            inst(r),
+            vec![Predicate::new(
+                PredId(0),
+                Operand::Col(col),
+                CmpOp::Lt,
+                Operand::List(vec![Value::Int(1)]),
+            )],
+            None
+        )
+        .is_err());
     }
 
     #[test]

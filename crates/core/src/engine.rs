@@ -90,6 +90,15 @@ pub struct ExecConfig {
     /// environment variable — CI runs the whole suite at 1 and 64 so
     /// scalar-engine equivalence is enforced on every push.
     pub batch_size: usize,
+    /// Conjunction fusion: when a batch is routed to a Selection Module,
+    /// also apply every *sibling* selection over the same table instance
+    /// that all batch members are still eligible for, in one pass with
+    /// short-circuit verdict merging ([`crate::sm::Sm::apply_batch_fused`]).
+    /// Per-predicate feedback and virtual cost are charged exactly as the
+    /// sequential cascade would have been; the saving is the dropped
+    /// routing hops and envelopes. `false` reproduces the strict
+    /// one-SM-per-hop cascade.
+    pub fuse_selections: bool,
     /// BoundedRepetition backstop.
     pub max_hops: u32,
     /// Simulation guards.
@@ -114,6 +123,7 @@ impl Default for ExecConfig {
             probe_edges: None,
             priority_pred: None,
             batch_size: default_batch_size(),
+            fuse_selections: true,
             max_hops: 1_000_000,
             max_events: 200_000_000,
             max_time: None,
@@ -211,8 +221,14 @@ struct ModuleRt {
     busy: bool,
 }
 
-/// An open routing group: tuples sharing one legal candidate set, awaiting
-/// a single policy decision.
+/// A routing group: tuples sharing one legal candidate set, awaiting a
+/// single policy decision. While the group is open it accumulates members;
+/// once it flushes (fills up, or the wave ends) it becomes a *deferred
+/// wave*. Queue-backlog hints are **not** captured at flush time: earlier
+/// waves of the same delivery burst shift module backlogs between flush
+/// and dispatch, so any snapshot taken here would go stale (ROADMAP
+/// "hint freshness"). `Hint::est_cost_us` is computed only when the wave
+/// is actually dequeued, in [`EddyExecutor::dispatch_group`].
 struct RouteGroup {
     actions: Vec<Action>,
     batch: TupleBatch,
@@ -623,13 +639,92 @@ impl EddyExecutor {
         sm: &crate::sm::Sm,
         env: Envelope,
     ) -> (u64, Vec<Delivery>, Vec<UnparkSignal>) {
+        // Conjunction fusion: sibling SMs pinned to the same table
+        // instance whose predicate every envelope member is still eligible
+        // for ride this pass, in ascending predicate order (the order the
+        // fixed cascade would visit them in), each through its own cached
+        // kernel. Members of one envelope share a candidate signature, so
+        // their pending-selection sets agree; the per-member check below
+        // is the safety net, not the common case.
+        let siblings: Vec<&crate::sm::Sm> = if self.config.fuse_selections {
+            self.layout
+                .sm_mids
+                .iter()
+                .filter(|(pid, _)| *pid != sm.pred_id())
+                .filter_map(|(_, mid)| match &self.modules[*mid] {
+                    Module::Sm(other) => Some(other),
+                    _ => None,
+                })
+                .filter(|other| {
+                    let p = &other.pred;
+                    p.tables() == sm.pred.tables()
+                        && env.states.iter().all(|s| !s.done.contains(p.id))
+                        && env.batch.iter().all(|t| p.evaluable_on(t.span()))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if siblings.is_empty() {
+            // Nothing to fuse: the plain single-predicate kernel path,
+            // with no per-tuple cascade bookkeeping.
+            return self.select_single(sm, env);
+        }
+        let verdicts = sm.apply_batch_fused(&env.batch, &siblings);
+        // Virtual cost: one SM service per member (exactly the unfused
+        // charge) plus one per extra sibling evaluation actually performed
+        // — fusion saves routing hops and envelopes, not predicate work.
+        let total_evals: usize = verdicts.iter().map(|v| v.evals.len()).sum();
+        let dur = self.config.costs.sm_us
+            * (env.batch.len() + total_evals.saturating_sub(env.batch.len())).max(1) as u64;
+        let mut deliveries = Vec::new();
+        for ((tuple, mut state), fused) in env.batch.into_iter().zip(env.states).zip(verdicts) {
+            for (pred, passed) in &fused.evals {
+                self.metrics.bump("sm_applied", self.now, 1);
+                self.policy.feedback(&Feedback::Selected {
+                    pred: *pred,
+                    passed: *passed,
+                });
+            }
+            match fused.verdict {
+                Some(true) => {
+                    state.done = state.done.union(fused.passed);
+                    deliveries.push(Delivery {
+                        tuple,
+                        state,
+                        clustered: false,
+                    });
+                }
+                Some(false) => {
+                    self.metrics.bump("filtered", self.now, 1);
+                }
+                None => {
+                    self.violations.push(format!(
+                        "selection {} not evaluable on routed tuple",
+                        sm.describe()
+                    ));
+                }
+            }
+        }
+        self.metrics
+            .bump("fused_selects", self.now, siblings.len() as u64);
+        (dur, deliveries, Vec::new())
+    }
+
+    /// The unfused Select hop: apply exactly this SM's predicate to the
+    /// whole envelope.
+    fn select_single(
+        &mut self,
+        sm: &crate::sm::Sm,
+        env: Envelope,
+    ) -> (u64, Vec<Delivery>, Vec<UnparkSignal>) {
         let dur = self.config.costs.sm_us * env.batch.len().max(1) as u64;
         let verdicts = sm.apply_batch(&env.batch);
         let mut deliveries = Vec::new();
         for ((tuple, mut state), verdict) in env.batch.into_iter().zip(env.states).zip(verdicts) {
-            self.metrics.bump("sm_applied", self.now, 1);
             match verdict {
                 Some(true) => {
+                    self.metrics.bump("sm_applied", self.now, 1);
                     self.policy.feedback(&Feedback::Selected {
                         pred: sm.pred_id(),
                         passed: true,
@@ -642,6 +737,7 @@ impl EddyExecutor {
                     });
                 }
                 Some(false) => {
+                    self.metrics.bump("sm_applied", self.now, 1);
                     self.policy.feedback(&Feedback::Selected {
                         pred: sm.pred_id(),
                         passed: false,
@@ -732,9 +828,15 @@ impl EddyExecutor {
     /// decision into **one** module envelope — the batching that amortizes
     /// per-tuple adaptivity overhead. With `batch_size == 1` every group
     /// closes immediately and this is exactly the scalar routing loop.
+    ///
+    /// Groups flush into deferred waves (full groups first, in fill
+    /// order, then the wave's leftovers) and are dispatched in that order
+    /// after the whole wave is grouped; [`EddyExecutor::dispatch_group`]
+    /// re-costs each wave's candidates at dequeue time.
     fn route_deliveries(&mut self, deliveries: Vec<Delivery>) {
         let cap = self.config.batch_size.max(1);
         let mut groups: Vec<RouteGroup> = Vec::new();
+        let mut waves: Vec<RouteGroup> = Vec::new();
         for d in deliveries {
             let Delivery {
                 tuple,
@@ -806,22 +908,29 @@ impl EddyExecutor {
                     prioritized: prio,
                 }),
             }
-            // A full group routes immediately (with cap 1 this degenerates
-            // to the scalar per-tuple loop, preserving its decision order
-            // and queue-backlog hints exactly).
+            // A full group flushes immediately into the wave queue (with
+            // cap 1 this degenerates to the scalar per-tuple loop,
+            // preserving its decision order exactly).
             if let Some(i) = groups.iter().position(|g| g.batch.len() >= cap) {
-                let g = groups.remove(i);
-                self.route_group(g);
+                waves.push(groups.remove(i));
             }
         }
-        for g in groups {
-            self.route_group(g);
+        waves.append(&mut groups);
+        // Modules earlier dispatches of this burst routed into — any later
+        // wave offering one of them had a stale flush-time backlog view.
+        let mut touched: FxHashSet<usize> = FxHashSet::default();
+        for g in waves {
+            self.dispatch_group(g, &mut touched);
         }
     }
 
-    /// Route one signature group: a single policy decision, per-tuple
-    /// constraint verification, one envelope.
-    fn route_group(&mut self, group: RouteGroup) {
+    /// Dispatch one deferred wave: a single policy decision, per-tuple
+    /// constraint verification, one envelope. Candidate costs are
+    /// **computed here, at dequeue time** — earlier dispatches of the
+    /// same burst (`touched`) may have shifted module backlogs since the
+    /// group flushed, and a decision taken on a flush-time snapshot would
+    /// route into queues that no longer look like the estimate.
+    fn dispatch_group(&mut self, group: RouteGroup, touched: &mut FxHashSet<usize>) {
         let RouteGroup {
             actions,
             batch,
@@ -829,6 +938,23 @@ impl EddyExecutor {
             clustered,
             prioritized,
         } = group;
+        // The RoutingPolicy contract requires non-empty batches; groups
+        // only ever open around a first member, so an empty flush is an
+        // engine bug, caught here rather than inside the policy.
+        debug_assert!(
+            !batch.is_empty(),
+            "dispatch_group flushed an empty batch; RoutingPolicy::choose_batch requires ≥ 1 member"
+        );
+        debug_assert_eq!(batch.len(), states.len());
+        // Observability: this wave's candidate set includes a module an
+        // earlier wave of the same burst just routed into — a flush-time
+        // backlog estimate would have been stale here.
+        if actions
+            .iter()
+            .any(|a| a.mid().is_some_and(|m| touched.contains(&m)))
+        {
+            self.metrics.bump("hints_recosted", self.now, 1);
+        }
         let pairs: Vec<(Action, Hint)> = actions
             .into_iter()
             .map(|a| {
@@ -883,14 +1009,9 @@ impl EddyExecutor {
                 Purpose::AmProbe(table)
             }
         };
-        let mid = match action {
-            Action::Build { mid, .. }
-            | Action::ProbeStem { mid, .. }
-            | Action::Select { mid, .. }
-            | Action::ProbeAm { mid, .. } => mid,
-            Action::Drop => unreachable!("drop handled above"),
-        };
+        let mid = action.mid().expect("drop handled above");
         self.metrics.bump("route_batches", self.now, 1);
+        touched.insert(mid);
         self.enqueue(
             mid,
             Envelope {
@@ -1087,5 +1208,277 @@ impl EddyExecutor {
                 stem.approx_bytes() as f64,
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::BenefitCostPolicy;
+    use stems_catalog::{ScanSpec, TableDef, TableInstance};
+    use stems_types::{CmpOp, ColRef, ColumnType, PredId, Schema};
+
+    /// Star query R ⋈ S, R ⋈ T on column `a` — gives a bounced R tuple two
+    /// competing SteM-probe candidates.
+    fn star3() -> (Catalog, QuerySpec) {
+        let mut c = Catalog::new();
+        let schema = Schema::of(&[("k", ColumnType::Int), ("a", ColumnType::Int)]);
+        let mut sources = Vec::new();
+        for name in ["R", "S", "T"] {
+            let rows = (0..8i64).map(|i| vec![i.into(), (i % 3).into()]).collect();
+            let id = c
+                .add_table(TableDef::new(name, schema.clone()).with_rows(rows))
+                .unwrap();
+            c.add_scan(id, ScanSpec::default()).unwrap();
+            sources.push(id);
+        }
+        let q = QuerySpec::new(
+            &c,
+            sources
+                .iter()
+                .zip(["r", "s", "t"])
+                .map(|(src, a)| TableInstance {
+                    source: *src,
+                    alias: a.into(),
+                })
+                .collect(),
+            vec![
+                Predicate::join(
+                    PredId(0),
+                    ColRef::new(TableIdx(0), 1),
+                    CmpOp::Eq,
+                    ColRef::new(TableIdx(1), 1),
+                ),
+                Predicate::join(
+                    PredId(1),
+                    ColRef::new(TableIdx(0), 1),
+                    CmpOp::Eq,
+                    ColRef::new(TableIdx(2), 1),
+                ),
+            ],
+            None,
+        )
+        .unwrap();
+        (c, q)
+    }
+
+    fn dummy_env() -> Envelope {
+        Envelope {
+            batch: TupleBatch::new(),
+            states: Vec::new(),
+            purpose: Purpose::Probe,
+            clustered: false,
+            prioritized: false,
+        }
+    }
+
+    /// The hint-freshness guard: `dispatch_group` computes candidate
+    /// costs only at dequeue. The test materializes the snapshot a
+    /// flush-time capture *would* have taken, shifts the backlog the way
+    /// earlier dispatches of a burst do, and shows the snapshot-fed
+    /// decision differs from the dispatch-time one — i.e. re-costing at
+    /// dequeue changes the chosen action under a shifted backlog, which
+    /// is why no flush-time snapshot may ever reach the policy.
+    #[test]
+    fn recosting_at_dispatch_changes_choice_under_shifted_backlog() {
+        let (catalog, query) = star3();
+        let config = ExecConfig {
+            policy: RoutingPolicyKind::BenefitCost {
+                epsilon: 0.0,
+                drop_rate: 0.0,
+            },
+            ..ExecConfig::default()
+        };
+        let mut exec = EddyExecutor::build(&catalog, &query, config).unwrap();
+        let m1 = exec.layout.stem_mid[1].expect("S SteM");
+        let m2 = exec.layout.stem_mid[2].expect("T SteM");
+        let actions = vec![
+            Action::ProbeStem {
+                mid: m1,
+                table: TableIdx(1),
+            },
+            Action::ProbeStem {
+                mid: m2,
+                table: TableIdx(2),
+            },
+        ];
+        // Flush-time backlog: m2 busy, m1 free — the snapshot favors m1.
+        for _ in 0..6 {
+            exec.rt[m2].queue.push_back(dummy_env());
+        }
+        let flushed: Vec<Hint> = actions.iter().map(|a| exec.hint_for(a)).collect();
+        // The backlog shifts before the wave is dequeued: m2 drains, m1
+        // fills (earlier waves of the same burst routed into it).
+        exec.rt[m2].queue.clear();
+        for _ in 0..6 {
+            exec.rt[m1].queue.push_back(dummy_env());
+        }
+
+        // A decision taken on the stale snapshot would route to m1 …
+        let tuple = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1), Value::Int(1)])
+            .with_timestamp(TableIdx(0), 1);
+        let stale_pairs: Vec<(Action, Hint)> = actions
+            .iter()
+            .copied()
+            .zip(flushed.iter().copied())
+            .collect();
+        let mut stale_policy = BenefitCostPolicy::new(0.0, 0.0);
+        let stale = stale_policy.choose(
+            &tuple,
+            &TupleState::new(),
+            &stale_pairs,
+            &mut SimRng::new(1),
+        );
+        assert!(
+            matches!(stale_pairs[stale].0, Action::ProbeStem { mid, .. } if mid == m1),
+            "stale snapshot should favor the then-empty m1"
+        );
+
+        // … but the dispatcher costs at dequeue and routes to m2. The
+        // backlog shift came from earlier dispatches of the same burst
+        // (`touched`), which also drives the staleness counter.
+        let before = exec.rt[m1].queue.len();
+        let mut touched = FxHashSet::default();
+        touched.insert(m1);
+        exec.dispatch_group(
+            RouteGroup {
+                actions,
+                batch: TupleBatch::single(tuple),
+                states: vec![TupleState::new()],
+                clustered: false,
+                prioritized: false,
+            },
+            &mut touched,
+        );
+        assert_eq!(
+            exec.rt[m2].queue.len(),
+            1,
+            "re-costed decision must route to the now-cheaper module"
+        );
+        assert_eq!(
+            exec.rt[m1].queue.len(),
+            before,
+            "m1 must not receive the wave"
+        );
+        assert_eq!(exec.metrics.counter("hints_recosted"), 1);
+        // The dispatched wave's destination joins the touched set, so a
+        // following wave offering m2 would count as re-costed too.
+        assert!(touched.contains(&m2));
+    }
+
+    /// Selection-heavy workload for the fusion tests: two selections over
+    /// R plus a join, so a fused Select hop can retire both predicates.
+    fn sel2() -> (Catalog, QuerySpec) {
+        let mut c = Catalog::new();
+        let r = c
+            .add_table(
+                TableDef::new(
+                    "R",
+                    Schema::of(&[
+                        ("k", ColumnType::Int),
+                        ("u", ColumnType::Int),
+                        ("v", ColumnType::Int),
+                    ]),
+                )
+                .with_rows(
+                    (0..40i64)
+                        .map(|i| vec![i.into(), (i % 4).into(), (i % 3).into()])
+                        .collect(),
+                ),
+            )
+            .unwrap();
+        let s = c
+            .add_table(
+                TableDef::new("S", Schema::of(&[("k", ColumnType::Int)]))
+                    .with_rows((0..40i64).map(|i| vec![i.into()]).collect()),
+            )
+            .unwrap();
+        c.add_scan(r, ScanSpec::default()).unwrap();
+        c.add_scan(s, ScanSpec::default()).unwrap();
+        let q = QuerySpec::new(
+            &c,
+            vec![
+                TableInstance {
+                    source: r,
+                    alias: "r".into(),
+                },
+                TableInstance {
+                    source: s,
+                    alias: "s".into(),
+                },
+            ],
+            vec![
+                Predicate::join(
+                    PredId(0),
+                    ColRef::new(TableIdx(0), 0),
+                    CmpOp::Eq,
+                    ColRef::new(TableIdx(1), 0),
+                ),
+                Predicate::selection(
+                    PredId(1),
+                    ColRef::new(TableIdx(0), 1),
+                    CmpOp::Lt,
+                    Value::Int(2),
+                ),
+                Predicate::selection(
+                    PredId(2),
+                    ColRef::new(TableIdx(0), 2),
+                    CmpOp::Lt,
+                    Value::Int(2),
+                ),
+            ],
+            None,
+        )
+        .unwrap();
+        (c, q)
+    }
+
+    /// Fused and unfused runs must emit the same result multiset, and —
+    /// under the deterministic fixed policy, whose cascade order equals
+    /// the fused chain order — the same per-predicate evaluation count
+    /// (`Feedback::Selected` parity with the scalar cascade), while the
+    /// fused run schedules no more events.
+    #[test]
+    fn fused_selections_match_unfused_cascade() {
+        let (catalog, query) = sel2();
+        let run = |fuse: bool| {
+            let config = ExecConfig {
+                fuse_selections: fuse,
+                check_constraints: true,
+                ..ExecConfig::default()
+            };
+            EddyExecutor::build(&catalog, &query, config)
+                .expect("plan")
+                .run()
+        };
+        let fused = run(true);
+        let unfused = run(false);
+        assert!(fused.violations.is_empty(), "{:?}", fused.violations);
+        assert!(unfused.violations.is_empty(), "{:?}", unfused.violations);
+        assert_eq!(
+            fused.canonical(&catalog, &query),
+            unfused.canonical(&catalog, &query)
+        );
+        // And both must match the reference nested-loop executor.
+        let expected = stems_catalog::reference::canonical(
+            &catalog,
+            &query,
+            &stems_catalog::reference::execute(&catalog, &query),
+        );
+        assert_eq!(fused.canonical(&catalog, &query), expected);
+        assert_eq!(
+            fused.counter("sm_applied"),
+            unfused.counter("sm_applied"),
+            "fusion must evaluate exactly what the cascade evaluates"
+        );
+        assert_eq!(fused.counter("filtered"), unfused.counter("filtered"));
+        assert!(fused.counter("fused_selects") > 0, "fusion never engaged");
+        assert_eq!(unfused.counter("fused_selects"), 0);
+        assert!(
+            fused.events <= unfused.events,
+            "fusion must not schedule more events ({} vs {})",
+            fused.events,
+            unfused.events
+        );
     }
 }

@@ -108,4 +108,5 @@ pub use policy::{
     BenefitCostPolicy, FixedOrderPolicy, LotteryPolicy, RoutingPolicy, RoutingPolicyKind,
 };
 pub use report::{Report, TraceEvent, TraceKind};
+pub use sm::{FusedVerdict, Sm};
 pub use tuple_state::TupleState;

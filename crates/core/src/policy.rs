@@ -66,6 +66,18 @@ pub trait RoutingPolicy: Send {
     /// amortized over every member, which is what makes per-tuple
     /// adaptivity affordable at high input rates.
     ///
+    /// # Contract
+    ///
+    /// * `batch` is **never empty**: route groups only open around a first
+    ///   member, and the engine debug-asserts this at the dispatch site
+    ///   (`EddyExecutor::dispatch_group`). Implementations may rely on
+    ///   `batch.as_slice().first()` being `Some`; the default
+    ///   implementation panics on an (impossible) empty batch rather than
+    ///   silently picking an arbitrary action.
+    /// * `actions` is non-empty, and the `Hint` costs are recomputed at
+    ///   dispatch time — they reflect module backlogs at the moment of
+    ///   the decision, not at group flush.
+    ///
     /// The default falls back to the scalar [`RoutingPolicy::choose`] on
     /// the batch's first tuple (all members face identical candidates, so
     /// any member is a valid representative); `state` is that tuple's
@@ -80,7 +92,7 @@ pub trait RoutingPolicy: Send {
         let rep = batch
             .as_slice()
             .first()
-            .expect("choose_batch on empty batch");
+            .expect("choose_batch contract violated: the engine flushes only non-empty groups");
         self.choose(rep, state, actions, rng)
     }
 

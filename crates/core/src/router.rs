@@ -32,6 +32,17 @@ pub enum Action {
 }
 
 impl Action {
+    /// The destination module id; `None` for [`Action::Drop`].
+    pub fn mid(&self) -> Option<usize> {
+        match self {
+            Action::Build { mid, .. }
+            | Action::ProbeStem { mid, .. }
+            | Action::Select { mid, .. }
+            | Action::ProbeAm { mid, .. } => Some(*mid),
+            Action::Drop => None,
+        }
+    }
+
     pub fn kind(&self) -> &'static str {
         match self {
             Action::Build { .. } => "build",

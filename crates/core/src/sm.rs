@@ -5,19 +5,52 @@
 //! and removes it from the dataflow otherwise. To track the progress made,
 //! if the tuple passes the predicate, the SM marks this fact in the tuple's
 //! TupleState."
+//!
+//! # Conjunction fusion
+//!
+//! The engine may hand an SM a batch together with *sibling* SMs — other
+//! pending selections over the same table instance that every batch
+//! member is also eligible for. [`Sm::apply_batch_fused`] then evaluates
+//! the whole conjunction in one pass: each predicate runs column-at-a-time
+//! over the rows still alive (via the kernels' masked entry point),
+//! short-circuiting a row out of later predicates the moment one fails.
+//! The per-predicate outcomes are reported exactly as a sequential scalar
+//! cascade through separate SMs would report them: one `(pred, passed)`
+//! observation per evaluation actually performed, none for predicates a
+//! row never reached.
 
-use stems_types::{PredId, Predicate, Tuple, TupleBatch};
+use stems_types::{ConstKernel, PredId, PredSet, Predicate, Tuple, TupleBatch};
 
-/// A selection module wrapping one predicate.
+/// A selection module wrapping one predicate. The predicate's columnar
+/// kernel is derived **once** here — IN-list kernels sort and dedup their
+/// member list at construction, so envelopes must not re-derive them per
+/// batch.
 #[derive(Debug, Clone)]
 pub struct Sm {
     pub pred: Predicate,
+    kernel: Option<ConstKernel>,
+}
+
+/// Per-tuple outcome of a fused selection cascade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedVerdict {
+    /// `Some(true)` — every predicate in the chain passed; `Some(false)` —
+    /// dropped at the first failing predicate; `None` — a predicate was
+    /// unexpectedly not evaluable on the tuple's span (router error).
+    pub verdict: Option<bool>,
+    /// Donebits earned: the predicates that evaluated to `true`.
+    pub passed: PredSet,
+    /// Chain-order `(pred, passed)` observations for policy feedback —
+    /// exactly the `Feedback::Selected` events a sequential scalar cascade
+    /// would have generated.
+    pub evals: Vec<(PredId, bool)>,
 }
 
 impl Sm {
     pub fn new(pred: Predicate) -> Sm {
         debug_assert!(pred.is_selection(), "SMs wrap selection predicates");
-        Sm { pred }
+        let kernel = pred.const_kernel();
+        Sm { pred, kernel }
     }
 
     pub fn pred_id(&self) -> PredId {
@@ -33,19 +66,77 @@ impl Sm {
 
     /// Apply the predicate to every tuple of a batch: one verdict per
     /// member, in batch order, verdict-for-verdict identical to calling
-    /// [`Sm::apply`] in a loop.
-    ///
-    /// Dispatch rules (see [`stems_types::IntConstKernel`]): a selection
-    /// of shape `col <op> Int-constant` — either orientation, any
-    /// [`stems_types::CmpOp`] — whose batch column is all-`Int` runs as a
-    /// column-at-a-time kernel: the column is gathered once, then one
-    /// tight primitive comparison loop with the operator and constant
-    /// hoisted out. Any other predicate shape, and any batch containing a
-    /// `Null`, EOT, non-`Int`, or missing column value, falls back to the
-    /// scalar [`stems_types::Predicate::eval`] loop, which remains the
-    /// semantic ground truth (`tests/prop_kernel_equivalence.rs`).
+    /// [`Sm::apply`] in a loop. Constant selections run as the typed
+    /// partial-gather kernel cached at construction (see
+    /// `stems_types::kernel` for the dispatch rules); everything else
+    /// takes the scalar loop, which remains the semantic ground truth
+    /// (`tests/prop_kernel_equivalence.rs`).
     pub fn apply_batch(&self, batch: &TupleBatch) -> Vec<Option<bool>> {
-        self.pred.eval_batch(batch)
+        self.eval_masked(batch, None)
+    }
+
+    /// One pass of this SM's predicate over the (masked) batch, through
+    /// the cached kernel when there is one. Kernel-less predicates defer
+    /// to [`Predicate::eval_batch_masked`], whose own kernel derivation is
+    /// a cheap `None` for exactly these shapes.
+    fn eval_masked(&self, batch: &TupleBatch, mask: Option<&[bool]>) -> Vec<Option<bool>> {
+        match &self.kernel {
+            Some(k) => k.eval_masked(&self.pred, batch, mask),
+            None => self.pred.eval_batch_masked(batch, mask),
+        }
+    }
+
+    /// Apply this SM's predicate *and* the `siblings` chain to every tuple
+    /// of a batch in one pass — conjunction fusion. The chain order is
+    /// this SM's predicate first, then `siblings` in the given order; a
+    /// row that fails (or turns out not evaluable) short-circuits out of
+    /// every later predicate. Every link runs through its own SM's cached
+    /// kernel. With an empty `siblings` slice this is [`Sm::apply_batch`]
+    /// plus bookkeeping.
+    pub fn apply_batch_fused(&self, batch: &TupleBatch, siblings: &[&Sm]) -> Vec<FusedVerdict> {
+        let n = batch.len();
+        let mut out: Vec<FusedVerdict> = (0..n)
+            .map(|_| FusedVerdict {
+                verdict: Some(true),
+                passed: PredSet::EMPTY,
+                evals: Vec::new(),
+            })
+            .collect();
+        let mut alive = vec![true; n];
+        let mut alive_count = n;
+        for (k, sm) in std::iter::once(&self).chain(siblings.iter()).enumerate() {
+            if alive_count == 0 {
+                break;
+            }
+            // The first predicate sees every row; later ones gather only
+            // the survivors through the kernels' mask.
+            let mask = if k == 0 { None } else { Some(alive.as_slice()) };
+            let verdicts = sm.eval_masked(batch, mask);
+            let pred_id = sm.pred_id();
+            for (i, v) in verdicts.into_iter().enumerate() {
+                if !alive[i] {
+                    continue;
+                }
+                match v {
+                    Some(true) => {
+                        out[i].evals.push((pred_id, true));
+                        out[i].passed.insert(pred_id);
+                    }
+                    Some(false) => {
+                        out[i].evals.push((pred_id, false));
+                        out[i].verdict = Some(false);
+                        alive[i] = false;
+                        alive_count -= 1;
+                    }
+                    None => {
+                        out[i].verdict = None;
+                        alive[i] = false;
+                        alive_count -= 1;
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Observed selectivity helpers are kept by the policy, not here; the
@@ -117,5 +208,49 @@ mod tests {
             want,
             vec![Some(true), Some(false), Some(false), None, Some(false)]
         );
+    }
+
+    #[test]
+    fn fused_chain_short_circuits_and_reports_per_pred() {
+        // p0: c0 > 10, p1: c1 < 5 over table 0.
+        let p1 = Predicate::selection(
+            PredId(1),
+            ColRef::new(TableIdx(0), 1),
+            CmpOp::Lt,
+            Value::Int(5),
+        );
+        let sm = sm_gt(10);
+        let sm1 = Sm::new(p1);
+        let t = |a: i64, b: i64| Tuple::singleton_of(TableIdx(0), vec![a.into(), b.into()]);
+        let batch: TupleBatch = vec![t(99, 1), t(3, 1), t(99, 9)].into_iter().collect();
+        let out = sm.apply_batch_fused(&batch, &[&sm1]);
+        // Row 0 passes both: both donebits, both feedback events.
+        assert_eq!(out[0].verdict, Some(true));
+        assert!(out[0].passed.contains(PredId(0)) && out[0].passed.contains(PredId(1)));
+        assert_eq!(out[0].evals, vec![(PredId(0), true), (PredId(1), true)]);
+        // Row 1 fails p0: p1 is never evaluated (short circuit).
+        assert_eq!(out[1].verdict, Some(false));
+        assert_eq!(out[1].evals, vec![(PredId(0), false)]);
+        // Row 2 passes p0, fails p1.
+        assert_eq!(out[2].verdict, Some(false));
+        assert!(out[2].passed.contains(PredId(0)));
+        assert_eq!(out[2].evals, vec![(PredId(0), true), (PredId(1), false)]);
+    }
+
+    #[test]
+    fn fused_with_no_siblings_matches_apply_batch() {
+        let sm = sm_gt(10);
+        let batch: TupleBatch = vec![
+            Tuple::singleton_of(TableIdx(0), vec![Value::Int(99)]),
+            Tuple::singleton_of(TableIdx(0), vec![Value::Int(3)]),
+            Tuple::singleton_of(TableIdx(1), vec![Value::Int(50)]),
+        ]
+        .into_iter()
+        .collect();
+        let fused = sm.apply_batch_fused(&batch, &[]);
+        let plain = sm.apply_batch(&batch);
+        assert_eq!(fused.iter().map(|f| f.verdict).collect::<Vec<_>>(), plain);
+        // Not-evaluable rows report no feedback, like the scalar engine.
+        assert!(fused[2].evals.is_empty());
     }
 }

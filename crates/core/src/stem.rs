@@ -595,6 +595,28 @@ pub fn probe_bindings(
                     }
                 }
             }
+        } else if p.op == stems_types::CmpOp::In {
+            // A single-member IN-list (or scalar IN) is a degenerate
+            // equality and binds like one — the same rule the feasibility
+            // fixpoint applies (`stems_catalog::feasible`), so a query
+            // admitted through an `IN (v)` binding is actually probeable
+            // at runtime.
+            let single = match (&p.left, &p.right) {
+                (stems_types::Operand::Col(c), stems_types::Operand::List(items))
+                    if items.len() == 1 =>
+                {
+                    Some((c, &items[0]))
+                }
+                (stems_types::Operand::Col(c), stems_types::Operand::Const(v)) => Some((c, v)),
+                _ => None,
+            };
+            if let Some((c, v)) = single {
+                if c.table == t {
+                    if let Some(v) = index_key(v) {
+                        out.push((c.col, v));
+                    }
+                }
+            }
         }
     }
     out.sort_by_key(|a| a.0);
@@ -951,6 +973,95 @@ mod tests {
         assert_eq!(stem.len(), 2);
         assert_eq!(stem.evictions, 2);
         assert_eq!(ts, 4);
+    }
+
+    /// The side maps (`dedup`, `ts_of`) and the store must agree on
+    /// membership and length — `Stem::apply_eviction` must sweep all
+    /// three together.
+    fn assert_side_maps_consistent(stem: &Stem) {
+        assert_eq!(stem.ts_of.len(), stem.store.len(), "ts_of vs store len");
+        assert_eq!(stem.dedup.len(), stem.store.len(), "dedup vs store len");
+        for row in stem.store.scan() {
+            assert!(
+                stem.ts_of.contains_key(&row),
+                "stored row missing from ts_of: {row:?}"
+            );
+            assert!(
+                stem.dedup.contains(&row),
+                "stored row missing from dedup: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_side_maps_stay_consistent_across_sweeps() {
+        let opts = StemOptions {
+            eviction_window: Some(3),
+            ..StemOptions::default()
+        };
+        let mut stem = Stem::new(TableIdx(1), SourceId(1), &[0], true, false, opts);
+        // Drive far past the window, with duplicates interleaved, so many
+        // sweeps run; the maps must agree after every build.
+        for i in 0..40i64 {
+            let key = i % 10;
+            stem.build(&s_tuple(key, key), &TupleState::new(), (i + 1) as u64);
+            assert_side_maps_consistent(&stem);
+            assert!(stem.len() <= 3, "window overrun at i={i}");
+        }
+        assert!(stem.evictions > 0);
+        // An evicted row must be forgotten everywhere: it rebuilds Fresh,
+        // and the maps stay in step.
+        let victim = s_tuple(0, 0);
+        assert!(matches!(
+            stem.build(&victim, &TupleState::new(), 99),
+            BuildResult::Fresh(_)
+        ));
+        assert_side_maps_consistent(&stem);
+    }
+
+    #[test]
+    fn windowed_side_maps_survive_intra_batch_duplicate_rearrival() {
+        // window=2, batch [r1, r2, r3, r1, r1]: inserting r2/r3 evicts r1
+        // and must forget it in `dedup` and `ts_of`; the first re-arrival
+        // rebuilds Fresh (and re-enters both maps), the second is a true
+        // duplicate again. After the sweep, store/dedup/ts_of agree.
+        let opts = StemOptions {
+            eviction_window: Some(2),
+            ..StemOptions::default()
+        };
+        let mut stem = Stem::new(TableIdx(1), SourceId(1), &[0], true, false, opts);
+        let batch: TupleBatch = [
+            s_tuple(1, 1),
+            s_tuple(2, 2),
+            s_tuple(3, 3),
+            s_tuple(1, 1),
+            s_tuple(1, 1),
+        ]
+        .into_iter()
+        .collect();
+        let states = vec![TupleState::new(); 5];
+        let mut ts = 0;
+        let results = stem.build_batch(&batch, &states, &mut ts);
+        assert!(matches!(results[3], BuildResult::Fresh(_)));
+        assert_eq!(results[4], BuildResult::Duplicate);
+        assert_side_maps_consistent(&stem);
+        assert_eq!(stem.len(), 2);
+        // The re-built r1 carries its *new* timestamp in ts_of.
+        let r1 = s_tuple(1, 1);
+        let ts_r1 = *stem.ts_of.get(&r1.components()[0].row).expect("r1 stored");
+        assert_eq!(ts_r1, 4, "re-arrival must be re-stamped, not stale");
+    }
+
+    #[test]
+    fn unbounded_stem_side_maps_consistent() {
+        let mut stem = s_stem(true, false);
+        for i in 0..10 {
+            stem.build(&s_tuple(i, i), &TupleState::new(), (i + 1) as u64);
+        }
+        // Duplicates leave the maps untouched.
+        stem.build(&s_tuple(3, 3), &TupleState::new(), 50);
+        assert_side_maps_consistent(&stem);
+        assert_eq!(stem.len(), 10);
     }
 
     #[test]

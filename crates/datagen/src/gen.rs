@@ -35,6 +35,74 @@ pub enum ColGen {
     /// A random permutation of `0..rows` (unique, shuffled — the paper's
     /// "randomly assigned" key columns).
     Permutation,
+    /// `(key % n) / 2.0` as a `Float` column — `n` distinct values, half
+    /// of them non-integral (typed-lane kernel workloads).
+    FloatMod(i64),
+    /// `"s<key % n>"` as a `Str` column — `n` distinct interned strings.
+    StrMod(i64),
+    /// The wrapped generator, except every `every`-th row (1-based) is
+    /// NULL — exception rows for the partial-gather kernels.
+    WithNulls { gen: Box<ColGen>, every: u64 },
+}
+
+impl ColGen {
+    /// Shorthand for [`ColGen::WithNulls`].
+    pub fn with_nulls(self, every: u64) -> ColGen {
+        ColGen::WithNulls {
+            gen: Box::new(self),
+            every: every.max(1),
+        }
+    }
+
+    /// The generator behind any `WithNulls` wrapper.
+    fn unwrapped(&self) -> &ColGen {
+        match self {
+            ColGen::WithNulls { gen, .. } => gen.unwrapped(),
+            g => g,
+        }
+    }
+
+    /// The schema type of the generated column.
+    fn col_type(&self) -> ColumnType {
+        match self.unwrapped() {
+            ColGen::FloatMod(_) => ColumnType::Float,
+            ColGen::StrMod(_) => ColumnType::Str,
+            _ => ColumnType::Int,
+        }
+    }
+}
+
+/// Generate one value. `perms`/`zipfs` are the per-column precomputed
+/// tables (keyed by top-level column index `ci`).
+fn gen_value(
+    g: &ColGen,
+    k: i64,
+    ci: usize,
+    rng: &mut SimRng,
+    perms: &[Vec<i64>],
+    zipfs: &[Option<ZipfSampler>],
+) -> Value {
+    match g {
+        ColGen::Mod(n) => Value::Int(k % n.max(&1)),
+        ColGen::Uniform(lo, hi) => Value::Int(rng.range_inclusive(*lo, *hi)),
+        ColGen::Zipf { .. } => Value::Int(
+            zipfs[ci]
+                .as_ref()
+                .expect("sampler precomputed for Zipf column")
+                .sample(rng),
+        ),
+        ColGen::Serial => Value::Int(k),
+        ColGen::Permutation | ColGen::ModShuffled(_) => Value::Int(perms[ci][k as usize]),
+        ColGen::FloatMod(n) => Value::Float((k % n.max(&1)) as f64 / 2.0),
+        ColGen::StrMod(n) => Value::str(&format!("s{}", k % n.max(&1))),
+        ColGen::WithNulls { gen, every } => {
+            if (k as u64 + 1).is_multiple_of(*every.max(&1)) {
+                Value::Null
+            } else {
+                gen_value(gen, k, ci, rng, perms, zipfs)
+            }
+        }
+    }
 }
 
 impl TableBuilder {
@@ -53,18 +121,20 @@ impl TableBuilder {
         self
     }
 
-    /// Materialize the table definition (schema: `key` + attribute cols).
+    /// Materialize the table definition (schema: `key` + attribute cols,
+    /// each typed after its generator).
     pub fn build(mut self) -> TableDef {
         let mut cols = vec![Column::new("key", ColumnType::Int)];
-        for (name, _) in &self.columns {
-            cols.push(Column::new(name, ColumnType::Int));
+        for (name, g) in &self.columns {
+            cols.push(Column::new(name, g.col_type()));
         }
         let schema = Schema::new(cols).expect("generated schema is valid");
 
-        // Pre-compute permutation / shuffled-mod columns.
+        // Pre-compute permutation / shuffled-mod columns (also behind any
+        // `WithNulls` wrapper).
         let mut perms: Vec<Vec<i64>> = Vec::new();
         for (_, g) in &self.columns {
-            match g {
+            match g.unwrapped() {
                 ColGen::Permutation => {
                     let mut p: Vec<i64> = (0..self.rows as i64).collect();
                     self.rng.shuffle(&mut p);
@@ -81,7 +151,7 @@ impl TableBuilder {
         let zipf_tables: Vec<Option<ZipfSampler>> = self
             .columns
             .iter()
-            .map(|(_, g)| match g {
+            .map(|(_, g)| match g.unwrapped() {
                 ColGen::Zipf { n, theta } => Some(ZipfSampler::new(*n, *theta)),
                 _ => None,
             })
@@ -91,17 +161,7 @@ impl TableBuilder {
         for k in 0..self.rows as i64 {
             let mut vals = vec![Value::Int(k)];
             for (ci, (_, g)) in self.columns.iter().enumerate() {
-                let v = match g {
-                    ColGen::Mod(n) => k % n.max(&1),
-                    ColGen::Uniform(lo, hi) => self.rng.range_inclusive(*lo, *hi),
-                    ColGen::Zipf { .. } => zipf_tables[ci]
-                        .as_ref()
-                        .expect("sampler built above")
-                        .sample(&mut self.rng),
-                    ColGen::Serial => k,
-                    ColGen::Permutation | ColGen::ModShuffled(_) => perms[ci][k as usize],
-                };
-                vals.push(Value::Int(v));
+                vals.push(gen_value(g, k, ci, &mut self.rng, &perms, &zipf_tables));
             }
             rows.push(vals);
         }
@@ -189,6 +249,38 @@ mod tests {
             .collect();
         vals.sort_unstable();
         assert_eq!(vals, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn typed_columns_and_nulls() {
+        let t = TableBuilder::new("t", 30, 9)
+            .col("f", ColGen::FloatMod(4))
+            .col("s", ColGen::StrMod(3))
+            .col("n", ColGen::Mod(5).with_nulls(3))
+            .build();
+        assert_eq!(t.schema.columns()[1].ty, ColumnType::Float);
+        assert_eq!(t.schema.columns()[2].ty, ColumnType::Str);
+        assert_eq!(t.schema.columns()[3].ty, ColumnType::Int);
+        let mut nulls = 0;
+        for (k, r) in t.rows().iter().enumerate() {
+            match r.get(1) {
+                Some(Value::Float(f)) => assert_eq!(*f, (k as i64 % 4) as f64 / 2.0),
+                other => panic!("expected float, got {other:?}"),
+            }
+            match r.get(2) {
+                Some(Value::Str(s)) => assert_eq!(**s, *format!("s{}", k % 3)),
+                other => panic!("expected str, got {other:?}"),
+            }
+            match r.get(3) {
+                Some(Value::Null) => {
+                    nulls += 1;
+                    assert_eq!((k + 1) % 3, 0, "NULL cadence");
+                }
+                Some(Value::Int(v)) => assert_eq!(*v, k as i64 % 5),
+                other => panic!("expected int/null, got {other:?}"),
+            }
+        }
+        assert_eq!(nulls, 10);
     }
 
     #[test]

@@ -11,8 +11,9 @@ use stems_types::{CmpOp, ColRef, Operand, PredId, Predicate, Result, StemsError,
 /// query   := SELECT proj FROM table (, table)* [WHERE pred (AND pred)*]
 /// proj    := * | colref (, colref)*
 /// table   := ident [[AS] ident]
-/// pred    := operand cmp operand
-/// operand := colref | int | float | string
+/// pred    := operand cmp operand | colref IN ( const (, const)* )
+/// operand := colref | const
+/// const   := int | float | string
 /// colref  := [ident .] ident
 /// cmp     := = | <> | != | < | <= | > | >=
 /// ```
@@ -172,6 +173,31 @@ impl<'a> Parser<'a> {
         idx: usize,
     ) -> Result<Predicate> {
         let left = self.parse_operand(tables, catalog)?;
+        if self.peek_kw("IN") {
+            self.pos += 1;
+            if !matches!(left, Operand::Col(_)) {
+                return Err(StemsError::Parse("IN requires a column on the left".into()));
+            }
+            if self.peek() != Some(&Token::LParen) {
+                return Err(StemsError::Parse("expected ( after IN".into()));
+            }
+            self.pos += 1;
+            let mut items = vec![self.parse_const()?];
+            while self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                items.push(self.parse_const()?);
+            }
+            if self.peek() != Some(&Token::RParen) {
+                return Err(StemsError::Parse("expected ) closing IN list".into()));
+            }
+            self.pos += 1;
+            return Ok(Predicate::new(
+                PredId(idx as u16),
+                left,
+                CmpOp::In,
+                Operand::List(items),
+            ));
+        }
         let op = match self.peek() {
             Some(Token::Eq) => CmpOp::Eq,
             Some(Token::Ne) => CmpOp::Ne,
@@ -191,6 +217,21 @@ impl<'a> Parser<'a> {
             return Err(StemsError::Parse("predicate compares two constants".into()));
         }
         Ok(Predicate::new(PredId(idx as u16), left, op, right))
+    }
+
+    fn parse_const(&mut self) -> Result<Value> {
+        let v = match self.peek() {
+            Some(Token::Int(v)) => Value::Int(*v),
+            Some(Token::Float(v)) => Value::Float(*v),
+            Some(Token::Str(s)) => Value::str(s),
+            other => {
+                return Err(StemsError::Parse(format!(
+                    "expected constant in IN list, found {other:?}"
+                )))
+            }
+        };
+        self.pos += 1;
+        Ok(v)
     }
 
     fn parse_operand(&mut self, tables: &[TableInstance], catalog: &Catalog) -> Result<Operand> {
@@ -341,6 +382,36 @@ mod tests {
         c.add_scan(t, ScanSpec::default()).unwrap();
         let q = parse_query(&c, "SELECT * FROM people WHERE name = 'O''Brien'").unwrap();
         assert_eq!(q.predicates.len(), 1);
+    }
+
+    #[test]
+    fn in_list_predicates() {
+        let c = catalog();
+        let q = parse_query(&c, "SELECT * FROM R WHERE R.a IN (1, -2, 3)").unwrap();
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(q.predicates[0].op, CmpOp::In);
+        match &q.predicates[0].right {
+            Operand::List(items) => {
+                assert_eq!(items, &vec![Value::Int(1), Value::Int(-2), Value::Int(3)])
+            }
+            other => panic!("expected list, got {other:?}"),
+        }
+        // Case-insensitive keyword, mixed constant types, single member.
+        let q = parse_query(&c, "select * from R where a in (1.5, 'x')").unwrap();
+        assert_eq!(q.predicates[0].op, CmpOp::In);
+        let q = parse_query(&c, "SELECT * FROM R, S WHERE R.a = S.x AND S.y IN (7)").unwrap();
+        assert_eq!(q.predicates.len(), 2);
+    }
+
+    #[test]
+    fn in_list_errors() {
+        let c = catalog();
+        // Empty list, unterminated list, non-column left, column member.
+        assert!(parse_query(&c, "SELECT * FROM R WHERE R.a IN ()").is_err());
+        assert!(parse_query(&c, "SELECT * FROM R WHERE R.a IN (1, 2").is_err());
+        assert!(parse_query(&c, "SELECT * FROM R WHERE 1 IN (1, 2)").is_err());
+        assert!(parse_query(&c, "SELECT * FROM R WHERE R.a IN (R.key)").is_err());
+        assert!(parse_query(&c, "SELECT * FROM R WHERE R.a IN 1").is_err());
     }
 
     #[test]

@@ -28,6 +28,13 @@ pub struct PartitionedStore {
     /// partition-major order is available via [`PartitionedStore::partition_rows`].
     arrival: Vec<Arc<Row>>,
     partitions: Vec<Vec<Arc<Row>>>,
+    /// Rows whose partition key is un-indexable (NULL/EOT or a missing
+    /// column). They used to land in partition 0 and skew its residency
+    /// and spill accounting; the overflow lane keeps every partition's
+    /// stats equal to its real key population. Overflow rows match
+    /// nothing on the partition column but stay visible to scans and to
+    /// lookups on other columns.
+    overflow: Vec<Arc<Row>>,
     /// Partitions `< mem_resident` are "in memory"; the rest are "spilled".
     mem_resident: usize,
     hasher: FxBuildHasher,
@@ -45,6 +52,7 @@ impl PartitionedStore {
             part_col,
             arrival: Vec::new(),
             partitions: (0..num_partitions).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
             mem_resident: mem_resident.min(num_partitions),
             hasher: FxBuildHasher::default(),
             len: 0,
@@ -53,7 +61,8 @@ impl PartitionedStore {
     }
 
     /// The partition a key belongs to. `None` for un-indexable keys
-    /// (NULL/EOT), which land in partition 0 on insert but match nothing.
+    /// (NULL/EOT), which go to the overflow lane on insert and match
+    /// nothing on the partition column.
     pub fn partition_of(&self, key: &Value) -> Option<usize> {
         index_key(key).map(|k| (self.hasher.hash_one(&k) % self.partitions.len() as u64) as usize)
     }
@@ -73,19 +82,29 @@ impl PartitionedStore {
         &self.partitions[i]
     }
 
-    fn slot_for(&self, row: &Row) -> usize {
-        row.get(self.part_col)
-            .and_then(|v| self.partition_of(v))
-            .unwrap_or(0)
+    /// Rows whose partition key is un-indexable, in insertion order.
+    pub fn overflow_rows(&self) -> &[Arc<Row>] {
+        &self.overflow
+    }
+
+    /// The lane a row belongs to: a real partition, or the overflow lane.
+    fn slot_for(&self, row: &Row) -> Option<usize> {
+        row.get(self.part_col).and_then(|v| self.partition_of(v))
+    }
+
+    fn lane_mut(&mut self, row: &Row) -> &mut Vec<Arc<Row>> {
+        match self.slot_for(row) {
+            Some(slot) => &mut self.partitions[slot],
+            None => &mut self.overflow,
+        }
     }
 }
 
 impl DictStore for PartitionedStore {
     fn insert(&mut self, row: Arc<Row>) {
         self.bytes += row.approx_bytes();
-        let slot = self.slot_for(&row);
         self.arrival.push(row.clone());
-        self.partitions[slot].push(row);
+        self.lane_mut(&row).push(row);
         self.len += 1;
     }
 
@@ -94,12 +113,16 @@ impl DictStore for PartitionedStore {
             return Vec::new();
         };
         let candidates: Box<dyn Iterator<Item = &Arc<Row>>> = if col == self.part_col {
+            // Overflow rows have no indexable partition key, so they can
+            // never equal `k` — the partition alone is complete.
             match self.partition_of(key) {
                 Some(p) => Box::new(self.partitions[p].iter()),
                 None => return Vec::new(),
             }
         } else {
-            Box::new(self.partitions.iter().flatten())
+            // Other columns of an overflow row may be perfectly indexable:
+            // the logical store is partitions ∪ overflow.
+            Box::new(self.partitions.iter().flatten().chain(self.overflow.iter()))
         };
         candidates
             .filter(|r| r.get(col).and_then(index_key).is_some_and(|rk| rk == k))
@@ -112,9 +135,9 @@ impl DictStore for PartitionedStore {
     }
 
     fn remove(&mut self, row: &Row) -> bool {
-        let slot = self.slot_for(row);
-        if let Some(pos) = self.partitions[slot].iter().position(|r| r.as_ref() == row) {
-            let r = self.partitions[slot].remove(pos);
+        let lane = self.lane_mut(row);
+        if let Some(pos) = lane.iter().position(|r| r.as_ref() == row) {
+            let r = lane.remove(pos);
             if let Some(apos) = self.arrival.iter().position(|a| a.as_ref() == row) {
                 self.arrival.remove(apos);
             }
@@ -191,6 +214,53 @@ mod tests {
         s.insert(Arc::new(Row::new(vec![Value::Null])));
         assert_eq!(s.len(), 1);
         assert_eq!(s.lookup_eq(0, &Value::Null).len(), 0);
+    }
+
+    #[test]
+    fn unindexable_keys_take_overflow_lane_not_partition_zero() {
+        // Partition 0's stats must reflect its real key population: rows
+        // with NULL/EOT partition keys go to the overflow lane.
+        let mut s = PartitionedStore::new(0, 4, 1);
+        for i in 0..20 {
+            s.insert(row(&[i, i]));
+        }
+        let real_p0 = s.partition_rows(0).len();
+        s.insert(Arc::new(Row::new(vec![Value::Null, Value::Int(7)])));
+        s.insert(Arc::new(Row::new(vec![Value::Eot, Value::Int(7)])));
+        assert_eq!(s.len(), 22);
+        assert_eq!(
+            s.partition_rows(0).len(),
+            real_p0,
+            "partition 0 must not absorb un-indexable keys"
+        );
+        assert_eq!(s.overflow_rows().len(), 2);
+        let keyed: usize = (0..4).map(|i| s.partition_rows(i).len()).sum();
+        assert_eq!(keyed, 20, "partition stats count exactly the keyed rows");
+        assert_eq!(s.scan().len(), 22);
+    }
+
+    #[test]
+    fn overflow_rows_visible_to_other_column_lookups() {
+        let mut s = PartitionedStore::new(0, 2, 0);
+        s.insert(row(&[1, 7]));
+        s.insert(Arc::new(Row::new(vec![Value::Null, Value::Int(7)])));
+        // The NULL-keyed row still answers lookups on column 1 …
+        assert_eq!(s.lookup_eq(1, &Value::Int(7)).len(), 2);
+        // … and never pollutes partition-column lookups.
+        assert_eq!(s.lookup_eq(0, &Value::Int(1)).len(), 1);
+    }
+
+    #[test]
+    fn overflow_rows_removable() {
+        let mut s = PartitionedStore::new(0, 2, 0);
+        let null_row = Arc::new(Row::new(vec![Value::Null, Value::Int(7)]));
+        s.insert(null_row.clone());
+        s.insert(row(&[1, 2]));
+        assert!(s.remove(&null_row));
+        assert!(!s.remove(&null_row));
+        assert_eq!(s.len(), 1);
+        assert!(s.overflow_rows().is_empty());
+        assert_eq!(s.scan().len(), 1);
     }
 
     #[test]

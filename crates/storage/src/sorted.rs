@@ -55,7 +55,8 @@ impl SortedStore {
             .rows
             .partition_point(|(rk, _)| rk.total_cmp(&k) != Ordering::Greater);
         let idx: Box<dyn Iterator<Item = usize>> = match op {
-            CmpOp::Eq => Box::new(lb..ub),
+            // Membership against the single scalar `key` is equality.
+            CmpOp::Eq | CmpOp::In => Box::new(lb..ub),
             CmpOp::Lt => Box::new(0..lb),
             CmpOp::Le => Box::new(0..ub),
             CmpOp::Gt => Box::new(ub..self.rows.len()),

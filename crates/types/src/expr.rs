@@ -105,10 +105,16 @@ pub enum CmpOp {
     Le,
     Gt,
     Ge,
+    /// Membership in a constant list (`col IN (c1, c2, ...)`). The right
+    /// operand is an [`Operand::List`]; against a single scalar this
+    /// degenerates to [`CmpOp::Eq`] under SQL equality.
+    In,
 }
 
 impl CmpOp {
-    /// The operator with sides swapped (`a < b` ⇔ `b > a`).
+    /// The operator with sides swapped (`a < b` ⇔ `b > a`). `In` has no
+    /// column-on-the-right form (its right side is a constant list), so it
+    /// flips to itself.
     pub fn flipped(self) -> CmpOp {
         use CmpOp::*;
         match self {
@@ -118,6 +124,7 @@ impl CmpOp {
             Le => Ge,
             Gt => Lt,
             Ge => Le,
+            In => In,
         }
     }
 
@@ -141,6 +148,10 @@ impl CmpOp {
                 a.sql_cmp(b),
                 Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
             ),
+            // Membership against a single scalar is SQL equality; the list
+            // form is handled in `Predicate::eval` (an `Operand::List` is
+            // not a `Value`).
+            In => a.sql_eq(b),
         }
     }
 }
@@ -155,16 +166,20 @@ impl fmt::Display for CmpOp {
             Le => "<=",
             Gt => ">",
             Ge => ">=",
+            In => "IN",
         };
         write!(f, "{s}")
     }
 }
 
-/// One side of a comparison: a column or a constant.
+/// One side of a comparison: a column, a constant, or a constant list
+/// (the right side of an `IN` predicate).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Operand {
     Col(ColRef),
     Const(Value),
+    /// A constant list, valid only as the right side of [`CmpOp::In`].
+    List(Vec<Value>),
 }
 
 impl Operand {
@@ -172,16 +187,20 @@ impl Operand {
     pub fn table(&self) -> Option<TableIdx> {
         match self {
             Operand::Col(c) => Some(c.table),
-            Operand::Const(_) => None,
+            Operand::Const(_) | Operand::List(_) => None,
         }
     }
 
     /// Resolve the operand against a tuple. `None` if the tuple does not
-    /// span the referenced table.
+    /// span the referenced table. A list does not resolve to a single
+    /// value (`IN` is handled in [`Predicate::eval`]), so it yields `None`
+    /// here, which makes a malformed `col < (list)` predicate evaluate to
+    /// "not evaluable" rather than to a wrong verdict.
     pub fn resolve<'a>(&'a self, t: &'a Tuple) -> Option<&'a Value> {
         match self {
             Operand::Col(c) => t.value(c.table, c.col),
             Operand::Const(v) => Some(v),
+            Operand::List(_) => None,
         }
     }
 }
@@ -191,6 +210,16 @@ impl fmt::Display for Operand {
         match self {
             Operand::Col(c) => write!(f, "{c}"),
             Operand::Const(v) => write!(f, "{v}"),
+            Operand::List(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }
@@ -226,6 +255,11 @@ impl Predicate {
     /// Shorthand for a column-vs-constant selection.
     pub fn selection(id: PredId, col: ColRef, op: CmpOp, v: Value) -> Predicate {
         Predicate::new(id, Operand::Col(col), op, Operand::Const(v))
+    }
+
+    /// Shorthand for a membership selection `col IN (items...)`.
+    pub fn in_list(id: PredId, col: ColRef, items: Vec<Value>) -> Predicate {
+        Predicate::new(id, Operand::Col(col), CmpOp::In, Operand::List(items))
     }
 
     /// The set of table instances the predicate mentions.
@@ -277,7 +311,16 @@ impl Predicate {
     /// Evaluate the predicate over a tuple. `None` when the tuple does not
     /// span the predicate's tables; otherwise whether the predicate holds.
     /// EOT components make every predicate fail (EOT tuples never join).
+    /// An `IN` predicate holds iff the left value SQL-equals any list
+    /// member (so NULL/EOT on the left never match, and an empty list
+    /// matches nothing).
     pub fn eval(&self, t: &Tuple) -> Option<bool> {
+        if self.op == CmpOp::In {
+            if let Operand::List(items) = &self.right {
+                let l = self.left.resolve(t)?;
+                return Some(items.iter().any(|v| l.sql_eq(v)));
+            }
+        }
         let l = self.left.resolve(t)?;
         let r = self.right.resolve(t)?;
         Some(self.op.eval(l, r))
@@ -417,6 +460,52 @@ mod tests {
         assert!(CmpOp::Gt.eval(&Int(3), &Int(2)));
         assert!(CmpOp::Ge.eval(&Int(2), &Int(2)));
         assert!(!CmpOp::Lt.eval(&Int(2), &Value::Eot));
+    }
+
+    #[test]
+    fn in_list_membership_follows_sql_equality() {
+        let p = Predicate::in_list(
+            PredId(0),
+            ColRef::new(TableIdx(0), 1),
+            vec![Value::Int(3), Value::Float(7.0), Value::str("x")],
+        );
+        assert!(p.is_selection());
+        assert_eq!(p.eval(&r_tuple(0, 3)), Some(true));
+        // Numeric coercion applies per member: Int(7) matches Float(7.0).
+        assert_eq!(p.eval(&r_tuple(0, 7)), Some(true));
+        assert_eq!(p.eval(&r_tuple(0, 4)), Some(false));
+        // NULL on the left matches nothing, even a NULL list member.
+        let null_t = Tuple::singleton(TableIdx(0), Row::shared(vec![Value::Int(0), Value::Null]));
+        assert_eq!(p.eval(&null_t), Some(false));
+        let with_null =
+            Predicate::in_list(PredId(0), ColRef::new(TableIdx(0), 1), vec![Value::Null]);
+        assert_eq!(with_null.eval(&null_t), Some(false));
+        // Empty list matches nothing; wrong span is not evaluable.
+        let empty = Predicate::in_list(PredId(0), ColRef::new(TableIdx(0), 1), vec![]);
+        assert_eq!(empty.eval(&r_tuple(0, 3)), Some(false));
+        assert_eq!(p.eval(&s_tuple(3)), None);
+        assert_eq!(p.to_string(), "p0: t0.c1 IN (3, 7, x)");
+    }
+
+    #[test]
+    fn malformed_list_shapes_do_not_panic() {
+        // A list with a non-IN operator is "not evaluable", not a verdict.
+        let bad = Predicate::new(
+            PredId(0),
+            Operand::Col(ColRef::new(TableIdx(0), 1)),
+            CmpOp::Lt,
+            Operand::List(vec![Value::Int(1)]),
+        );
+        assert_eq!(bad.eval(&r_tuple(0, 0)), None);
+        // IN against a single scalar constant degenerates to equality.
+        let single = Predicate::selection(
+            PredId(0),
+            ColRef::new(TableIdx(0), 1),
+            CmpOp::In,
+            Value::Int(5),
+        );
+        assert_eq!(single.eval(&r_tuple(0, 5)), Some(true));
+        assert_eq!(single.eval(&r_tuple(0, 6)), Some(false));
     }
 
     #[test]

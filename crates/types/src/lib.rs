@@ -12,8 +12,9 @@
 //! * [`TupleBatch`] — an ordered batch of tuples moving through the
 //!   dataflow as one unit (the batched engine path).
 //! * [`Predicate`] / [`Operand`] — the select-project-join predicate
-//!   language, evaluable over partial tuples, with column-at-a-time batch
-//!   kernels ([`Predicate::eval_batch`], [`IntConstKernel`]).
+//!   language (comparisons and IN-lists), evaluable over partial tuples,
+//!   with column-at-a-time batch kernels over a typed partial gather
+//!   ([`Predicate::eval_batch`], [`ConstKernel`], [`PartialGather`]).
 //! * [`Schema`] — column names and types of a table.
 //!
 //! The terminology follows the paper: a tuple *spans* the set of base tables
@@ -33,7 +34,7 @@ mod value;
 pub use batch::TupleBatch;
 pub use error::{Result, StemsError};
 pub use expr::{CmpOp, ColRef, Operand, PredId, PredSet, Predicate, MAX_PREDS};
-pub use kernel::IntConstKernel;
+pub use kernel::{ConstKernel, PartialGather};
 pub use row::Row;
 pub use schema::{Column, ColumnType, Schema};
 pub use span::{TableIdx, TableSet, MAX_TABLES};

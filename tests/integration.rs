@@ -37,6 +37,77 @@ fn run_and_verify(catalog: &Catalog, query: &QuerySpec, config: ExecConfig) -> R
 }
 
 #[test]
+fn mixed_type_selections_with_in_lists_end_to_end() {
+    // Str/Float/NULL-mixed columns + an IN-list + a Str inequality: the
+    // typed partial-gather kernels (with exception rows) and conjunction
+    // fusion both engage, and the result multiset must still match the
+    // scalar reference executor.
+    let mut catalog = Catalog::new();
+    let r_rows: Vec<Vec<Value>> = (0..60i64)
+        .map(|i| {
+            let cat = match i % 5 {
+                0 => Value::str("a"),
+                1 => Value::str("b"),
+                2 => Value::str("c"),
+                3 => Value::Null,
+                _ => Value::str("d"),
+            };
+            // A Float column carrying Ints and NULLs: the float kernel
+            // widens the Ints, the NULLs ride the exception list.
+            let score = match i % 7 {
+                0 => Value::Null,
+                x if x % 2 == 0 => Value::Float(i as f64 / 4.0),
+                _ => Value::Int(i / 4),
+            };
+            vec![Value::Int(i), cat, score]
+        })
+        .collect();
+    let r = catalog
+        .add_table(
+            TableDef::new(
+                "R",
+                Schema::of(&[
+                    ("key", ColumnType::Int),
+                    ("cat", ColumnType::Str),
+                    ("score", ColumnType::Float),
+                ]),
+            )
+            .with_rows(r_rows),
+        )
+        .unwrap();
+    let s_rows: Vec<Vec<Value>> = (0..40i64)
+        .map(|i| {
+            vec![
+                Value::Int(i % 20),
+                Value::str(["a", "b", "zz"][(i % 3) as usize]),
+            ]
+        })
+        .collect();
+    let s = catalog
+        .add_table(
+            TableDef::new(
+                "S",
+                Schema::of(&[("k", ColumnType::Int), ("tag", ColumnType::Str)]),
+            )
+            .with_rows(s_rows),
+        )
+        .unwrap();
+    catalog.add_scan(r, ScanSpec::with_rate(500.0)).unwrap();
+    catalog.add_scan(s, ScanSpec::with_rate(400.0)).unwrap();
+    let query = parse_query(
+        &catalog,
+        "SELECT * FROM R, S WHERE R.key = S.k \
+         AND R.cat IN ('a', 'b', 'd') AND R.score < 7.5 AND S.tag <> 'zz'",
+    )
+    .unwrap();
+    let report = run_and_verify(&catalog, &query, checked());
+    assert!(
+        !report.results.is_empty(),
+        "workload should produce matches"
+    );
+}
+
+#[test]
 fn sql_to_results_three_way_with_selections() {
     let mut catalog = Catalog::new();
     for (name, n, seed) in [("a", 40usize, 1u64), ("b", 30, 2), ("c", 20, 3)] {

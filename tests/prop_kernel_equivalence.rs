@@ -1,14 +1,18 @@
 //! Kernel/scalar equivalence: the vectorized predicate kernels must agree
 //! with scalar `Predicate::eval` verdict-for-verdict.
 //!
-//! `Predicate::eval_batch` dispatches `col <op> Int-constant` selections to
-//! a column-at-a-time kernel and falls back to the scalar loop for every
-//! other shape — and for any batch whose kernel column is not all-`Int`.
-//! Over randomized batches (all `CmpOp`s, both operand orientations,
-//! `Null`s, EOT markers, mixed `Value` types forcing the fallback path,
-//! wrong-span tuples) the batch verdict vector must equal the per-tuple
-//! scalar verdicts exactly.
+//! `Predicate::eval_batch` dispatches constant selections (`Int`/`Float`/
+//! `Str`/`Bool` constants in either orientation, homogeneous IN-lists) to
+//! column-at-a-time kernels built on a typed partial gather: each batch
+//! member is classified once into a typed lane or an exception list, and
+//! only exception rows take the scalar path. Over randomized batches (all
+//! `CmpOp`s, both operand orientations, `Null`s, EOT markers, NaNs, mixed
+//! `Value` types, wrong-span tuples) the batch verdict vector must equal
+//! the per-tuple scalar verdicts exactly — and so must fused conjunction
+//! cascades (`Sm::apply_batch_fused`), which ride the same kernels through
+//! the masked entry point.
 
+use stems::core::Sm;
 use stems::prelude::*;
 use stems::sim::SimRng;
 use stems::types::TupleBatch;
@@ -22,32 +26,58 @@ const OPS: [CmpOp; 6] = [
     CmpOp::Ge,
 ];
 
-/// A random value, skewed toward `Int` (the kernel's fast path) but
-/// covering every variant the scalar semantics must survive.
+/// A random value, skewed toward the typed-lane fast paths but covering
+/// every variant the scalar semantics must survive — including NaN and
+/// negative zero.
 fn gen_value(rng: &mut SimRng, int_only: bool) -> Value {
     if int_only {
         return Value::Int(rng.range_inclusive(-4, 4));
     }
-    match rng.below(10) {
+    match rng.below(12) {
         0 => Value::Null,
         1 => Value::Eot,
         2 => Value::Float(rng.range_inclusive(-4, 4) as f64 / 2.0),
-        3 => Value::str(["a", "b", "zz"][rng.below(3) as usize]),
-        4 => Value::Bool(rng.chance(0.5)),
+        3 => Value::Float(f64::NAN),
+        4 => Value::Float(-0.0),
+        5 => Value::str(["a", "b", "zz"][rng.below(3) as usize]),
+        6 => Value::Bool(rng.chance(0.5)),
         _ => Value::Int(rng.range_inclusive(-4, 4)),
     }
 }
 
-/// A random single-column-vs-Int-constant selection in either orientation,
-/// or occasionally a shape the kernel must refuse (Float constant).
+/// A random constant for the right-hand side, spanning the whole kernel
+/// family plus the shapes the kernels must refuse (NULL/EOT constants).
+fn gen_const(rng: &mut SimRng) -> Value {
+    match rng.below(10) {
+        0 => Value::Float(rng.range_inclusive(-4, 4) as f64 / 2.0),
+        1 => Value::Float(f64::NAN),
+        2 => Value::str(["a", "b", "zz"][rng.below(3) as usize]),
+        3 => Value::Bool(rng.chance(0.5)),
+        4 => Value::Null,
+        5 => Value::Eot,
+        _ => Value::Int(rng.range_inclusive(-4, 4)),
+    }
+}
+
+/// A random selection: a typed constant comparison in either orientation,
+/// or an IN-list (homogeneous or adversarially mixed).
 fn gen_pred(rng: &mut SimRng) -> Predicate {
     let col = ColRef::new(TableIdx(rng.below(2) as u8), rng.below(2) as usize);
+    if rng.chance(0.25) {
+        // IN-list: 0..4 members, sometimes homogeneous Int/Str (kernel),
+        // sometimes mixed (scalar coercion semantics).
+        let n = rng.below(4) as usize;
+        let items: Vec<Value> = (0..n)
+            .map(|_| match rng.below(4) {
+                0 => Value::str(["a", "zz"][rng.below(2) as usize]),
+                1 => Value::Float(rng.range_inclusive(-4, 4) as f64),
+                _ => Value::Int(rng.range_inclusive(-4, 4)),
+            })
+            .collect();
+        return Predicate::in_list(PredId(0), col, items);
+    }
     let op = OPS[rng.below(6) as usize];
-    let k = if rng.chance(0.2) {
-        Value::Float(rng.range_inclusive(-4, 4) as f64)
-    } else {
-        Value::Int(rng.range_inclusive(-4, 4))
-    };
+    let k = gen_const(rng);
     if rng.chance(0.5) {
         Predicate::new(PredId(0), Operand::Col(col), op, Operand::Const(k))
     } else {
@@ -71,11 +101,12 @@ fn gen_batch(rng: &mut SimRng, int_only: bool) -> TupleBatch {
         .collect()
 }
 
-/// Randomized batches, mixed value types: eval_batch ≡ map(eval).
+/// Randomized predicates over randomized mixed batches — the full kernel
+/// family plus every refused shape: eval_batch ≡ map(eval).
 #[test]
 fn eval_batch_matches_scalar_on_mixed_batches() {
     let mut rng = SimRng::new(0x5EED_C0DE);
-    for case in 0..500 {
+    for case in 0..1000 {
         let pred = gen_pred(&mut rng);
         let batch = gen_batch(&mut rng, false);
         let want: Vec<Option<bool>> = batch.iter().map(|t| pred.eval(t)).collect();
@@ -93,7 +124,7 @@ fn vectorized_path_matches_scalar_on_all_int_batches() {
     for case in 0..500 {
         let pred = gen_pred(&mut rng);
         let batch = gen_batch(&mut rng, true);
-        if pred.int_const_kernel().is_some() {
+        if pred.const_kernel().is_some() {
             kernel_hits += 1;
         }
         let want: Vec<Option<bool>> = batch.iter().map(|t| pred.eval(t)).collect();
@@ -102,6 +133,74 @@ fn vectorized_path_matches_scalar_on_all_int_batches() {
     assert!(
         kernel_hits > 300,
         "kernel path barely exercised: {kernel_hits}/500"
+    );
+}
+
+/// Every typed constant comparison (Float including NaN constants, Str,
+/// Bool) over uniformly typed batches engages its kernel and agrees with
+/// the scalar loop on every operator.
+#[test]
+fn typed_constant_family_matches_scalar() {
+    let mut rng = SimRng::new(0xF10A7);
+    type ConstGen = fn(&mut SimRng) -> Value;
+    let consts: [(&str, ConstGen); 4] = [
+        ("float", |r| {
+            Value::Float(r.range_inclusive(-4, 4) as f64 / 2.0)
+        }),
+        ("nan", |_| Value::Float(f64::NAN)),
+        ("str", |r| Value::str(["a", "b", "zz"][r.below(3) as usize])),
+        ("bool", |r| Value::Bool(r.chance(0.5))),
+    ];
+    for (label, genk) in consts {
+        for op in OPS {
+            for case in 0..40 {
+                let k = genk(&mut rng);
+                let pred =
+                    Predicate::selection(PredId(0), ColRef::new(TableIdx(0), 0), op, k.clone());
+                assert!(
+                    pred.const_kernel().is_some(),
+                    "{label} {op} should vectorize"
+                );
+                let batch = gen_batch(&mut rng, false);
+                let want: Vec<Option<bool>> = batch.iter().map(|t| pred.eval(t)).collect();
+                assert_eq!(
+                    pred.eval_batch(&batch),
+                    want,
+                    "{label} op {op} case {case}: {pred}"
+                );
+            }
+        }
+    }
+}
+
+/// IN-list membership — homogeneous Int/Str lists (kernel path) and mixed
+/// lists (scalar coercion path) — agrees with the scalar loop.
+#[test]
+fn in_list_kernels_match_scalar() {
+    let mut rng = SimRng::new(0x1_11);
+    let mut kernel_hits = 0usize;
+    for case in 0..400 {
+        let col = ColRef::new(TableIdx(0), rng.below(2) as usize);
+        let n = rng.below(5) as usize;
+        let homogeneous = rng.below(3);
+        let items: Vec<Value> = (0..n)
+            .map(|_| match homogeneous {
+                0 => Value::Int(rng.range_inclusive(-4, 4)),
+                1 => Value::str(["a", "b", "zz"][rng.below(3) as usize]),
+                _ => gen_const(&mut rng),
+            })
+            .collect();
+        let pred = Predicate::in_list(PredId(0), col, items);
+        if pred.const_kernel().is_some() {
+            kernel_hits += 1;
+        }
+        let batch = gen_batch(&mut rng, false);
+        let want: Vec<Option<bool>> = batch.iter().map(|t| pred.eval(t)).collect();
+        assert_eq!(pred.eval_batch(&batch), want, "case {case}: {pred}");
+    }
+    assert!(
+        kernel_hits > 100,
+        "IN kernels barely exercised: {kernel_hits}/400"
     );
 }
 
@@ -116,7 +215,7 @@ fn join_predicates_fall_back_and_agree() {
         CmpOp::Eq,
         ColRef::new(TableIdx(1), 0),
     );
-    assert!(join.int_const_kernel().is_none());
+    assert!(join.const_kernel().is_none());
     for _ in 0..100 {
         let n = rng.below(64) as usize;
         let batch: TupleBatch = (0..n)
@@ -141,8 +240,9 @@ fn join_predicates_fall_back_and_agree() {
     }
 }
 
-/// One adversarial poison value anywhere in a large Int batch must flip the
-/// whole batch onto the scalar path without changing any verdict.
+/// One adversarial poison value anywhere in a large typed batch becomes a
+/// lone exception row — all other verdicts still come off the typed lane
+/// and every verdict matches the scalar loop.
 #[test]
 fn single_poison_value_does_not_corrupt_verdicts() {
     let mut rng = SimRng::new(0xBAD_CE11);
@@ -150,6 +250,7 @@ fn single_poison_value_does_not_corrupt_verdicts() {
         Value::Null,
         Value::Eot,
         Value::Float(1.5),
+        Value::Float(f64::NAN),
         Value::str("q"),
         Value::Bool(true),
     ] {
@@ -167,6 +268,62 @@ fn single_poison_value_does_not_corrupt_verdicts() {
                 .collect();
             let want: Vec<Option<bool>> = batch.iter().map(|t| pred.eval(t)).collect();
             assert_eq!(pred.eval_batch(&batch), want, "poison {poison} op {op}");
+        }
+    }
+}
+
+/// Fused conjunction cascades agree with the sequential scalar cascade:
+/// for random chains of selections over one table, `Sm::apply_batch_fused`
+/// must produce, per tuple, the same overall verdict, the same earned
+/// donebits, and the same per-predicate evaluation sequence as applying
+/// each predicate in order with short-circuit on the first failure.
+#[test]
+fn fused_conjunctions_match_sequential_scalar_cascade() {
+    let mut rng = SimRng::new(0x000F_05ED);
+    for case in 0..300 {
+        let n_preds = 1 + rng.below(3) as usize; // 1..=3
+        let preds: Vec<Predicate> = (0..n_preds)
+            .map(|i| {
+                let mut p = gen_pred(&mut rng);
+                p.id = PredId(i as u16);
+                p
+            })
+            .collect();
+        let batch = gen_batch(&mut rng, false);
+        let sm = Sm::new(preds[0].clone());
+        let sibling_sms: Vec<Sm> = preds[1..].iter().cloned().map(Sm::new).collect();
+        let siblings: Vec<&Sm> = sibling_sms.iter().collect();
+        let fused = sm.apply_batch_fused(&batch, &siblings);
+        for (i, tuple) in batch.iter().enumerate() {
+            // Reference: the scalar cascade.
+            let mut verdict = None;
+            let mut evals = Vec::new();
+            let mut passed = stems::types::PredSet::EMPTY;
+            for p in &preds {
+                match p.eval(tuple) {
+                    Some(true) => {
+                        evals.push((p.id, true));
+                        passed.insert(p.id);
+                        verdict = Some(Some(true));
+                    }
+                    Some(false) => {
+                        evals.push((p.id, false));
+                        verdict = Some(Some(false));
+                        break;
+                    }
+                    None => {
+                        verdict = Some(None);
+                        break;
+                    }
+                }
+            }
+            let want = verdict.expect("at least one predicate");
+            let got = &fused[i];
+            assert_eq!(got.verdict, want, "case {case} row {i}");
+            assert_eq!(got.evals, evals, "case {case} row {i}");
+            if want == Some(true) {
+                assert_eq!(got.passed, passed, "case {case} row {i}");
+            }
         }
     }
 }
