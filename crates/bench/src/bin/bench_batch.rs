@@ -14,6 +14,7 @@
 //! binary doubles as a smoke test of batch/scalar equivalence.
 
 use std::time::Instant;
+use stems_bench::median;
 use stems_catalog::{Catalog, ScanSpec};
 use stems_core::{EddyExecutor, ExecConfig, RoutingPolicyKind};
 use stems_datagen::{gen::ColGen, TableBuilder};
@@ -21,11 +22,6 @@ use stems_sql::parse_query;
 
 const RUNS: usize = 5;
 const ROWS_PER_TABLE: usize = 3000;
-
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    xs[xs.len() / 2]
-}
 
 fn main() {
     let mut catalog = Catalog::new();

@@ -16,39 +16,35 @@
 //! lands in `$STEMS_BENCH_OUT` or `./BENCH_2.json`; `speedup_vs_pr1` > 1 on
 //! the chunked rows is the win this PR claims. The result multiset is
 //! asserted identical across series — the binary doubles as a smoke test of
-//! chunked/scalar equivalence.
+//! chunked/scalar equivalence — and each series embeds a `result_hash`
+//! that `tools/bench_check.py` compares against the committed baseline in
+//! CI. `STEMS_BENCH_ROWS` / `STEMS_BENCH_RUNS` shrink the workload (CI
+//! runs the committed row count with 1 run so hashes stay comparable).
 
 use std::time::Instant;
+use stems_bench::{env_usize, median, render_canonical, result_hash};
 use stems_catalog::{Catalog, QuerySpec, ScanSpec};
 use stems_core::{EddyExecutor, ExecConfig, RoutingPolicyKind};
 use stems_datagen::{gen::ColGen, TableBuilder};
 use stems_sql::parse_query;
 
-const RUNS: usize = 5;
-const ROWS_PER_TABLE: usize = 3000;
-
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    xs[xs.len() / 2]
-}
-
 /// Build the selection-heavy chain workload with every scan delivering
 /// `chunk` rows per event. Seeds are fixed, so every chunk size sees the
 /// same rows.
-fn build(chunk: usize) -> (Catalog, QuerySpec) {
+fn build(rows_per_table: usize, chunk: usize) -> (Catalog, QuerySpec) {
     let mut catalog = Catalog::new();
-    TableBuilder::new("R", ROWS_PER_TABLE, 81)
+    TableBuilder::new("R", rows_per_table, 81)
         .col("a", ColGen::Mod(500))
         .col("u", ColGen::Mod(500))
         .register(&mut catalog)
         .unwrap();
-    TableBuilder::new("S", ROWS_PER_TABLE, 82)
+    TableBuilder::new("S", rows_per_table, 82)
         .col("x", ColGen::Mod(500))
         .col("y", ColGen::Mod(400))
         .col("v", ColGen::Mod(500))
         .register(&mut catalog)
         .unwrap();
-    TableBuilder::new("T", ROWS_PER_TABLE, 83)
+    TableBuilder::new("T", rows_per_table, 83)
         .col("b", ColGen::Mod(400))
         .col("w", ColGen::Mod(500))
         .register(&mut catalog)
@@ -68,8 +64,20 @@ fn build(chunk: usize) -> (Catalog, QuerySpec) {
     (catalog, query)
 }
 
+struct Entry {
+    label: &'static str,
+    chunk: usize,
+    batch_size: usize,
+    rows_per_sec: f64,
+    median_secs: f64,
+    results: usize,
+    result_hash: String,
+}
+
 fn main() {
-    let input_rows = (3 * ROWS_PER_TABLE) as f64;
+    let rows = env_usize("STEMS_BENCH_ROWS", 3000);
+    let runs = env_usize("STEMS_BENCH_RUNS", 5);
+    let input_rows = (3 * rows) as f64;
     // (label, scan chunk, routing batch size)
     let series: [(&str, usize, usize); 4] = [
         ("scalar", 1, 1),
@@ -78,13 +86,13 @@ fn main() {
         ("chunked_batch256", 256, 256),
     ];
 
-    let mut entries = Vec::new();
-    let mut reference_results: Option<usize> = None;
+    let mut entries: Vec<Entry> = Vec::new();
     for (label, chunk, batch_size) in series {
-        let (catalog, query) = build(chunk);
+        let (catalog, query) = build(rows, chunk);
         let mut secs = Vec::new();
         let mut results = 0usize;
-        for _ in 0..RUNS {
+        let mut hash = String::new();
+        for _ in 0..runs {
             let config = ExecConfig {
                 batch_size,
                 policy: RoutingPolicyKind::BenefitCost {
@@ -100,38 +108,60 @@ fn main() {
             secs.push(start.elapsed().as_secs_f64());
             results = report.results.len();
             assert!(report.violations.is_empty(), "{:?}", report.violations);
+            hash = result_hash(render_canonical(&report.canonical(&catalog, &query)));
         }
-        match reference_results {
-            None => reference_results = Some(results),
-            Some(want) => assert_eq!(results, want, "series {label} changed the result count"),
+        if let Some(first) = entries.first() {
+            // Every series must produce the same result *multiset*, not
+            // just the same count — the bench doubles as a smoke test of
+            // chunked/scalar (and sharded, under STEMS_NUM_SHARDS)
+            // equivalence, and CI's bench_check gate keys on this field.
+            assert_eq!(
+                hash, first.result_hash,
+                "series {label} changed the result multiset"
+            );
         }
         let med = median(secs);
         let rows_per_sec = input_rows / med;
         println!(
             "{label:>18} (chunk {chunk:>3}, batch {batch_size:>3}): \
-             {rows_per_sec:>12.0} rows/s  (median {med:.4}s over {RUNS} runs, {results} results)"
+             {rows_per_sec:>12.0} rows/s  (median {med:.4}s over {runs} runs, {results} results)"
         );
-        entries.push((label, chunk, batch_size, rows_per_sec, med, results));
+        entries.push(Entry {
+            label,
+            chunk,
+            batch_size,
+            rows_per_sec,
+            median_secs: med,
+            results,
+            result_hash: hash,
+        });
     }
 
-    let scalar = entries[0].3;
-    let pr1 = entries[1].3;
+    let scalar = entries[0].rows_per_sec;
+    let pr1 = entries[1].rows_per_sec;
     let json = format!(
         "{{\n  \"benchmark\": \"eddy_chain3_sel3_{rows}x{rows}x{rows}_benefit_cost\",\n  \
-         \"metric\": \"input_rows_per_sec_wall\",\n  \"runs\": {RUNS},\n  \
+         \"metric\": \"input_rows_per_sec_wall\",\n  \"rows\": {rows},\n  \"runs\": {runs},\n  \
          \"series\": [\n{}\n  ]\n}}\n",
         entries
             .iter()
-            .map(|(label, chunk, bs, rps, med, res)| format!(
-                "    {{\"label\": \"{label}\", \"chunk\": {chunk}, \"batch_size\": {bs}, \
-                 \"rows_per_sec\": {rps:.0}, \"median_secs\": {med:.6}, \"results\": {res}, \
+            .map(|e| format!(
+                "    {{\"label\": \"{}\", \"chunk\": {}, \"batch_size\": {}, \
+                 \"rows_per_sec\": {:.0}, \"median_secs\": {:.6}, \"results\": {}, \
+                 \"result_hash\": \"{}\", \
                  \"speedup_vs_scalar\": {:.3}, \"speedup_vs_pr1\": {:.3}}}",
-                rps / scalar,
-                rps / pr1
+                e.label,
+                e.chunk,
+                e.batch_size,
+                e.rows_per_sec,
+                e.median_secs,
+                e.results,
+                e.result_hash,
+                e.rows_per_sec / scalar,
+                e.rows_per_sec / pr1
             ))
             .collect::<Vec<_>>()
             .join(",\n"),
-        rows = ROWS_PER_TABLE,
     );
     let path = std::env::var("STEMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_2.json".into());
     std::fs::write(&path, &json).expect("write BENCH_2.json");

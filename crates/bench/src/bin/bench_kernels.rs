@@ -26,26 +26,11 @@
 //! garbage. Output lands in `$STEMS_BENCH_OUT` or `./BENCH_3.json`.
 
 use std::time::Instant;
+use stems_bench::{env_usize, median, render_canonical, result_hash};
 use stems_catalog::{Catalog, QuerySpec, ScanSpec};
 use stems_core::{EddyExecutor, ExecConfig, RoutingPolicyKind};
 use stems_datagen::{gen::ColGen, TableBuilder};
 use stems_sql::parse_query;
-
-fn env_usize(name: &str, default: usize) -> usize {
-    match std::env::var(name) {
-        Err(std::env::VarError::NotPresent) => default,
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => panic!("{name} must be a positive integer, got {s:?}"),
-        },
-        Err(e) => panic!("{name} is not valid unicode: {e}"),
-    }
-}
-
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    xs[xs.len() / 2]
-}
 
 /// The pure-Int selection-heavy chain of `bench_ingest` (BENCH_2's
 /// workload): no regression allowed here.
@@ -127,6 +112,7 @@ struct Entry {
     rows_per_sec: f64,
     median_secs: f64,
     results: usize,
+    result_hash: String,
 }
 
 #[allow(clippy::type_complexity)]
@@ -138,12 +124,12 @@ fn run_workload(
     build: fn(usize, usize) -> (Catalog, QuerySpec),
 ) -> Vec<Entry> {
     let input_rows = (3 * rows) as f64;
-    let mut entries = Vec::new();
-    let mut reference_results: Option<usize> = None;
+    let mut entries: Vec<Entry> = Vec::new();
     for &(label, chunk, batch_size, fuse) in series {
         let (catalog, query) = build(rows, chunk);
         let mut secs = Vec::new();
         let mut results = 0usize;
+        let mut hash = String::new();
         for _ in 0..runs {
             let config = ExecConfig {
                 batch_size,
@@ -161,13 +147,15 @@ fn run_workload(
             secs.push(start.elapsed().as_secs_f64());
             results = report.results.len();
             assert!(report.violations.is_empty(), "{:?}", report.violations);
+            hash = result_hash(render_canonical(&report.canonical(&catalog, &query)));
         }
-        match reference_results {
-            None => reference_results = Some(results),
-            Some(want) => assert_eq!(
-                results, want,
-                "{name}/{label} changed the result count — kernels are not scalar-equivalent"
-            ),
+        if let Some(first) = entries.first() {
+            // Hash, not just count: the series must agree on the result
+            // *multiset* — the field CI's bench_check gate keys on.
+            assert_eq!(
+                hash, first.result_hash,
+                "{name}/{label} changed the result multiset — kernels are not scalar-equivalent"
+            );
         }
         let med = median(secs);
         let rows_per_sec = input_rows / med;
@@ -182,6 +170,7 @@ fn run_workload(
             rows_per_sec,
             median_secs: med,
             results,
+            result_hash: hash,
         });
     }
     entries
@@ -195,13 +184,14 @@ fn series_json(entries: &[Entry]) -> String {
             format!(
                 "      {{\"label\": \"{}\", \"chunk\": {}, \"batch_size\": {}, \
                  \"rows_per_sec\": {:.0}, \"median_secs\": {:.6}, \"results\": {}, \
-                 \"speedup_vs_scalar\": {:.3}}}",
+                 \"result_hash\": \"{}\", \"speedup_vs_scalar\": {:.3}}}",
                 e.label,
                 e.chunk,
                 e.batch_size,
                 e.rows_per_sec,
                 e.median_secs,
                 e.results,
+                e.result_hash,
                 e.rows_per_sec / scalar
             )
         })
@@ -238,7 +228,12 @@ fn validate_json(text: &str) {
         depth == 0 && brackets == 0 && !in_str,
         "unbalanced JSON output"
     );
-    for key in ["\"benchmark\"", "\"workloads\"", "\"rows_per_sec\""] {
+    for key in [
+        "\"benchmark\"",
+        "\"workloads\"",
+        "\"rows_per_sec\"",
+        "\"result_hash\"",
+    ] {
         assert!(text.contains(key), "JSON output missing {key}");
     }
 }
@@ -272,7 +267,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \"benchmark\": \"kernel_family_chain3_{rows}x{rows}x{rows}_benefit_cost\",\n  \
-         \"metric\": \"input_rows_per_sec_wall\",\n  \"runs\": {runs},\n  \
+         \"metric\": \"input_rows_per_sec_wall\",\n  \"rows\": {rows},\n  \"runs\": {runs},\n  \
          \"workloads\": [\n    {{\"name\": \"int_chain\", \"series\": [\n{}\n    ]}},\n    \
          {{\"name\": \"mixed_chain\", \"series\": [\n{}\n    ]}}\n  ]\n}}\n",
         series_json(&int_entries),

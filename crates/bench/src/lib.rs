@@ -63,6 +63,68 @@ pub fn chart(title: &str, y_label: &str, horizon: Time, series: &[(&str, &Series
     ascii_plot(&spec, series)
 }
 
+/// Positive-integer environment knob shared by the bench binaries
+/// (`STEMS_BENCH_ROWS`, `STEMS_BENCH_RUNS`, ...). A set-but-invalid
+/// value panics rather than silently benchmarking the default workload.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => default,
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("{name} must be a positive integer, got {s:?}"),
+        },
+        Err(e) => panic!("{name} is not valid unicode: {e}"),
+    }
+}
+
+/// Median of a set of wall-clock samples (upper median for even counts).
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// FNV-1a over a byte slice — the deterministic primitive behind the
+/// bench binaries' result hashes.
+pub fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = seed;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// A machine-independent hash of a result multiset, rendered as 16 hex
+/// digits. Rows are rendered to strings by the caller; the hash sorts
+/// them first, so emission order never matters — two series hash equal
+/// iff they produced the same result multiset. Benchmarks embed this as
+/// the `result_hash` JSON field, and `tools/bench_check.py` gates CI on
+/// cross-series (and cross-commit) equality.
+pub fn result_hash(mut rows: Vec<String>) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    rows.sort_unstable();
+    let mut h = OFFSET;
+    for row in &rows {
+        h = fnv1a(h, row.as_bytes());
+        h = fnv1a(h, &[0x1e]); // row separator
+    }
+    h = fnv1a(h, &rows.len().to_le_bytes());
+    format!("{h:016x}")
+}
+
+/// Render a canonical result multiset (`Report::canonical`) for hashing.
+pub fn render_canonical(rows: &[Vec<stems_types::Value>]) -> Vec<String> {
+    rows.iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| format!("{v:?}"))
+                .collect::<Vec<_>>()
+                .join("\u{1f}")
+        })
+        .collect()
+}
+
 /// Evaluate and print one qualitative claim from the paper. Returns the
 /// outcome so binaries can exit non-zero when a shape check fails.
 pub fn shape_check(claim: &str, ok: bool) -> bool {
@@ -166,5 +228,29 @@ mod tests {
     fn results_dir_exists() {
         let d = results_dir();
         assert!(d.exists());
+    }
+
+    #[test]
+    fn result_hash_is_order_insensitive_and_content_sensitive() {
+        let a = result_hash(vec!["r1".into(), "r2".into()]);
+        let b = result_hash(vec!["r2".into(), "r1".into()]);
+        assert_eq!(a, b, "multiset hash must ignore emission order");
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, result_hash(vec!["r1".into()]));
+        assert_ne!(a, result_hash(vec!["r1".into(), "r3".into()]));
+        // Duplicates count: a multiset, not a set.
+        assert_ne!(
+            result_hash(vec!["r1".into(), "r1".into()]),
+            result_hash(vec!["r1".into()])
+        );
+    }
+
+    #[test]
+    fn render_canonical_distinguishes_types() {
+        use stems_types::Value;
+        let a = render_canonical(&[vec![Value::Int(1), Value::Null]]);
+        let b = render_canonical(&[vec![Value::Float(1.0), Value::Null]]);
+        assert_ne!(a, b, "Int(1) and Float(1.0) are distinct result values");
+        assert_eq!(a.len(), 1);
     }
 }

@@ -52,6 +52,16 @@ pub struct CostModel {
     /// Probe-cost multiplier for Grace-mode clustered releases (< 1.0
     /// models the I/O locality of partition-clustered probing, §3.1).
     pub clustered_probe_discount: f64,
+    /// Model each SteM shard as an independent server: an envelope's
+    /// build/probe service time scales with the *busiest* shard's load
+    /// (max over shards) instead of the total —
+    /// [`crate::sharded::ShardedStem::parallel_service_units`]. This is
+    /// the simulation-native expression of the wall-clock parallelism
+    /// sharding provides on multi-core hosts (`bench_shards` uses it for
+    /// its deterministic, hardware-independent speedup series). Off by
+    /// default so the virtual timeline is identical at every shard count
+    /// — the shard-invariance equivalence suites rely on that.
+    pub shard_parallel_service: bool,
 }
 
 impl Default for CostModel {
@@ -63,6 +73,7 @@ impl Default for CostModel {
             sm_us: 10,
             am_accept_us: 10,
             clustered_probe_discount: 1.0,
+            shard_parallel_service: false,
         }
     }
 }
@@ -90,6 +101,18 @@ pub struct ExecConfig {
     /// environment variable — CI runs the whole suite at 1 and 64 so
     /// scalar-engine equivalence is enforced on every push.
     pub batch_size: usize,
+    /// SteM shard fan-out: every SteM's dictionary is hash-partitioned by
+    /// join key into this many shards (plus an overflow shard for
+    /// un-hashable keys) and build/probe envelopes fan out across them —
+    /// see [`crate::sharded::ShardedStem`]. `1` (the default) is the
+    /// unsharded engine. Overridable with the `STEMS_NUM_SHARDS`
+    /// environment variable; CI crosses it with the batch-size matrix so
+    /// shard-count invariance is enforced on every push. Folded into the
+    /// plan's *default* SteM options at build time, unless the plan
+    /// already sets a non-default fan-out there (explicit plan settings
+    /// win); per-instance `stem_overrides` always keep their own
+    /// `num_shards`.
+    pub num_shards: usize,
     /// Conjunction fusion: when a batch is routed to a Selection Module,
     /// also apply every *sibling* selection over the same table instance
     /// that all batch members are still eligible for, in one pass with
@@ -123,6 +146,7 @@ impl Default for ExecConfig {
             probe_edges: None,
             priority_pred: None,
             batch_size: default_batch_size(),
+            num_shards: default_num_shards(),
             fuse_selections: true,
             max_hops: 1_000_000,
             max_events: 200_000_000,
@@ -148,6 +172,22 @@ fn default_batch_size() -> usize {
             _ => panic!("STEMS_BATCH_SIZE must be a positive integer, got {s:?}"),
         },
         Err(e) => panic!("STEMS_BATCH_SIZE is not valid unicode: {e}"),
+    }
+}
+
+/// The default SteM shard fan-out: 1 (unsharded) unless overridden by the
+/// `STEMS_NUM_SHARDS` environment variable (the CI matrix crosses it with
+/// `STEMS_BATCH_SIZE` to enforce shard-count invariance suite-wide). Like
+/// the batch size, a set-but-invalid value panics — a misconfigured CI
+/// leg must fail loudly rather than silently re-test the default engine.
+fn default_num_shards() -> usize {
+    match std::env::var("STEMS_NUM_SHARDS") {
+        Err(std::env::VarError::NotPresent) => 1,
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("STEMS_NUM_SHARDS must be a positive integer, got {s:?}"),
+        },
+        Err(e) => panic!("STEMS_NUM_SHARDS is not valid unicode: {e}"),
     }
 }
 
@@ -270,7 +310,17 @@ impl EddyExecutor {
                 ));
             }
         }
-        let (modules, layout) = instantiate(catalog, query, &config.plan)?;
+        // The shard knob is an engine-level setting: fold it into the
+        // plan's default SteM options. A fan-out set explicitly on the
+        // plan itself (default_stem or per-instance stem_overrides) wins
+        // over the engine knob — only the untouched default (1) is
+        // overridden, so neither configuration surface silently clobbers
+        // the other.
+        let mut plan_opts = config.plan.clone();
+        if plan_opts.default_stem.num_shards == 1 {
+            plan_opts.default_stem.num_shards = config.num_shards;
+        }
+        let (modules, layout) = instantiate(catalog, query, &plan_opts)?;
         let rt = modules
             .iter()
             .map(|_| ModuleRt {
@@ -485,11 +535,16 @@ impl EddyExecutor {
 
     fn process_build(
         &mut self,
-        stem: &mut crate::stem::Stem,
+        stem: &mut crate::sharded::ShardedStem,
         env: Envelope,
     ) -> (u64, Vec<Delivery>, Vec<UnparkSignal>) {
         let table = stem.instance;
-        let dur = self.config.costs.stem_build_us * env.batch.len().max(1) as u64;
+        let units = if self.config.costs.shard_parallel_service {
+            stem.parallel_service_units(&env.batch, &self.query, false)
+        } else {
+            env.batch.len() as u64
+        };
+        let dur = self.config.costs.stem_build_us * units.max(1);
         let mut ts = self.ts_counter;
         let results = stem.build_batch(&env.batch, &env.states, &mut ts);
         self.ts_counter = ts;
@@ -550,13 +605,17 @@ impl EddyExecutor {
 
     fn process_probe(
         &mut self,
-        stem: &mut crate::stem::Stem,
+        stem: &mut crate::sharded::ShardedStem,
         env: Envelope,
     ) -> (u64, Vec<Delivery>, Vec<UnparkSignal>) {
         let table = stem.instance;
         let replies = stem.probe_batch(&env.batch, &env.states, &self.query);
         let stem_version = router::stem_version(stem);
-        let n_probes = env.batch.len();
+        let probe_units = if self.config.costs.shard_parallel_service {
+            stem.parallel_service_units(&env.batch, &self.query, true)
+        } else {
+            env.batch.len() as u64
+        };
         let clustered = env.clustered;
 
         let mut deliveries: Vec<Delivery> = Vec::new();
@@ -624,7 +683,7 @@ impl EddyExecutor {
             }
         }
 
-        let base = self.config.costs.stem_probe_us * n_probes.max(1) as u64
+        let base = self.config.costs.stem_probe_us * probe_units.max(1)
             + self.config.costs.per_match_us * deliveries.len() as u64;
         let dur = if clustered {
             ((base as f64) * self.config.costs.clustered_probe_discount).max(1.0) as u64
@@ -1199,9 +1258,9 @@ impl EddyExecutor {
         }
     }
 
-    fn observe_stem_mem(&mut self, stem: &crate::stem::Stem) {
+    fn observe_stem_mem(&mut self, stem: &crate::sharded::ShardedStem) {
         // Sampled sparsely to keep the series small.
-        if stem.build_count.is_multiple_of(64) {
+        if stem.build_count().is_multiple_of(64) {
             self.metrics.observe(
                 &format!("stem_bytes_{}", stem.instance),
                 self.now,

@@ -14,7 +14,12 @@
 //!   asynchronously and emit End-Of-Transmission tuples.
 //! * **State Modules** ([`stem::Stem`]) — "half joins": a dictionary per
 //!   table instance handling build/probe, duplicate elimination, EOT
-//!   bookkeeping, timestamp filtering and bounce-back decisions.
+//!   bookkeeping, timestamp filtering and bounce-back decisions. The
+//!   engine instantiates them behind [`sharded::ShardedStem`], which
+//!   hash-partitions SteM storage by join key ([`ExecConfig::num_shards`]
+//!   / `STEMS_NUM_SHARDS`) and fans build/probe envelopes out across
+//!   shards on scoped threads — observably identical to the unsharded
+//!   SteM at every shard count.
 //! * the **eddy** ([`EddyExecutor`]) — routes every tuple between the other
 //!   modules according to a [`policy::RoutingPolicy`], under the
 //!   correctness constraints of paper Table 2 enforced by [`router`].
@@ -98,6 +103,7 @@ pub mod plan;
 pub mod policy;
 pub mod report;
 pub mod router;
+pub mod sharded;
 pub mod sm;
 pub mod stem;
 pub mod tuple_state;
@@ -108,5 +114,6 @@ pub use policy::{
     BenefitCostPolicy, FixedOrderPolicy, LotteryPolicy, RoutingPolicy, RoutingPolicyKind,
 };
 pub use report::{Report, TraceEvent, TraceKind};
+pub use sharded::ShardedStem;
 pub use sm::{FusedVerdict, Sm};
 pub use tuple_state::TupleState;

@@ -13,15 +13,17 @@
 //! [`PlanLayout`] index the router uses; the engine performs step 5.
 
 use crate::am::{IndexAm, ScanAm};
+use crate::sharded::ShardedStem;
 use crate::sm::Sm;
-use crate::stem::Stem;
 pub use crate::stem::StemOptions;
 use stems_catalog::{feasible, AccessMethodDef, Catalog, QuerySpec};
 use stems_types::{PredId, Result, TableIdx, TableSet};
 
 /// One instantiated module.
 pub enum Module {
-    Stem(Stem),
+    /// A (possibly hash-partitioned) State Module; `num_shards: 1` in its
+    /// [`StemOptions`] is the plain scalar SteM.
+    Stem(ShardedStem),
     ScanAm(ScanAm),
     IndexAm(IndexAm),
     Sm(Sm),
@@ -180,7 +182,7 @@ pub fn instantiate(
             continue;
         }
         let mid = modules.len();
-        modules.push(Module::Stem(Stem::new(
+        modules.push(Module::Stem(ShardedStem::new(
             t,
             ti.source,
             &query.join_cols_of(t),

@@ -178,8 +178,10 @@ pub fn candidates(
 }
 
 /// A SteM's change counter: any build, EOT or scan-completion bumps it.
-pub fn stem_version(stem: &crate::stem::Stem) -> u64 {
-    stem.build_count + stem.eot_version()
+/// Aggregated across shards, so a build into any shard re-offers the
+/// re-probe.
+pub fn stem_version(stem: &crate::sharded::ShardedStem) -> u64 {
+    stem.build_count() + stem.eot_version()
 }
 
 #[cfg(test)]

@@ -41,6 +41,13 @@ pub struct StemOptions {
     /// yielding Hybrid-Hash, §3.1).
     pub partitions: usize,
     pub mem_partitions: usize,
+    /// Hash-partition shard fan-out of the SteM's dictionary
+    /// ([`crate::sharded::ShardedStem`]). `1` (the default) is the
+    /// unsharded scalar SteM; larger values split storage by join-key
+    /// hash so build/probe envelopes parallelize across threads. Values
+    /// are interpreted by `ShardedStem`; this `Stem` type itself is
+    /// always one shard.
+    pub num_shards: usize,
 }
 
 impl Default for StemOptions {
@@ -51,6 +58,7 @@ impl Default for StemOptions {
             deferred_bounce: false,
             partitions: 8,
             mem_partitions: 0,
+            num_shards: 1,
         }
     }
 }
@@ -106,7 +114,7 @@ pub struct ProbeReply {
 pub struct Stem {
     pub instance: TableIdx,
     pub source: SourceId,
-    store: Box<dyn DictStore + Send>,
+    store: Box<dyn DictStore + Send + Sync>,
     dedup: RowSet,
     ts_of: FxHashMap<Arc<Row>, Timestamp>,
     /// Scan EOT seen: the full relation is present.
@@ -300,16 +308,36 @@ impl Stem {
     fn apply_eviction(&mut self) {
         if let Some(window) = self.opts.eviction_window {
             while self.store.len() > window {
-                if let Some(old) = self.store.oldest() {
-                    self.store.remove(&old);
-                    self.dedup.forget(&old);
-                    self.ts_of.remove(&old);
-                    self.evictions += 1;
-                } else {
+                if !self.evict_oldest() {
                     break;
                 }
             }
         }
+    }
+
+    /// One FIFO eviction step: forget the oldest stored row in the store,
+    /// the dedup filter and the timestamp map together. Also the hook
+    /// [`crate::sharded::ShardedStem`] uses to run a *global* FIFO window
+    /// across shards (the globally oldest row is the one with the minimum
+    /// [`Stem::oldest_ts`]).
+    pub(crate) fn evict_oldest(&mut self) -> bool {
+        if let Some(old) = self.store.oldest() {
+            self.store.remove(&old);
+            self.dedup.forget(&old);
+            self.ts_of.remove(&old);
+            self.evictions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Build timestamp of the oldest stored row (`None` when empty) — the
+    /// cross-shard FIFO ordering key for windowed sharded SteMs.
+    pub(crate) fn oldest_ts(&self) -> Option<Timestamp> {
+        self.store
+            .oldest()
+            .map(|r| *self.ts_of.get(&r).unwrap_or(&UNBUILT_TS))
     }
 
     fn partition_is_resident(&self, row: &Row) -> bool {
@@ -319,7 +347,7 @@ impl Stem {
         self.partition_of(row) < self.opts.mem_partitions
     }
 
-    fn partition_of(&self, row: &Row) -> usize {
+    pub(crate) fn partition_of(&self, row: &Row) -> usize {
         use std::hash::BuildHasher;
         let key = row.get(self.part_col).cloned().unwrap_or(Value::Null);
         (self.hasher.hash_one(&key) % self.opts.partitions.max(1) as u64) as usize
@@ -341,6 +369,78 @@ impl Stem {
     /// How many bounce-backs are currently withheld.
     pub fn deferred_len(&self) -> usize {
         self.deferred.len()
+    }
+
+    /// Drain the withheld bounce-backs *without* the clustering sort —
+    /// [`crate::sharded::ShardedStem`] merges the per-shard queues first
+    /// and clusters the union so the release order matches the unsharded
+    /// engine's exactly.
+    pub(crate) fn take_deferred(&mut self) -> Vec<(Tuple, TupleState)> {
+        std::mem::take(&mut self.deferred)
+    }
+
+    // ------------------------------------------------------------------
+    // Sharding phase hooks (used by `crate::sharded::ShardedStem`)
+    //
+    // A sharded build must assign global timestamps in batch order while
+    // the per-shard dictionary work runs on worker threads. The split:
+    // `ingest_batch` (parallel per shard — dedup + dictionary insert,
+    // no timestamps) followed by `stamp_fresh` (serial, global batch
+    // order — timestamping, bounce/defer decision). Running the two
+    // phases back-to-back on one shard reproduces `build_batch` exactly;
+    // the unit suite below pins that equivalence.
+    // ------------------------------------------------------------------
+
+    /// Phase 1 of a sharded build: set-semantics dedup plus the dictionary
+    /// insert for the routed (non-EOT) data rows of one shard, in batch
+    /// order. Returns `true` per row for fresh inserts, `false` for
+    /// absorbed duplicates (the `duplicates_absorbed` counter is bumped
+    /// here). Windowed SteMs never take this path — eviction must
+    /// interleave with inserts per tuple, which is inherently serial.
+    pub(crate) fn ingest_batch(&mut self, rows: &[Arc<Row>]) -> Vec<bool> {
+        debug_assert!(
+            self.opts.eviction_window.is_none(),
+            "windowed SteMs must build serially"
+        );
+        let mut pending = Vec::with_capacity(rows.len());
+        let out = rows
+            .iter()
+            .map(|row| {
+                debug_assert!(!row.is_eot(), "EOT rows are handled by the shard layer");
+                if self.dedup.insert(row.clone()) {
+                    pending.push(row.clone());
+                    true
+                } else {
+                    self.duplicates_absorbed += 1;
+                    false
+                }
+            })
+            .collect();
+        self.store.insert_batch(pending);
+        out
+    }
+
+    /// Phase 2 of a sharded build: stamp one row `ingest_batch` reported
+    /// fresh with its globally-ordered timestamp and take the bounce/defer
+    /// decision — everything `build_inner` does after the dictionary
+    /// insert.
+    pub(crate) fn stamp_fresh(
+        &mut self,
+        tuple: &Tuple,
+        state: &TupleState,
+        ts: Timestamp,
+    ) -> BuildResult {
+        let row = &tuple.components()[0].row;
+        self.ts_of.insert(row.clone(), ts);
+        self.max_ts = self.max_ts.max(ts);
+        self.build_count += 1;
+        let stamped = tuple.with_timestamp(self.instance, ts);
+        if self.opts.deferred_bounce && !self.partition_is_resident(row) {
+            self.deferred.push((stamped, state.clone()));
+            BuildResult::Deferred
+        } else {
+            BuildResult::Fresh(stamped)
+        }
     }
 
     /// Probe the SteM with `tuple` (spanning tables other than this
@@ -625,8 +725,9 @@ pub fn probe_bindings(
 }
 
 /// First equi-join predicate that binds a column of `t` from the probe
-/// tuple — the hash-lookup opportunity.
-fn equi_binding(
+/// tuple — the hash-lookup opportunity (and, for sharded SteMs, the
+/// shard-routing opportunity when it binds the shard key column).
+pub(crate) fn equi_binding(
     linking: &[&stems_types::Predicate],
     tuple: &Tuple,
     t: TableIdx,
@@ -1148,6 +1249,79 @@ mod tests {
         let r = r_tuple(1, 999).with_timestamp(TableIdx(0), 5);
         let reply = stem.probe(&r, &TupleState::new(), &q);
         assert_eq!(reply.results.len(), 2);
+    }
+
+    /// The sharding phase split (`ingest_batch` then `stamp_fresh` in
+    /// batch order) must reproduce `build_batch` exactly on one shard —
+    /// same results, same timestamps, same counters, same side maps.
+    #[test]
+    fn phase_split_build_equals_build_batch() {
+        let tuples: Vec<Tuple> = (0..20)
+            .map(|i| s_tuple(i % 7, i))
+            .chain(std::iter::once(s_tuple(3, 3)))
+            .collect();
+        let batch: TupleBatch = tuples.iter().cloned().collect();
+        let states = vec![TupleState::new(); batch.len()];
+
+        let mut whole = s_stem(true, false);
+        let mut ts_whole = 0;
+        let expected = whole.build_batch(&batch, &states, &mut ts_whole);
+
+        let mut phased = s_stem(true, false);
+        let rows: Vec<Arc<Row>> = tuples
+            .iter()
+            .map(|t| t.components()[0].row.clone())
+            .collect();
+        let fresh = phased.ingest_batch(&rows);
+        let mut ts_phased = 0;
+        let got: Vec<BuildResult> = tuples
+            .iter()
+            .zip(&states)
+            .zip(&fresh)
+            .map(|((tuple, state), fresh)| {
+                if *fresh {
+                    ts_phased += 1;
+                    phased.stamp_fresh(tuple, state, ts_phased)
+                } else {
+                    BuildResult::Duplicate
+                }
+            })
+            .collect();
+
+        assert_eq!(expected, got);
+        assert_eq!(ts_whole, ts_phased);
+        assert_eq!(whole.len(), phased.len());
+        assert_eq!(whole.max_ts, phased.max_ts);
+        assert_eq!(whole.build_count, phased.build_count);
+        assert_eq!(whole.duplicates_absorbed, phased.duplicates_absorbed);
+        for (a, b) in expected.iter().zip(&got) {
+            if let (BuildResult::Fresh(x), BuildResult::Fresh(y)) = (a, b) {
+                assert_eq!(x.timestamp(), y.timestamp());
+            }
+        }
+        assert_side_maps_consistent(&phased);
+    }
+
+    #[test]
+    fn evict_oldest_and_oldest_ts_walk_fifo_order() {
+        let mut stem = s_stem(true, false);
+        for i in 0..4 {
+            build_fresh(&mut stem, &s_tuple(i, i), (i + 1) as u64);
+        }
+        assert_eq!(stem.oldest_ts(), Some(1));
+        assert!(stem.evict_oldest());
+        assert_eq!(stem.oldest_ts(), Some(2));
+        assert_eq!(stem.len(), 3);
+        assert_eq!(stem.evictions, 1);
+        assert_side_maps_consistent(&stem);
+        // The evicted row was forgotten everywhere: it can rebuild fresh.
+        assert!(matches!(
+            stem.build(&s_tuple(0, 0), &TupleState::new(), 9),
+            BuildResult::Fresh(_)
+        ));
+        while stem.evict_oldest() {}
+        assert_eq!(stem.oldest_ts(), None);
+        assert!(stem.is_empty());
     }
 
     #[test]

@@ -103,7 +103,11 @@ impl StoreKind {
     /// Instantiate the store. `indexed_cols` lists the columns involved in
     /// equi-join predicates — the SteM builds "one main-memory index ... on
     /// each column ... involved in a join predicate" (paper §2.1.4).
-    pub fn build(&self, indexed_cols: &[usize]) -> Box<dyn DictStore + Send> {
+    ///
+    /// The trait object is `Send + Sync`: sharded SteMs probe their shard
+    /// stores from scoped worker threads through `&self`, so every backend
+    /// must be shareable (none uses interior mutability).
+    pub fn build(&self, indexed_cols: &[usize]) -> Box<dyn DictStore + Send + Sync> {
         let primary_col = indexed_cols.first().copied().unwrap_or(0);
         match self {
             StoreKind::List => Box::new(ListStore::new()),
@@ -136,7 +140,7 @@ pub(crate) mod conformance {
     }
 
     /// Insert a standard dataset and exercise every trait method.
-    pub fn run_suite(mut store: Box<dyn DictStore + Send>) {
+    pub fn run_suite(mut store: Box<dyn DictStore + Send + Sync>) {
         assert!(store.is_empty());
         assert_eq!(store.oldest(), None);
 
@@ -233,6 +237,38 @@ mod tests {
         );
         assert_eq!(StoreKind::Sorted.build(&[1]).backend(), "sorted");
         assert_eq!(StoreKind::default(), StoreKind::Hash);
+    }
+
+    #[test]
+    fn independently_built_stores_stay_isolated() {
+        // Sharded SteMs build one store per shard via StoreKind::build;
+        // an insert into one must be invisible to its siblings, and the
+        // logical store is their union.
+        let mut a = StoreKind::Hash.build(&[0]);
+        let mut b = StoreKind::Hash.build(&[0]);
+        a.insert(conformance::row(&[1, 10]));
+        b.insert(Arc::new(Row::new(vec![Value::Null, Value::Int(10)])));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        // A NULL-keyed (overflow-lane) row still answers lookups on other
+        // columns, like the PartitionedStore lane the shard layer mirrors.
+        assert_eq!(b.lookup_eq(1, &Value::Int(10)).len(), 1);
+        assert_eq!(b.lookup_eq(0, &Value::Null).len(), 0);
+    }
+
+    #[test]
+    fn stores_are_shareable_across_threads() {
+        // Sharded SteMs probe shard stores from scoped threads via &self;
+        // the trait object must be Sync (and the boxes Send).
+        fn assert_sync<T: Sync + Send + ?Sized>() {}
+        assert_sync::<dyn DictStore + Send + Sync>();
+        let mut store = StoreKind::Hash.build(&[0]);
+        store.insert(conformance::row(&[7, 8]));
+        std::thread::scope(|s| {
+            let store = &store;
+            let h = s.spawn(move || store.lookup_eq(0, &Value::Int(7)).len());
+            assert_eq!(h.join().unwrap(), 1);
+        });
     }
 
     #[test]

@@ -109,6 +109,46 @@ impl Value {
         }
     }
 
+    /// A stable 64-bit hash of this value *as an equality key*, used to
+    /// route rows to SteM shards. `None` marks values that can never
+    /// satisfy an SQL equality predicate (NULL, the EOT marker) — sharded
+    /// stores keep such rows in a dedicated overflow lane instead of a
+    /// hash partition (mirroring `PartitionedStore`).
+    ///
+    /// The hash must agree with equality-key normalization (`index_key`
+    /// in `stems-storage`): any two values that can be `sql_eq` hash
+    /// identically, so `Int(5)` and `Float(5.0)` land in the same shard
+    /// and a partitioned equality lookup stays complete. The mixing is a
+    /// fixed Fx-style multiply-rotate — deterministic across processes
+    /// and machines, so shard layouts are reproducible.
+    pub fn stable_key_hash(&self) -> Option<u64> {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        #[inline]
+        fn mix(h: u64, w: u64) -> u64 {
+            (h.rotate_left(5) ^ w).wrapping_mul(SEED)
+        }
+        match self {
+            Value::Null | Value::Eot => None,
+            // Integral floats normalize to Int, exactly like `index_key`.
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e15 => {
+                Value::Int(*f as i64).stable_key_hash()
+            }
+            Value::Bool(b) => Some(mix(mix(0, 1), *b as u64)),
+            Value::Int(i) => Some(mix(mix(0, 2), *i as u64)),
+            Value::Float(f) => Some(mix(mix(0, 3), f.to_bits())),
+            Value::Str(s) => {
+                let mut h = mix(0, 4);
+                for chunk in s.as_bytes().chunks(8) {
+                    let mut buf = [0u8; 8];
+                    buf[..chunk.len()].copy_from_slice(chunk);
+                    h = mix(h, u64::from_le_bytes(buf));
+                }
+                h = mix(h, s.len() as u64);
+                Some(h)
+            }
+        }
+    }
+
     /// Approximate heap footprint in bytes, used for SteM memory accounting.
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<Value>()
@@ -298,6 +338,51 @@ mod tests {
     #[test]
     fn approx_bytes_counts_string_payload() {
         assert!(Value::str("hello").approx_bytes() > Value::Int(1).approx_bytes());
+    }
+
+    #[test]
+    fn stable_key_hash_unhashable_values() {
+        assert_eq!(Value::Null.stable_key_hash(), None);
+        assert_eq!(Value::Eot.stable_key_hash(), None);
+    }
+
+    #[test]
+    fn stable_key_hash_agrees_with_sql_eq_coercion() {
+        // Values that can compare sql_eq must co-locate in one shard.
+        assert_eq!(
+            Value::Int(5).stable_key_hash(),
+            Value::Float(5.0).stable_key_hash()
+        );
+        assert_ne!(
+            Value::Int(5).stable_key_hash(),
+            Value::Float(5.5).stable_key_hash()
+        );
+        assert_eq!(
+            Value::str("abc").stable_key_hash(),
+            Value::str("abc").stable_key_hash()
+        );
+    }
+
+    #[test]
+    fn stable_key_hash_separates_types_and_values() {
+        let vals = [
+            Value::Int(0),
+            Value::Int(1),
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Float(0.5),
+            Value::str(""),
+            Value::str("a"),
+            Value::str("aa"),
+        ];
+        let hashes: std::collections::HashSet<u64> =
+            vals.iter().map(|v| v.stable_key_hash().unwrap()).collect();
+        assert_eq!(hashes.len(), vals.len());
+        // Small ints spread across 4 shards reasonably.
+        let shards: std::collections::HashSet<u64> = (0..64i64)
+            .map(|i| Value::Int(i).stable_key_hash().unwrap() % 4)
+            .collect();
+        assert_eq!(shards.len(), 4, "small ints must hit every shard");
     }
 
     #[test]

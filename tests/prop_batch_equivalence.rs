@@ -25,6 +25,10 @@ use stems::storage::StoreKind;
 /// Scan chunk sizes the suites sweep (1 = the scalar row-at-a-time scan).
 const CHUNKS: [usize; 4] = [1, 7, 64, 256];
 
+/// SteM shard fan-outs the shard-invariance suite sweeps (1 = the
+/// unsharded engine; 7 exercises uneven key → shard distributions).
+const SHARDS: [usize; 4] = [1, 2, 4, 7];
+
 struct Case {
     rows: Vec<Vec<(i64, i64)>>,
     topology: u8,
@@ -151,11 +155,30 @@ fn build_case(case: &Case) -> (Catalog, QuerySpec) {
     (catalog, query)
 }
 
+/// Run at the ambient shard count (the `STEMS_NUM_SHARDS` CI matrix leg),
+/// so every existing suite doubles as sharded-engine coverage.
 fn run_at(case: &Case, catalog: &Catalog, query: &QuerySpec, batch_size: usize) -> Report {
+    run_at_shards(
+        case,
+        catalog,
+        query,
+        batch_size,
+        ExecConfig::default().num_shards,
+    )
+}
+
+fn run_at_shards(
+    case: &Case,
+    catalog: &Catalog,
+    query: &QuerySpec,
+    batch_size: usize,
+    num_shards: usize,
+) -> Report {
     let config = ExecConfig {
         policy: case.policy.clone(),
         seed: case.seed,
         batch_size,
+        num_shards,
         plan: PlanOptions {
             default_stem: StemOptions {
                 store: case.store.clone(),
@@ -315,4 +338,98 @@ fn batching_never_schedules_more_events_than_scalar() {
         amortized_somewhere,
         "no case amortized any events — batching is not engaging"
     );
+}
+
+/// Sharded SteMs are observationally invisible: for randomized SPJ
+/// queries, running the same query at every shard count in {1, 2, 4, 7}
+/// must be **bit-identical** to the unsharded engine — the same *ordered*
+/// result vector, the same event count and virtual end time, and the same
+/// adaptivity metrics (`hints_recosted`, probe/bounce/duplicate counters).
+/// Sharding may only change which threads do the dictionary work, never
+/// what any module observes. (The sweep pins stores to insertion-ordered
+/// backends, where the timestamp-merge reproduces candidate order
+/// exactly; `gen_case` never emits the value-ordered Sorted store.)
+#[test]
+fn shard_count_is_invariant() {
+    const METRICS: [&str; 8] = [
+        "results",
+        "stem_probes",
+        "probes_bounced",
+        "probes_consumed",
+        "duplicates_absorbed",
+        "hints_recosted",
+        "route_batches",
+        "retired",
+    ];
+    for i in 0..24u64 {
+        let mut rng = SimRng::new(0x54A2D ^ i);
+        let case = gen_case(&mut rng);
+        let (catalog, query) = build_case(&case);
+        let expected =
+            reference::canonical(&catalog, &query, &reference::execute(&catalog, &query));
+        let baseline = run_at_shards(&case, &catalog, &query, 64, SHARDS[0]);
+        assert!(
+            baseline.violations.is_empty(),
+            "case {i} unsharded violations: {:?}",
+            baseline.violations
+        );
+        assert_eq!(
+            baseline.canonical(&catalog, &query),
+            expected,
+            "case {i}: unsharded vs reference"
+        );
+        for shards in &SHARDS[1..] {
+            let sharded = run_at_shards(&case, &catalog, &query, 64, *shards);
+            assert!(
+                sharded.violations.is_empty(),
+                "case {i} shards {shards} violations: {:?}",
+                sharded.violations
+            );
+            assert_eq!(
+                sharded.results, baseline.results,
+                "case {i}: shards {shards} ordered results diverged"
+            );
+            assert_eq!(
+                sharded.events, baseline.events,
+                "case {i}: shards {shards} event count diverged"
+            );
+            assert_eq!(
+                sharded.end_time, baseline.end_time,
+                "case {i}: shards {shards} virtual end time diverged"
+            );
+            for m in METRICS {
+                assert_eq!(
+                    sharded.counter(m),
+                    baseline.counter(m),
+                    "case {i}: shards {shards} metric {m:?} diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The shard sweep crossed with batch sizes: shard-count invariance must
+/// hold on the scalar routing path too (batch 1 envelopes take the
+/// serial single-tuple build/probe route through the shard layer).
+#[test]
+fn shard_count_is_invariant_at_batch_one() {
+    for i in 0..12u64 {
+        let mut rng = SimRng::new(0x54A2D1 ^ i);
+        let case = gen_case(&mut rng);
+        let (catalog, query) = build_case(&case);
+        let baseline = run_at_shards(&case, &catalog, &query, 1, 1);
+        for shards in [4usize, 7] {
+            let sharded = run_at_shards(&case, &catalog, &query, 1, shards);
+            assert!(
+                sharded.violations.is_empty(),
+                "case {i} shards {shards}: {:?}",
+                sharded.violations
+            );
+            assert_eq!(
+                sharded.results, baseline.results,
+                "case {i} shards {shards}"
+            );
+            assert_eq!(sharded.events, baseline.events, "case {i} shards {shards}");
+        }
+    }
 }

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the committed BENCH_*.json baselines.
+
+Usage:
+    python3 tools/bench_check.py COMMITTED:FRESH [COMMITTED:FRESH ...]
+
+Each argument pairs a committed baseline (e.g. BENCH_2.json) with a
+freshly generated output of the same benchmark binary. For every file
+(committed *and* fresh) the gate enforces, beyond well-formed JSON:
+
+  1. every series carries a ``result_hash`` field (the benches' sorted
+     multiset hash of the canonical query results);
+  2. **cross-series result equality** — within one workload, every series
+     (scalar / batched / chunked / fused / sharded) must report the same
+     ``result_hash``: the perf variants claim observational equivalence,
+     and a silent result drift is a correctness regression even when the
+     JSON parses fine;
+  3. the fresh run exposes exactly the committed series labels (a renamed
+     or dropped series would otherwise rot the baseline unnoticed);
+  4. when the fresh run used the committed row count (CI runs the full
+     rows with STEMS_BENCH_RUNS=1), its hashes must equal the committed
+     ones — the cross-commit result-regression check.
+
+Timing fields are deliberately *not* gated: wall-clock numbers are noisy
+on shared runners; result hashes are not.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"bench_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        fail(f"{path}: file not found")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: malformed JSON ({e})")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    return doc
+
+
+def workloads(path: str, doc: dict) -> "dict[str, list]":
+    """Normalize both schemas to {workload_name: [series entries]}."""
+    if "workloads" in doc:
+        out = {}
+        for w in doc["workloads"]:
+            name = w.get("name")
+            if not name or "series" not in w:
+                fail(f"{path}: workload missing name/series")
+            out[name] = w["series"]
+        return out
+    if "series" in doc:
+        return {"": doc["series"]}
+    fail(f"{path}: neither 'series' nor 'workloads' present")
+
+
+def series_hashes(path: str, groups: "dict[str, list]") -> "dict[tuple, str]":
+    """Per-(workload, label) result hash, with cross-series equality
+    enforced within each workload."""
+    hashes = {}
+    for wname, series in groups.items():
+        if not series:
+            fail(f"{path}: workload {wname!r} has no series")
+        seen = {}
+        for entry in series:
+            label = entry.get("label")
+            if not label:
+                fail(f"{path}: series entry missing 'label' in {wname!r}")
+            h = entry.get("result_hash")
+            if not h:
+                fail(f"{path}: series {wname!r}/{label!r} missing 'result_hash'")
+            seen[label] = h
+            hashes[(wname, label)] = h
+        distinct = set(seen.values())
+        if len(distinct) != 1:
+            fail(
+                f"{path}: cross-series result inequality in workload {wname!r}: "
+                + ", ".join(f"{l}={h}" for l, h in sorted(seen.items()))
+            )
+    return hashes
+
+
+def check_pair(committed_path: str, fresh_path: str) -> None:
+    committed = load(committed_path)
+    fresh = load(fresh_path)
+    committed_hashes = series_hashes(committed_path, workloads(committed_path, committed))
+    fresh_hashes = series_hashes(fresh_path, workloads(fresh_path, fresh))
+
+    missing = sorted(set(committed_hashes) - set(fresh_hashes))
+    if missing:
+        fail(
+            f"{fresh_path}: missing series present in {committed_path}: "
+            + ", ".join(f"{w or '-'}/{l}" for w, l in missing)
+        )
+
+    committed_rows = committed.get("rows")
+    fresh_rows = fresh.get("rows")
+    if committed_rows is None:
+        fail(f"{committed_path}: missing 'rows' field")
+    if fresh_rows is None:
+        # A fresh output without 'rows' would silently disable the
+        # cross-commit comparison below forever — refuse instead.
+        fail(f"{fresh_path}: missing 'rows' field")
+    if fresh_rows == committed_rows:
+        for key, want in committed_hashes.items():
+            got = fresh_hashes[key]
+            if got != want:
+                wname, label = key
+                fail(
+                    f"{fresh_path}: result hash of {wname or '-'}/{label} is {got}, "
+                    f"committed {committed_path} has {want} — the benchmark's query "
+                    "results changed"
+                )
+        print(
+            f"bench_check: OK {fresh_path} vs {committed_path} "
+            f"({len(committed_hashes)} series, hashes match committed baseline)"
+        )
+    else:
+        print(
+            f"bench_check: OK {fresh_path} vs {committed_path} "
+            f"({len(fresh_hashes)} series internally consistent; rows "
+            f"{fresh_rows} != committed {committed_rows}, cross-commit hash "
+            "comparison skipped)"
+        )
+
+
+def main(argv: "list[str]") -> None:
+    if not argv:
+        fail("usage: bench_check.py COMMITTED:FRESH [COMMITTED:FRESH ...]")
+    for arg in argv:
+        if ":" not in arg:
+            fail(f"argument {arg!r} is not of the form COMMITTED:FRESH")
+        committed, fresh = arg.split(":", 1)
+        check_pair(committed, fresh)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
