@@ -30,16 +30,19 @@ pub struct Feasibility {
 /// Is bind column `col` of instance `t` boundable given `accessible`?
 fn col_boundable(q: &QuerySpec, t: TableIdx, col: usize, accessible: TableSet) -> bool {
     q.predicates.iter().any(|p| {
-        // A single-member IN-list (`col IN (7)`) or scalar IN
-        // (`col IN 7`) is a degenerate equality and binds the column
-        // directly — the runtime binding side (`probe_bindings`) applies
-        // the same rule, so feasibility and probe-time bindability agree.
-        // Multi-member lists bind nothing: an index probe supplies
-        // exactly one key.
+        // An IN-list binds its column: a single member (or scalar IN) is
+        // a degenerate equality, and a multi-member list fans the index
+        // probe out across its members (one lookup per member, answered
+        // through the multi-key flat path). The runtime binding side
+        // (`probe_bindings` / `bind_value_sets` in stems-core) applies
+        // the same rules, so feasibility and probe-time bindability
+        // agree. At least one member must be equality-indexable
+        // (non-NULL/EOT) — the others can never match a row and supply
+        // no lookup key.
         if p.op == CmpOp::In {
             return match (&p.left, &p.right) {
                 (Operand::Col(c), Operand::List(items)) => {
-                    c.table == t && c.col == col && items.len() == 1
+                    c.table == t && c.col == col && items.iter().any(|v| v.equality_key().is_some())
                 }
                 (Operand::Col(c), Operand::Const(_)) => c.table == t && c.col == col,
                 _ => false,
@@ -296,10 +299,30 @@ mod tests {
     }
 
     #[test]
-    fn multi_member_in_list_does_not_bind() {
-        // An index probe supplies one key; `s.k IN (7, 8)` cannot bind it.
+    fn multi_member_in_list_binds_by_fanning_out() {
+        // `s.k IN (7, 8)` binds S's index on k: the probe fans out to one
+        // lookup per member. NULL members contribute no lookup key but do
+        // not break the binding either.
         let s = setup(false, Some(0), true, None);
         let q = chain(&s, in_list_preds(vec![Value::Int(7), Value::Int(8)]));
+        assert!(check(&s.catalog, &q).is_ok());
+        let s = setup(false, Some(0), true, None);
+        let q = chain(
+            &s,
+            in_list_preds(vec![Value::Int(7), Value::Null, Value::Int(8)]),
+        );
+        assert!(check(&s.catalog, &q).is_ok());
+    }
+
+    #[test]
+    fn unindexable_only_in_list_does_not_bind() {
+        // No member of `s.k IN (NULL)` can ever satisfy equality, so the
+        // index probe has no key to supply: infeasible.
+        let s = setup(false, Some(0), true, None);
+        let q = chain(&s, in_list_preds(vec![Value::Null]));
+        assert!(check(&s.catalog, &q).is_err());
+        let s = setup(false, Some(0), true, None);
+        let q = chain(&s, in_list_preds(vec![Value::Null, Value::Eot]));
         assert!(check(&s.catalog, &q).is_err());
     }
 

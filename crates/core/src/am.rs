@@ -213,32 +213,82 @@ impl IndexAm {
             .collect()
     }
 
-    /// Derive the bind values a probe tuple supplies for instance `t` of
-    /// this source: for every bind column, an equi-join predicate from the
-    /// tuple's span or a constant equality selection must cover it.
-    pub fn bind_values(&self, tuple: &Tuple, t: TableIdx, query: &QuerySpec) -> Option<Vec<Value>> {
+    /// Every lookup key a probe tuple supplies for instance `t` of this
+    /// source. For each bind column: an equi-join predicate from the
+    /// tuple's span or a constant equality selection supplies *one*
+    /// value; a multi-member IN list fans out across its members. The
+    /// result is the cartesian product over bind columns (IN lists are
+    /// tiny), `None` when some bind column is unboundable.
+    pub fn bind_value_sets(
+        &self,
+        tuple: &Tuple,
+        t: TableIdx,
+        query: &QuerySpec,
+    ) -> Option<Vec<Vec<Value>>> {
         let linking: Vec<&stems_types::Predicate> = query
             .preds_linking(tuple.span(), t)
             .into_iter()
             .map(|id| query.predicate(id))
             .collect();
         let bindings = crate::stem::probe_bindings(&linking, tuple, t, query);
-        self.spec
-            .bind_cols
-            .iter()
-            .map(|c| {
-                bindings
-                    .iter()
-                    .find(|(col, _)| col == c)
-                    .and_then(|(_, v)| index_key(v))
-            })
-            .collect()
+        let options = crate::stem::in_list_options(query, t);
+        let mut per_col: Vec<Vec<Value>> = Vec::with_capacity(self.spec.bind_cols.len());
+        for c in &self.spec.bind_cols {
+            if let Some(v) = bindings
+                .iter()
+                .find(|(col, _)| col == c)
+                .and_then(|(_, v)| index_key(v))
+            {
+                // A fixed equality binding is complete on its own; it
+                // wins over any IN options on the same column.
+                per_col.push(vec![v]);
+            } else if let Some((_, vals)) = options.iter().find(|(col, _)| col == c) {
+                per_col.push(vals.clone());
+            } else {
+                return None;
+            }
+        }
+        let mut keys: Vec<Vec<Value>> = vec![Vec::new()];
+        for choices in &per_col {
+            let mut next = Vec::with_capacity(keys.len() * choices.len());
+            for key in &keys {
+                for v in choices {
+                    let mut k = key.clone();
+                    k.push(v.clone());
+                    next.push(k);
+                }
+            }
+            keys = next;
+        }
+        Some(keys)
     }
 
-    /// Accept a probe for instance `t`. The probe tuple itself is bounced
-    /// back by the engine regardless (AMs "asynchronously bounce back each
-    /// probe tuple", Table 1). `prioritized` lookups jump the pending
-    /// queue (paper §4.1).
+    /// Can this probe tuple bind the index's lookup columns (possibly by
+    /// fanning out over IN-list members)? The router calls this per
+    /// tuple per routing decision, so it only checks that every bind
+    /// column has a supplier — it never materializes the cartesian key
+    /// product [`IndexAm::bind_value_sets`] builds at probe time.
+    /// (Binding values are equality-normalized at the source, so a
+    /// supplied column is always a usable one — the two methods agree.)
+    pub fn can_bind(&self, tuple: &Tuple, t: TableIdx, query: &QuerySpec) -> bool {
+        let linking: Vec<&stems_types::Predicate> = query
+            .preds_linking(tuple.span(), t)
+            .into_iter()
+            .map(|id| query.predicate(id))
+            .collect();
+        let bindings = crate::stem::probe_bindings(&linking, tuple, t, query);
+        let options = crate::stem::in_list_options(query, t);
+        self.spec.bind_cols.iter().all(|c| {
+            bindings.iter().any(|(col, _)| col == c) || options.iter().any(|(col, _)| col == c)
+        })
+    }
+
+    /// Accept a probe for instance `t`: one lookup per bound key (a
+    /// multi-member IN binding fans out across members, each with its own
+    /// schedule/queue/coalesce outcome). The probe tuple itself is
+    /// bounced back by the engine regardless (AMs "asynchronously bounce
+    /// back each probe tuple", Table 1). `prioritized` lookups jump the
+    /// pending queue (paper §4.1).
     pub fn probe(
         &mut self,
         tuple: &Tuple,
@@ -246,10 +296,23 @@ impl IndexAm {
         query: &QuerySpec,
         now: Time,
         prioritized: bool,
-    ) -> (IndexProbeOutcome, Option<Vec<Value>>) {
-        let Some(key) = self.bind_values(tuple, t, query) else {
-            return (IndexProbeOutcome::Unbindable, None);
+    ) -> Vec<(IndexProbeOutcome, Option<Vec<Value>>)> {
+        let Some(keys) = self.bind_value_sets(tuple, t, query) else {
+            return vec![(IndexProbeOutcome::Unbindable, None)];
         };
+        keys.into_iter()
+            .map(|key| self.probe_key(key, now, prioritized))
+            .collect()
+    }
+
+    /// One key's share of a probe: coalesce against in-flight/answered
+    /// lookups, else schedule or queue it.
+    fn probe_key(
+        &mut self,
+        key: Vec<Value>,
+        now: Time,
+        prioritized: bool,
+    ) -> (IndexProbeOutcome, Option<Vec<Value>>) {
         if self.in_flight.contains(&key) || self.answered.contains(&key) {
             self.probes_coalesced += 1;
             return (IndexProbeOutcome::Coalesced, Some(key));
@@ -364,6 +427,15 @@ mod tests {
         vals.iter()
             .map(|(a, b)| Row::shared(vec![Value::Int(*a), Value::Int(*b)]))
             .collect()
+    }
+
+    /// Unwrap a single-key probe's fan-out (the pre-IN-fan-out shape most
+    /// of these tests exercise).
+    fn one(
+        mut outcomes: Vec<(IndexProbeOutcome, Option<Vec<Value>>)>,
+    ) -> (IndexProbeOutcome, Option<Vec<Value>>) {
+        assert_eq!(outcomes.len(), 1, "expected a single-key probe");
+        outcomes.pop().expect("checked length")
     }
 
     fn rs_query() -> (Catalog, QuerySpec) {
@@ -618,7 +690,7 @@ mod tests {
         );
         let r1 = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1), Value::Int(10)]);
         let r2 = Tuple::singleton_of(TableIdx(0), vec![Value::Int(2), Value::Int(20)]);
-        let (o1, k1) = am.probe(&r1, TableIdx(1), &q, 0, false);
+        let (o1, k1) = one(am.probe(&r1, TableIdx(1), &q, 0, false));
         assert_eq!(
             o1,
             IndexProbeOutcome::Scheduled {
@@ -627,7 +699,7 @@ mod tests {
             }
         );
         // Second distinct probe waits in the pending queue.
-        let (o2, _) = am.probe(&r2, TableIdx(1), &q, 10, false);
+        let (o2, _) = one(am.probe(&r2, TableIdx(1), &q, 10, false));
         assert_eq!(o2, IndexProbeOutcome::Queued);
         assert_eq!(am.probes_issued, 1);
         assert_eq!(am.pending_len(), 1);
@@ -655,7 +727,7 @@ mod tests {
             IndexSpec::new(vec![0], 1000),
         );
         let mk = |a: i64| Tuple::singleton_of(TableIdx(0), vec![Value::Int(0), Value::Int(a)]);
-        let (_, k1) = am.probe(&mk(10), TableIdx(1), &q, 0, false); // in service
+        let (_, k1) = one(am.probe(&mk(10), TableIdx(1), &q, 0, false)); // in service
         am.probe(&mk(20), TableIdx(1), &q, 0, false); // pending lo
         am.probe(&mk(30), TableIdx(1), &q, 0, false); // pending lo
         am.probe(&mk(40), TableIdx(1), &q, 0, true); // pending HI
@@ -670,10 +742,10 @@ mod tests {
             2,
             IndexSpec::new(vec![0], 1000),
         );
-        let (_, k1) = am2.probe(&mk(10), TableIdx(1), &q, 0, false);
+        let (_, k1) = one(am2.probe(&mk(10), TableIdx(1), &q, 0, false));
         am2.probe(&mk(20), TableIdx(1), &q, 0, false);
         am2.probe(&mk(30), TableIdx(1), &q, 0, false);
-        let (o, _) = am2.probe(&mk(30), TableIdx(1), &q, 0, true); // promote 30
+        let (o, _) = one(am2.probe(&mk(30), TableIdx(1), &q, 0, true)); // promote 30
         assert_eq!(o, IndexProbeOutcome::Coalesced);
         am2.respond(&k1.unwrap(), &q);
         let (key, _, _) = am2.dequeue_pending(1000).expect("next");
@@ -693,16 +765,16 @@ mod tests {
         let mk = |key: i64, a: i64| {
             Tuple::singleton_of(TableIdx(0), vec![Value::Int(key), Value::Int(a)])
         };
-        let (o1, _) = am.probe(&mk(1, 10), TableIdx(1), &q, 0, false);
+        let (o1, _) = one(am.probe(&mk(1, 10), TableIdx(1), &q, 0, false));
         assert!(matches!(o1, IndexProbeOutcome::Scheduled { .. }));
         // Different R tuple, same bind value: coalesced.
-        let (o2, _) = am.probe(&mk(2, 10), TableIdx(1), &q, 5, false);
+        let (o2, _) = one(am.probe(&mk(2, 10), TableIdx(1), &q, 5, false));
         assert_eq!(o2, IndexProbeOutcome::Coalesced);
         assert_eq!(am.probes_issued, 1);
         assert_eq!(am.probes_coalesced, 1);
         // After the answer, same key is still coalesced (cache hit path).
         am.respond(&[Value::Int(10)], &q);
-        let (o3, _) = am.probe(&mk(3, 10), TableIdx(1), &q, 2000, false);
+        let (o3, _) = one(am.probe(&mk(3, 10), TableIdx(1), &q, 2000, false));
         assert_eq!(o3, IndexProbeOutcome::Coalesced);
     }
 
@@ -719,8 +791,8 @@ mod tests {
         let mk = |key: i64, a: i64| {
             Tuple::singleton_of(TableIdx(0), vec![Value::Int(key), Value::Int(a)])
         };
-        let (o1, _) = am.probe(&mk(1, 10), TableIdx(1), &q, 0, false);
-        let (o2, _) = am.probe(&mk(2, 20), TableIdx(1), &q, 0, false);
+        let (o1, _) = one(am.probe(&mk(1, 10), TableIdx(1), &q, 0, false));
+        let (o2, _) = one(am.probe(&mk(2, 20), TableIdx(1), &q, 0, false));
         assert_eq!(
             o1,
             IndexProbeOutcome::Scheduled {
@@ -748,12 +820,106 @@ mod tests {
             IndexSpec::new(vec![0], 1000),
         );
         let r = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1), Value::Int(77)]);
-        let (_, key) = am.probe(&r, TableIdx(1), &q, 0, false);
+        let (_, key) = one(am.probe(&r, TableIdx(1), &q, 0, false));
         let resp = am.respond(&key.unwrap(), &q);
         assert_eq!(resp.len(), 1);
         assert!(resp[0].is_eot());
         // EOT encodes the probed binding so the SteM records coverage.
         assert_eq!(resp[0].components()[0].row.get(0), Some(&Value::Int(77)));
+    }
+
+    #[test]
+    fn multi_member_in_list_fans_out_index_lookups() {
+        // S's index binds x, which only `s.x IN (10, 20, 99)` covers: one
+        // probe fans out into one lookup per member.
+        let (c, q) = rs_query();
+        let mut q2 = q.clone();
+        q2.predicates.push(Predicate::in_list(
+            PredId(1),
+            ColRef::new(TableIdx(1), 0),
+            vec![Value::Int(10), Value::Int(20), Value::Int(99)],
+        ));
+        // Re-link the join through y so x stays IN-bound only.
+        q2.predicates[0] = Predicate::join(
+            PredId(0),
+            ColRef::new(TableIdx(0), 1),
+            CmpOp::Eq,
+            ColRef::new(TableIdx(1), 1),
+        );
+        let q2 = QuerySpec::new(&c, q2.tables, q2.predicates, None).unwrap();
+        let mut am = IndexAm::new(
+            SourceId(1),
+            vec![TableIdx(1)],
+            &rows(&[(10, 1), (20, 1), (30, 1)]),
+            2,
+            IndexSpec::new(vec![0], 1000).with_concurrency(3),
+        );
+        let r = Tuple::singleton_of(TableIdx(0), vec![Value::Int(7), Value::Int(1)]);
+        assert_eq!(
+            am.bind_value_sets(&r, TableIdx(1), &q2),
+            Some(vec![
+                vec![Value::Int(10)],
+                vec![Value::Int(20)],
+                vec![Value::Int(99)]
+            ])
+        );
+        let outcomes = am.probe(&r, TableIdx(1), &q2, 0, false);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes
+            .iter()
+            .all(|(o, _)| matches!(o, IndexProbeOutcome::Scheduled { .. })));
+        assert_eq!(am.probes_issued, 3);
+        // A second prober over the same list coalesces entirely.
+        let r2 = Tuple::singleton_of(TableIdx(0), vec![Value::Int(8), Value::Int(1)]);
+        let again = am.probe(&r2, TableIdx(1), &q2, 5, false);
+        assert!(again
+            .iter()
+            .all(|(o, _)| *o == IndexProbeOutcome::Coalesced));
+        // Each member's response carries its own rows + keyed EOT; the
+        // miss (99) answers with a bare EOT.
+        let resp10 = am.respond(&[Value::Int(10)], &q2);
+        assert_eq!(resp10.len(), 2);
+        assert!(resp10.last().unwrap().is_eot());
+        let resp99 = am.respond(&[Value::Int(99)], &q2);
+        assert_eq!(resp99.len(), 1);
+        assert!(resp99[0].is_eot());
+        assert_eq!(resp99[0].components()[0].row.get(0), Some(&Value::Int(99)));
+    }
+
+    #[test]
+    fn in_fan_out_composes_with_fixed_bindings() {
+        // A two-column index: x is IN-bound (fan-out), y is join-bound
+        // (single value) — the key set is the product.
+        let (c, q) = rs_query();
+        let mut q2 = q.clone();
+        q2.predicates[0] = Predicate::join(
+            PredId(0),
+            ColRef::new(TableIdx(0), 1),
+            CmpOp::Eq,
+            ColRef::new(TableIdx(1), 1),
+        );
+        q2.predicates.push(Predicate::in_list(
+            PredId(1),
+            ColRef::new(TableIdx(1), 0),
+            vec![Value::Int(10), Value::Int(20)],
+        ));
+        let q2 = QuerySpec::new(&c, q2.tables, q2.predicates, None).unwrap();
+        let am = IndexAm::new(
+            SourceId(1),
+            vec![TableIdx(1)],
+            &rows(&[(10, 5)]),
+            2,
+            IndexSpec::new(vec![0, 1], 1000),
+        );
+        let r = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1), Value::Int(5)]);
+        assert_eq!(
+            am.bind_value_sets(&r, TableIdx(1), &q2),
+            Some(vec![
+                vec![Value::Int(10), Value::Int(5)],
+                vec![Value::Int(20), Value::Int(5)]
+            ])
+        );
+        assert!(am.can_bind(&r, TableIdx(1), &q2));
     }
 
     #[test]
@@ -767,7 +933,7 @@ mod tests {
             IndexSpec::new(vec![1], 1000), // binds y, which no pred covers
         );
         let r = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1), Value::Int(10)]);
-        let (o, k) = am.probe(&r, TableIdx(1), &q, 0, false);
+        let (o, k) = one(am.probe(&r, TableIdx(1), &q, 0, false));
         assert_eq!(o, IndexProbeOutcome::Unbindable);
         assert!(k.is_none());
     }
@@ -791,7 +957,7 @@ mod tests {
             IndexSpec::new(vec![0], 1000),
         );
         let r = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1), Value::Int(10)]);
-        let (_, key) = am.probe(&r, TableIdx(1), &q2, 0, false);
+        let (_, key) = one(am.probe(&r, TableIdx(1), &q2, 0, false));
         let resp = am.respond(&key.unwrap(), &q2);
         // Only (10,5) passes y > 1; plus EOT.
         assert_eq!(resp.len(), 2);

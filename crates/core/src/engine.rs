@@ -824,24 +824,27 @@ impl EddyExecutor {
         let dur = self.config.costs.am_accept_us * env.batch.len().max(1) as u64;
         let mut deliveries = Vec::new();
         for (tuple, mut state) in env.batch.into_iter().zip(env.states) {
-            let (outcome, key) = am.probe(&tuple, t, &self.query, self.now, state.prioritized);
-            match outcome {
-                IndexProbeOutcome::Scheduled { start, complete } => {
-                    self.agenda.push(start, Event::AmIssue(mid));
-                    self.agenda.push(
-                        complete,
-                        Event::AmResponse(mid, key.expect("scheduled key")),
-                    );
-                }
-                IndexProbeOutcome::Queued => {
-                    self.metrics.bump("probes_queued", self.now, 1);
-                }
-                IndexProbeOutcome::Coalesced => {
-                    self.metrics.bump("probes_coalesced", self.now, 1);
-                }
-                IndexProbeOutcome::Unbindable => {
-                    self.violations
-                        .push("router sent an unbindable probe to an index AM".into());
+            // One outcome per bound key — a multi-member IN binding fans
+            // the probe out across member lookups.
+            for (outcome, key) in am.probe(&tuple, t, &self.query, self.now, state.prioritized) {
+                match outcome {
+                    IndexProbeOutcome::Scheduled { start, complete } => {
+                        self.agenda.push(start, Event::AmIssue(mid));
+                        self.agenda.push(
+                            complete,
+                            Event::AmResponse(mid, key.expect("scheduled key")),
+                        );
+                    }
+                    IndexProbeOutcome::Queued => {
+                        self.metrics.bump("probes_queued", self.now, 1);
+                    }
+                    IndexProbeOutcome::Coalesced => {
+                        self.metrics.bump("probes_coalesced", self.now, 1);
+                    }
+                    IndexProbeOutcome::Unbindable => {
+                        self.violations
+                            .push("router sent an unbindable probe to an index AM".into());
+                    }
                 }
             }
             // The AM asynchronously bounces back each probe tuple (Table 1).
@@ -1122,12 +1125,16 @@ impl EddyExecutor {
                 .into_iter()
                 .map(|id| self.query.predicate(id))
                 .collect();
-            ParkKind::Coverage(crate::stem::probe_bindings(
-                &linking,
-                &tuple,
-                table,
-                &self.query,
-            ))
+            let mut bindings = crate::stem::probe_bindings(&linking, &tuple, table, &self.query);
+            // Multi-member IN probes wait on one EOT per member: any
+            // member's EOT must wake the tuple so the SteM can re-judge
+            // coverage (it requires *all* members before consuming).
+            for (col, vals) in crate::stem::in_list_options(&self.query, table) {
+                for v in vals {
+                    bindings.push((col, v));
+                }
+            }
+            ParkKind::Coverage(bindings)
         } else {
             ParkKind::AnyBuild
         };

@@ -123,7 +123,7 @@ pub fn candidates(
         if !state.probed_ams.contains(ct) {
             for &mid in &layout.index_mids[ct.as_usize()] {
                 if let Module::IndexAm(am) = &modules[mid] {
-                    if am.bind_values(tuple, ct, query).is_some() {
+                    if am.can_bind(tuple, ct, query) {
                         acts.push(Action::ProbeAm { mid, table: ct });
                     }
                 }

@@ -57,12 +57,14 @@
 //! call delegated 1:1, zero merge arithmetic — so the default engine is
 //! the PR-3 engine, bit for bit.
 
-use crate::stem::{equi_binding, BuildResult, ProbeReply, Stem, StemOptions};
+use crate::stem::{
+    equi_binding, linking_for, BuildResult, ProbeBinding, ProbeReply, Stem, StemOptions,
+};
 use crate::tuple_state::TupleState;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use stems_catalog::{QuerySpec, SourceId};
 use stems_types::{
-    Predicate, Row, TableIdx, TableSet, Timestamp, Tuple, TupleBatch, Value, UNBUILT_TS,
+    HashedKey, Predicate, Row, TableIdx, TableSet, Timestamp, Tuple, TupleBatch, Value, UNBUILT_TS,
 };
 
 /// Minimum number of routed rows in one envelope before the shard fan-out
@@ -85,6 +87,40 @@ fn host_parallelism() -> usize {
             .map(|n| n.get())
             .unwrap_or(1)
     })
+}
+
+/// One probe lane's reusable envelope buffers: the sub-batch routed to a
+/// shard, its states, and the per-tuple bindings resolved (and hashed)
+/// once by the routing pass — the shard's dictionary descent reuses them
+/// verbatim, so no layer below the envelope boundary ever re-hashes.
+#[derive(Debug, Default)]
+struct LaneScratch {
+    batch: TupleBatch,
+    states: Vec<TupleState>,
+    bindings: Vec<ProbeBinding>,
+}
+
+impl LaneScratch {
+    fn clear(&mut self) {
+        self.batch.clear();
+        self.states.clear();
+        self.bindings.clear();
+    }
+
+    fn push(&mut self, tuple: &Tuple, state: &TupleState, binding: &ProbeBinding) {
+        self.batch.push(tuple.clone());
+        self.states.push(state.clone());
+        self.bindings.push(binding.clone());
+    }
+}
+
+/// Pooled probe fan-out buffers, reused across envelopes (capacity
+/// survives; contents are per envelope). Behind a [`Mutex`] because
+/// probes run through `&self`; the lock is taken once per envelope.
+#[derive(Debug, Default)]
+struct ProbePool {
+    lanes: Vec<LaneScratch>,
+    lane_of: Vec<Option<usize>>,
 }
 
 /// A State Module whose dictionary is hash-partitioned across
@@ -110,6 +146,8 @@ pub struct ShardedStem {
     /// this layer evicts across them); `None` when unbounded or when
     /// `num_shards == 1` (the inner Stem owns its window).
     window: Option<usize>,
+    /// Pooled probe fan-out buffers (see [`ProbePool`]).
+    probe_pool: Mutex<ProbePool>,
 }
 
 impl std::fmt::Debug for ShardedStem {
@@ -175,6 +213,7 @@ impl ShardedStem {
             num_shards,
             key_col: join_cols.first().copied().unwrap_or(0),
             window: if num_shards == 1 { None } else { window },
+            probe_pool: Mutex::new(ProbePool::default()),
         }
     }
 
@@ -339,19 +378,7 @@ impl ShardedStem {
         query: &'q QuerySpec,
     ) -> Option<usize> {
         let t = self.instance;
-        let span = tuple.span();
-        let li = match spans.iter().position(|(s, _)| *s == span) {
-            Some(i) => i,
-            None => {
-                let linking = query
-                    .preds_linking(span, t)
-                    .into_iter()
-                    .map(|id| query.predicate(id))
-                    .collect();
-                spans.push((span, linking));
-                spans.len() - 1
-            }
-        };
+        let li = linking_for(spans, query, tuple.span(), t);
         match equi_binding(&spans[li].1, tuple, t) {
             Some((col, val)) if col == self.key_col => Some(self.shard_of_key(&val)),
             _ => None,
@@ -560,6 +587,13 @@ impl ShardedStem {
     /// all other probes fan out to every shard (overflow included) and
     /// the partial replies are merged by ascending build timestamp —
     /// global insertion order, i.e. the single-shard candidate order.
+    ///
+    /// Hash-once: the routing pass resolves and hashes every binding key
+    /// exactly one time ([`HashedKey`]); the shard index `h % num_shards`
+    /// and the shard dictionary's index descent read that same
+    /// annotation. Lane sub-batches live in a pool reused across fan-outs
+    /// ([`ProbePool`]), so a steady probe stream allocates no envelope
+    /// buffers.
     pub fn probe_batch(
         &self,
         batch: &TupleBatch,
@@ -572,75 +606,95 @@ impl ShardedStem {
         }
         let t = self.instance;
         let n_lanes = self.shards.len();
+        let mut pool = self.probe_pool.lock().expect("probe pool poisoned");
+        let ProbePool { lanes, lane_of } = &mut *pool;
+        lanes.resize_with(n_lanes, LaneScratch::default);
+        for lane in lanes.iter_mut() {
+            lane.clear();
+        }
+        lane_of.clear();
 
-        // Pass 1 (serial): routing decision per probe. Linking predicates
-        // are resolved once per distinct span, as in `Stem::probe_batch`.
+        // Pass 1 (serial): binding resolution + hash + routing decision
+        // per probe, all from one computation. Linking predicates are
+        // resolved once per distinct span, as in `Stem::probe_batch`.
         let mut spans: Vec<(TableSet, Vec<&Predicate>)> = Vec::new();
-        let mut lane_of: Vec<Option<usize>> = Vec::with_capacity(batch.len());
-        let mut lane_idx: Vec<Vec<usize>> = vec![Vec::new(); n_lanes];
-        for (i, tuple) in batch.iter().enumerate() {
-            match self.probe_lane(&mut spans, tuple, query) {
-                Some(lane) => {
-                    lane_idx[lane].push(i);
-                    lane_of.push(Some(lane));
-                }
+        for (tuple, state) in batch.iter().zip(states) {
+            let li = linking_for(&mut spans, query, tuple.span(), t);
+            let binding: ProbeBinding =
+                equi_binding(&spans[li].1, tuple, t).map(|(col, val)| (col, HashedKey::new(val)));
+            let lane = match &binding {
+                // A binding on the shard key column pins the probe to one
+                // shard (un-hashable keys ride the overflow lane).
+                Some((col, key)) if *col == self.key_col => Some(match key.hash() {
+                    Some(h) => h.shard(self.num_shards),
+                    None => self.num_shards,
+                }),
+                // Bound on a non-key column, or no binding: fan out (each
+                // shard still gets the binding for its own index descent).
+                _ => None,
+            };
+            match lane {
+                Some(l) => lanes[l].push(tuple, state, &binding),
                 None => {
-                    for lane in &mut lane_idx {
-                        lane.push(i);
+                    for lane in lanes.iter_mut() {
+                        lane.push(tuple, state, &binding);
                     }
-                    lane_of.push(None);
                 }
             }
+            lane_of.push(lane);
         }
 
-        // Pass 2 (parallel): each shard probes its sub-batch.
-        let sub: Vec<(TupleBatch, Vec<TupleState>)> = lane_idx
-            .iter()
-            .map(|idxs| {
-                (
-                    idxs.iter().map(|&i| batch.as_slice()[i].clone()).collect(),
-                    idxs.iter().map(|&i| states[i].clone()).collect(),
-                )
-            })
-            .collect();
-        let work: usize = lane_idx.iter().map(Vec::len).sum();
-        let busy_lanes = lane_idx.iter().filter(|l| !l.is_empty()).count();
-        let mut lane_replies: Vec<std::vec::IntoIter<ProbeReply>> =
-            if work >= PARALLEL_MIN_ROWS && busy_lanes > 1 && host_parallelism() > 1 {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = self
-                        .shards
-                        .iter()
-                        .zip(&sub)
-                        .map(|(shard, (b, st))| {
-                            if b.is_empty() {
-                                None
-                            } else {
-                                Some(scope.spawn(move || shard.probe_batch(b, st, query)))
-                            }
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| match h {
-                            Some(h) => h.join().expect("shard probe worker panicked").into_iter(),
-                            None => Vec::new().into_iter(),
-                        })
-                        .collect()
-                })
-            } else {
-                self.shards
+        // Pass 2 (parallel): each shard probes its sub-batch through the
+        // prehashed bindings.
+        let work: usize = lanes.iter().map(|l| l.batch.len()).sum();
+        let busy_lanes = lanes.iter().filter(|l| !l.batch.is_empty()).count();
+        let mut lane_replies: Vec<std::vec::IntoIter<ProbeReply>> = if work >= PARALLEL_MIN_ROWS
+            && busy_lanes > 1
+            && host_parallelism() > 1
+        {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
                     .iter()
-                    .zip(&sub)
-                    .map(|(shard, (b, st))| {
-                        if b.is_empty() {
-                            Vec::new().into_iter()
+                    .zip(lanes.iter())
+                    .map(|(shard, lane)| {
+                        if lane.batch.is_empty() {
+                            None
                         } else {
-                            shard.probe_batch(b, st, query).into_iter()
+                            Some(scope.spawn(move || {
+                                shard.probe_batch_prehashed(
+                                    &lane.batch,
+                                    &lane.states,
+                                    query,
+                                    &lane.bindings,
+                                )
+                            }))
                         }
                     })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h {
+                        Some(h) => h.join().expect("shard probe worker panicked").into_iter(),
+                        None => Vec::new().into_iter(),
+                    })
                     .collect()
-            };
+            })
+        } else {
+            self.shards
+                .iter()
+                .zip(lanes.iter())
+                .map(|(shard, lane)| {
+                    if lane.batch.is_empty() {
+                        Vec::new().into_iter()
+                    } else {
+                        shard
+                            .probe_batch_prehashed(&lane.batch, &lane.states, query, &lane.bindings)
+                            .into_iter()
+                    }
+                })
+                .collect()
+        };
 
         // Pass 3 (serial): merge back into batch order. Each lane's reply
         // iterator yields its probes in batch order, so a single cursor

@@ -17,13 +17,40 @@
 //!   partition.
 
 use crate::tuple_state::{CompletionNeed, TupleState};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use stems_catalog::{QuerySpec, SourceId};
 use stems_storage::fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
-use stems_storage::{index_key, DictStore, RowSet, StoreKind};
+use stems_storage::{index_key, CandidateBuf, DictStore, RowSet, StoreKind};
 use stems_types::{
-    PredSet, Row, TableIdx, TableSet, Timestamp, Tuple, TupleBatch, Value, UNBUILT_TS,
+    HashedKey, PredSet, Row, TableIdx, TableSet, Timestamp, Tuple, TupleBatch, Value, UNBUILT_TS,
 };
+
+/// A probe tuple's equality binding, resolved and hashed exactly once at
+/// the envelope boundary: the bound store column plus the annotated key.
+/// `None` means the probe binds nothing and must scan.
+pub(crate) type ProbeBinding = Option<(usize, HashedKey)>;
+
+/// Reusable per-SteM probe scratch. Everything the batched probe path
+/// materializes per envelope — key groups, flat candidate arenas, plans —
+/// lives here and keeps its capacity across envelopes, so steady-state
+/// probing allocates nothing. Guarded by a [`Mutex`] because probes run
+/// through `&self` (sharded SteMs probe from scoped threads); each shard
+/// owns its scratch and is probed by one thread per envelope, so the lock
+/// is uncontended and taken once per envelope, never per tuple.
+#[derive(Debug, Default)]
+struct ProbeScratch {
+    /// Distinct probe columns of the current envelope.
+    cols: Vec<usize>,
+    /// Key list per column slot (capacity pooled across envelopes).
+    keys: Vec<Vec<HashedKey>>,
+    /// Flat candidate arena per column slot.
+    bufs: Vec<CandidateBuf>,
+    /// Per tuple: span-cache index + optional (column slot, key slot).
+    plans: Vec<(usize, Option<(usize, usize)>)>,
+    /// Per tuple bindings, when this SteM computes them itself
+    /// ([`Stem::probe_batch`]; the sharded layer passes its own).
+    bindings: Vec<ProbeBinding>,
+}
 
 /// Configuration of one SteM.
 #[derive(Debug, Clone)]
@@ -137,6 +164,8 @@ pub struct Stem {
     /// Column used to cluster deferred bounce-backs (first join column).
     part_col: usize,
     hasher: FxBuildHasher,
+    /// Envelope-lifetime probe buffers (see [`ProbeScratch`]).
+    scratch: Mutex<ProbeScratch>,
 }
 
 impl std::fmt::Debug for Stem {
@@ -181,6 +210,7 @@ impl Stem {
             deferred: Vec::new(),
             part_col: join_cols.first().copied().unwrap_or(0),
             hasher: FxBuildHasher::default(),
+            scratch: Mutex::new(ProbeScratch::default()),
         }
     }
 
@@ -460,15 +490,18 @@ impl Stem {
             Some((col, val)) => self.store.lookup_eq(col, &val),
             None => self.store.scan(),
         };
-        self.probe_with_candidates(tuple, state, query, &linking, candidates)
+        self.probe_with_candidates(tuple, state, query, &linking, &candidates)
     }
 
     /// Probe a whole batch. The per-tuple semantics (timestamp rules,
     /// predicate re-verification, bounce decisions) are identical to
     /// [`Stem::probe`]; the amortization is in the fetch: linking
-    /// predicates are resolved once per distinct probe span, and all
-    /// equality lookups on one column go through a single
-    /// [`DictStore::lookup_eq_batch`] index descent.
+    /// predicates are resolved once per distinct probe span, every key is
+    /// hashed exactly once at this envelope boundary ([`HashedKey`]), and
+    /// all equality lookups on one column go through a single
+    /// [`DictStore::lookup_eq_flat`] index descent into a reusable arena
+    /// (duplicate keys share one candidate span; unbindable probes share
+    /// one scan snapshot).
     pub fn probe_batch(
         &self,
         batch: &TupleBatch,
@@ -477,62 +510,109 @@ impl Stem {
     ) -> Vec<ProbeReply> {
         debug_assert_eq!(batch.len(), states.len());
         let t = self.instance;
+        let mut scratch = self.scratch.lock().expect("probe scratch poisoned");
+        // Hash-once boundary: resolve each tuple's equality binding and
+        // annotate its key here; nothing downstream re-hashes.
+        let mut bindings = std::mem::take(&mut scratch.bindings);
+        bindings.clear();
+        let mut spans: Vec<(TableSet, Vec<&stems_types::Predicate>)> = Vec::new();
+        for tuple in batch.iter() {
+            let li = linking_for(&mut spans, query, tuple.span(), t);
+            bindings.push(
+                equi_binding(&spans[li].1, tuple, t).map(|(col, val)| (col, HashedKey::new(val))),
+            );
+        }
+        let out = self.probe_with_scratch(batch, states, query, &bindings, &mut scratch);
+        scratch.bindings = bindings;
+        out
+    }
+
+    /// Probe with bindings the caller already resolved and hashed —
+    /// [`crate::sharded::ShardedStem`] routes envelopes by these same
+    /// annotations, so the shard layer and the dictionary descent share
+    /// one hash computation per key.
+    pub(crate) fn probe_batch_prehashed(
+        &self,
+        batch: &TupleBatch,
+        states: &[TupleState],
+        query: &QuerySpec,
+        bindings: &[ProbeBinding],
+    ) -> Vec<ProbeReply> {
+        let mut scratch = self.scratch.lock().expect("probe scratch poisoned");
+        self.probe_with_scratch(batch, states, query, bindings, &mut scratch)
+    }
+
+    /// The flat probe pipeline over one envelope: group keys per column,
+    /// one [`DictStore::lookup_eq_flat`] per column into the reusable
+    /// arenas, then per-tuple result formation over borrowed candidate
+    /// slices — semantically exactly the scalar path.
+    fn probe_with_scratch(
+        &self,
+        batch: &TupleBatch,
+        states: &[TupleState],
+        query: &QuerySpec,
+        bindings: &[ProbeBinding],
+        scratch: &mut ProbeScratch,
+    ) -> Vec<ProbeReply> {
+        debug_assert_eq!(batch.len(), states.len());
+        debug_assert_eq!(batch.len(), bindings.len());
+        let t = self.instance;
+        let ProbeScratch {
+            cols,
+            keys,
+            bufs,
+            plans,
+            ..
+        } = scratch;
+        cols.clear();
+        plans.clear();
 
         // Linking predicates per distinct span (batches are usually
         // span-uniform, so this is a one-entry cache).
         let mut spans: Vec<(TableSet, Vec<&stems_types::Predicate>)> = Vec::new();
 
-        // Pass 1: bindings. Group equality keys by column for one batched
-        // lookup per column; unbindable probes share one store scan.
-        let mut plans: Vec<(usize, Option<(usize, usize)>)> = Vec::with_capacity(batch.len());
-        let mut by_col: Vec<(usize, Vec<Value>)> = Vec::new();
-        for tuple in batch.iter() {
-            let span = tuple.span();
-            let li = match spans.iter().position(|(s, _)| *s == span) {
-                Some(i) => i,
-                None => {
-                    let linking = query
-                        .preds_linking(span, t)
-                        .into_iter()
-                        .map(|id| query.predicate(id))
-                        .collect();
-                    spans.push((span, linking));
-                    spans.len() - 1
-                }
-            };
-            let plan = match equi_binding(&spans[li].1, tuple, t) {
-                Some((col, val)) => {
-                    let ci = match by_col.iter().position(|(c, _)| *c == col) {
-                        Some(i) => i,
-                        None => {
-                            by_col.push((col, Vec::new()));
-                            by_col.len() - 1
+        // Pass 1: group the prehashed keys by column.
+        for (tuple, binding) in batch.iter().zip(bindings) {
+            let li = linking_for(&mut spans, query, tuple.span(), t);
+            let plan = binding.as_ref().map(|(col, key)| {
+                let ci = match cols.iter().position(|c| c == col) {
+                    Some(i) => i,
+                    None => {
+                        cols.push(*col);
+                        let i = cols.len() - 1;
+                        if keys.len() <= i {
+                            keys.push(Vec::new());
+                            bufs.push(CandidateBuf::new());
                         }
-                    };
-                    by_col[ci].1.push(val);
-                    Some((ci, by_col[ci].1.len() - 1))
-                }
-                None => None,
-            };
+                        keys[i].clear();
+                        i
+                    }
+                };
+                keys[ci].push(key.clone());
+                (ci, keys[ci].len() - 1)
+            });
             plans.push((li, plan));
         }
-        let mut fetched: Vec<Vec<Vec<Arc<Row>>>> = Vec::with_capacity(by_col.len());
-        for (col, keys) in &by_col {
-            fetched.push(self.store.lookup_eq_batch(*col, keys));
+        // One flat descent per column: the store dedups identical keys and
+        // reads the precomputed hashes, never re-hashing.
+        for (ci, col) in cols.iter().enumerate() {
+            self.store.lookup_eq_flat(*col, &keys[ci], &mut bufs[ci]);
         }
+        // Unbindable probes share one scan snapshot for the whole
+        // envelope instead of cloning the materialized scan per tuple.
         let mut full_scan: Option<Vec<Arc<Row>>> = None;
 
         // Pass 2: per-tuple result formation, exactly the scalar path.
         batch
             .iter()
             .zip(states)
-            .zip(plans)
+            .zip(plans.iter())
             .map(|((tuple, state), (li, plan))| {
-                let candidates = match plan {
-                    Some((ci, ki)) => std::mem::take(&mut fetched[ci][ki]),
-                    None => full_scan.get_or_insert_with(|| self.store.scan()).clone(),
+                let candidates: &[Arc<Row>] = match plan {
+                    Some((ci, ki)) => bufs[*ci].candidates(*ki),
+                    None => full_scan.get_or_insert_with(|| self.store.scan()),
                 };
-                self.probe_with_candidates(tuple, state, query, &spans[li].1, candidates)
+                self.probe_with_candidates(tuple, state, query, &spans[*li].1, candidates)
             })
             .collect()
     }
@@ -545,7 +625,7 @@ impl Stem {
         state: &TupleState,
         query: &QuerySpec,
         linking: &[&stems_types::Predicate],
-        candidates: Vec<Arc<Row>>,
+        candidates: &[Arc<Row>],
     ) -> ProbeReply {
         let t = self.instance;
         debug_assert!(!tuple.span().contains(t), "probe tuple already spans {t}");
@@ -563,14 +643,14 @@ impl Stem {
         let raw_matches = candidates.len();
         let mut results = Vec::new();
         for row in candidates {
-            let ts_u = *self.ts_of.get(&row).unwrap_or(&UNBUILT_TS);
+            let ts_u = *self.ts_of.get(row).unwrap_or(&UNBUILT_TS);
             // TimeStamp rule (§3.1): only the later-built side generates
             // the result. LastMatchTimeStamp rule (§3.5): repeated probes
             // skip matches already returned.
             if ts_u >= probe_ts || ts_u <= state.last_match_ts {
                 continue;
             }
-            let cand = tuple.concat(&Tuple::singleton(t, row).with_timestamp(t, ts_u));
+            let cand = tuple.concat(&Tuple::singleton(t, row.clone()).with_timestamp(t, ts_u));
             if newly_evaluable
                 .iter()
                 .all(|p| p.eval(&cand).unwrap_or(false))
@@ -636,11 +716,75 @@ impl Stem {
             return false;
         }
         let bindings = probe_bindings(linking, tuple, self.instance, query);
+        let options = in_list_options(query, self.instance);
+        if options.is_empty() {
+            return self.covered_by(&bindings);
+        }
+        // Multi-member IN lists make the probe a family of sub-probes,
+        // one per member combination (index AMs answer them with one EOT
+        // per member key). The probe is complete only when EVERY
+        // combination is covered.
+        if self.covered_by(&bindings) {
+            return true;
+        }
+        // Fast path, exact for a single list and sufficient for several:
+        // if ONE option list has every member covered together with the
+        // fixed bindings, every combination is covered (each combination
+        // contains some member of that list, so its witness EOT subset
+        // applies). This is linear in Σ|list| — no member-combination
+        // blowup for the common shapes, however long the list.
+        let member_covered = |col: usize, v: &Value| {
+            let mut merged = bindings.clone();
+            merged.push((col, v.clone()));
+            merged.sort_by_key(|a| a.0);
+            merged.dedup();
+            self.covered_by(&merged)
+        };
+        if options
+            .iter()
+            .any(|(col, vals)| vals.iter().all(|v| member_covered(*col, v)))
+        {
+            return true;
+        }
+        if options.len() == 1 {
+            // One list: the per-member check above was the exact
+            // condition, so failing it means genuinely uncovered.
+            return false;
+        }
+        // Several lists and no single list covers alone: EOTs may bind
+        // members of multiple lists at once (a multi-bind-col AM), so
+        // enumerate member combinations — exactly as many as the lookups
+        // `bind_value_sets` fans out for this probe. A product too large
+        // to even count could never have been probed; report uncovered.
+        let Some(total) = options
+            .iter()
+            .try_fold(1usize, |acc, (_, vals)| acc.checked_mul(vals.len()))
+        else {
+            return false;
+        };
+        for combo in 0..total {
+            let mut merged = bindings.clone();
+            let mut rem = combo;
+            for (col, vals) in &options {
+                merged.push((*col, vals[rem % vals.len()].clone()));
+                rem /= vals.len();
+            }
+            merged.sort_by_key(|a| a.0);
+            merged.dedup();
+            if !self.covered_by(&merged) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Is one binding set covered by the EOT index? An EOT for binding
+    /// set B covers any probe whose bindings ⊇ B; bindings are tiny
+    /// (1–3 columns), so enumerate non-empty subsets.
+    fn covered_by(&self, bindings: &[(usize, Value)]) -> bool {
         if bindings.is_empty() {
             return false;
         }
-        // An EOT for binding set B covers any probe whose bindings ⊇ B.
-        // Bindings are tiny (1–3 columns): enumerate non-empty subsets.
         let n = bindings.len().min(16);
         for mask in 1u32..(1 << n) {
             let mut subset: Vec<(usize, Value)> = (0..n)
@@ -722,6 +866,67 @@ pub fn probe_bindings(
     out.sort_by_key(|a| a.0);
     out.dedup();
     out
+}
+
+/// The multi-member IN-list binding *options* on table `t`: for each
+/// `col IN (v1, ..., vk)` predicate with more than one member, the
+/// equality-normalized member values (members that can never satisfy SQL
+/// equality — NULL/EOT — match no row and are dropped). Single-member
+/// lists are degenerate equalities and live in [`probe_bindings`]
+/// instead. Index AMs fan a probe out across these members (one lookup
+/// key per member, answered through the multi-key flat path), and
+/// [`Stem::covers`] requires every member's EOT before declaring the
+/// probe complete — the same rule `stems_catalog::feasible` applies, so
+/// a query admitted through a multi-member IN binding is actually
+/// probeable at runtime.
+pub fn in_list_options(query: &QuerySpec, t: TableIdx) -> Vec<(usize, Vec<Value>)> {
+    let mut out: Vec<(usize, Vec<Value>)> = Vec::new();
+    for p in query.predicates.iter() {
+        if p.op != stems_types::CmpOp::In {
+            continue;
+        }
+        if let (stems_types::Operand::Col(c), stems_types::Operand::List(items)) =
+            (&p.left, &p.right)
+        {
+            if c.table == t && items.len() > 1 {
+                let mut vals: Vec<Value> = Vec::with_capacity(items.len());
+                for v in items.iter().filter_map(index_key) {
+                    if !vals.contains(&v) {
+                        vals.push(v);
+                    }
+                }
+                if !vals.is_empty() {
+                    out.push((c.col, vals));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Resolve (and cache) the linking predicates for one probe span: the
+/// per-envelope span cache shared by the batched probe paths in [`Stem`]
+/// and [`crate::sharded::ShardedStem`]. Returns the span's index in
+/// `spans`; batches are usually span-uniform, so the cache stays one
+/// entry.
+pub(crate) fn linking_for<'q>(
+    spans: &mut Vec<(TableSet, Vec<&'q stems_types::Predicate>)>,
+    query: &'q QuerySpec,
+    span: TableSet,
+    t: TableIdx,
+) -> usize {
+    match spans.iter().position(|(s, _)| *s == span) {
+        Some(i) => i,
+        None => {
+            let linking = query
+                .preds_linking(span, t)
+                .into_iter()
+                .map(|id| query.predicate(id))
+                .collect();
+            spans.push((span, linking));
+            spans.len() - 1
+        }
+    }
 }
 
 /// First equi-join predicate that binds a column of `t` from the probe
@@ -1005,6 +1210,173 @@ mod tests {
             stem.probe(&uncovered, &state, &q).outcome,
             ProbeOutcome::Bounced(CompletionNeed::Required)
         );
+    }
+
+    #[test]
+    fn multi_member_in_coverage_requires_every_member() {
+        // Query: R ⋈ S on R.a = S.x, plus `S.y IN (1, 2)`. An index AM
+        // answers the probe one member key at a time; the SteM may
+        // declare the probe complete only once EVERY member's EOT landed.
+        let (c, q) = setup();
+        let mut q2 = q.clone();
+        q2.predicates.push(Predicate::in_list(
+            PredId(1),
+            ColRef::new(TableIdx(1), 1),
+            vec![Value::Int(1), Value::Int(2)],
+        ));
+        let q2 = QuerySpec::new(&c, q2.tables, q2.predicates, None).unwrap();
+        assert_eq!(
+            in_list_options(&q2, TableIdx(1)),
+            vec![(1, vec![Value::Int(1), Value::Int(2)])]
+        );
+        let mut stem = s_stem(false, true);
+        let state = TupleState::new();
+        let r = r_tuple(1, 10).with_timestamp(TableIdx(0), 5);
+
+        // Nothing answered yet.
+        assert_eq!(
+            stem.probe(&r, &state, &q2).outcome,
+            ProbeOutcome::Bounced(CompletionNeed::Required)
+        );
+        // Member 1 answered (the index AM binds the IN column and emits
+        // one keyed EOT per member lookup): still incomplete — the
+        // member-2 sub-probe has no coverage.
+        stem.build(
+            &Tuple::singleton(TableIdx(1), make_eot_row(2, &[(1, Value::Int(1))])),
+            &state,
+            0,
+        );
+        assert_eq!(
+            stem.probe(&r, &state, &q2).outcome,
+            ProbeOutcome::Bounced(CompletionNeed::Required)
+        );
+        // Member 2 answered too: every sub-probe is covered now.
+        stem.build(
+            &Tuple::singleton(TableIdx(1), make_eot_row(2, &[(1, Value::Int(2))])),
+            &state,
+            0,
+        );
+        assert_eq!(stem.probe(&r, &state, &q2).outcome, ProbeOutcome::Consumed);
+    }
+
+    #[test]
+    fn huge_in_list_coverage_is_linear_not_capped() {
+        // A 1500-member IN list on the indexed column: coverage must
+        // complete once every member's EOT landed — the per-member rule
+        // is linear in the list, so no combination cap can strand the
+        // probe (the old 2^10 cap livelocked index-only queries here).
+        let (c, q) = setup();
+        let members: Vec<Value> = (0..1500).map(Value::Int).collect();
+        let mut q2 = q.clone();
+        q2.predicates.push(Predicate::in_list(
+            PredId(1),
+            ColRef::new(TableIdx(1), 0),
+            members.clone(),
+        ));
+        // Join through y instead, so col 0 stays IN-bound only.
+        q2.predicates[0] = Predicate::join(
+            PredId(0),
+            ColRef::new(TableIdx(0), 1),
+            CmpOp::Eq,
+            ColRef::new(TableIdx(1), 1),
+        );
+        let q2 = QuerySpec::new(&c, q2.tables, q2.predicates, None).unwrap();
+        let mut stem = s_stem(false, true);
+        let state = TupleState::new();
+        let r = r_tuple(1, 3).with_timestamp(TableIdx(0), 5);
+        for m in &members[..1499] {
+            stem.build(
+                &Tuple::singleton(TableIdx(1), make_eot_row(2, &[(0, m.clone())])),
+                &state,
+                0,
+            );
+        }
+        assert_eq!(
+            stem.probe(&r, &state, &q2).outcome,
+            ProbeOutcome::Bounced(CompletionNeed::Required),
+            "one member still unanswered"
+        );
+        stem.build(
+            &Tuple::singleton(TableIdx(1), make_eot_row(2, &[(0, members[1499].clone())])),
+            &state,
+            0,
+        );
+        assert_eq!(stem.probe(&r, &state, &q2).outcome, ProbeOutcome::Consumed);
+    }
+
+    #[test]
+    fn cross_list_coverage_enumerates_member_combinations() {
+        // Two IN lists on different columns, answered by a two-bind-col
+        // AM whose EOTs pair one member of each list: no single list is
+        // covered alone, so coverage must enumerate the combinations.
+        let (c, q) = setup();
+        let mut q2 = q.clone();
+        q2.predicates = vec![
+            Predicate::in_list(
+                PredId(0),
+                ColRef::new(TableIdx(1), 0),
+                vec![Value::Int(1), Value::Int(2)],
+            ),
+            Predicate::in_list(
+                PredId(1),
+                ColRef::new(TableIdx(1), 1),
+                vec![Value::Int(5), Value::Int(6)],
+            ),
+        ];
+        let q2 = QuerySpec::new(&c, q2.tables, q2.predicates, None).unwrap();
+        let mut stem = s_stem(false, true);
+        let state = TupleState::new();
+        let r = r_tuple(1, 3).with_timestamp(TableIdx(0), 5);
+        let pairs = [(1, 5), (1, 6), (2, 5), (2, 6)];
+        for (x, y) in &pairs[..3] {
+            stem.build(
+                &Tuple::singleton(
+                    TableIdx(1),
+                    // Arity-3 EOT row so a column stays EOT-marked.
+                    make_eot_row(3, &[(0, Value::Int(*x)), (1, Value::Int(*y))]),
+                ),
+                &state,
+                0,
+            );
+        }
+        assert_eq!(
+            stem.probe(&r, &state, &q2).outcome,
+            ProbeOutcome::Bounced(CompletionNeed::Required),
+            "one member pair still unanswered"
+        );
+        stem.build(
+            &Tuple::singleton(
+                TableIdx(1),
+                make_eot_row(3, &[(0, Value::Int(2)), (1, Value::Int(6))]),
+            ),
+            &state,
+            0,
+        );
+        assert_eq!(stem.probe(&r, &state, &q2).outcome, ProbeOutcome::Consumed);
+    }
+
+    #[test]
+    fn in_list_options_normalize_and_skip_degenerates() {
+        let (c, q) = setup();
+        let mut q2 = q.clone();
+        // Single-member list: a degenerate equality, not an option set.
+        q2.predicates.push(Predicate::in_list(
+            PredId(1),
+            ColRef::new(TableIdx(1), 1),
+            vec![Value::Int(7)],
+        ));
+        // Multi-member list with coercing/duplicate/NULL members.
+        q2.predicates.push(Predicate::in_list(
+            PredId(2),
+            ColRef::new(TableIdx(1), 0),
+            vec![Value::Int(3), Value::Float(3.0), Value::Null, Value::Int(4)],
+        ));
+        let q2 = QuerySpec::new(&c, q2.tables, q2.predicates, None).unwrap();
+        assert_eq!(
+            in_list_options(&q2, TableIdx(1)),
+            vec![(0, vec![Value::Int(3), Value::Int(4)])]
+        );
+        assert!(in_list_options(&q2, TableIdx(0)).is_empty());
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! List→hash adaptive store.
 
+use crate::flat::CandidateBuf;
 use crate::store::DictStore;
 use crate::{HashStore, ListStore};
 use std::sync::Arc;
-use stems_types::{Row, Value};
+use stems_types::{HashedKey, Row, Value};
 
 /// A store that starts as a [`ListStore`] and silently converts itself to a
 /// [`HashStore`] once it crosses a size threshold.
@@ -76,6 +77,12 @@ impl DictStore for AdaptiveStore {
 
     fn lookup_eq(&self, col: usize, key: &Value) -> Vec<Arc<Row>> {
         self.as_dyn().lookup_eq(col, key)
+    }
+
+    fn lookup_eq_flat(&self, col: usize, keys: &[HashedKey], out: &mut CandidateBuf) {
+        // Delegate so the hash-backed phase keeps its prehashed index
+        // descent (the default would loop scalar lookups).
+        self.as_dyn().lookup_eq_flat(col, keys, out)
     }
 
     fn scan(&self) -> Vec<Arc<Row>> {

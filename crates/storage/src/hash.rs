@@ -1,9 +1,10 @@
 //! Hash store with secondary indexes per join column.
 
-use crate::fxhash::FxHashMap;
-use crate::store::{index_key, DictStore};
+use crate::flat::CandidateBuf;
+use crate::prehash::PrehashedMap;
+use crate::store::{index_key, lookup_eq_flat_via_scalar, DictStore};
 use std::sync::Arc;
-use stems_types::{Row, Value};
+use stems_types::{HashedKey, KeyHash, Row, Value};
 
 /// A dictionary with one secondary hash index per join column.
 ///
@@ -15,15 +16,30 @@ use stems_types::{Row, Value};
 ///
 /// Rows also live in an insertion-order list (the scan path, FIFO eviction
 /// order, and the upgrade target for [`crate::AdaptiveStore`]).
+///
+/// The secondary indexes are [`PrehashedMap`]s keyed by
+/// [`Value::stable_key_hash`] of the equality normal form: probes arriving
+/// through [`DictStore::lookup_eq_flat`] carry that hash precomputed
+/// ([`HashedKey`]) and descend the index without re-hashing — the
+/// hash-once contract of the flat probe pipeline.
 #[derive(Debug)]
 pub struct HashStore {
     /// Rows in insertion order; removal leaves tombstones (`None`) so that
     /// index entries (which store positions) stay valid.
     slots: Vec<Option<Arc<Row>>>,
     /// `(col, key) → row positions` secondary indexes.
-    indexes: Vec<(usize, FxHashMap<Value, Vec<usize>>)>,
+    indexes: Vec<(usize, PrehashedMap<Vec<usize>>)>,
     live: usize,
     bytes: usize,
+}
+
+/// The stable hash of an equality-normalized key. Normal forms are never
+/// NULL/EOT, so the hash always exists.
+fn hash_of_normalized(k: &Value) -> KeyHash {
+    KeyHash(
+        k.stable_key_hash()
+            .expect("equality-normalized keys are hashable"),
+    )
 }
 
 impl HashStore {
@@ -34,10 +50,7 @@ impl HashStore {
         cols.dedup();
         HashStore {
             slots: Vec::new(),
-            indexes: cols
-                .into_iter()
-                .map(|c| (c, FxHashMap::default()))
-                .collect(),
+            indexes: cols.into_iter().map(|c| (c, PrehashedMap::new())).collect(),
             live: 0,
             bytes: 0,
         }
@@ -48,8 +61,20 @@ impl HashStore {
         self.indexes.iter().map(|(c, _)| *c).collect()
     }
 
-    fn has_index_on(&self, col: usize) -> bool {
-        self.indexes.iter().any(|(c, _)| *c == col)
+    fn index_on(&self, col: usize) -> Option<&PrehashedMap<Vec<usize>>> {
+        self.indexes
+            .iter()
+            .find(|(c, _)| *c == col)
+            .map(|(_, idx)| idx)
+    }
+
+    /// Materialize one index entry's rows into `out`.
+    fn gather_positions(&self, positions: &[usize], out: &mut CandidateBuf) {
+        for p in positions {
+            if let Some(row) = &self.slots[*p] {
+                out.push_row(row.clone());
+            }
+        }
     }
 }
 
@@ -59,7 +84,8 @@ impl DictStore for HashStore {
         self.bytes += row.approx_bytes();
         for (col, idx) in &mut self.indexes {
             if let Some(k) = row.get(*col).and_then(index_key) {
-                idx.entry(k).or_default().push(pos);
+                idx.get_or_insert_default(hash_of_normalized(&k), &k)
+                    .push(pos);
             }
         }
         self.slots.push(Some(row));
@@ -75,26 +101,27 @@ impl DictStore for HashStore {
         }
     }
 
-    fn lookup_eq_batch(&self, col: usize, keys: &[Value]) -> Vec<Vec<Arc<Row>>> {
-        // Resolve the secondary index once for the whole batch instead of
-        // re-finding it per key.
-        match self.indexes.iter().find(|(c, _)| *c == col) {
-            Some((_, idx)) => keys
-                .iter()
-                .map(|key| match index_key(key) {
-                    Some(k) => idx
-                        .get(&k)
-                        .map(|positions| {
-                            positions
-                                .iter()
-                                .filter_map(|p| self.slots[*p].clone())
-                                .collect()
-                        })
-                        .unwrap_or_default(),
-                    None => Vec::new(),
-                })
-                .collect(),
-            None => keys.iter().map(|k| self.lookup_eq(col, k)).collect(),
+    fn lookup_eq_flat(&self, col: usize, keys: &[HashedKey], out: &mut CandidateBuf) {
+        let Some(idx) = self.index_on(col) else {
+            // No index on this column: scan-filter per distinct key.
+            lookup_eq_flat_via_scalar(self, col, keys, out);
+            return;
+        };
+        out.reset();
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(j) = out.probe_dup(i, keys) {
+                out.share_key(j);
+                continue;
+            }
+            let start = out.begin_key();
+            // The envelope's precomputed hash descends the index directly
+            // — no re-hashing of Str/Float keys per probe.
+            if let (Some(k), Some(h)) = (key.key(), key.hash()) {
+                if let Some(positions) = idx.get(h, k) {
+                    self.gather_positions(positions, out);
+                }
+            }
+            out.commit_key(start);
         }
     }
 
@@ -102,13 +129,8 @@ impl DictStore for HashStore {
         let Some(k) = index_key(key) else {
             return Vec::new();
         };
-        if self.has_index_on(col) {
-            let (_, idx) = self
-                .indexes
-                .iter()
-                .find(|(c, _)| *c == col)
-                .expect("checked above");
-            idx.get(&k)
+        if let Some(idx) = self.index_on(col) {
+            idx.get(hash_of_normalized(&k), &k)
                 .map(|positions| {
                     positions
                         .iter()
@@ -141,10 +163,11 @@ impl DictStore for HashStore {
         self.live -= 1;
         for (col, idx) in &mut self.indexes {
             if let Some(k) = removed.get(*col).and_then(index_key) {
-                if let Some(positions) = idx.get_mut(&k) {
+                let h = hash_of_normalized(&k);
+                if let Some(positions) = idx.get_mut(h, &k) {
                     positions.retain(|p| *p != pos);
                     if positions.is_empty() {
-                        idx.remove(&k);
+                        idx.remove(h, &k);
                     }
                 }
             }
@@ -224,5 +247,25 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert_eq!(s.lookup_eq(9, &Value::Int(1)).len(), 0);
         assert_eq!(s.lookup_eq(0, &Value::Int(1)).len(), 1);
+    }
+
+    #[test]
+    fn flat_lookup_skips_tombstones_and_dedups() {
+        let mut s = HashStore::new(&[0]);
+        s.insert(row(&[5, 1]));
+        s.insert(row(&[5, 2]));
+        s.insert(row(&[6, 3]));
+        assert!(s.remove(&row(&[5, 1])));
+        let keys: Vec<HashedKey> = [Value::Int(5), Value::Float(5.0), Value::Int(6)]
+            .into_iter()
+            .map(HashedKey::new)
+            .collect();
+        let mut buf = CandidateBuf::new();
+        s.lookup_eq_flat(0, &keys, &mut buf);
+        assert_eq!(buf.candidates(0).len(), 1);
+        assert_eq!(buf.candidates(0), buf.candidates(1), "coercion dedup");
+        assert_eq!(buf.candidates(2).len(), 1);
+        // Two distinct keys resolved; the coerced duplicate shared.
+        assert_eq!(buf.rows_stored(), 2);
     }
 }

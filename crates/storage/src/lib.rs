@@ -23,8 +23,11 @@
 //!   draining, used to delay and batch bounce-backs.
 //! * [`SortedStore`] — per-column sorted runs for merge-style access.
 //!
-//! Plus [`RowSet`], the set-semantics duplicate filter of §3.2, and a small
-//! in-repo Fx-style hasher ([`fxhash`]) for hot integer keys.
+//! Plus [`RowSet`], the set-semantics duplicate filter of §3.2, a small
+//! in-repo Fx-style hasher ([`fxhash`]) for hot integer keys, and the flat
+//! probe machinery: [`CandidateBuf`] (the caller-owned arena behind
+//! [`DictStore::lookup_eq_flat`], with key-run dedup) and [`PrehashedMap`]
+//! (hash-once secondary indexes that never re-hash a probe key).
 //!
 //! [`Arc<Row>`]: stems_types::Row
 
@@ -32,16 +35,20 @@ pub mod fxhash;
 
 mod adaptive;
 mod dedup;
+mod flat;
 mod hash;
 mod list;
 mod partitioned;
+mod prehash;
 mod sorted;
 mod store;
 
 pub use adaptive::AdaptiveStore;
 pub use dedup::RowSet;
+pub use flat::CandidateBuf;
 pub use hash::HashStore;
 pub use list::ListStore;
 pub use partitioned::PartitionedStore;
+pub use prehash::PrehashedMap;
 pub use sorted::SortedStore;
 pub use store::{index_key, DictStore, StoreKind};

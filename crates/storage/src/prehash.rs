@@ -1,0 +1,176 @@
+//! A value dictionary keyed by *precomputed* equality hashes.
+//!
+//! [`crate::HashStore`]'s secondary indexes used to be
+//! `FxHashMap<Value, _>`: every probe re-hashed its key — cheap for an
+//! `Int`, real work for a `Str` or `Float`, and pure waste once the flat
+//! probe pipeline computes [`stems_types::Value::stable_key_hash`] exactly
+//! once at the envelope boundary. [`PrehashedMap`] accepts that hash
+//! alongside the key, so index descent is a bucket jump plus an equality
+//! check, never a re-hash.
+//!
+//! Hash collisions are handled by a per-bucket chain of `(Value, V)`
+//! entries compared by dictionary equality; chains are almost always one
+//! entry long. Keys must be equality-normalized
+//! ([`stems_types::Value::equality_key`]) before insertion — `Int(5)` and
+//! `Float(5.0)` are the *same* key here, which is what keeps index
+//! lookups complete under SQL numeric coercion.
+
+use std::hash::{BuildHasherDefault, Hasher};
+use stems_types::{KeyHash, Value};
+
+/// A no-op hasher: the map's u64 keys *are* the hashes. Feeding anything
+/// but a single u64 is a logic error.
+#[derive(Debug, Clone, Default)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdentityHasher only accepts u64 keys");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = i;
+    }
+}
+
+/// `BuildHasher` for [`IdentityHasher`].
+pub type BuildIdentityHasher = BuildHasherDefault<IdentityHasher>;
+
+/// A map from equality-normalized [`Value`] keys to `V`, with every hash
+/// supplied by the caller (see module docs).
+#[derive(Debug, Clone)]
+pub struct PrehashedMap<V> {
+    buckets: std::collections::HashMap<u64, Vec<(Value, V)>, BuildIdentityHasher>,
+    len: usize,
+}
+
+impl<V> Default for PrehashedMap<V> {
+    fn default() -> Self {
+        PrehashedMap {
+            buckets: Default::default(),
+            len: 0,
+        }
+    }
+}
+
+impl<V> PrehashedMap<V> {
+    pub fn new() -> PrehashedMap<V> {
+        PrehashedMap::default()
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Look up `key` under its precomputed `hash` — no re-hashing.
+    pub fn get(&self, hash: KeyHash, key: &Value) -> Option<&V> {
+        self.buckets
+            .get(&hash.get())?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    pub fn get_mut(&mut self, hash: KeyHash, key: &Value) -> Option<&mut V> {
+        self.buckets
+            .get_mut(&hash.get())?
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// The entry for `key`, default-created on first use; `key` is cloned
+    /// only on a miss.
+    pub fn get_or_insert_default(&mut self, hash: KeyHash, key: &Value) -> &mut V
+    where
+        V: Default,
+    {
+        let bucket = self.buckets.entry(hash.get()).or_default();
+        match bucket.iter().position(|(k, _)| k == key) {
+            Some(i) => &mut bucket[i].1,
+            None => {
+                self.len += 1;
+                bucket.push((key.clone(), V::default()));
+                &mut bucket.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    /// Remove `key`'s entry, returning its value.
+    pub fn remove(&mut self, hash: KeyHash, key: &Value) -> Option<V> {
+        let bucket = self.buckets.get_mut(&hash.get())?;
+        let i = bucket.iter().position(|(k, _)| k == key)?;
+        let (_, v) = bucket.remove(i);
+        if bucket.is_empty() {
+            self.buckets.remove(&hash.get());
+        }
+        self.len -= 1;
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hk(v: &Value) -> KeyHash {
+        KeyHash(v.stable_key_hash().expect("hashable test key"))
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: PrehashedMap<Vec<usize>> = PrehashedMap::new();
+        assert!(m.is_empty());
+        let k = Value::str("abc");
+        m.get_or_insert_default(hk(&k), &k).push(7);
+        m.get_or_insert_default(hk(&k), &k).push(9);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(hk(&k), &k), Some(&vec![7, 9]));
+        assert_eq!(m.get(hk(&Value::Int(1)), &Value::Int(1)), None);
+        m.get_mut(hk(&k), &k).unwrap().retain(|p| *p != 7);
+        assert_eq!(m.get(hk(&k), &k), Some(&vec![9]));
+        assert_eq!(m.remove(hk(&k), &k), Some(vec![9]));
+        assert!(m.is_empty());
+        assert_eq!(m.remove(hk(&k), &k), None);
+    }
+
+    #[test]
+    fn forced_hash_collisions_resolve_by_value() {
+        // Two distinct keys rammed into one bucket with an identical
+        // (caller-supplied) hash: the chain must keep them apart. This is
+        // the adversarial case a real stable_key_hash collision would hit.
+        let mut m: PrehashedMap<i64> = PrehashedMap::new();
+        let fake = KeyHash(0xDEAD_BEEF);
+        let (a, b) = (Value::Int(1), Value::str("one"));
+        *m.get_or_insert_default(fake, &a) = 10;
+        *m.get_or_insert_default(fake, &b) = 20;
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(fake, &a), Some(&10));
+        assert_eq!(m.get(fake, &b), Some(&20));
+        assert_eq!(m.remove(fake, &a), Some(10));
+        assert_eq!(m.get(fake, &b), Some(&20), "chain sibling must survive");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn same_key_under_two_hashes_is_two_entries() {
+        // The map trusts the caller's hash: it never re-hashes, so a
+        // wrong hash simply misses. Documents the contract rather than a
+        // desirable behavior.
+        let mut m: PrehashedMap<i64> = PrehashedMap::new();
+        let k = Value::Int(5);
+        *m.get_or_insert_default(KeyHash(1), &k) = 1;
+        assert_eq!(m.get(KeyHash(2), &k), None);
+    }
+}

@@ -1,8 +1,9 @@
 //! The dictionary-store abstraction shared by all SteM backends.
 
+use crate::flat::CandidateBuf;
 use crate::{AdaptiveStore, HashStore, ListStore, PartitionedStore, SortedStore};
 use std::sync::Arc;
-use stems_types::{Row, Value};
+use stems_types::{HashedKey, Row, Value};
 
 /// Normalize a value for use as an equality-index key.
 ///
@@ -12,11 +13,34 @@ use stems_types::{Row, Value};
 /// `R.a = S.x` with mixed `Int`/`Float` columns still finds every match an
 /// index-free scan would (index lookups must be *complete* w.r.t.
 /// [`Value::sql_eq`]; candidate rows are always re-verified by the caller).
+///
+/// Thin wrapper over [`Value::equality_key`] — the normal form whose
+/// [`Value::stable_key_hash`] the hash-once probe pipeline precomputes.
 pub fn index_key(v: &Value) -> Option<Value> {
-    match v {
-        Value::Null | Value::Eot => None,
-        Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e15 => Some(Value::Int(*f as i64)),
-        other => Some(other.clone()),
+    v.equality_key()
+}
+
+/// The trait-default [`DictStore::lookup_eq_flat`] body: key-run dedup
+/// plus one scalar [`DictStore::lookup_eq`] per *distinct* key. A free
+/// function so backend overrides (e.g. [`HashStore`] on an un-indexed
+/// column) can fall back to it explicitly.
+pub(crate) fn lookup_eq_flat_via_scalar(
+    store: &(impl DictStore + ?Sized),
+    col: usize,
+    keys: &[HashedKey],
+    out: &mut CandidateBuf,
+) {
+    out.reset();
+    for (i, key) in keys.iter().enumerate() {
+        if let Some(j) = out.probe_dup(i, keys) {
+            out.share_key(j);
+            continue;
+        }
+        let start = out.begin_key();
+        for row in store.lookup_eq(col, key.raw()) {
+            out.push_row(row);
+        }
+        out.commit_key(start);
     }
 }
 
@@ -44,11 +68,29 @@ pub trait DictStore: std::fmt::Debug {
     /// Rows matching `row[col] = key` (superset allowed, see trait docs).
     fn lookup_eq(&self, col: usize, key: &Value) -> Vec<Arc<Row>>;
 
-    /// One [`DictStore::lookup_eq`] result per key, in key order. The
-    /// default loops; index-backed stores override to resolve the index
-    /// once and walk all keys against it.
+    /// The flat batch-lookup hot path: one [`DictStore::lookup_eq`]-
+    /// equivalent result per key, written into the caller-owned, reusable
+    /// `out` arena (no per-key `Vec` allocations). Keys arrive with their
+    /// equality hash precomputed ([`HashedKey`]); implementations must
+    /// never re-hash them. The default performs key-run dedup (identical
+    /// keys resolve once and share a candidate span — see
+    /// [`CandidateBuf::probe_dup`]) around the scalar `lookup_eq`;
+    /// index-backed stores override to also resolve the index once for
+    /// the whole envelope and descend by the precomputed hashes.
+    fn lookup_eq_flat(&self, col: usize, keys: &[HashedKey], out: &mut CandidateBuf) {
+        lookup_eq_flat_via_scalar(self, col, keys, out);
+    }
+
+    /// One [`DictStore::lookup_eq`] result per key, in key order. A thin
+    /// compatibility shim over [`DictStore::lookup_eq_flat`]; hot callers
+    /// hold their own [`CandidateBuf`] and use the flat API directly.
     fn lookup_eq_batch(&self, col: usize, keys: &[Value]) -> Vec<Vec<Arc<Row>>> {
-        keys.iter().map(|k| self.lookup_eq(col, k)).collect()
+        let hashed: Vec<HashedKey> = keys.iter().cloned().map(HashedKey::new).collect();
+        let mut buf = CandidateBuf::new();
+        self.lookup_eq_flat(col, &hashed, &mut buf);
+        (0..hashed.len())
+            .map(|i| buf.candidates(i).to_vec())
+            .collect()
     }
 
     /// All rows in insertion order.
@@ -201,6 +243,68 @@ pub(crate) mod conformance {
         let hits = store.lookup_eq_batch(1, &[Value::Int(30), Value::Int(99), Value::Null]);
         assert_eq!(hits[0].len(), 2);
         assert!(hits[1].is_empty() && hits[2].is_empty());
+
+        // flat batch API: agreement with scalar lookup_eq on every key,
+        // for both indexed-path and scan-filter columns
+        for col in [0, 1] {
+            assert_flat_matches_scalar(
+                store.as_ref(),
+                col,
+                &[
+                    // duplicate-heavy run: dedup must not change results
+                    Value::Int(30),
+                    Value::Int(30),
+                    Value::Float(30.0), // coercion duplicate of Int(30)
+                    Value::Int(99),
+                    Value::Null, // un-hashable keys share an empty span
+                    Value::Eot,
+                    Value::Null,
+                    Value::Int(20),
+                    Value::Int(30),
+                ],
+            );
+        }
+        // empty-key envelope: a no-op, not a panic
+        assert_flat_matches_scalar(store.as_ref(), 1, &[]);
+        // a reused buffer must not leak the previous envelope's state
+        let mut buf = CandidateBuf::new();
+        let big: Vec<HashedKey> = [Value::Int(30), Value::Int(20), Value::Int(30)]
+            .into_iter()
+            .map(HashedKey::new)
+            .collect();
+        store.lookup_eq_flat(1, &big, &mut buf);
+        assert_eq!(buf.num_keys(), 3);
+        let small: Vec<HashedKey> = vec![HashedKey::new(Value::Int(99))];
+        store.lookup_eq_flat(1, &small, &mut buf);
+        assert_eq!(buf.num_keys(), 1);
+        assert!(buf.candidates(0).is_empty());
+    }
+
+    /// Pin `lookup_eq_flat` to the scalar `lookup_eq`, key for key (same
+    /// rows in the same order), through a fresh arena.
+    pub fn assert_flat_matches_scalar(store: &dyn DictStore, col: usize, raw_keys: &[Value]) {
+        let keys: Vec<HashedKey> = raw_keys.iter().cloned().map(HashedKey::new).collect();
+        let mut buf = CandidateBuf::new();
+        store.lookup_eq_flat(col, &keys, &mut buf);
+        assert_eq!(buf.num_keys(), raw_keys.len());
+        for (i, raw) in raw_keys.iter().enumerate() {
+            let want = store.lookup_eq(col, raw);
+            let got = buf.candidates(i);
+            assert_eq!(
+                got.len(),
+                want.len(),
+                "flat/scalar length drift on col {col} key {raw:?} ({})",
+                store.backend()
+            );
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(
+                    g.as_ref(),
+                    w.as_ref(),
+                    "flat/scalar row drift on col {col} key {raw:?} ({})",
+                    store.backend()
+                );
+            }
+        }
     }
 }
 

@@ -41,6 +41,12 @@ impl TupleBatch {
         self.items.push(t);
     }
 
+    /// Drop all tuples, keeping the allocation — lets pooled envelope
+    /// buffers (the sharded probe fan-out) reuse capacity across calls.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
     /// Number of tuples in the batch.
     pub fn len(&self) -> usize {
         self.items.len()

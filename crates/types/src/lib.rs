@@ -25,6 +25,7 @@ mod batch;
 mod error;
 mod expr;
 mod kernel;
+mod key;
 mod row;
 mod schema;
 mod span;
@@ -35,6 +36,7 @@ pub use batch::TupleBatch;
 pub use error::{Result, StemsError};
 pub use expr::{CmpOp, ColRef, Operand, PredId, PredSet, Predicate, MAX_PREDS};
 pub use kernel::{ConstKernel, PartialGather};
+pub use key::{HashedKey, KeyHash};
 pub use row::Row;
 pub use schema::{Column, ColumnType, Schema};
 pub use span::{TableIdx, TableSet, MAX_TABLES};

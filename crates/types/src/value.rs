@@ -109,18 +109,37 @@ impl Value {
         }
     }
 
+    /// Normalize this value for use as an equality-dictionary key.
+    ///
+    /// Returns `None` for values that can never satisfy an SQL equality
+    /// predicate (`NULL`, the EOT marker). Integral floats normalize to
+    /// `Int` so that mixed `Int`/`Float` columns still find every match a
+    /// scan-filter would under [`Value::sql_eq`]. This is the single
+    /// source of truth for key normalization: `index_key` in
+    /// `stems-storage` delegates here, and [`Value::stable_key_hash`]
+    /// hashes exactly this normal form — the consistency invariant the
+    /// hash-once probe pipeline (shard router → hash index) depends on.
+    pub fn equality_key(&self) -> Option<Value> {
+        match self {
+            Value::Null | Value::Eot => None,
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e15 => Some(Value::Int(*f as i64)),
+            other => Some(other.clone()),
+        }
+    }
+
     /// A stable 64-bit hash of this value *as an equality key*, used to
-    /// route rows to SteM shards. `None` marks values that can never
+    /// route rows to SteM shards and to probe prehashed dictionary
+    /// indexes without re-hashing. `None` marks values that can never
     /// satisfy an SQL equality predicate (NULL, the EOT marker) — sharded
     /// stores keep such rows in a dedicated overflow lane instead of a
     /// hash partition (mirroring `PartitionedStore`).
     ///
-    /// The hash must agree with equality-key normalization (`index_key`
-    /// in `stems-storage`): any two values that can be `sql_eq` hash
-    /// identically, so `Int(5)` and `Float(5.0)` land in the same shard
-    /// and a partitioned equality lookup stays complete. The mixing is a
-    /// fixed Fx-style multiply-rotate — deterministic across processes
-    /// and machines, so shard layouts are reproducible.
+    /// The hash must agree with [`Value::equality_key`] normalization:
+    /// any two values that can be `sql_eq` hash identically, so `Int(5)`
+    /// and `Float(5.0)` land in the same shard and a partitioned equality
+    /// lookup stays complete. The mixing is a fixed Fx-style
+    /// multiply-rotate — deterministic across processes and machines, so
+    /// shard layouts are reproducible.
     pub fn stable_key_hash(&self) -> Option<u64> {
         const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
         #[inline]

@@ -362,6 +362,35 @@ fn infeasible_query_is_rejected_with_clear_error() {
 }
 
 #[test]
+fn multi_member_in_list_binds_index_only_table() {
+    let mut catalog = Catalog::new();
+    let r = TableBuilder::new("R", 40, 21)
+        .col("v", ColGen::Mod(6))
+        .register(&mut catalog)
+        .unwrap();
+    let s = TableBuilder::new("S", 30, 22)
+        .col("v", ColGen::Mod(6))
+        .register(&mut catalog)
+        .unwrap();
+    catalog.add_scan(r, ScanSpec::with_rate(300.0)).unwrap();
+    // S is reachable ONLY through its index on `key`, and no predicate
+    // supplies a single key — the multi-member IN list must bind it
+    // (feasibility) AND the runtime must fan the probe out across the
+    // members and terminate with exact results (runtime == feasibility).
+    catalog.add_index(s, IndexSpec::new(vec![0], 1000)).unwrap();
+    let query = parse_query(
+        &catalog,
+        "SELECT * FROM R, S WHERE R.v = S.v AND S.key IN (3, 7, 11)",
+    )
+    .unwrap();
+    let report = run_and_verify(&catalog, &query, checked());
+    assert!(!report.results.is_empty(), "members should find matches");
+    // One index lookup per IN member; every R tuple's fan-out coalesces
+    // onto those three in-flight/answered keys.
+    assert_eq!(report.counter("index_probes"), 3);
+}
+
+#[test]
 fn float_and_string_join_keys() {
     let mut catalog = Catalog::new();
     let a = catalog

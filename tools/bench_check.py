@@ -81,9 +81,25 @@ def series_hashes(path: str, groups: "dict[str, list]") -> "dict[tuple, str]":
             hashes[(wname, label)] = h
         distinct = set(seen.values())
         if len(distinct) != 1:
+            # Name the series that drifted: the majority hash is the
+            # reference, minority series are the suspects. With no clear
+            # majority (e.g. two series disagreeing 1-1) blame would be
+            # arbitrary, so just list everything.
+            counts = {}
+            for h in seen.values():
+                counts[h] = counts.get(h, 0) + 1
+            majority = max(counts, key=lambda h: counts[h])
+            everything = ", ".join(f"{l}={h}" for l, h in sorted(seen.items()))
+            if list(counts.values()).count(counts[majority]) > 1:
+                fail(
+                    f"{path}: cross-series result inequality in workload {wname!r} "
+                    f"(no majority hash to blame): {everything}"
+                )
+            drifted = sorted(l for l, h in seen.items() if h != majority)
             fail(
                 f"{path}: cross-series result inequality in workload {wname!r}: "
-                + ", ".join(f"{l}={h}" for l, h in sorted(seen.items()))
+                f"series {', '.join(drifted)} drifted from the majority hash "
+                f"{majority} ({everything})"
             )
     return hashes
 
