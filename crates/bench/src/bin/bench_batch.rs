@@ -87,9 +87,14 @@ fn main() {
     }
 
     let base = entries[0].1;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = stems_core::runtime::default_workers();
     let json = format!(
         "{{\n  \"benchmark\": \"eddy_chain3_{rows}x{rows}x{rows}_benefit_cost\",\n  \
          \"metric\": \"input_rows_per_sec_wall\",\n  \"runs\": {RUNS},\n  \
+         \"cores\": {cores},\n  \"workers\": {workers},\n  \
          \"series\": [\n{}\n  ]\n}}\n",
         entries
             .iter()

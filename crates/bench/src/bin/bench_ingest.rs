@@ -139,9 +139,14 @@ fn main() {
 
     let scalar = entries[0].rows_per_sec;
     let pr1 = entries[1].rows_per_sec;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = stems_core::runtime::default_workers();
     let json = format!(
         "{{\n  \"benchmark\": \"eddy_chain3_sel3_{rows}x{rows}x{rows}_benefit_cost\",\n  \
          \"metric\": \"input_rows_per_sec_wall\",\n  \"rows\": {rows},\n  \"runs\": {runs},\n  \
+         \"cores\": {cores},\n  \"workers\": {workers},\n  \
          \"series\": [\n{}\n  ]\n}}\n",
         entries
             .iter()

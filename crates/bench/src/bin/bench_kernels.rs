@@ -265,9 +265,14 @@ fn main() {
         build_mixed,
     );
 
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = stems_core::runtime::default_workers();
     let json = format!(
         "{{\n  \"benchmark\": \"kernel_family_chain3_{rows}x{rows}x{rows}_benefit_cost\",\n  \
          \"metric\": \"input_rows_per_sec_wall\",\n  \"rows\": {rows},\n  \"runs\": {runs},\n  \
+         \"cores\": {cores},\n  \"workers\": {workers},\n  \
          \"workloads\": [\n    {{\"name\": \"int_chain\", \"series\": [\n{}\n    ]}},\n    \
          {{\"name\": \"mixed_chain\", \"series\": [\n{}\n    ]}}\n  ]\n}}\n",
         series_json(&int_entries),

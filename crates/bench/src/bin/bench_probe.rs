@@ -42,6 +42,7 @@
 use std::time::Instant;
 use stems_bench::{env_usize, median, result_hash};
 use stems_catalog::{Catalog, QuerySpec, ScanSpec, TableInstance};
+use stems_core::stem::ProbeReplySet;
 use stems_core::{ShardedStem, StemOptions, TupleState};
 use stems_datagen::{gen::ColGen, TableBuilder};
 use stems_sql::parse_query;
@@ -176,7 +177,9 @@ fn run_probes(w: &Workload, envelope: usize, runs: usize) -> (f64, ProbeOutcomeS
         .collect();
 
     // Timed passes: drive the probe pipeline, touching replies only
-    // enough to keep them from being optimized away.
+    // enough to keep them from being optimized away. One reply arena per
+    // workload — the steady-state (allocation-free) reply path.
+    let mut replies = ProbeReplySet::new();
     let mut secs = Vec::new();
     for _ in 0..runs {
         let mut touched = 0usize;
@@ -184,8 +187,10 @@ fn run_probes(w: &Workload, envelope: usize, runs: usize) -> (f64, ProbeOutcomeS
         for chunk in probes.chunks(envelope) {
             let batch: TupleBatch = chunk.iter().cloned().collect();
             let states = vec![TupleState::new(); batch.len()];
-            for reply in stem.probe_batch(&batch, &states, &w.query) {
-                touched += reply.results.len() + reply.raw_matches;
+            replies.clear();
+            stem.probe_batch_into(batch.as_slice(), &states, &w.query, &mut replies);
+            for (meta, results) in replies.iter() {
+                touched += results.len() + meta.raw_matches;
             }
         }
         secs.push(start.elapsed().as_secs_f64());
@@ -199,16 +204,14 @@ fn run_probes(w: &Workload, envelope: usize, runs: usize) -> (f64, ProbeOutcomeS
     for (c, chunk) in probes.chunks(envelope).enumerate() {
         let batch: TupleBatch = chunk.iter().cloned().collect();
         let states = vec![TupleState::new(); batch.len()];
-        for (p, reply) in stem
-            .probe_batch(&batch, &states, &w.query)
-            .iter()
-            .enumerate()
-        {
-            results += reply.results.len();
-            for (tuple, _) in &reply.results {
+        replies.clear();
+        stem.probe_batch_into(batch.as_slice(), &states, &w.query, &mut replies);
+        for (p, (meta, reply_results)) in replies.iter().enumerate() {
+            results += reply_results.len();
+            for (tuple, _) in reply_results {
                 rendered.push(tuple.to_string());
             }
-            rendered.push(format!("raw:{}:{}", c * envelope + p, reply.raw_matches));
+            rendered.push(format!("raw:{}:{}", c * envelope + p, meta.raw_matches));
         }
     }
     (
@@ -305,10 +308,15 @@ fn main() {
         .map(|w| (w.name, run_workload(w, &envelopes, runs)))
         .collect();
 
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = stems_core::runtime::default_workers();
     let json = format!(
         "{{\n  \"benchmark\": \"flat_probe_pipeline_{rows}x{rows}\",\n  \
          \"metric\": \"probes_per_sec_wall\",\n  \"rows\": {rows},\n  \"runs\": {runs},\n  \
-         \"envelope\": {envelope},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"envelope\": {envelope},\n  \"cores\": {cores},\n  \"workers\": {workers},\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
         results
             .iter()
             .map(|(name, entries)| format!(

@@ -42,6 +42,7 @@ use std::time::Instant;
 use stems_bench::{env_usize, median, result_hash};
 use stems_catalog::{Catalog, QuerySpec, ScanSpec};
 use stems_core::engine::CostModel;
+use stems_core::stem::ProbeReplySet;
 use stems_core::{
     EddyExecutor, ExecConfig, RoutingPolicyKind, ShardedStem, StemOptions, TupleState,
 };
@@ -153,17 +154,22 @@ fn run_once(
     }
     let build_secs = build_start.elapsed().as_secs_f64();
 
-    // Probe phase: R probes SteM S; the concatenations probe SteM T.
+    // Probe phase: R probes SteM S; the concatenations probe SteM T. One
+    // reply arena serves every envelope — the steady-state reply path.
     let probe_start = Instant::now();
     let fresh_state = TupleState::new();
     let mut final_results: Vec<Tuple> = Vec::new();
     let mut intermediates: Vec<(Tuple, TupleState)> = Vec::new();
+    let mut replies = ProbeReplySet::new();
     for chunk in stamped_r.chunks(envelope) {
         let batch: TupleBatch = chunk.iter().cloned().collect();
         let states = vec![fresh_state.clone(); batch.len()];
         ops += batch.len();
-        for reply in stem_s.probe_batch(&batch, &states, query) {
-            for (tuple, done) in reply.results {
+        replies.clear();
+        stem_s.probe_batch_into(batch.as_slice(), &states, query, &mut replies);
+        let (metas, mut results) = replies.metas_and_results();
+        for meta in metas {
+            for (tuple, done) in results.by_ref().take(meta.len) {
                 intermediates.push((tuple, TupleState::for_result(done)));
             }
         }
@@ -172,10 +178,11 @@ fn run_once(
         let batch: TupleBatch = chunk.iter().map(|(t, _)| t.clone()).collect();
         let states: Vec<TupleState> = chunk.iter().map(|(_, s)| s.clone()).collect();
         ops += batch.len();
-        for reply in stem_t.probe_batch(&batch, &states, query) {
-            for (tuple, _) in reply.results {
-                final_results.push(tuple);
-            }
+        replies.clear();
+        stem_t.probe_batch_into(batch.as_slice(), &states, query, &mut replies);
+        let (_, results) = replies.metas_and_results();
+        for (tuple, _) in results {
+            final_results.push(tuple);
         }
     }
     let probe_secs = probe_start.elapsed().as_secs_f64();
@@ -202,6 +209,7 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let workers = stems_core::runtime::default_workers();
     let (catalog, query) = build_workload(rows, 1);
     let (vcatalog, vquery) = build_workload(vrows, vbatch);
 
@@ -290,7 +298,7 @@ fn main() {
         "{{\n  \"benchmark\": \"sharded_stem_chain3_{rows}x{rows}x{rows}\",\n  \
          \"metric\": \"virtual_chain_speedup_and_wall_ops_per_sec\",\n  \"rows\": {rows},\n  \
          \"virtual_rows\": {vrows},\n  \"runs\": {runs},\n  \"envelope\": {envelope},\n  \
-         \"cores\": {cores},\n  \"series\": [\n{}\n  ]\n}}\n",
+         \"cores\": {cores},\n  \"workers\": {workers},\n  \"series\": [\n{}\n  ]\n}}\n",
         entries
             .iter()
             .map(|e| format!(

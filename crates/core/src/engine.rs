@@ -31,7 +31,7 @@ use crate::plan::{instantiate, Module, PlanLayout, PlanOptions};
 use crate::policy::{Feedback, Hint, RoutingPolicy, RoutingPolicyKind};
 use crate::report::Report;
 use crate::router::{self, Action, NoCandidates};
-use crate::stem::{eot_bindings, BuildResult, ProbeOutcome};
+use crate::stem::{eot_bindings, BuildResult, ProbeOutcome, ProbeReplySet};
 use crate::tuple_state::{CompletionNeed, PriorProber, TupleState};
 use std::collections::VecDeque;
 use stems_catalog::{Catalog, QuerySpec};
@@ -113,6 +113,24 @@ pub struct ExecConfig {
     /// win); per-instance `stem_overrides` always keep their own
     /// `num_shards`.
     pub num_shards: usize,
+    /// Worker budget for the persistent worker pool
+    /// ([`crate::runtime::WorkerPool`]) that services sharded SteM
+    /// build/probe fan-outs. Defaults to the host's available
+    /// parallelism, overridable with the `STEMS_WORKERS` environment
+    /// variable; CI crosses it with the shard matrix so worker-count
+    /// invariance is enforced on every push. Folded into the plan's
+    /// default SteM options at build time exactly like `num_shards`
+    /// (explicit plan settings win). `1` keeps every fan-out serial on
+    /// the calling thread.
+    pub workers: usize,
+    /// Minimum rows routed in one envelope before a sharded SteM
+    /// dispatches its per-shard lanes to the worker pool; smaller
+    /// envelopes run serially (pool hand-off costs ~1–2µs per task, so
+    /// tiny envelopes lose). Defaults to
+    /// [`crate::runtime::DEFAULT_PARALLEL_MIN_ROWS`], overridable with
+    /// the `STEMS_PARALLEL_MIN_ROWS` environment variable. Folded into
+    /// the plan's default SteM options like `num_shards`.
+    pub parallel_min_rows: usize,
     /// Conjunction fusion: when a batch is routed to a Selection Module,
     /// also apply every *sibling* selection over the same table instance
     /// that all batch members are still eligible for, in one pass with
@@ -147,6 +165,8 @@ impl Default for ExecConfig {
             priority_pred: None,
             batch_size: default_batch_size(),
             num_shards: default_num_shards(),
+            workers: crate::runtime::default_workers(),
+            parallel_min_rows: crate::runtime::default_parallel_min_rows(),
             fuse_selections: true,
             max_hops: 1_000_000,
             max_events: 200_000_000,
@@ -297,6 +317,9 @@ pub struct EddyExecutor {
     violations: Vec<String>,
     output_seen: FxHashSet<Tuple>,
     trace: Vec<crate::report::TraceEvent>,
+    /// Reusable probe-reply arena: one per executor, cleared per probe
+    /// envelope, so the steady-state reply path never allocates per tuple.
+    reply_set: ProbeReplySet,
 }
 
 impl EddyExecutor {
@@ -319,6 +342,14 @@ impl EddyExecutor {
         let mut plan_opts = config.plan.clone();
         if plan_opts.default_stem.num_shards == 1 {
             plan_opts.default_stem.num_shards = config.num_shards;
+        }
+        // Same discipline for the pool knobs: `None` on the plan means
+        // "inherit the engine config"; an explicit `Some` wins.
+        if plan_opts.default_stem.workers.is_none() {
+            plan_opts.default_stem.workers = Some(config.workers);
+        }
+        if plan_opts.default_stem.parallel_min_rows.is_none() {
+            plan_opts.default_stem.parallel_min_rows = Some(config.parallel_min_rows);
         }
         let (modules, layout) = instantiate(catalog, query, &plan_opts)?;
         let rt = modules
@@ -347,6 +378,7 @@ impl EddyExecutor {
             violations: Vec::new(),
             output_seen: FxHashSet::default(),
             trace: Vec::new(),
+            reply_set: ProbeReplySet::new(),
             config,
         };
         // Step 5: seed tuples to the scans. Emission chunks are capped at
@@ -609,7 +641,16 @@ impl EddyExecutor {
         env: Envelope,
     ) -> (u64, Vec<Delivery>, Vec<UnparkSignal>) {
         let table = stem.instance;
-        let replies = stem.probe_batch(&env.batch, &env.states, &self.query);
+        // Probe into the executor's reusable reply arena (taken out for
+        // the borrow, restored below): no per-tuple `Vec`s are built.
+        let mut reply_set = std::mem::take(&mut self.reply_set);
+        reply_set.clear();
+        stem.probe_batch_into(
+            env.batch.as_slice(),
+            &env.states,
+            &self.query,
+            &mut reply_set,
+        );
         let stem_version = router::stem_version(stem);
         let probe_units = if self.config.costs.shard_parallel_service {
             stem.parallel_service_units(&env.batch, &self.query, true)
@@ -619,13 +660,14 @@ impl EddyExecutor {
         let clustered = env.clustered;
 
         let mut deliveries: Vec<Delivery> = Vec::new();
-        for ((tuple, state), reply) in env.batch.into_iter().zip(env.states).zip(replies) {
+        let (metas, mut results) = reply_set.metas_and_results();
+        for ((tuple, state), reply) in env.batch.into_iter().zip(env.states).zip(metas) {
             self.policy.feedback(&Feedback::StemProbe {
                 table,
-                emitted: reply.results.len(),
+                emitted: reply.len,
             });
             self.metrics.bump("stem_probes", self.now, 1);
-            for (result, done) in reply.results {
+            for (result, done) in results.by_ref().take(reply.len) {
                 // Track intermediate-result formation per span size — the
                 // §3.4 spanning-tree experiments watch these to see
                 // progress continue while a source is stalled.
@@ -682,6 +724,8 @@ impl EddyExecutor {
                 }
             }
         }
+        drop(results);
+        self.reply_set = reply_set;
 
         let base = self.config.costs.stem_probe_us * probe_units.max(1)
             + self.config.costs.per_match_us * deliveries.len() as u64;

@@ -18,8 +18,10 @@
 //!   engine instantiates them behind [`sharded::ShardedStem`], which
 //!   hash-partitions SteM storage by join key ([`ExecConfig::num_shards`]
 //!   / `STEMS_NUM_SHARDS`) and fans build/probe envelopes out across
-//!   shards on scoped threads — observably identical to the unsharded
-//!   SteM at every shard count.
+//!   shards on the persistent work-stealing worker pool
+//!   ([`runtime::WorkerPool`], sized by [`ExecConfig::workers`] /
+//!   `STEMS_WORKERS`) — observably identical to the unsharded SteM at
+//!   every shard and worker count.
 //! * the **eddy** ([`EddyExecutor`]) — routes every tuple between the other
 //!   modules according to a [`policy::RoutingPolicy`], under the
 //!   correctness constraints of paper Table 2 enforced by [`router`].
@@ -103,6 +105,7 @@ pub mod plan;
 pub mod policy;
 pub mod report;
 pub mod router;
+pub mod runtime;
 pub mod sharded;
 pub mod sm;
 pub mod stem;
@@ -114,6 +117,7 @@ pub use policy::{
     BenefitCostPolicy, FixedOrderPolicy, LotteryPolicy, RoutingPolicy, RoutingPolicyKind,
 };
 pub use report::{Report, TraceEvent, TraceKind};
+pub use runtime::WorkerPool;
 pub use sharded::ShardedStem;
 pub use sm::{FusedVerdict, Sm};
 pub use tuple_state::TupleState;

@@ -1,0 +1,431 @@
+//! Persistent work-stealing worker pool — the parallel runtime under the
+//! sharded SteM fan-outs.
+//!
+//! PR 4 parallelized [`crate::sharded::ShardedStem`] envelopes with
+//! [`std::thread::scope`], which spawns and joins OS threads *per
+//! envelope* — tens of microseconds of syscall cost on every large batch,
+//! and no thread reuse across the thousands of envelopes one query
+//! routes. This module replaces that with a process-wide pool of
+//! long-lived workers:
+//!
+//! * **Per-worker injector queues** — every worker owns a deque; tasks
+//!   are submitted with an *affinity* (the shard index), so the same
+//!   shard's envelopes keep landing on the same worker. That is a NUMA
+//!   stand-in: the worker that last touched a shard's dictionary re-runs
+//!   it with its caches warm.
+//! * **Work stealing** — an idle worker scans the other queues (its own
+//!   first, then round-robin) and steals whatever is waiting, so a skewed
+//!   fan-out cannot strand idle workers behind one hot queue.
+//! * **Caller participation** — the thread that opened a scope helps
+//!   drain the queues while waiting, so a `workers = n` scope really has
+//!   `n` active execution streams without over-subscribing the host.
+//! * **Scoped, borrow-friendly tasks** — [`WorkerPool::scope`] mirrors
+//!   `std::thread::scope`: tasks may borrow from the caller's stack
+//!   (`&mut Stem` shard slices), and the scope does not return until
+//!   every task it spawned has finished — even when a task or the scope
+//!   body panics (the panic is re-raised after the barrier, never lost).
+//!
+//! The pool is deliberately *schedule-only*: which worker runs which
+//! task, and in what order, is nondeterministic, but every caller writes
+//! results into per-task output slots and merges them serially in a fixed
+//! order — so results are bit-identical at every worker count, which
+//! `tests/prop_batch_equivalence.rs` enforces across `STEMS_WORKERS`
+//! {1, 2, 4, 8}.
+//!
+//! Workers are spawned lazily up to the largest budget any scope has
+//! requested (capped at [`MAX_POOL_WORKERS`]) and parked on a condvar
+//! when idle; the pool lives for the process (workers die with it).
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on pool size. Scopes asking for more workers than this are
+/// clamped; the cap only bounds the queue array, not correctness (tests
+/// force worker counts above the host's core count and stay
+/// bit-identical).
+pub const MAX_POOL_WORKERS: usize = 32;
+
+/// Default minimum routed rows per envelope before the shard fan-out
+/// dispatches to the pool; see [`default_parallel_min_rows`]. PR 4's
+/// scoped-thread fan-out needed 512 rows to amortize per-envelope thread
+/// spawn/join (~tens of µs per thread); pool dispatch is a queue push +
+/// condvar wake (measured ~1–2 µs per task on the bench host), so the
+/// crossover where parallel dispatch beats the serial loop drops to
+/// roughly half an envelope of dictionary work — 256 rows. `bench_workers`
+/// (BENCH_6.json) sweeps worker counts at this threshold.
+pub const DEFAULT_PARALLEL_MIN_ROWS: usize = 256;
+
+/// Worker threads the host can actually run in parallel (affinity/cgroup
+/// aware), cached once per process.
+pub fn host_parallelism() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The default worker budget for sharded fan-outs: [`host_parallelism`]
+/// unless overridden by the `STEMS_WORKERS` environment variable (the CI
+/// matrix crosses it with batch size and shard count so worker-count
+/// invariance is enforced on every push; tests force counts
+/// programmatically through `ExecConfig::workers` / `StemOptions::workers`
+/// instead). Like `STEMS_NUM_SHARDS`, a set-but-invalid value panics — a
+/// misconfigured CI leg must fail loudly rather than silently re-test the
+/// default parallelism.
+pub fn default_workers() -> usize {
+    match std::env::var("STEMS_WORKERS") {
+        Err(std::env::VarError::NotPresent) => host_parallelism(),
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("STEMS_WORKERS must be a positive integer, got {s:?}"),
+        },
+        Err(e) => panic!("STEMS_WORKERS is not valid unicode: {e}"),
+    }
+}
+
+/// The default parallel-dispatch threshold:
+/// [`DEFAULT_PARALLEL_MIN_ROWS`] unless overridden by the
+/// `STEMS_PARALLEL_MIN_ROWS` environment variable (validated like the
+/// other engine knobs: set-but-invalid panics).
+pub fn default_parallel_min_rows() -> usize {
+    match std::env::var("STEMS_PARALLEL_MIN_ROWS") {
+        Err(std::env::VarError::NotPresent) => DEFAULT_PARALLEL_MIN_ROWS,
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("STEMS_PARALLEL_MIN_ROWS must be a positive integer, got {s:?}"),
+        },
+        Err(e) => panic!("STEMS_PARALLEL_MIN_ROWS is not valid unicode: {e}"),
+    }
+}
+
+/// A queued task. Tasks are created with a scope-bound lifetime and
+/// transmuted to `'static` for storage; [`PoolScope`]'s completion
+/// barrier is what makes that sound (see `Scope::spawn` safety note).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    /// One injector queue per worker slot. Affinity picks the home queue;
+    /// stealing scans the rest.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Guards the "queues look empty → park" decision against submissions
+    /// racing with it (a submitter notifies under this lock, so a worker
+    /// holding it cannot miss the wake-up between its scan and its wait).
+    gate: Mutex<()>,
+    signal: Condvar,
+}
+
+impl Shared {
+    /// Pop a task: own queue first, then round-robin steal.
+    fn find_job(&self, home: usize) -> Option<Job> {
+        let n = self.queues.len();
+        for i in 0..n {
+            let q = (home + i) % n;
+            if let Some(job) = self.queues[q].lock().expect("pool queue").pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn looks_empty(&self) -> bool {
+        self.queues
+            .iter()
+            .all(|q| q.lock().expect("pool queue").is_empty())
+    }
+}
+
+/// The process-wide worker pool. Obtain it with [`WorkerPool::global`];
+/// per-query worker budgets are passed per scope, so one pool serves
+/// every SteM of every concurrent query (the multi-query server the
+/// ROADMAP points at shares this runtime).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    spawned: Mutex<usize>,
+}
+
+impl WorkerPool {
+    /// The process-global pool (created on first use, workers spawned
+    /// lazily as scopes request them).
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(WorkerPool::new)
+    }
+
+    fn new() -> WorkerPool {
+        WorkerPool {
+            shared: Arc::new(Shared {
+                queues: (0..MAX_POOL_WORKERS)
+                    .map(|_| Mutex::new(VecDeque::new()))
+                    .collect(),
+                gate: Mutex::new(()),
+                signal: Condvar::new(),
+            }),
+            spawned: Mutex::new(0),
+        }
+    }
+
+    /// How many workers have been spawned so far (diagnostics).
+    pub fn workers_spawned(&self) -> usize {
+        *self.spawned.lock().expect("pool spawn count")
+    }
+
+    /// Make sure at least `n` (≤ [`MAX_POOL_WORKERS`]) workers exist.
+    fn ensure_workers(&self, n: usize) {
+        let n = n.min(MAX_POOL_WORKERS);
+        let mut spawned = self.spawned.lock().expect("pool spawn count");
+        while *spawned < n {
+            let id = *spawned;
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("stems-worker-{id}"))
+                .spawn(move || worker_loop(id, shared))
+                .expect("spawn pool worker");
+            *spawned += 1;
+        }
+    }
+
+    fn push_job(&self, queue: usize, job: Job) {
+        self.shared.queues[queue]
+            .lock()
+            .expect("pool queue")
+            .push_back(job);
+        // Notify under the gate so a worker that just scanned empty
+        // queues and is about to park cannot miss this submission.
+        let _gate = self.shared.gate.lock().expect("pool gate");
+        self.shared.signal.notify_one();
+    }
+
+    /// Run `f` with a scope that can spawn borrow-carrying tasks onto the
+    /// pool. `workers` is the parallelism budget: tasks are distributed
+    /// over `min(workers, MAX_POOL_WORKERS)` home queues (affinity `a`
+    /// maps to queue `a % workers`), and at least `workers` pool threads
+    /// exist by the time tasks run. Does not return until every spawned
+    /// task completed; a panicking task panics the caller here, after the
+    /// barrier.
+    pub fn scope<'env, R>(&self, workers: usize, f: impl FnOnce(&PoolScope<'_, 'env>) -> R) -> R {
+        let workers = workers.clamp(1, MAX_POOL_WORKERS);
+        self.ensure_workers(workers);
+        let scope = PoolScope {
+            pool: self,
+            workers,
+            state: Arc::new(ScopeState::default()),
+            _env: PhantomData,
+        };
+        let result = {
+            // The guard waits for task completion even if `f` unwinds
+            // mid-spawn — queued tasks borrow `'env` data that must
+            // outlive them, so the barrier is unconditional.
+            let _barrier = ScopeBarrier(&scope);
+            f(&scope)
+        };
+        scope.check_panic();
+        result
+    }
+}
+
+#[derive(Default)]
+struct ScopeState {
+    sync: Mutex<ScopeSync>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct ScopeSync {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Spawn handle passed to the closure of [`WorkerPool::scope`].
+pub struct PoolScope<'pool, 'env> {
+    pool: &'pool WorkerPool,
+    workers: usize,
+    state: Arc<ScopeState>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'pool, 'env> PoolScope<'pool, 'env> {
+    /// Queue `task` on the home queue of `affinity % workers`. The task
+    /// may borrow anything outliving the scope (`'env`); it runs on a
+    /// pool worker (or on the caller while it waits) before `scope`
+    /// returns.
+    pub fn spawn(&self, affinity: usize, task: impl FnOnce() + Send + 'env) {
+        self.state.sync.lock().expect("scope sync").remaining += 1;
+        let state = Arc::clone(&self.state);
+        let wrapped = move || {
+            let result = catch_unwind(AssertUnwindSafe(task));
+            let mut sync = state.sync.lock().expect("scope sync");
+            if let Err(payload) = result {
+                sync.panic.get_or_insert(payload);
+            }
+            sync.remaining -= 1;
+            if sync.remaining == 0 {
+                state.cv.notify_all();
+            }
+        };
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(wrapped);
+        // SAFETY: the job only borrows data outliving 'env, and the scope
+        // barrier (`ScopeBarrier`, run even on unwind) blocks until
+        // `remaining == 0` — i.e. until this job has finished running —
+        // before the 'env stack frame can be left. Erasing the lifetime
+        // for queue storage is therefore sound, exactly the
+        // `std::thread::scope` argument.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.pool.push_job(affinity % self.workers, job);
+    }
+
+    /// Block until every spawned task finished, executing queued pool
+    /// tasks while waiting (caller participation).
+    fn wait(&self) {
+        loop {
+            if self.state.sync.lock().expect("scope sync").remaining == 0 {
+                return;
+            }
+            // Help: run any queued task (ours or a sibling scope's —
+            // progress either way; tasks never block on other tasks).
+            if let Some(job) = self.pool.shared.find_job(0) {
+                job();
+                continue;
+            }
+            let sync = self.state.sync.lock().expect("scope sync");
+            if sync.remaining != 0 {
+                // Every outstanding task is in flight on a worker; its
+                // completion hook notifies this condvar.
+                drop(self.state.cv.wait(sync));
+            }
+        }
+    }
+
+    fn check_panic(&self) {
+        let payload = self.state.sync.lock().expect("scope sync").panic.take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Drop guard running the completion barrier even when the scope body
+/// unwinds.
+struct ScopeBarrier<'a, 'pool, 'env>(&'a PoolScope<'pool, 'env>);
+
+impl Drop for ScopeBarrier<'_, '_, '_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+fn worker_loop(id: usize, shared: Arc<Shared>) {
+    loop {
+        if let Some(job) = shared.find_job(id) {
+            // Task panics are captured by the scope wrapper; a raw panic
+            // here would mean a bug in the pool itself.
+            job();
+            continue;
+        }
+        let gate = shared.gate.lock().expect("pool gate");
+        if shared.looks_empty() {
+            // Submissions notify under `gate`, so nothing pushed between
+            // our scan and this wait can be missed.
+            drop(shared.signal.wait(gate).expect("pool gate"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_every_task_and_blocks_until_done() {
+        let pool = WorkerPool::global();
+        let mut outs = vec![0usize; 100];
+        pool.scope(4, |scope| {
+            for (i, out) in outs.iter_mut().enumerate() {
+                scope.spawn(i, move || *out = i + 1);
+            }
+        });
+        // The scope returned ⇒ every borrow ended and every slot is set.
+        assert!(outs.iter().enumerate().all(|(i, v)| *v == i + 1));
+    }
+
+    #[test]
+    fn tasks_can_borrow_disjoint_mutable_slices() {
+        let pool = WorkerPool::global();
+        let mut lanes: Vec<Vec<u64>> = (0..8).map(|i| vec![i as u64; 64]).collect();
+        pool.scope(8, |scope| {
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                scope.spawn(i, move || {
+                    for v in lane.iter_mut() {
+                        *v *= 2;
+                    }
+                });
+            }
+        });
+        for (i, lane) in lanes.iter().enumerate() {
+            assert!(lane.iter().all(|v| *v == 2 * i as u64), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn worker_budget_one_still_completes() {
+        let pool = WorkerPool::global();
+        let counter = AtomicUsize::new(0);
+        pool.scope(1, |scope| {
+            for _ in 0..32 {
+                scope.spawn(0, || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn nested_sequential_scopes_reuse_workers() {
+        let pool = WorkerPool::global();
+        let before = pool.workers_spawned();
+        for round in 0..10usize {
+            let mut outs = [0usize; 16];
+            pool.scope(4, |scope| {
+                for (i, out) in outs.iter_mut().enumerate() {
+                    scope.spawn(i, move || *out = round);
+                }
+            });
+            assert!(outs.iter().all(|v| *v == round));
+        }
+        // Persistent runtime: repeated scopes never spawn beyond the
+        // requested budget (no per-envelope thread churn).
+        assert!(pool.workers_spawned() >= before.max(4));
+        assert!(pool.workers_spawned() <= MAX_POOL_WORKERS);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_barrier() {
+        let pool = WorkerPool::global();
+        let flag = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(2, |scope| {
+                scope.spawn(0, || panic!("task boom"));
+                scope.spawn(1, || {
+                    flag.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(result.is_err(), "task panic must reach the scope caller");
+        // The barrier ran the healthy sibling to completion first.
+        assert_eq!(flag.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn env_default_workers_validation() {
+        // Not present: falls back to host parallelism (≥ 1).
+        assert!(default_workers() >= 1);
+        assert!(default_parallel_min_rows() >= 1);
+    }
+}

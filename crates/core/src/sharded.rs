@@ -8,11 +8,22 @@
 //! dedicated **overflow shard** for rows whose key is un-hashable
 //! (NULL/EOT — the same lane discipline as
 //! `stems_storage::PartitionedStore`), and fans `build_batch` /
-//! `probe_batch` envelopes out across the shards with
-//! [`std::thread::scope`]. The batched envelopes introduced in PR 1 are
-//! the natural unit of distribution: the eddy stays single-threaded and
-//! deterministic, and parallelism lives entirely inside one module
-//! service call.
+//! `probe_batch_into` envelopes out across the shards on the persistent
+//! work-stealing worker pool ([`crate::runtime::WorkerPool`] — long-lived
+//! workers, per-shard affinity, no per-envelope thread spawn/join). The
+//! batched envelopes introduced in PR 1 are the natural unit of
+//! distribution: the eddy stays single-threaded and deterministic, and
+//! parallelism lives entirely inside one module service call.
+//!
+//! Probe fan-outs are additionally **skew-aware**: the routing pass
+//! counts the rows landing in each lane, and every lane is cut into
+//! chunks of at most `ceil(total / workers)` rows before dispatch — a
+//! hot shard (every probe keyed to one value, say) is split across idle
+//! workers instead of serializing the envelope behind one lane. Chunking
+//! is deterministic and read-only (probes never mutate the dictionary),
+//! so replies are bit-identical at every worker count. Build lanes are
+//! *not* split: per-shard dedup is order-dependent, so a build lane is
+//! one worker's unit of work by construction.
 //!
 //! # Semantics: bit-identical to the unsharded engine
 //!
@@ -57,8 +68,10 @@
 //! call delegated 1:1, zero merge arithmetic — so the default engine is
 //! the PR-3 engine, bit for bit.
 
+use crate::runtime::{default_parallel_min_rows, default_workers, WorkerPool};
 use crate::stem::{
-    equi_binding, linking_for, BuildResult, ProbeBinding, ProbeReply, Stem, StemOptions,
+    equi_binding, linking_for, BuildResult, ProbeBinding, ProbeReply, ProbeReplySet, ReplyMeta,
+    Stem, StemOptions,
 };
 use crate::tuple_state::TupleState;
 use std::sync::{Arc, Mutex};
@@ -66,28 +79,6 @@ use stems_catalog::{QuerySpec, SourceId};
 use stems_types::{
     HashedKey, Predicate, Row, TableIdx, TableSet, Timestamp, Tuple, TupleBatch, Value, UNBUILT_TS,
 };
-
-/// Minimum number of routed rows in one envelope before the shard fan-out
-/// spawns scoped worker threads. Below this the shards are processed
-/// serially on the caller's thread (identical results — the phases are
-/// the same, only the schedule differs): `std::thread::scope` spawns OS
-/// threads per call, whose ~tens-of-µs cost would swamp the dictionary
-/// work of small envelopes. The default engine batch (64) stays serial;
-/// bulk ingestion (`bench_shards` drives 4096-row envelopes) goes wide.
-const PARALLEL_MIN_ROWS: usize = 512;
-
-/// Worker threads the host can actually run in parallel (affinity/cgroup
-/// aware). On a single-core host the scoped fan-out is pure overhead —
-/// every shard still runs the same phases, just on the caller's thread,
-/// so results are identical either way.
-fn host_parallelism() -> usize {
-    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *CORES.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
-}
 
 /// One probe lane's reusable envelope buffers: the sub-batch routed to a
 /// shard, its states, and the per-tuple bindings resolved (and hashed)
@@ -121,6 +112,14 @@ impl LaneScratch {
 struct ProbePool {
     lanes: Vec<LaneScratch>,
     lane_of: Vec<Option<usize>>,
+    /// Dispatch units of the current envelope: `(lane, start, end)`
+    /// sub-ranges of each lane's sub-batch, lane-major — the skew-aware
+    /// chunking of hot lanes (see the module docs).
+    tasks: Vec<(usize, usize, usize)>,
+    /// One reply arena per dispatch unit (capacity reused).
+    chunk_sets: Vec<ProbeReplySet>,
+    /// Per lane: index of the task the merge is currently consuming.
+    cursors: Vec<usize>,
 }
 
 /// A State Module whose dictionary is hash-partitioned across
@@ -146,6 +145,12 @@ pub struct ShardedStem {
     /// this layer evicts across them); `None` when unbounded or when
     /// `num_shards == 1` (the inner Stem owns its window).
     window: Option<usize>,
+    /// Worker-pool budget for this SteM's envelope fan-outs (resolved
+    /// from [`StemOptions::workers`] at construction).
+    workers: usize,
+    /// Minimum routed rows before an envelope dispatches to the pool
+    /// (resolved from [`StemOptions::parallel_min_rows`]).
+    parallel_min_rows: usize,
     /// Pooled probe fan-out buffers (see [`ProbePool`]).
     probe_pool: Mutex<ProbePool>,
 }
@@ -175,6 +180,11 @@ impl ShardedStem {
     ) -> ShardedStem {
         let num_shards = opts.num_shards.max(1);
         let window = opts.eviction_window;
+        let workers = opts.workers.unwrap_or_else(default_workers).max(1);
+        let parallel_min_rows = opts
+            .parallel_min_rows
+            .unwrap_or_else(default_parallel_min_rows)
+            .max(1);
         let shards: Vec<Stem> = if num_shards == 1 {
             vec![Stem::new(
                 instance,
@@ -213,6 +223,8 @@ impl ShardedStem {
             num_shards,
             key_col: join_cols.first().copied().unwrap_or(0),
             window: if num_shards == 1 { None } else { window },
+            workers,
+            parallel_min_rows,
             probe_pool: Mutex::new(ProbePool::default()),
         }
     }
@@ -431,10 +443,12 @@ impl ShardedStem {
     }
 
     /// Build a whole envelope; mirrors [`Stem::build_batch`]. Dictionary
-    /// work (dedup + insert) is fanned out across shards — in parallel
-    /// with [`std::thread::scope`] once the envelope is large enough —
-    /// while timestamp assignment stays serial in batch order, so results
-    /// are identical to the unsharded engine's at any shard count.
+    /// work (dedup + insert) is fanned out across shards — on the
+    /// persistent worker pool once the envelope is large enough — while
+    /// timestamp assignment stays serial in batch order, so results are
+    /// identical to the unsharded engine's at any shard and worker count.
+    /// Build lanes are never chunked: per-shard dedup is order-dependent
+    /// within a lane, so one lane is one task (affinity = shard index).
     pub fn build_batch(
         &mut self,
         batch: &TupleBatch,
@@ -478,45 +492,41 @@ impl ShardedStem {
             }
         }
 
-        // Pass 2 (parallel): per-shard dedup + dictionary insert.
+        // Pass 2 (parallel): per-shard dedup + dictionary insert, one
+        // pool task per busy lane with the lane index as worker affinity
+        // (the worker that last built a shard re-runs it, caches warm).
         let routed: usize = lane_rows.iter().map(Vec::len).sum();
         let busy_lanes = lane_rows.iter().filter(|l| !l.is_empty()).count();
-        let fresh_lists: Vec<Vec<bool>> =
-            if routed >= PARALLEL_MIN_ROWS && busy_lanes > 1 && host_parallelism() > 1 {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = self
-                        .shards
-                        .iter_mut()
-                        .zip(&lane_rows)
-                        .map(|(shard, rows)| {
-                            if rows.is_empty() {
-                                None
-                            } else {
-                                Some(scope.spawn(move || shard.ingest_batch(rows)))
-                            }
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| match h {
-                            Some(h) => h.join().expect("shard build worker panicked"),
-                            None => Vec::new(),
-                        })
-                        .collect()
-                })
-            } else {
-                self.shards
+        let mut fresh_lists: Vec<Vec<bool>> = vec![Vec::new(); n_lanes];
+        if routed >= self.parallel_min_rows && busy_lanes > 1 && self.workers > 1 {
+            WorkerPool::global().scope(self.workers, |scope| {
+                for (lane_i, ((shard, rows), out)) in self
+                    .shards
                     .iter_mut()
                     .zip(&lane_rows)
-                    .map(|(shard, rows)| {
-                        if rows.is_empty() {
-                            Vec::new()
-                        } else {
-                            shard.ingest_batch(rows)
-                        }
-                    })
-                    .collect()
-            };
+                    .zip(fresh_lists.iter_mut())
+                    .enumerate()
+                {
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    scope.spawn(lane_i, move || {
+                        *out = shard.ingest_batch(rows);
+                    });
+                }
+            });
+        } else {
+            for ((shard, rows), out) in self
+                .shards
+                .iter_mut()
+                .zip(&lane_rows)
+                .zip(fresh_lists.iter_mut())
+            {
+                if !rows.is_empty() {
+                    *out = shard.ingest_batch(rows);
+                }
+            }
+        }
         let mut fresh = vec![false; n];
         for (lane, idxs) in lane_idx.iter().enumerate() {
             for (j, &i) in idxs.iter().enumerate() {
@@ -575,39 +585,52 @@ impl ShardedStem {
         if self.num_shards == 1 {
             return self.shards[0].probe(tuple, state, query);
         }
-        let batch = TupleBatch::single(tuple.clone());
-        self.probe_batch(&batch, std::slice::from_ref(state), query)
-            .into_iter()
-            .next()
-            .expect("one reply per probe")
+        let batch = [tuple.clone()];
+        let mut set = ProbeReplySet::new();
+        self.probe_batch_into(&batch, std::slice::from_ref(state), query, &mut set);
+        set.into_single_reply()
     }
 
-    /// Probe a whole envelope; mirrors [`Stem::probe_batch`]. Probes
-    /// bound on the shard key column go to exactly their key's shard;
-    /// all other probes fan out to every shard (overflow included) and
-    /// the partial replies are merged by ascending build timestamp —
-    /// global insertion order, i.e. the single-shard candidate order.
+    /// Probe a whole envelope into the caller-owned reply arena; mirrors
+    /// [`Stem::probe_batch_into`]. Probes bound on the shard key column
+    /// go to exactly their key's shard; all other probes fan out to every
+    /// shard (overflow included) and the partial replies are merged by
+    /// ascending build timestamp — global insertion order, i.e. the
+    /// single-shard candidate order.
     ///
     /// Hash-once: the routing pass resolves and hashes every binding key
     /// exactly one time ([`HashedKey`]); the shard index `h % num_shards`
     /// and the shard dictionary's index descent read that same
-    /// annotation. Lane sub-batches live in a pool reused across fan-outs
-    /// ([`ProbePool`]), so a steady probe stream allocates no envelope
-    /// buffers.
-    pub fn probe_batch(
+    /// annotation. Lane sub-batches, dispatch chunks and per-chunk reply
+    /// arenas live in a pool reused across fan-outs ([`ProbePool`]), so a
+    /// steady probe stream allocates no envelope buffers.
+    ///
+    /// Skew rebalancing: each lane is cut into chunks of at most
+    /// `ceil(routed / workers)` rows, so one hot lane spreads across the
+    /// worker budget; probes are read-only, so chunking cannot change any
+    /// reply. The serial path (small envelope / one busy lane / one
+    /// worker) runs the same code with one chunk per lane.
+    pub fn probe_batch_into(
         &self,
-        batch: &TupleBatch,
+        batch: &[Tuple],
         states: &[TupleState],
         query: &QuerySpec,
-    ) -> Vec<ProbeReply> {
+        out: &mut ProbeReplySet,
+    ) {
         debug_assert_eq!(batch.len(), states.len());
         if self.num_shards == 1 {
-            return self.shards[0].probe_batch(batch, states, query);
+            return self.shards[0].probe_batch_into(batch, states, query, out);
         }
         let t = self.instance;
         let n_lanes = self.shards.len();
         let mut pool = self.probe_pool.lock().expect("probe pool poisoned");
-        let ProbePool { lanes, lane_of } = &mut *pool;
+        let ProbePool {
+            lanes,
+            lane_of,
+            tasks,
+            chunk_sets,
+            cursors,
+        } = &mut *pool;
         lanes.resize_with(n_lanes, LaneScratch::default);
         for lane in lanes.iter_mut() {
             lane.clear();
@@ -644,104 +667,113 @@ impl ShardedStem {
             lane_of.push(lane);
         }
 
-        // Pass 2 (parallel): each shard probes its sub-batch through the
-        // prehashed bindings.
+        // Pass 2 (parallel): cut lanes into dispatch chunks and run them
+        // on the pool. A keyed-skewed envelope (every probe hashing to
+        // one shard) yields chunks that spread across the worker budget
+        // instead of serializing behind one lane.
         let work: usize = lanes.iter().map(|l| l.batch.len()).sum();
-        let busy_lanes = lanes.iter().filter(|l| !l.batch.is_empty()).count();
-        let mut lane_replies: Vec<std::vec::IntoIter<ProbeReply>> = if work >= PARALLEL_MIN_ROWS
-            && busy_lanes > 1
-            && host_parallelism() > 1
-        {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter()
-                    .zip(lanes.iter())
-                    .map(|(shard, lane)| {
-                        if lane.batch.is_empty() {
-                            None
-                        } else {
-                            Some(scope.spawn(move || {
-                                shard.probe_batch_prehashed(
-                                    &lane.batch,
-                                    &lane.states,
-                                    query,
-                                    &lane.bindings,
-                                )
-                            }))
-                        }
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| match h {
-                        Some(h) => h.join().expect("shard probe worker panicked").into_iter(),
-                        None => Vec::new().into_iter(),
-                    })
-                    .collect()
-            })
+        // Unlike the build fan-out, probe parallelism does not require
+        // more than one busy lane: chunking splits even a single hot
+        // lane (every probe keyed to one value) across the budget.
+        let parallel = work >= self.parallel_min_rows && self.workers > 1 && work > 1;
+        let chunk_target = if parallel {
+            work.div_ceil(self.workers).max(1)
         } else {
-            self.shards
-                .iter()
-                .zip(lanes.iter())
-                .map(|(shard, lane)| {
-                    if lane.batch.is_empty() {
-                        Vec::new().into_iter()
-                    } else {
-                        shard
-                            .probe_batch_prehashed(&lane.batch, &lane.states, query, &lane.bindings)
-                            .into_iter()
-                    }
-                })
-                .collect()
+            usize::MAX
         };
+        tasks.clear();
+        cursors.clear();
+        for (lane_i, lane) in lanes.iter().enumerate() {
+            // The merge pass starts each lane at its first chunk.
+            cursors.push(tasks.len());
+            let n = lane.batch.len();
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk_target).min(n);
+                tasks.push((lane_i, start, end));
+                start = end;
+            }
+        }
+        chunk_sets.resize_with(tasks.len().max(chunk_sets.len()), ProbeReplySet::new);
+        for set in chunk_sets.iter_mut() {
+            set.clear();
+        }
+        if parallel {
+            let shards = &self.shards;
+            WorkerPool::global().scope(self.workers, |scope| {
+                for (&(lane_i, start, end), set) in tasks.iter().zip(chunk_sets.iter_mut()) {
+                    let lane = &lanes[lane_i];
+                    let shard = &shards[lane_i];
+                    scope.spawn(lane_i, move || {
+                        shard.probe_batch_prehashed_into(
+                            &lane.batch.as_slice()[start..end],
+                            &lane.states[start..end],
+                            query,
+                            &lane.bindings[start..end],
+                            set,
+                        );
+                    });
+                }
+            });
+        } else {
+            for (&(lane_i, start, end), set) in tasks.iter().zip(chunk_sets.iter_mut()) {
+                let lane = &lanes[lane_i];
+                self.shards[lane_i].probe_batch_prehashed_into(
+                    &lane.batch.as_slice()[start..end],
+                    &lane.states[start..end],
+                    query,
+                    &lane.bindings[start..end],
+                    set,
+                );
+            }
+        }
 
-        // Pass 3 (serial): merge back into batch order. Each lane's reply
-        // iterator yields its probes in batch order, so a single cursor
-        // per lane suffices.
+        // Pass 3 (serial): merge back into batch order. Each lane's
+        // chunks hold its probes in batch order, so one task cursor per
+        // lane suffices; replies move between arenas without
+        // reallocating.
         let observed_ts = self.max_ts();
-        batch
-            .iter()
-            .enumerate()
-            .map(|(i, _)| match lane_of[i] {
+        for &lane_opt in lane_of.iter() {
+            match lane_opt {
                 Some(lane) => {
-                    let mut reply = lane_replies[lane].next().expect("lane reply");
+                    let meta = pull_reply(lane, tasks, cursors, chunk_sets, out);
                     // The prober records the whole SteM's max timestamp,
                     // not the one shard's.
-                    reply.observed_ts = observed_ts;
-                    reply
+                    out.push_meta(ReplyMeta {
+                        observed_ts,
+                        ..meta
+                    });
                 }
                 None => {
-                    let mut results: Vec<(Tuple, stems_types::PredSet)> = Vec::new();
+                    let start = out.total_results();
                     let mut raw_matches = 0usize;
                     let mut outcome = None;
-                    for lane in lane_replies.iter_mut() {
-                        let r = lane.next().expect("fan-out lane reply");
-                        raw_matches += r.raw_matches;
-                        results.extend(r.results);
+                    for lane in 0..n_lanes {
+                        let meta = pull_reply(lane, tasks, cursors, chunk_sets, out);
+                        raw_matches += meta.raw_matches;
                         match outcome {
-                            None => outcome = Some(r.outcome),
+                            None => outcome = Some(meta.outcome),
                             // Bounce decisions depend only on broadcast
                             // EOT state and AM flags — equal everywhere.
-                            Some(o) => debug_assert_eq!(o, r.outcome),
+                            Some(o) => debug_assert_eq!(o, meta.outcome),
                         }
                     }
                     // Ascending build timestamp = global insertion order,
                     // the single-shard candidate order (stable sort keeps
                     // per-shard order for ties, though stored timestamps
                     // are unique).
-                    results.sort_by_key(|(tup, _)| {
+                    out.results_tail_mut(start).sort_by_key(|(tup, _)| {
                         tup.component(t).map(|c| c.ts).unwrap_or(UNBUILT_TS)
                     });
-                    ProbeReply {
-                        results,
+                    out.push_meta(ReplyMeta {
                         outcome: outcome.expect("at least one lane"),
                         observed_ts,
                         raw_matches,
-                    }
+                        len: out.total_results() - start,
+                    });
                 }
-            })
-            .collect()
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -767,6 +799,32 @@ impl ShardedStem {
             (partitioner.partition_of(row), tuple.timestamp())
         });
         all
+    }
+}
+
+/// Take the next unconsumed reply of `lane` out of its chunk arenas,
+/// moving its results into `out` and returning its header. Chunks are
+/// lane-major and each holds its probes in batch order, so advancing the
+/// lane's task cursor past drained chunks walks the lane's replies in
+/// exactly the order the routing pass pushed its probes.
+fn pull_reply(
+    lane: usize,
+    tasks: &[(usize, usize, usize)],
+    cursors: &mut [usize],
+    chunk_sets: &mut [ProbeReplySet],
+    out: &mut ProbeReplySet,
+) -> ReplyMeta {
+    let mut ti = cursors[lane];
+    loop {
+        debug_assert!(
+            ti < tasks.len() && tasks[ti].0 == lane,
+            "lane {lane} reply underflow"
+        );
+        if chunk_sets[ti].remaining() > 0 {
+            cursors[lane] = ti;
+            return chunk_sets[ti].take_results_into(out);
+        }
+        ti += 1;
     }
 }
 
@@ -1081,12 +1139,26 @@ mod tests {
         assert!(four.evictions() > 0);
     }
 
+    /// Probe a batch into a fresh arena and flatten it into comparable
+    /// per-reply views.
+    #[allow(clippy::type_complexity)]
+    fn probe_flat(
+        stem: &ShardedStem,
+        probes: &TupleBatch,
+        states: &[TupleState],
+        q: &QuerySpec,
+    ) -> Vec<(ReplyMeta, Vec<(Tuple, stems_types::PredSet)>)> {
+        let mut set = ProbeReplySet::new();
+        stem.probe_batch_into(probes.as_slice(), states, q, &mut set);
+        set.iter().map(|(m, r)| (*m, r.to_vec())).collect()
+    }
+
     #[test]
     fn parallel_threshold_path_matches_serial_path() {
-        // A batch big enough to cross PARALLEL_MIN_ROWS: the threaded
+        // A batch big enough to cross the dispatch threshold: the pooled
         // fan-out must produce exactly what the serial fan-out produces.
         let (_c, q) = setup();
-        let rows = PARALLEL_MIN_ROWS * 2;
+        let rows = crate::runtime::DEFAULT_PARALLEL_MIN_ROWS * 2;
         let batch: TupleBatch = (0..rows as i64).map(|i| s_tuple(i % 101, i)).collect();
         let states = vec![TupleState::new(); batch.len()];
         let mut one = sharded(1, StemOptions::default());
@@ -1105,15 +1177,83 @@ mod tests {
             .map(|i| r_tuple(i, i % 101).with_timestamp(TableIdx(0), 1_000_000))
             .collect();
         let pstates = vec![TupleState::new(); probes.len()];
-        let p1 = one.probe_batch(&probes, &pstates, &q);
-        let p4 = four.probe_batch(&probes, &pstates, &q);
-        assert_eq!(p1.len(), p4.len());
-        for (a, b) in p1.iter().zip(&p4) {
-            assert_eq!(a.results, b.results);
-            assert_eq!(a.outcome, b.outcome);
-            assert_eq!(a.observed_ts, b.observed_ts);
-            assert_eq!(a.raw_matches, b.raw_matches);
+        let p1 = probe_flat(&one, &probes, &pstates, &q);
+        let p4 = probe_flat(&four, &probes, &pstates, &q);
+        assert_eq!(p1, p4);
+    }
+
+    #[test]
+    fn worker_count_is_invariant_for_pooled_fanouts() {
+        // Same workload at worker budgets {1, 2, 4, 8} (threshold forced
+        // to 1 so every envelope dispatches): builds and probe replies
+        // must be bit-identical — the pool decides the schedule, never
+        // the result.
+        let (_c, q) = setup();
+        let rows = 600i64;
+        let batch: TupleBatch = (0..rows).map(|i| s_tuple(i % 37, i)).collect();
+        let states = vec![TupleState::new(); batch.len()];
+        let probes: TupleBatch = (0..rows)
+            .map(|i| r_tuple(i, i % 37).with_timestamp(TableIdx(0), 1_000_000))
+            .collect();
+        let pstates = vec![TupleState::new(); probes.len()];
+        let at_workers = |w: usize| {
+            let mut stem = sharded(
+                4,
+                StemOptions {
+                    workers: Some(w),
+                    parallel_min_rows: Some(1),
+                    ..StemOptions::default()
+                },
+            );
+            let mut ts = 0;
+            let builds = stem.build_batch(&batch, &states, &mut ts);
+            let replies = probe_flat(&stem, &probes, &pstates, &q);
+            let stamps = stamped_ts(&builds);
+            (builds, stamps, ts, replies)
+        };
+        let base = at_workers(1);
+        for w in [2usize, 4, 8] {
+            assert_eq!(base, at_workers(w), "workers={w} diverged");
         }
+    }
+
+    #[test]
+    fn skewed_single_lane_chunks_match_serial() {
+        // Every probe keyed to ONE value: a single hot lane. The chunked
+        // dispatch must split it across workers and still merge replies
+        // bit-identically to the serial single-chunk path.
+        let (_c, q) = setup();
+        let mut stem = sharded(
+            4,
+            StemOptions {
+                workers: Some(4),
+                parallel_min_rows: Some(1),
+                ..StemOptions::default()
+            },
+        );
+        let mut serial = sharded(
+            4,
+            StemOptions {
+                workers: Some(1),
+                ..StemOptions::default()
+            },
+        );
+        let batch: TupleBatch = (0..200i64).map(|i| s_tuple(7, i)).collect();
+        let states = vec![TupleState::new(); batch.len()];
+        let (mut t1, mut t2) = (0, 0);
+        stem.build_batch(&batch, &states, &mut t1);
+        serial.build_batch(&batch, &states, &mut t2);
+        let probes: TupleBatch = (0..300i64)
+            .map(|i| r_tuple(i, 7).with_timestamp(TableIdx(0), 1_000_000))
+            .collect();
+        let pstates = vec![TupleState::new(); probes.len()];
+        let chunked = probe_flat(&stem, &probes, &pstates, &q);
+        let unchunked = probe_flat(&serial, &probes, &pstates, &q);
+        assert_eq!(chunked, unchunked);
+        // Every probe really matched the whole hot lane.
+        assert!(chunked
+            .iter()
+            .all(|(m, r)| m.raw_matches == 200 && r.len() == 200));
     }
 
     #[test]

@@ -33,10 +33,13 @@ pub(crate) type ProbeBinding = Option<(usize, HashedKey)>;
 /// Reusable per-SteM probe scratch. Everything the batched probe path
 /// materializes per envelope — key groups, flat candidate arenas, plans —
 /// lives here and keeps its capacity across envelopes, so steady-state
-/// probing allocates nothing. Guarded by a [`Mutex`] because probes run
-/// through `&self` (sharded SteMs probe from scoped threads); each shard
-/// owns its scratch and is probed by one thread per envelope, so the lock
-/// is uncontended and taken once per envelope, never per tuple.
+/// probing allocates nothing. Kept in a mutexed free-list on the SteM
+/// because probes run through `&self` and the sharded runtime may split
+/// one shard's probe lane into chunks serviced concurrently by several
+/// pool workers ([`crate::runtime::WorkerPool`]): each chunk checks a
+/// scratch out for its envelope and returns it after, so the lock is
+/// taken twice per envelope, never per tuple, and concurrent chunks
+/// never serialize on a shared buffer.
 #[derive(Debug, Default)]
 struct ProbeScratch {
     /// Distinct probe columns of the current envelope.
@@ -48,7 +51,7 @@ struct ProbeScratch {
     /// Per tuple: span-cache index + optional (column slot, key slot).
     plans: Vec<(usize, Option<(usize, usize)>)>,
     /// Per tuple bindings, when this SteM computes them itself
-    /// ([`Stem::probe_batch`]; the sharded layer passes its own).
+    /// ([`Stem::probe_batch_into`]; the sharded layer passes its own).
     bindings: Vec<ProbeBinding>,
 }
 
@@ -75,6 +78,17 @@ pub struct StemOptions {
     /// are interpreted by `ShardedStem`; this `Stem` type itself is
     /// always one shard.
     pub num_shards: usize,
+    /// Worker-pool budget for this SteM's sharded envelope fan-outs.
+    /// `None` (the default) inherits `ExecConfig::workers` (and thus
+    /// `STEMS_WORKERS` / host parallelism); `Some(n)` pins this SteM's
+    /// budget — interpreted by `ShardedStem`, irrelevant at one shard.
+    pub workers: Option<usize>,
+    /// Minimum routed rows in one envelope before the sharded fan-out
+    /// dispatches to the worker pool. `None` (the default) inherits
+    /// `ExecConfig::parallel_min_rows` (and thus
+    /// `STEMS_PARALLEL_MIN_ROWS` /
+    /// [`crate::runtime::DEFAULT_PARALLEL_MIN_ROWS`]).
+    pub parallel_min_rows: Option<usize>,
 }
 
 impl Default for StemOptions {
@@ -86,6 +100,8 @@ impl Default for StemOptions {
             partitions: 8,
             mem_partitions: 0,
             num_shards: 1,
+            workers: None,
+            parallel_min_rows: None,
         }
     }
 }
@@ -132,6 +148,135 @@ pub struct ProbeReply {
     pub raw_matches: usize,
 }
 
+/// Header of one probe reply stored flat in a [`ProbeReplySet`] arena:
+/// everything a [`ProbeReply`] carries except the result tuples, which
+/// live contiguously in the arena ( `len` of them per reply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyMeta {
+    pub outcome: ProbeOutcome,
+    /// The SteM's max build timestamp at probe time (§3.5).
+    pub observed_ts: Timestamp,
+    /// Matches found before timestamp filtering — policy feedback.
+    pub raw_matches: usize,
+    /// Result tuples this reply wrote into the arena.
+    pub len: usize,
+}
+
+/// Envelope-lifetime probe-reply arena: all replies of one probe envelope,
+/// stored as one flat `(tuple, donebits)` vector plus one [`ReplyMeta`]
+/// header per probe tuple, in batch order. Callers own the set and reuse
+/// it across envelopes, so the steady-state reply path performs **zero
+/// per-tuple heap allocations** — the per-reply `Vec`s the old
+/// `Vec<ProbeReply>` API materialized are gone (`tests/alloc_probe.rs`
+/// pins this with a counting allocator). The sharded merge additionally
+/// moves replies *between* sets without reallocating
+/// ([`ProbeReplySet::take_results_into`]).
+#[derive(Debug, Default)]
+pub struct ProbeReplySet {
+    /// Flat result arena: each reply's results are contiguous.
+    results: Vec<(Tuple, PredSet)>,
+    /// One header per probe tuple, batch order.
+    metas: Vec<ReplyMeta>,
+    /// Consumption cursors for [`ProbeReplySet::take_results_into`].
+    meta_cursor: usize,
+    result_cursor: usize,
+}
+
+impl ProbeReplySet {
+    pub fn new() -> ProbeReplySet {
+        ProbeReplySet::default()
+    }
+
+    /// Drop contents, keep capacity (arena reuse across envelopes).
+    pub fn clear(&mut self) {
+        self.results.clear();
+        self.metas.clear();
+        self.meta_cursor = 0;
+        self.result_cursor = 0;
+    }
+
+    /// Number of replies (== probe tuples of the envelope).
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// Total result tuples across all replies.
+    pub fn total_results(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Walk the replies in batch order as `(header, results)` views.
+    pub fn iter(&self) -> impl Iterator<Item = (&ReplyMeta, &[(Tuple, PredSet)])> {
+        let mut off = 0usize;
+        self.metas.iter().map(move |m| {
+            let slice = &self.results[off..off + m.len];
+            off += m.len;
+            (m, slice)
+        })
+    }
+
+    /// Split-borrow accessor for owning consumption: the headers plus a
+    /// draining iterator over the flat results (the engine walks the
+    /// headers and takes `meta.len` results for each; dropping the drain
+    /// keeps the arena's capacity).
+    pub fn metas_and_results(&mut self) -> (&[ReplyMeta], std::vec::Drain<'_, (Tuple, PredSet)>) {
+        self.meta_cursor = 0;
+        self.result_cursor = 0;
+        (&self.metas, self.results.drain(..))
+    }
+
+    /// Move the next unconsumed reply's *results* into `out`'s arena
+    /// (no header is pushed — the caller merges headers itself, e.g. the
+    /// sharded fan-out combines several per-lane replies into one) and
+    /// return its header. Moved-from slots are left as empty placeholder
+    /// tuples; no allocation happens in either set beyond `out`'s arena
+    /// growth, which amortizes to zero across reused envelopes.
+    pub(crate) fn take_results_into(&mut self, out: &mut ProbeReplySet) -> ReplyMeta {
+        let meta = self.metas[self.meta_cursor];
+        self.meta_cursor += 1;
+        let start = self.result_cursor;
+        for slot in &mut self.results[start..start + meta.len] {
+            out.results
+                .push(std::mem::replace(slot, (Tuple::empty(), PredSet::EMPTY)));
+        }
+        self.result_cursor = start + meta.len;
+        meta
+    }
+
+    /// Append a reply header (sharded merge tail; results were already
+    /// appended via [`ProbeReplySet::take_results_into`]).
+    pub(crate) fn push_meta(&mut self, meta: ReplyMeta) {
+        self.metas.push(meta);
+    }
+
+    /// Replies not yet consumed by [`ProbeReplySet::take_results_into`].
+    pub(crate) fn remaining(&self) -> usize {
+        self.metas.len() - self.meta_cursor
+    }
+
+    /// Mutable tail of the result arena from `start` — the sharded
+    /// fan-out merge sorts a freshly merged reply's results in place.
+    pub(crate) fn results_tail_mut(&mut self, start: usize) -> &mut [(Tuple, PredSet)] {
+        &mut self.results[start..]
+    }
+
+    /// Convert a single-reply set into the scalar [`ProbeReply`].
+    pub(crate) fn into_single_reply(mut self) -> ProbeReply {
+        debug_assert_eq!(self.metas.len(), 1);
+        let meta = self.metas[0];
+        ProbeReply {
+            results: std::mem::take(&mut self.results),
+            outcome: meta.outcome,
+            observed_ts: meta.observed_ts,
+            raw_matches: meta.raw_matches,
+        }
+    }
+}
+
 /// A State Module over one table instance.
 ///
 /// Self-joins note: the paper shares one SteM per *source* across FROM
@@ -164,8 +309,12 @@ pub struct Stem {
     /// Column used to cluster deferred bounce-backs (first join column).
     part_col: usize,
     hasher: FxBuildHasher,
-    /// Envelope-lifetime probe buffers (see [`ProbeScratch`]).
-    scratch: Mutex<ProbeScratch>,
+    /// Free-list of envelope-lifetime probe buffers (see
+    /// [`ProbeScratch`]): one per chunk probing this SteM concurrently.
+    /// Boxed so checking a scratch in/out under the lock moves one
+    /// pointer, not the ~20-vector struct.
+    #[allow(clippy::vec_box)]
+    scratch: Mutex<Vec<Box<ProbeScratch>>>,
 }
 
 impl std::fmt::Debug for Stem {
@@ -210,8 +359,24 @@ impl Stem {
             deferred: Vec::new(),
             part_col: join_cols.first().copied().unwrap_or(0),
             hasher: FxBuildHasher::default(),
-            scratch: Mutex::new(ProbeScratch::default()),
+            scratch: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Check a probe scratch out of the free-list (or grow the list).
+    fn acquire_scratch(&self) -> Box<ProbeScratch> {
+        self.scratch
+            .lock()
+            .expect("probe scratch poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn release_scratch(&self, scratch: Box<ProbeScratch>) {
+        self.scratch
+            .lock()
+            .expect("probe scratch poisoned")
+            .push(scratch);
     }
 
     /// Number of stored (non-EOT) tuples.
@@ -490,27 +655,55 @@ impl Stem {
             Some((col, val)) => self.store.lookup_eq(col, &val),
             None => self.store.scan(),
         };
-        self.probe_with_candidates(tuple, state, query, &linking, &candidates)
+        // Per-call recomputation of the newly evaluable set — the batched
+        // path caches this per (span, done) pair; the unit suite pins the
+        // two against each other.
+        let result_span = tuple.span().with(t);
+        let newly: Vec<&stems_types::Predicate> = query
+            .predicates
+            .iter()
+            .filter(|p| p.evaluable_on(result_span) && !state.done.contains(p.id))
+            .collect();
+        let mut done_union = state.done;
+        for p in &newly {
+            done_union.insert(p.id);
+        }
+        let mut set = ProbeReplySet::default();
+        self.probe_with_candidates(
+            tuple,
+            state,
+            query,
+            &linking,
+            &newly,
+            done_union,
+            &candidates,
+            &mut set,
+        );
+        set.into_single_reply()
     }
 
-    /// Probe a whole batch. The per-tuple semantics (timestamp rules,
-    /// predicate re-verification, bounce decisions) are identical to
-    /// [`Stem::probe`]; the amortization is in the fetch: linking
-    /// predicates are resolved once per distinct probe span, every key is
-    /// hashed exactly once at this envelope boundary ([`HashedKey`]), and
-    /// all equality lookups on one column go through a single
-    /// [`DictStore::lookup_eq_flat`] index descent into a reusable arena
-    /// (duplicate keys share one candidate span; unbindable probes share
-    /// one scan snapshot).
-    pub fn probe_batch(
+    /// Probe a whole batch into the caller-owned reply arena, appending
+    /// one reply per tuple in batch order. The per-tuple semantics
+    /// (timestamp rules, predicate re-verification, bounce decisions) are
+    /// identical to [`Stem::probe`]; the amortization is in the fetch and
+    /// the reply path: linking predicates are resolved once per distinct
+    /// probe span, the newly-evaluable predicate set once per distinct
+    /// `(result span, donebits)` pair, every key is hashed exactly once
+    /// at this envelope boundary ([`HashedKey`]), all equality lookups on
+    /// one column go through a single [`DictStore::lookup_eq_flat`] index
+    /// descent into a reusable arena (duplicate keys share one candidate
+    /// span; unbindable probes share one scan snapshot), and results land
+    /// in `out`'s flat arena instead of per-reply `Vec`s.
+    pub fn probe_batch_into(
         &self,
-        batch: &TupleBatch,
+        batch: &[Tuple],
         states: &[TupleState],
         query: &QuerySpec,
-    ) -> Vec<ProbeReply> {
+        out: &mut ProbeReplySet,
+    ) {
         debug_assert_eq!(batch.len(), states.len());
         let t = self.instance;
-        let mut scratch = self.scratch.lock().expect("probe scratch poisoned");
+        let mut scratch = self.acquire_scratch();
         // Hash-once boundary: resolve each tuple's equality binding and
         // annotate its key here; nothing downstream re-hashes.
         let mut bindings = std::mem::take(&mut scratch.bindings);
@@ -522,24 +715,28 @@ impl Stem {
                 equi_binding(&spans[li].1, tuple, t).map(|(col, val)| (col, HashedKey::new(val))),
             );
         }
-        let out = self.probe_with_scratch(batch, states, query, &bindings, &mut scratch);
+        self.probe_with_scratch(batch, states, query, &bindings, &mut scratch, out);
         scratch.bindings = bindings;
-        out
+        self.release_scratch(scratch);
     }
 
     /// Probe with bindings the caller already resolved and hashed —
     /// [`crate::sharded::ShardedStem`] routes envelopes by these same
     /// annotations, so the shard layer and the dictionary descent share
-    /// one hash computation per key.
-    pub(crate) fn probe_batch_prehashed(
+    /// one hash computation per key. `batch` may be any sub-slice of a
+    /// routed lane: the sharded runtime chunks hot lanes across pool
+    /// workers, each chunk probing with its own scratch and arena.
+    pub(crate) fn probe_batch_prehashed_into(
         &self,
-        batch: &TupleBatch,
+        batch: &[Tuple],
         states: &[TupleState],
         query: &QuerySpec,
         bindings: &[ProbeBinding],
-    ) -> Vec<ProbeReply> {
-        let mut scratch = self.scratch.lock().expect("probe scratch poisoned");
-        self.probe_with_scratch(batch, states, query, bindings, &mut scratch)
+        out: &mut ProbeReplySet,
+    ) {
+        let mut scratch = self.acquire_scratch();
+        self.probe_with_scratch(batch, states, query, bindings, &mut scratch, out);
+        self.release_scratch(scratch);
     }
 
     /// The flat probe pipeline over one envelope: group keys per column,
@@ -548,12 +745,13 @@ impl Stem {
     /// slices — semantically exactly the scalar path.
     fn probe_with_scratch(
         &self,
-        batch: &TupleBatch,
+        batch: &[Tuple],
         states: &[TupleState],
         query: &QuerySpec,
         bindings: &[ProbeBinding],
         scratch: &mut ProbeScratch,
-    ) -> Vec<ProbeReply> {
+        out: &mut ProbeReplySet,
+    ) {
         debug_assert_eq!(batch.len(), states.len());
         debug_assert_eq!(batch.len(), bindings.len());
         let t = self.instance;
@@ -602,46 +800,79 @@ impl Stem {
         // envelope instead of cloning the materialized scan per tuple.
         let mut full_scan: Option<Vec<Arc<Row>>> = None;
 
+        // Span-level predicate cache: `newly_evaluable` is a pure
+        // function of (result span, donebits), so resolve it once per
+        // distinct pair per envelope instead of per tuple (envelopes are
+        // usually span- and done-uniform, so this stays one entry). The
+        // donebits union every surviving result carries is equally
+        // uniform per pair and precomputed here.
+        let mut evals: Vec<(TableSet, PredSet, Vec<&stems_types::Predicate>, PredSet)> = Vec::new();
+
         // Pass 2: per-tuple result formation, exactly the scalar path.
-        batch
-            .iter()
-            .zip(states)
-            .zip(plans.iter())
-            .map(|((tuple, state), (li, plan))| {
-                let candidates: &[Arc<Row>] = match plan {
-                    Some((ci, ki)) => bufs[*ci].candidates(*ki),
-                    None => full_scan.get_or_insert_with(|| self.store.scan()),
-                };
-                self.probe_with_candidates(tuple, state, query, &spans[*li].1, candidates)
-            })
-            .collect()
+        for ((tuple, state), (li, plan)) in batch.iter().zip(states).zip(plans.iter()) {
+            let candidates: &[Arc<Row>] = match plan {
+                Some((ci, ki)) => bufs[*ci].candidates(*ki),
+                None => full_scan.get_or_insert_with(|| self.store.scan()),
+            };
+            let result_span = tuple.span().with(t);
+            let ei = match evals
+                .iter()
+                .position(|(s, d, _, _)| *s == result_span && *d == state.done)
+            {
+                Some(i) => i,
+                None => {
+                    let newly: Vec<&stems_types::Predicate> = query
+                        .predicates
+                        .iter()
+                        .filter(|p| p.evaluable_on(result_span) && !state.done.contains(p.id))
+                        .collect();
+                    let mut done_union = state.done;
+                    for p in &newly {
+                        done_union.insert(p.id);
+                    }
+                    evals.push((result_span, state.done, newly, done_union));
+                    evals.len() - 1
+                }
+            };
+            let (_, _, newly, done_union) = &evals[ei];
+            self.probe_with_candidates(
+                tuple,
+                state,
+                query,
+                &spans[*li].1,
+                newly,
+                *done_union,
+                candidates,
+                out,
+            );
+        }
     }
 
     /// Shared probe tail: filter candidates by the timestamp rules,
-    /// concatenate, verify newly evaluable predicates, decide the bounce.
+    /// concatenate, verify the (caller-resolved) newly evaluable
+    /// predicates, decide the bounce; append one reply to `out`. The only
+    /// allocations are the surviving result tuples themselves (one
+    /// component vec each, via [`Tuple::concat_row`]) — `newly` comes
+    /// from the span cache, `done_union` is a precomputed copy, and the
+    /// results land in `out`'s arena.
+    #[allow(clippy::too_many_arguments)]
     fn probe_with_candidates(
         &self,
         tuple: &Tuple,
         state: &TupleState,
         query: &QuerySpec,
         linking: &[&stems_types::Predicate],
+        newly: &[&stems_types::Predicate],
+        done_union: PredSet,
         candidates: &[Arc<Row>],
-    ) -> ProbeReply {
+        out: &mut ProbeReplySet,
+    ) {
         let t = self.instance;
         debug_assert!(!tuple.span().contains(t), "probe tuple already spans {t}");
         let probe_ts = tuple.timestamp();
 
-        // Every query predicate that becomes evaluable on the joined span
-        // and is not already marked done.
-        let result_span = tuple.span().with(t);
-        let newly_evaluable: Vec<&stems_types::Predicate> = query
-            .predicates
-            .iter()
-            .filter(|p| p.evaluable_on(result_span) && !state.done.contains(p.id))
-            .collect();
-
         let raw_matches = candidates.len();
-        let mut results = Vec::new();
+        let start = out.results.len();
         for row in candidates {
             let ts_u = *self.ts_of.get(row).unwrap_or(&UNBUILT_TS);
             // TimeStamp rule (§3.1): only the later-built side generates
@@ -650,26 +881,19 @@ impl Stem {
             if ts_u >= probe_ts || ts_u <= state.last_match_ts {
                 continue;
             }
-            let cand = tuple.concat(&Tuple::singleton(t, row.clone()).with_timestamp(t, ts_u));
-            if newly_evaluable
-                .iter()
-                .all(|p| p.eval(&cand).unwrap_or(false))
-            {
-                let mut done = state.done;
-                for p in &newly_evaluable {
-                    done.insert(p.id);
-                }
-                results.push((cand, done));
+            let cand = tuple.concat_row(t, row.clone(), ts_u);
+            if newly.iter().all(|p| p.eval(&cand).unwrap_or(false)) {
+                out.results.push((cand, done_union));
             }
         }
 
         let outcome = self.bounce_decision(linking, tuple, query);
-        ProbeReply {
-            results,
+        out.metas.push(ReplyMeta {
             outcome,
             observed_ts: self.max_ts,
             raw_matches,
-        }
+            len: out.results.len() - start,
+        });
     }
 
     /// SteM BounceBack (paper Table 2, plus the §4.1 refinement for tables
@@ -1715,6 +1939,121 @@ mod tests {
         let r = r_tuple(1, 10);
         let b = probe_bindings(&linking, &r, TableIdx(1), &q2);
         assert_eq!(b, vec![(0, Value::Int(10)), (1, Value::Int(7))]);
+    }
+
+    /// The batched probe path resolves `newly_evaluable` once per distinct
+    /// `(result_span, done)` pair per envelope (the span-level predicate
+    /// cache); the scalar probe recomputes it per call. On an envelope
+    /// mixing probe spans {R}, {T} and {R,T} with varied done-sets —
+    /// including pairs that share a span but differ in done bits — the two
+    /// must agree reply for reply.
+    #[test]
+    fn span_predicate_cache_matches_per_tuple_recomputation() {
+        use stems_catalog::SourceId as Src;
+        // Three tables, two joins through S, plus a selection on S:
+        // R.a = S.x, S.y = T.b, S.y < 25.
+        let mut c = Catalog::new();
+        let r = c
+            .add_table(TableDef::new(
+                "R",
+                Schema::of(&[("key", ColumnType::Int), ("a", ColumnType::Int)]),
+            ))
+            .unwrap();
+        let s = c
+            .add_table(TableDef::new(
+                "S",
+                Schema::of(&[("x", ColumnType::Int), ("y", ColumnType::Int)]),
+            ))
+            .unwrap();
+        let t = c
+            .add_table(TableDef::new("T", Schema::of(&[("b", ColumnType::Int)])))
+            .unwrap();
+        for src in [r, s, t] {
+            c.add_scan(src, ScanSpec::default()).unwrap();
+        }
+        let inst = |source: Src, alias: &str| TableInstance {
+            source,
+            alias: alias.into(),
+        };
+        let q = QuerySpec::new(
+            &c,
+            vec![inst(r, "r"), inst(s, "s"), inst(t, "t")],
+            vec![
+                Predicate::join(
+                    PredId(0),
+                    ColRef::new(TableIdx(0), 1),
+                    CmpOp::Eq,
+                    ColRef::new(TableIdx(1), 0),
+                ),
+                Predicate::join(
+                    PredId(1),
+                    ColRef::new(TableIdx(1), 1),
+                    CmpOp::Eq,
+                    ColRef::new(TableIdx(2), 0),
+                ),
+                Predicate::selection(
+                    PredId(2),
+                    ColRef::new(TableIdx(1), 1),
+                    CmpOp::Lt,
+                    Value::Int(25),
+                ),
+            ],
+            None,
+        )
+        .unwrap();
+
+        let mut stem = Stem::new(
+            TableIdx(1),
+            Src(1),
+            &[0, 1],
+            true,
+            false,
+            StemOptions::default(),
+        );
+        for i in 0..40i64 {
+            build_fresh(&mut stem, &s_tuple(i % 10, i), (i + 1) as Timestamp);
+        }
+
+        // Mixed envelope: span {R} (live + stale), span {T}, span {R,T},
+        // with done-sets that differ *within* a shared span.
+        let mut probes: Vec<Tuple> = Vec::new();
+        let mut states: Vec<TupleState> = Vec::new();
+        let mut push = |tuple: Tuple, done: &[u16]| {
+            probes.push(tuple);
+            let mut st = TupleState::new();
+            for &p in done {
+                st.done.insert(PredId(p));
+            }
+            states.push(st);
+        };
+        for i in 0..12i64 {
+            let r_probe = r_tuple(i, i % 10).with_timestamp(TableIdx(0), 1_000 + i as u64);
+            push(r_probe.clone(), &[]);
+            push(r_probe, &[2]); // same span, different done bits
+            let t_probe = Tuple::singleton_of(TableIdx(2), vec![Value::Int(i % 30)])
+                .with_timestamp(TableIdx(2), 2_000 + i as u64);
+            push(t_probe.clone(), &[]);
+            push(
+                r_tuple(i, i % 10)
+                    .with_timestamp(TableIdx(0), 3_000 + i as u64)
+                    .concat(&t_probe),
+                &[2],
+            );
+        }
+
+        let mut batched = ProbeReplySet::new();
+        stem.probe_batch_into(&probes, &states, &q, &mut batched);
+        assert_eq!(batched.len(), probes.len());
+        let mut seen_results = 0usize;
+        for ((tuple, state), (meta, results)) in probes.iter().zip(&states).zip(batched.iter()) {
+            let want = stem.probe(tuple, state, &q);
+            assert_eq!(want.results, results, "probe {tuple}");
+            assert_eq!(want.outcome, meta.outcome, "probe {tuple}");
+            assert_eq!(want.observed_ts, meta.observed_ts, "probe {tuple}");
+            assert_eq!(want.raw_matches, meta.raw_matches, "probe {tuple}");
+            seen_results += results.len();
+        }
+        assert!(seen_results > 0, "workload must form results");
     }
 
     use stems_types::TableSet;

@@ -77,6 +77,13 @@ impl Tuple {
         Tuple::singleton(table, Row::shared(values))
     }
 
+    /// A tuple spanning no tables, carrying no allocation. Used as the
+    /// placeholder left behind when a tuple is moved out of a reusable
+    /// arena slot (`ProbeReplySet`); never a legal engine tuple.
+    pub fn empty() -> Tuple {
+        Tuple { comps: Vec::new() }
+    }
+
     /// Build from components (sorted internally). Panics if two components
     /// share a table instance.
     pub fn from_components(mut comps: Vec<Component>) -> Tuple {
@@ -136,6 +143,26 @@ impl Tuple {
         let mut comps = self.comps.clone();
         comps.extend(other.comps.iter().cloned());
         Tuple::from_components(comps)
+    }
+
+    /// Concatenate one component onto this tuple in a single allocation:
+    /// equivalent to `self.concat(&Tuple::singleton(table, row)
+    /// .with_timestamp(table, ts))` without the temporary singleton, the
+    /// second components vec, or the re-sort — the SteM probe reply path
+    /// builds every match this way. Panics if `table` is already spanned.
+    pub fn concat_row(&self, table: TableIdx, row: Arc<Row>, ts: Timestamp) -> Tuple {
+        let pos = self.comps.partition_point(|c| c.table < table);
+        assert!(
+            self.comps.get(pos).is_none_or(|c| c.table != table),
+            "concat of overlapping tuples: {} vs {}",
+            self.span(),
+            TableSet::single(table)
+        );
+        let mut comps = Vec::with_capacity(self.comps.len() + 1);
+        comps.extend_from_slice(&self.comps[..pos]);
+        comps.push(Component { table, row, ts });
+        comps.extend_from_slice(&self.comps[pos..]);
+        Tuple { comps }
     }
 
     /// A copy of this tuple with the component for `table` stamped with
@@ -213,6 +240,30 @@ mod tests {
         let a = Tuple::singleton(TableIdx(0), row(&[1]));
         let b = Tuple::singleton(TableIdx(0), row(&[2]));
         let _ = a.concat(&b);
+    }
+
+    #[test]
+    fn concat_row_equals_concat_of_stamped_singleton() {
+        let base = Tuple::singleton(TableIdx(1), row(&[10])).with_timestamp(TableIdx(1), 3);
+        for table in [TableIdx(0), TableIdx(2), TableIdx(5)] {
+            let r = row(&[7]);
+            let fast = base.concat_row(table, r.clone(), 9);
+            let slow = base.concat(&Tuple::singleton(table, r).with_timestamp(table, 9));
+            assert_eq!(fast, slow);
+            assert_eq!(
+                fast.component(table).unwrap().ts,
+                slow.component(table).unwrap().ts
+            );
+            assert_eq!(fast.timestamp(), slow.timestamp());
+        }
+        assert_eq!(Tuple::empty().span(), TableSet::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn concat_row_rejects_overlap() {
+        let a = Tuple::singleton(TableIdx(0), row(&[1]));
+        let _ = a.concat_row(TableIdx(0), row(&[2]), 1);
     }
 
     #[test]

@@ -408,6 +408,89 @@ fn shard_count_is_invariant() {
     }
 }
 
+/// Worker-count invariance: the persistent worker pool is a pure
+/// scheduling device. Running the same randomized query at worker budgets
+/// {1, 2, 4, 8} × shard counts {1, 4} — with the dispatch threshold forced
+/// to 1 so even tiny envelopes fan out — must be **bit-identical**: the
+/// same ordered result vector, event count, virtual end time and
+/// adaptivity metrics. (Workers = 1 services every lane serially on the
+/// calling thread; larger budgets split lanes into chunks and steal work
+/// across queues — none of which any module may observe.)
+#[test]
+fn worker_count_is_invariant() {
+    const METRICS: [&str; 6] = [
+        "results",
+        "stem_probes",
+        "probes_bounced",
+        "probes_consumed",
+        "duplicates_absorbed",
+        "retired",
+    ];
+    for i in 0..12u64 {
+        let mut rng = SimRng::new(0x33_0CC ^ i);
+        let case = gen_case(&mut rng);
+        let (catalog, query) = build_case(&case);
+        for shards in [1usize, 4] {
+            let run_at_workers = |workers: usize| {
+                let config = ExecConfig {
+                    policy: case.policy.clone(),
+                    seed: case.seed,
+                    batch_size: 64,
+                    num_shards: shards,
+                    workers,
+                    parallel_min_rows: 1,
+                    plan: PlanOptions {
+                        default_stem: StemOptions {
+                            store: case.store.clone(),
+                            ..StemOptions::default()
+                        },
+                        ..PlanOptions::default()
+                    },
+                    check_constraints: true,
+                    max_events: 20_000_000,
+                    ..ExecConfig::default()
+                };
+                EddyExecutor::build(&catalog, &query, config)
+                    .expect("plan")
+                    .run()
+            };
+            let baseline = run_at_workers(1);
+            assert!(
+                baseline.violations.is_empty(),
+                "case {i} shards {shards} workers 1 violations: {:?}",
+                baseline.violations
+            );
+            for workers in [2usize, 4, 8] {
+                let pooled = run_at_workers(workers);
+                assert!(
+                    pooled.violations.is_empty(),
+                    "case {i} shards {shards} workers {workers} violations: {:?}",
+                    pooled.violations
+                );
+                assert_eq!(
+                    pooled.results, baseline.results,
+                    "case {i} shards {shards}: workers {workers} ordered results diverged"
+                );
+                assert_eq!(
+                    pooled.events, baseline.events,
+                    "case {i} shards {shards}: workers {workers} event count diverged"
+                );
+                assert_eq!(
+                    pooled.end_time, baseline.end_time,
+                    "case {i} shards {shards}: workers {workers} end time diverged"
+                );
+                for m in METRICS {
+                    assert_eq!(
+                        pooled.counter(m),
+                        baseline.counter(m),
+                        "case {i} shards {shards}: workers {workers} metric {m:?} diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The shard sweep crossed with batch sizes: shard-count invariance must
 /// hold on the scalar routing path too (batch 1 envelopes take the
 /// serial single-tuple build/probe route through the shard layer).

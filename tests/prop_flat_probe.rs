@@ -9,7 +9,7 @@
 //! suite is dependency-free and fully reproducible.
 
 use std::sync::Arc;
-use stems::core::stem::{Stem, StemOptions};
+use stems::core::stem::{ProbeReplySet, Stem, StemOptions};
 use stems::core::TupleState;
 use stems::sim::SimRng;
 use stems::storage::{CandidateBuf, DictStore, StoreKind};
@@ -239,14 +239,16 @@ fn probe_batch_replies_equal_scalar_probe_replies() {
                 })
                 .collect();
             let states = vec![TupleState::new(); probes.len()];
-            let batch = probes.iter().cloned().collect();
-            let batched = stem.probe_batch(&batch, &states, q);
-            for ((tuple, state), got) in probes.iter().zip(&states).zip(&batched) {
+            let mut batched = ProbeReplySet::new();
+            stem.probe_batch_into(&probes, &states, q, &mut batched);
+            assert_eq!(batched.len(), probes.len(), "seed {seed} {label}");
+            for ((tuple, state), (meta, results)) in probes.iter().zip(&states).zip(batched.iter())
+            {
                 let want = stem.probe(tuple, state, q);
-                assert_eq!(want.results, got.results, "seed {seed} {label}");
-                assert_eq!(want.outcome, got.outcome, "seed {seed} {label}");
-                assert_eq!(want.observed_ts, got.observed_ts, "seed {seed} {label}");
-                assert_eq!(want.raw_matches, got.raw_matches, "seed {seed} {label}");
+                assert_eq!(want.results, results, "seed {seed} {label}");
+                assert_eq!(want.outcome, meta.outcome, "seed {seed} {label}");
+                assert_eq!(want.observed_ts, meta.observed_ts, "seed {seed} {label}");
+                assert_eq!(want.raw_matches, meta.raw_matches, "seed {seed} {label}");
             }
         }
     }

@@ -104,9 +104,25 @@ def series_hashes(path: str, groups: "dict[str, list]") -> "dict[tuple, str]":
     return hashes
 
 
+def context_notes(committed_path: str, fresh_path: str, committed: dict, fresh: dict) -> None:
+    """Hardware/runtime context fields (``cores``, ``workers``): reported
+    when they differ, never gated — a baseline generated on a different
+    machine or worker budget is still a valid *result* baseline, the
+    context only matters for reading the (ungated) timing numbers."""
+    for field in ("cores", "workers"):
+        c, f = committed.get(field), fresh.get(field)
+        if c is not None and f is not None and c != f:
+            print(
+                f"bench_check: note: {fresh_path} ran with {field}={f}, "
+                f"{committed_path} was recorded with {field}={c} "
+                "(informational — timing fields are not gated)"
+            )
+
+
 def check_pair(committed_path: str, fresh_path: str) -> None:
     committed = load(committed_path)
     fresh = load(fresh_path)
+    context_notes(committed_path, fresh_path, committed, fresh)
     committed_hashes = series_hashes(committed_path, workloads(committed_path, committed))
     fresh_hashes = series_hashes(fresh_path, workloads(fresh_path, fresh))
 
