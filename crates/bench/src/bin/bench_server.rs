@@ -1,0 +1,228 @@
+//! Multi-query server throughput under shared-SteM folding, emitted as
+//! `BENCH_7.json` — the seventh point of the perf trajectory (`BENCH_5`:
+//! flat probe pipeline, `BENCH_6`: worker-pool scaling).
+//!
+//! Drives the 3-table chain (R ⋈ S ⋈ T) as a *query stream*: N
+//! concurrent queries, identical joins with per-query selection cuts,
+//! all admitted at once to a [`stems_core::QueryServer`] — once with
+//! folding off (the server degenerates to N private classic executors,
+//! the baseline) and once with folding on (one shared SteM per join
+//! column set, one scan stream per source; every row is built once and
+//! probed by all N queries). The per-workload claim gated in CI via
+//! `result_hash` is observational equivalence: folding must not change
+//! any query's result multiset at any concurrency level. The wall-clock
+//! `queries_per_sec` ratio documents the throughput gain — fold-on skips
+//! N−1 of every N builds, so the gain grows with concurrency (visible
+//! from ~10 queries; `shared_builds` records the build work actually
+//! performed).
+//!
+//! Latency percentiles are *virtual* (deterministic simulation time from
+//! admission to completion), so they are reproducible on any host;
+//! wall-clock fields are noisy and deliberately ungated.
+//!
+//! Quick mode for CI smoke: `STEMS_BENCH_ROWS` (default 2000) and
+//! `STEMS_BENCH_RUNS` (default 3) shrink the workload. Output lands in
+//! `$STEMS_BENCH_OUT` or `./BENCH_7.json`.
+
+use std::time::Instant;
+use stems_bench::{env_usize, median, render_canonical, result_hash};
+use stems_catalog::{Catalog, QuerySpec, ScanSpec, SourceId, TableInstance};
+use stems_core::{ExecConfig, QueryServer, ServerReport, ServerStats};
+use stems_datagen::{gen::ColGen, TableBuilder};
+use stems_types::{CmpOp, ColRef, PredId, Predicate, TableIdx, Value};
+
+/// The 3-table chain over generated tables (schema: `key` + attribute
+/// cols): R(key, a), S(key, x, y), T(key, b), keys 1:1 across the joins.
+fn build_catalog(rows: usize) -> Catalog {
+    let domain = rows as i64;
+    let mut catalog = Catalog::new();
+    TableBuilder::new("R", rows, 71)
+        .col("a", ColGen::Mod(domain))
+        .register(&mut catalog)
+        .unwrap();
+    TableBuilder::new("S", rows, 72)
+        .col("x", ColGen::Mod(domain))
+        .col("y", ColGen::Mod(domain))
+        .register(&mut catalog)
+        .unwrap();
+    TableBuilder::new("T", rows, 73)
+        .col("b", ColGen::Mod(domain))
+        .register(&mut catalog)
+        .unwrap();
+    for src in (0..3).map(SourceId) {
+        catalog.add_scan(src, ScanSpec::with_rate(1e6)).unwrap();
+    }
+    catalog
+}
+
+/// Query `i` of the stream: the shared chain joins plus a per-query
+/// selection cut on R — five distinct cuts cycle, so result sets differ
+/// across the stream while every SteM still folds.
+fn query_for(catalog: &Catalog, rows: usize, i: usize) -> QuerySpec {
+    let cut = (rows / 2 + (i % 5) * rows / 20) as i64;
+    let inst = |s: u32, alias: &str| TableInstance {
+        source: SourceId(s),
+        alias: alias.into(),
+    };
+    QuerySpec::new(
+        catalog,
+        vec![inst(0, "r"), inst(1, "s"), inst(2, "t")],
+        vec![
+            Predicate::join(
+                PredId(0),
+                ColRef::new(TableIdx(0), 1),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(1), 1),
+            ),
+            Predicate::join(
+                PredId(1),
+                ColRef::new(TableIdx(1), 2),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(2), 1),
+            ),
+            Predicate::selection(
+                PredId(2),
+                ColRef::new(TableIdx(0), 0),
+                CmpOp::Lt,
+                Value::Int(cut),
+            ),
+        ],
+        None,
+    )
+    .unwrap()
+}
+
+fn run_once(
+    catalog: &Catalog,
+    queries: &[QuerySpec],
+    fold: bool,
+) -> (Vec<ServerReport>, ServerStats, f64) {
+    let mut server = QueryServer::new(catalog, ExecConfig::default(), fold).unwrap();
+    for q in queries {
+        server.admit(q.clone()).unwrap();
+    }
+    let start = Instant::now();
+    let (reports, stats) = server.run_with_stats();
+    (reports, stats, start.elapsed().as_secs_f64())
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct SeriesOut {
+    label: &'static str,
+    queries_per_sec: f64,
+    median_secs: f64,
+    results_total: usize,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    shared_stems: usize,
+    shared_builds: u64,
+    result_hash: String,
+}
+
+fn run_series(catalog: &Catalog, queries: &[QuerySpec], fold: bool, runs: usize) -> SeriesOut {
+    let mut secs = Vec::new();
+    let mut last = None;
+    for _ in 0..runs {
+        let (reports, stats, wall) = run_once(catalog, queries, fold);
+        secs.push(wall);
+        last = Some((reports, stats));
+    }
+    let (reports, stats) = last.expect("at least one run");
+    let mut rendered = Vec::new();
+    let mut results_total = 0;
+    for (i, sr) in reports.iter().enumerate() {
+        results_total += sr.report.results.len();
+        for line in render_canonical(&sr.report.canonical(catalog, &queries[i])) {
+            rendered.push(format!("q{i}|{line}"));
+        }
+    }
+    let mut latencies: Vec<u64> = reports.iter().map(ServerReport::latency).collect();
+    latencies.sort_unstable();
+    let med = median(secs);
+    SeriesOut {
+        label: if fold { "fold_on" } else { "fold_off" },
+        queries_per_sec: queries.len() as f64 / med,
+        median_secs: med,
+        results_total,
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+        shared_stems: stats.shared_stems,
+        shared_builds: stats.shared_builds,
+        result_hash: result_hash(rendered),
+    }
+}
+
+fn main() {
+    let rows = env_usize("STEMS_BENCH_ROWS", 2000);
+    let runs = env_usize("STEMS_BENCH_RUNS", 3);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let ambient_workers = stems_core::runtime::default_workers();
+    let catalog = build_catalog(rows);
+
+    let mut workloads_json = Vec::new();
+    for n in [1usize, 10, 100] {
+        let queries: Vec<QuerySpec> = (0..n).map(|i| query_for(&catalog, rows, i)).collect();
+        let off = run_series(&catalog, &queries, false, runs);
+        let on = run_series(&catalog, &queries, true, runs);
+        assert_eq!(
+            off.result_hash, on.result_hash,
+            "folding changed the result multiset at {n} concurrent queries"
+        );
+        assert_eq!(off.results_total, on.results_total);
+        println!(
+            "q{n}: fold_off {:>8.2} q/s | fold_on {:>8.2} q/s ({:.2}x, {} shared builds vs {} \
+             private; virtual p50/p95/p99 {}/{}/{} µs)",
+            off.queries_per_sec,
+            on.queries_per_sec,
+            on.queries_per_sec / off.queries_per_sec,
+            on.shared_builds,
+            n * 3 * rows, // N queries x (R + S + T) rows built privately
+            on.p50_us,
+            on.p95_us,
+            on.p99_us,
+        );
+        let series = [&off, &on]
+            .iter()
+            .map(|e| {
+                format!(
+                    "        {{\"label\": \"{}\", \"queries\": {n}, \"queries_per_sec\": \
+                     {:.3}, \"median_secs\": {:.6}, \"results_total\": {}, \"latency_p50_us\": \
+                     {}, \"latency_p95_us\": {}, \"latency_p99_us\": {}, \"shared_stems\": {}, \
+                     \"shared_builds\": {}, \"result_hash\": \"{}\"}}",
+                    e.label,
+                    e.queries_per_sec,
+                    e.median_secs,
+                    e.results_total,
+                    e.p50_us,
+                    e.p95_us,
+                    e.p99_us,
+                    e.shared_stems,
+                    e.shared_builds,
+                    e.result_hash,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        workloads_json.push(format!(
+            "    {{\"name\": \"q{n}\", \"series\": [\n{series}\n    ]}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"query_server_chain3_{rows}x{rows}x{rows}\",\n  \"metric\": \
+         \"wall_queries_per_sec_folding_on_vs_off\",\n  \"rows\": {rows},\n  \"runs\": {runs},\n  \
+         \"cores\": {cores},\n  \"workers\": {ambient_workers},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        workloads_json.join(",\n"),
+    );
+    let path = std::env::var("STEMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_7.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_7.json");
+    println!("wrote {path}");
+}

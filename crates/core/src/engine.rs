@@ -154,19 +154,55 @@ pub struct ExecConfig {
     pub trace_limit: usize,
 }
 
-impl Default for ExecConfig {
-    fn default() -> Self {
-        ExecConfig {
+/// A rejected engine configuration — a malformed environment knob or an
+/// invalid field value. Long-lived callers (the query server, binaries
+/// that want a clean exit) handle this as a startup error; the
+/// [`Default`] impl below remains a thin panicking shim for tests and
+/// one-shot binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Read a positive-integer environment knob. Not present falls back to
+/// `default`; a set-but-invalid value is an error — a misconfigured CI
+/// leg (or server deployment) must fail loudly, not silently re-test the
+/// default engine while claiming coverage.
+pub(crate) fn env_knob(var: &str, default: usize) -> std::result::Result<usize, ConfigError> {
+    match std::env::var(var) {
+        Err(std::env::VarError::NotPresent) => Ok(default),
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(ConfigError(format!(
+                "{var} must be a positive integer, got {s:?}"
+            ))),
+        },
+        Err(e) => Err(ConfigError(format!("{var} is not valid unicode: {e}"))),
+    }
+}
+
+impl ExecConfig {
+    /// Build the default configuration from the environment, failing on
+    /// malformed knobs instead of panicking. This is what a server uses
+    /// at startup; `ExecConfig::default()` is the panicking shim over it.
+    pub fn from_env() -> std::result::Result<ExecConfig, ConfigError> {
+        let config = ExecConfig {
             policy: RoutingPolicyKind::default(),
             seed: 42,
             costs: CostModel::default(),
             plan: PlanOptions::default(),
             probe_edges: None,
             priority_pred: None,
-            batch_size: default_batch_size(),
-            num_shards: default_num_shards(),
-            workers: crate::runtime::default_workers(),
-            parallel_min_rows: crate::runtime::default_parallel_min_rows(),
+            batch_size: env_knob("STEMS_BATCH_SIZE", 64)?,
+            num_shards: env_knob("STEMS_NUM_SHARDS", 1)?,
+            workers: crate::runtime::try_default_workers()?,
+            parallel_min_rows: crate::runtime::try_default_parallel_min_rows()?,
             fuse_selections: true,
             max_hops: 1_000_000,
             max_events: 200_000_000,
@@ -174,40 +210,56 @@ impl Default for ExecConfig {
             check_constraints: false,
             trace: false,
             trace_limit: 100_000,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Reject field values no engine layer can run with. Called by
+    /// [`EddyExecutor::build`] (and thus the server at admission) so a
+    /// zero smuggled in programmatically fails as loudly as a zero from
+    /// the environment.
+    pub fn validate(&self) -> std::result::Result<(), ConfigError> {
+        for (name, value) in [
+            ("batch_size", self.batch_size),
+            ("num_shards", self.num_shards),
+            ("workers", self.workers),
+            ("parallel_min_rows", self.parallel_min_rows),
+        ] {
+            if value == 0 {
+                return Err(ConfigError(format!("ExecConfig.{name} must be >= 1")));
+            }
         }
+        Ok(())
+    }
+
+    /// Fold the engine-level SteM knobs into the plan options, producing
+    /// what [`crate::plan::instantiate`] will actually see. The shard
+    /// knob overrides only the untouched default (1); the pool knobs fill
+    /// only a `None` — explicit plan settings always win, so neither
+    /// configuration surface silently clobbers the other. The query
+    /// server calls this too, to derive the SteM options a query's plan
+    /// will use when matching SteMs for sharing.
+    pub(crate) fn resolved_plan_opts(&self) -> PlanOptions {
+        let mut plan_opts = self.plan.clone();
+        if plan_opts.default_stem.num_shards == 1 {
+            plan_opts.default_stem.num_shards = self.num_shards;
+        }
+        if plan_opts.default_stem.workers.is_none() {
+            plan_opts.default_stem.workers = Some(self.workers);
+        }
+        if plan_opts.default_stem.parallel_min_rows.is_none() {
+            plan_opts.default_stem.parallel_min_rows = Some(self.parallel_min_rows);
+        }
+        plan_opts
     }
 }
 
-/// The default routing batch size: 64 unless overridden by the
-/// `STEMS_BATCH_SIZE` environment variable (used by the CI equivalence
-/// matrix to force the scalar engine across the whole test suite). A set
-/// but invalid value panics rather than silently falling back — a
-/// misconfigured CI leg must fail loudly, not re-test the default engine
-/// while claiming scalar-engine coverage.
-fn default_batch_size() -> usize {
-    match std::env::var("STEMS_BATCH_SIZE") {
-        Err(std::env::VarError::NotPresent) => 64,
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => panic!("STEMS_BATCH_SIZE must be a positive integer, got {s:?}"),
-        },
-        Err(e) => panic!("STEMS_BATCH_SIZE is not valid unicode: {e}"),
-    }
-}
-
-/// The default SteM shard fan-out: 1 (unsharded) unless overridden by the
-/// `STEMS_NUM_SHARDS` environment variable (the CI matrix crosses it with
-/// `STEMS_BATCH_SIZE` to enforce shard-count invariance suite-wide). Like
-/// the batch size, a set-but-invalid value panics — a misconfigured CI
-/// leg must fail loudly rather than silently re-test the default engine.
-fn default_num_shards() -> usize {
-    match std::env::var("STEMS_NUM_SHARDS") {
-        Err(std::env::VarError::NotPresent) => 1,
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => panic!("STEMS_NUM_SHARDS must be a positive integer, got {s:?}"),
-        },
-        Err(e) => panic!("STEMS_NUM_SHARDS is not valid unicode: {e}"),
+impl Default for ExecConfig {
+    /// The panicking shim over [`ExecConfig::from_env`] — convenient for
+    /// tests and one-shot binaries; servers call `from_env` directly.
+    fn default() -> Self {
+        ExecConfig::from_env().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -310,6 +362,8 @@ pub struct EddyExecutor {
     rng: SimRng,
     now: Time,
     ts_counter: Timestamp,
+    /// A simulation guard tripped: the executor stops stepping for good.
+    halted: bool,
     parked: Vec<ParkedTuple>,
     results: Vec<Tuple>,
     metrics: Metrics,
@@ -326,6 +380,30 @@ impl EddyExecutor {
     /// Instantiate the query (paper §2.2 steps 1–4) and seed the scans
     /// (step 5).
     pub fn build(catalog: &Catalog, query: &QuerySpec, config: ExecConfig) -> Result<Self> {
+        Self::build_inner(catalog, query, config, true)
+    }
+
+    /// Instantiate without seeding the scans: the query server drives
+    /// every scan itself (one shared scan per source, fanned out to all
+    /// interested queries) and feeds this executor through
+    /// [`Self::deliver_folded_wave`] / [`Self::deliver_raw_wave`].
+    pub(crate) fn build_unseeded(
+        catalog: &Catalog,
+        query: &QuerySpec,
+        config: ExecConfig,
+    ) -> Result<Self> {
+        Self::build_inner(catalog, query, config, false)
+    }
+
+    fn build_inner(
+        catalog: &Catalog,
+        query: &QuerySpec,
+        config: ExecConfig,
+        seed_scans: bool,
+    ) -> Result<Self> {
+        config
+            .validate()
+            .map_err(|e| StemsError::Schema(e.to_string()))?;
         if let Some(p) = &config.priority_pred {
             if !p.is_selection() {
                 return Err(StemsError::Schema(
@@ -333,24 +411,7 @@ impl EddyExecutor {
                 ));
             }
         }
-        // The shard knob is an engine-level setting: fold it into the
-        // plan's default SteM options. A fan-out set explicitly on the
-        // plan itself (default_stem or per-instance stem_overrides) wins
-        // over the engine knob — only the untouched default (1) is
-        // overridden, so neither configuration surface silently clobbers
-        // the other.
-        let mut plan_opts = config.plan.clone();
-        if plan_opts.default_stem.num_shards == 1 {
-            plan_opts.default_stem.num_shards = config.num_shards;
-        }
-        // Same discipline for the pool knobs: `None` on the plan means
-        // "inherit the engine config"; an explicit `Some` wins.
-        if plan_opts.default_stem.workers.is_none() {
-            plan_opts.default_stem.workers = Some(config.workers);
-        }
-        if plan_opts.default_stem.parallel_min_rows.is_none() {
-            plan_opts.default_stem.parallel_min_rows = Some(config.parallel_min_rows);
-        }
+        let plan_opts = config.resolved_plan_opts();
         let (modules, layout) = instantiate(catalog, query, &plan_opts)?;
         let rt = modules
             .iter()
@@ -371,6 +432,7 @@ impl EddyExecutor {
             rng,
             now: 0,
             ts_counter: 0,
+            halted: false,
             parked: Vec::new(),
             results: Vec::new(),
             metrics: Metrics::new(),
@@ -383,13 +445,16 @@ impl EddyExecutor {
         };
         // Step 5: seed tuples to the scans. Emission chunks are capped at
         // the routing batch size — a larger burst would only be split
-        // again at ingestion.
+        // again at ingestion. An unseeded executor still clamps (the
+        // server mirrors the chunking on its shared scans).
         let batch_size = exec.config.batch_size;
         for &mid in exec.layout.scan_mids.clone().iter() {
             if let Module::ScanAm(scan) = &mut exec.modules[mid] {
                 scan.clamp_chunk(batch_size);
-                exec.agenda
-                    .push(scan.first_emit_time(), Event::ScanEmit(mid));
+                if seed_scans {
+                    exec.agenda
+                        .push(scan.first_emit_time(), Event::ScanEmit(mid));
+                }
             }
         }
         Ok(exec)
@@ -397,31 +462,65 @@ impl EddyExecutor {
 
     /// Run to completion and produce the report.
     pub fn run(mut self) -> Report {
-        while let Some((t, ev)) = self.agenda.pop() {
-            self.now = t;
-            self.events += 1;
-            if let Some(max) = self.config.max_time {
-                if self.now > max {
-                    break;
-                }
-            }
-            if self.events > self.config.max_events {
-                self.violations
-                    .push("max_events exceeded — possible routing livelock".into());
-                break;
-            }
-            match ev {
-                Event::Start(mid) => self.on_start(mid),
-                Event::Complete(mid, deliveries, unpark) => {
-                    self.on_complete(mid, deliveries, unpark)
-                }
-                Event::ScanEmit(mid) => self.on_scan_emit(mid),
-                Event::AmIssue(_mid) => {
-                    self.metrics.bump("index_probes", self.now, 1);
-                }
-                Event::AmResponse(mid, key) => self.on_am_response(mid, key),
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Process one event off the agenda. Returns `false` when the agenda
+    /// is exhausted or a simulation guard (max_time / max_events)
+    /// tripped — after which the executor is permanently halted. The
+    /// query server interleaves many executors by stepping each one up to
+    /// the global virtual time.
+    pub fn step(&mut self) -> bool {
+        if self.halted {
+            return false;
+        }
+        let Some((t, ev)) = self.agenda.pop() else {
+            return false;
+        };
+        self.now = t;
+        self.events += 1;
+        if let Some(max) = self.config.max_time {
+            if self.now > max {
+                self.halted = true;
+                return false;
             }
         }
+        if self.events > self.config.max_events {
+            self.violations
+                .push("max_events exceeded — possible routing livelock".into());
+            self.halted = true;
+            return false;
+        }
+        match ev {
+            Event::Start(mid) => self.on_start(mid),
+            Event::Complete(mid, deliveries, unpark) => self.on_complete(mid, deliveries, unpark),
+            Event::ScanEmit(mid) => self.on_scan_emit(mid),
+            Event::AmIssue(_mid) => {
+                self.metrics.bump("index_probes", self.now, 1);
+            }
+            Event::AmResponse(mid, key) => self.on_am_response(mid, key),
+        }
+        true
+    }
+
+    /// Virtual time of the next pending event (`None` when drained or
+    /// halted) — the server's merge key for interleaving executors.
+    pub fn next_time(&self) -> Option<Time> {
+        if self.halted {
+            None
+        } else {
+            self.agenda.peek_time()
+        }
+    }
+
+    /// Current virtual time (last processed event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Produce the final report after the agenda drained.
+    pub fn finish(mut self) -> Report {
         self.metrics.observe("end", self.now, 1.0);
         Report {
             results: self.results,
@@ -478,7 +577,7 @@ impl EddyExecutor {
                 .modules
                 .iter()
                 .filter_map(|m| match m {
-                    Module::Stem(s) => Some(s.approx_bytes()),
+                    Module::Stem(s) => Some(s.lock().approx_bytes()),
                     _ => None,
                 })
                 .sum();
@@ -551,8 +650,22 @@ impl EddyExecutor {
     fn process(&mut self, mid: usize, env: Envelope) -> (u64, Vec<Delivery>, Vec<UnparkSignal>) {
         let mut module = std::mem::replace(&mut self.modules[mid], Module::Hole);
         let out = match (&mut module, env.purpose) {
-            (Module::Stem(stem), Purpose::Build) => self.process_build(stem, env),
-            (Module::Stem(stem), Purpose::Probe) => self.process_probe(stem, env),
+            (Module::Stem(cell), Purpose::Build) => {
+                let table = self.table_of_stem_mid(mid);
+                let mut stem = cell.lock();
+                if stem.instance != table {
+                    stem.retarget(table);
+                }
+                self.process_build(&mut stem, env)
+            }
+            (Module::Stem(cell), Purpose::Probe) => {
+                let table = self.table_of_stem_mid(mid);
+                let mut stem = cell.lock();
+                if stem.instance != table {
+                    stem.retarget(table);
+                }
+                self.process_probe(&mut stem, env)
+            }
             (Module::Sm(sm), Purpose::Select) => self.process_select(sm, env),
             (Module::IndexAm(am), Purpose::AmProbe(t)) => self.process_am_probe(mid, am, env, t),
             _ => {
@@ -563,6 +676,21 @@ impl EddyExecutor {
         };
         self.modules[mid] = module;
         out
+    }
+
+    /// The table instance whose SteM lives at module `mid` — derived from
+    /// the layout rather than read off the SteM itself, because a shared
+    /// SteM may currently be targeted at another query's instance
+    /// numbering (the caller retargets it under the cell lock before
+    /// operating; see [`crate::sharded::ShardedStem::retarget`]).
+    fn table_of_stem_mid(&self, mid: usize) -> TableIdx {
+        let t = self
+            .layout
+            .stem_mid
+            .iter()
+            .position(|m| *m == Some(mid))
+            .expect("stem module not in layout");
+        TableIdx(t as u8)
     }
 
     fn process_build(
@@ -1318,6 +1446,99 @@ impl EddyExecutor {
                 stem.approx_bytes() as f64,
             );
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Query-server hooks (SteM folding, server-driven scans)
+    // ------------------------------------------------------------------
+
+    /// Current global-timestamp counter (the server threads one counter
+    /// through every folded executor so TimeStamp comparisons agree with
+    /// the shared SteMs' stamps).
+    pub(crate) fn ts_counter(&self) -> Timestamp {
+        self.ts_counter
+    }
+
+    pub(crate) fn set_ts_counter(&mut self, ts: Timestamp) {
+        self.ts_counter = ts;
+    }
+
+    /// Replace instance `t`'s SteM with a shared cell from the server's
+    /// registry: this executor's probes now hit the SteM another query
+    /// built (and its own builds would land there too — the server only
+    /// folds instances whose builds it takes over, so the router never
+    /// offers a Build here).
+    pub(crate) fn fold_stem(&mut self, t: TableIdx, cell: &crate::plan::StemCell) {
+        let mid = self.layout.stem_mid[t.as_usize()].expect("folding a no-stem instance");
+        self.modules[mid] = Module::Stem(cell.share());
+    }
+
+    /// Deliver one shared-scan wave for a *folded* instance: the server
+    /// already built `stamped` into the shared SteM (dedup happened
+    /// there), so the tuples enter this query's dataflow exactly where a
+    /// private build would have dropped them — stamped, routed as one
+    /// wave, with the AnyBuild/Eot wake-ups a private build would have
+    /// raised. `eot` marks the final wave (scan complete).
+    pub(crate) fn deliver_folded_wave(
+        &mut self,
+        now: Time,
+        table: TableIdx,
+        stamped: &[Tuple],
+        eot: bool,
+    ) {
+        self.now = now;
+        let deliveries: Vec<Delivery> = stamped
+            .iter()
+            .map(|t| {
+                self.metrics.bump("scanned", self.now, 1);
+                self.ingest(t.clone(), None)
+            })
+            .collect();
+        self.route_deliveries(deliveries);
+        let mut unparks = Vec::new();
+        if !stamped.is_empty() {
+            // Mirror on_complete's post-build memory sample.
+            let total: usize = self
+                .modules
+                .iter()
+                .filter_map(|m| match m {
+                    Module::Stem(s) => Some(s.lock().approx_bytes()),
+                    _ => None,
+                })
+                .sum();
+            self.metrics
+                .observe("stem_bytes_total", self.now, total as f64);
+            unparks.push(UnparkSignal::AnyBuild(table));
+        }
+        if eot {
+            unparks.push(UnparkSignal::Eot {
+                table,
+                bindings: None,
+            });
+        }
+        let mut woken = Vec::new();
+        for sig in unparks {
+            woken.append(&mut self.unpark(sig));
+        }
+        self.route_deliveries(woken);
+    }
+
+    /// Deliver one shared-scan wave for an *unfolded* (private-SteM)
+    /// instance: exactly what [`Self::on_scan_emit`] would have done had
+    /// this executor owned the scan — the rows (EOT markers included)
+    /// enter unstamped and route to this query's own SteM for building.
+    pub(crate) fn deliver_raw_wave(&mut self, now: Time, tuples: Vec<Tuple>) {
+        self.now = now;
+        let deliveries: Vec<Delivery> = tuples
+            .into_iter()
+            .map(|t| {
+                if !t.is_eot() {
+                    self.metrics.bump("scanned", self.now, 1);
+                }
+                self.ingest(t, None)
+            })
+            .collect();
+        self.route_deliveries(deliveries);
     }
 }
 

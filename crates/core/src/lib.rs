@@ -106,18 +106,20 @@ pub mod policy;
 pub mod report;
 pub mod router;
 pub mod runtime;
+pub mod server;
 pub mod sharded;
 pub mod sm;
 pub mod stem;
 pub mod tuple_state;
 
-pub use engine::{EddyExecutor, ExecConfig};
-pub use plan::{PlanLayout, StemOptions};
+pub use engine::{ConfigError, EddyExecutor, ExecConfig};
+pub use plan::{PlanLayout, StemCell, StemOptions};
 pub use policy::{
     BenefitCostPolicy, FixedOrderPolicy, LotteryPolicy, RoutingPolicy, RoutingPolicyKind,
 };
-pub use report::{Report, TraceEvent, TraceKind};
+pub use report::{Report, ServerReport, TraceEvent, TraceKind};
 pub use runtime::WorkerPool;
+pub use server::{QueryServer, ServerStats};
 pub use sharded::ShardedStem;
 pub use sm::{FusedVerdict, Sm};
 pub use tuple_state::TupleState;

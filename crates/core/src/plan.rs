@@ -16,14 +16,62 @@ use crate::am::{IndexAm, ScanAm};
 use crate::sharded::ShardedStem;
 use crate::sm::Sm;
 pub use crate::stem::StemOptions;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use stems_catalog::{feasible, AccessMethodDef, Catalog, QuerySpec};
 use stems_types::{PredId, Result, TableIdx, TableSet};
+
+/// A shareable handle on one [`ShardedStem`]. Every plan wraps its SteMs
+/// in cells; a solo query holds the only reference and the mutex is
+/// uncontended, while the query server clones cells across queries so
+/// query B probes the SteM query A built (the paper's "one build, N
+/// probers" sharing argument, §2/§5). The engine locks a cell only for
+/// the duration of one envelope.
+#[derive(Clone)]
+pub struct StemCell(Arc<Mutex<ShardedStem>>);
+
+impl StemCell {
+    pub fn new(stem: ShardedStem) -> StemCell {
+        StemCell(Arc::new(Mutex::new(stem)))
+    }
+
+    /// Lock the SteM, recovering from poison: SteM state is updated
+    /// envelope-atomically (a panicking prober mutates nothing persistent
+    /// mid-flight — probes run through `&self`, and build envelopes
+    /// complete their dictionary insert before returning), so the stored
+    /// state behind a poisoned lock is still valid and other queries
+    /// sharing the cell keep running.
+    pub fn lock(&self) -> MutexGuard<'_, ShardedStem> {
+        match self.0.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.0.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// A second handle on the same SteM (what the server hands to each
+    /// folded query).
+    pub fn share(&self) -> StemCell {
+        StemCell(Arc::clone(&self.0))
+    }
+}
+
+impl std::fmt::Debug for StemCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.lock().map_err(PoisonError::into_inner) {
+            Ok(stem) | Err(stem) => stem.fmt(f),
+        }
+    }
+}
 
 /// One instantiated module.
 pub enum Module {
     /// A (possibly hash-partitioned) State Module; `num_shards: 1` in its
-    /// [`StemOptions`] is the plain scalar SteM.
-    Stem(ShardedStem),
+    /// [`StemOptions`] is the plain scalar SteM. Held through a
+    /// [`StemCell`] so the query server can share one SteM across
+    /// queries; a solo executor owns the only handle.
+    Stem(StemCell),
     ScanAm(ScanAm),
     IndexAm(IndexAm),
     Sm(Sm),
@@ -88,7 +136,10 @@ pub struct PlanOptions {
 }
 
 impl PlanOptions {
-    fn stem_opts_for(&self, t: TableIdx) -> StemOptions {
+    /// Resolve the SteM options for instance `t` (override or default).
+    /// `pub(crate)` because the query server re-derives the options a
+    /// plan will use when deciding SteM-sharing compatibility.
+    pub(crate) fn stem_opts_for(&self, t: TableIdx) -> StemOptions {
         self.stem_overrides
             .iter()
             .find(|(i, _)| *i == t)
@@ -182,14 +233,14 @@ pub fn instantiate(
             continue;
         }
         let mid = modules.len();
-        modules.push(Module::Stem(ShardedStem::new(
+        modules.push(Module::Stem(StemCell::new(ShardedStem::new(
             t,
             ti.source,
             &query.join_cols_of(t),
             catalog.has_scan(ti.source),
             catalog.has_index(ti.source),
             opts.stem_opts_for(t),
-        )));
+        ))));
         layout.stem_mid[i] = Some(mid);
     }
 

@@ -120,6 +120,30 @@ impl Report {
     }
 }
 
+/// One query's report under the multi-query server
+/// ([`crate::server::QueryServer`]): the per-query [`Report`] plus its
+/// place on the server's shared virtual timeline — the latency
+/// bookkeeping `bench_server` aggregates into percentiles.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// Index of the query in admission order.
+    pub query: usize,
+    /// Virtual time the query was admitted.
+    pub admitted_at: Time,
+    /// Virtual time the query finished (its last event *and* its last
+    /// scan stream closed).
+    pub completed_at: Time,
+    /// The per-query report, exactly as a solo run would produce it.
+    pub report: Report,
+}
+
+impl ServerReport {
+    /// Virtual latency from admission to completion.
+    pub fn latency(&self) -> Time {
+        self.completed_at.saturating_sub(self.admitted_at)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

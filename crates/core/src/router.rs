@@ -112,8 +112,8 @@ pub fn candidates(
         // Re-probe the completion SteM, but only if it changed since our
         // last probe (BoundedRepetition).
         if let Some(mid) = layout.stem_mid[ct.as_usize()] {
-            if let Module::Stem(stem) = &modules[mid] {
-                if stem_version(stem) > state.last_probe_version {
+            if let Module::Stem(cell) = &modules[mid] {
+                if stem_version(&cell.lock()) > state.last_probe_version {
                     acts.push(Action::ProbeStem { mid, table: ct });
                 }
             }
@@ -373,10 +373,10 @@ mod tests {
         ));
         // Build an EOT into SteM_S: version bumps, re-probe offered.
         let smid = l.stem_mid[1].unwrap();
-        if let Module::Stem(stem) = &mut m[smid] {
+        if let Module::Stem(cell) = &mut m[smid] {
             let eot = Tuple::singleton(TableIdx(1), make_scan_eot_row(2));
             assert_eq!(
-                stem.build(&eot, &TupleState::new(), 1 as Timestamp),
+                cell.lock().build(&eot, &TupleState::new(), 1 as Timestamp),
                 BuildResult::Eot
             );
         }

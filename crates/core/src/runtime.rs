@@ -39,7 +39,17 @@
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Lock a pool mutex, shrugging off poison. Every task runs under
+/// `catch_unwind`, so a panic can only unwind through these locks from
+/// pool-internal code holding them across plain queue/counter updates —
+/// the protected data is still structurally valid, and the pool is
+/// process-global: propagating poison would take down every later query
+/// sharing the runtime for no safety gain.
+fn lock_ok<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Hard cap on pool size. Scopes asking for more workers than this are
 /// clamped; the cap only bounds the queue array, not correctness (tests
@@ -73,33 +83,29 @@ pub fn host_parallelism() -> usize {
 /// matrix crosses it with batch size and shard count so worker-count
 /// invariance is enforced on every push; tests force counts
 /// programmatically through `ExecConfig::workers` / `StemOptions::workers`
-/// instead). Like `STEMS_NUM_SHARDS`, a set-but-invalid value panics — a
-/// misconfigured CI leg must fail loudly rather than silently re-test the
-/// default parallelism.
+/// instead). Like `STEMS_NUM_SHARDS`, a set-but-invalid value errors — a
+/// misconfigured CI leg or server deployment must fail loudly rather than
+/// silently re-test the default parallelism.
+pub fn try_default_workers() -> Result<usize, crate::engine::ConfigError> {
+    crate::engine::env_knob("STEMS_WORKERS", host_parallelism())
+}
+
+/// Panicking shim over [`try_default_workers`] for one-shot binaries.
 pub fn default_workers() -> usize {
-    match std::env::var("STEMS_WORKERS") {
-        Err(std::env::VarError::NotPresent) => host_parallelism(),
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => panic!("STEMS_WORKERS must be a positive integer, got {s:?}"),
-        },
-        Err(e) => panic!("STEMS_WORKERS is not valid unicode: {e}"),
-    }
+    try_default_workers().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The default parallel-dispatch threshold:
 /// [`DEFAULT_PARALLEL_MIN_ROWS`] unless overridden by the
 /// `STEMS_PARALLEL_MIN_ROWS` environment variable (validated like the
-/// other engine knobs: set-but-invalid panics).
+/// other engine knobs: set-but-invalid errors).
+pub fn try_default_parallel_min_rows() -> Result<usize, crate::engine::ConfigError> {
+    crate::engine::env_knob("STEMS_PARALLEL_MIN_ROWS", DEFAULT_PARALLEL_MIN_ROWS)
+}
+
+/// Panicking shim over [`try_default_parallel_min_rows`].
 pub fn default_parallel_min_rows() -> usize {
-    match std::env::var("STEMS_PARALLEL_MIN_ROWS") {
-        Err(std::env::VarError::NotPresent) => DEFAULT_PARALLEL_MIN_ROWS,
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => panic!("STEMS_PARALLEL_MIN_ROWS must be a positive integer, got {s:?}"),
-        },
-        Err(e) => panic!("STEMS_PARALLEL_MIN_ROWS is not valid unicode: {e}"),
-    }
+    try_default_parallel_min_rows().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// A queued task. Tasks are created with a scope-bound lifetime and
@@ -124,7 +130,7 @@ impl Shared {
         let n = self.queues.len();
         for i in 0..n {
             let q = (home + i) % n;
-            if let Some(job) = self.queues[q].lock().expect("pool queue").pop_front() {
+            if let Some(job) = lock_ok(&self.queues[q]).pop_front() {
                 return Some(job);
             }
         }
@@ -132,9 +138,7 @@ impl Shared {
     }
 
     fn looks_empty(&self) -> bool {
-        self.queues
-            .iter()
-            .all(|q| q.lock().expect("pool queue").is_empty())
+        self.queues.iter().all(|q| lock_ok(q).is_empty())
     }
 }
 
@@ -170,13 +174,13 @@ impl WorkerPool {
 
     /// How many workers have been spawned so far (diagnostics).
     pub fn workers_spawned(&self) -> usize {
-        *self.spawned.lock().expect("pool spawn count")
+        *lock_ok(&self.spawned)
     }
 
     /// Make sure at least `n` (≤ [`MAX_POOL_WORKERS`]) workers exist.
     fn ensure_workers(&self, n: usize) {
         let n = n.min(MAX_POOL_WORKERS);
-        let mut spawned = self.spawned.lock().expect("pool spawn count");
+        let mut spawned = lock_ok(&self.spawned);
         while *spawned < n {
             let id = *spawned;
             let shared = Arc::clone(&self.shared);
@@ -189,13 +193,10 @@ impl WorkerPool {
     }
 
     fn push_job(&self, queue: usize, job: Job) {
-        self.shared.queues[queue]
-            .lock()
-            .expect("pool queue")
-            .push_back(job);
+        lock_ok(&self.shared.queues[queue]).push_back(job);
         // Notify under the gate so a worker that just scanned empty
         // queues and is about to park cannot miss this submission.
-        let _gate = self.shared.gate.lock().expect("pool gate");
+        let _gate = lock_ok(&self.shared.gate);
         self.shared.signal.notify_one();
     }
 
@@ -253,11 +254,11 @@ impl<'pool, 'env> PoolScope<'pool, 'env> {
     /// pool worker (or on the caller while it waits) before `scope`
     /// returns.
     pub fn spawn(&self, affinity: usize, task: impl FnOnce() + Send + 'env) {
-        self.state.sync.lock().expect("scope sync").remaining += 1;
+        lock_ok(&self.state.sync).remaining += 1;
         let state = Arc::clone(&self.state);
         let wrapped = move || {
             let result = catch_unwind(AssertUnwindSafe(task));
-            let mut sync = state.sync.lock().expect("scope sync");
+            let mut sync = lock_ok(&state.sync);
             if let Err(payload) = result {
                 sync.panic.get_or_insert(payload);
             }
@@ -283,7 +284,7 @@ impl<'pool, 'env> PoolScope<'pool, 'env> {
     /// tasks while waiting (caller participation).
     fn wait(&self) {
         loop {
-            if self.state.sync.lock().expect("scope sync").remaining == 0 {
+            if lock_ok(&self.state.sync).remaining == 0 {
                 return;
             }
             // Help: run any queued task (ours or a sibling scope's —
@@ -292,17 +293,22 @@ impl<'pool, 'env> PoolScope<'pool, 'env> {
                 job();
                 continue;
             }
-            let sync = self.state.sync.lock().expect("scope sync");
+            let sync = lock_ok(&self.state.sync);
             if sync.remaining != 0 {
                 // Every outstanding task is in flight on a worker; its
                 // completion hook notifies this condvar.
-                drop(self.state.cv.wait(sync));
+                drop(
+                    self.state
+                        .cv
+                        .wait(sync)
+                        .unwrap_or_else(PoisonError::into_inner),
+                );
             }
         }
     }
 
     fn check_panic(&self) {
-        let payload = self.state.sync.lock().expect("scope sync").panic.take();
+        let payload = lock_ok(&self.state.sync).panic.take();
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
@@ -327,11 +333,16 @@ fn worker_loop(id: usize, shared: Arc<Shared>) {
             job();
             continue;
         }
-        let gate = shared.gate.lock().expect("pool gate");
+        let gate = lock_ok(&shared.gate);
         if shared.looks_empty() {
             // Submissions notify under `gate`, so nothing pushed between
             // our scan and this wait can be missed.
-            drop(shared.signal.wait(gate).expect("pool gate"));
+            drop(
+                shared
+                    .signal
+                    .wait(gate)
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
         }
     }
 }

@@ -1,0 +1,669 @@
+//! The multi-query server: admit a stream of parsed [`QuerySpec`]s,
+//! execute them *concurrently* on one deterministic virtual timeline, and
+//! **fold** compatible SteMs so each scanned row is built once and probed
+//! by every interested query — the paper's multiquery motivation for
+//! making state a first-class module ("the state managed by SteMs can be
+//! shared across queries", §1 / §5).
+//!
+//! # What is shared, what stays per-query
+//!
+//! * **Scan streams** collapse per *source*: one [`ScanAm`] per table fans
+//!   each chunk wave out to every subscribed query, however many queries
+//!   read the table.
+//! * **SteMs** are shared through a registry keyed by
+//!   [`StemKey`] — `(source, join columns, resolved SteM options)`. When
+//!   query B's key matches query A's, B's plan is rewired
+//!   ([`EddyExecutor::fold_stem`]) to probe the *same* [`StemCell`] A
+//!   uses: one build, N probers. The server performs the builds itself
+//!   (one build service per scan wave per entry, not per query) and hands
+//!   every subscriber the same timestamped singletons.
+//! * **Routers, routing policies, SMs, index AMs and result sets stay
+//!   per-query** — each query adapts its routing independently; only
+//!   state and scan work are shared.
+//!
+//! An instance does *not* fold when its source has an index AM (the
+//! bounce protocol then depends on per-query probe traffic), when it uses
+//! Grace-style `deferred_bounce`, when it is `no_stem`-relaxed (§3.5), or
+//! when an earlier instance of the *same query* already claimed the entry
+//! (a self-join needs two dictionaries). Unfolded instances get a **raw**
+//! subscription: the shared scan stream delivered as plain unstamped
+//! singletons, built into the query's private SteM exactly as if its own
+//! scan had emitted them.
+//!
+//! # Determinism contract
+//!
+//! One global virtual clock merges all executors. At every instant the
+//! server first applies its own events (admissions, scan waves, build
+//! completions), then steps each query's executor in admission order. A
+//! single server-global build-timestamp counter threads through all
+//! folded executors, so a query's *observable* behaviour — ordered
+//! results, events, metrics, end time — is bit-identical whether it runs
+//! alone (`N = 1`) or alongside any number of concurrent queries:
+//! interleaving other queries only relabels the *gaps* in the timestamp
+//! sequence, never the relative order of any two stamps one query can
+//! compare (`tests/server_folding.rs` sweeps this invariant).
+//!
+//! With folding disabled the server degenerates to a pure merge of
+//! independent classic executors — each query behaves exactly like a solo
+//! [`EddyExecutor::run`]; `bench_server` uses that mode as the baseline
+//! the folding throughput gain is measured against.
+
+use crate::am::ScanAm;
+use crate::engine::{EddyExecutor, ExecConfig};
+use crate::plan::StemCell;
+use crate::report::ServerReport;
+use crate::sharded::ShardedStem;
+use crate::stem::{make_scan_eot_row, BuildResult, StemOptions};
+use crate::tuple_state::TupleState;
+use std::sync::Arc;
+use stems_catalog::{AccessMethodDef, Catalog, QuerySpec, SourceId};
+use stems_sim::{EventQueue, Time};
+use stems_types::{Result, Row, TableIdx, Timestamp, Tuple, TupleBatch};
+
+/// SteM-sharing compatibility key. Two instances may share one SteM only
+/// if they scan the same source, index it by the same (canonicalized)
+/// join columns, and resolve to identical SteM options — options affect
+/// virtual service durations (shard fan-out) and storage semantics
+/// (backend, eviction window), so any mismatch would leak one query's
+/// configuration into another's timeline.
+#[derive(Debug, Clone, PartialEq)]
+struct StemKey {
+    source: SourceId,
+    join_cols: Vec<usize>,
+    opts: StemOptions,
+}
+
+/// One shared SteM plus the build log its subscribers replay.
+struct SharedEntry {
+    key: StemKey,
+    cell: StemCell,
+    /// Fresh builds in arrival order with their global timestamps.
+    /// Server-absorbed duplicates are omitted — every subscriber would
+    /// have absorbed them identically.
+    log: Vec<(Arc<Row>, Timestamp)>,
+    /// Log prefix whose `DeliverBuilt` has fired (safe to hand to
+    /// late-admitted subscribers immediately).
+    released: usize,
+    /// Scan EOT built into the SteM.
+    eot_applied: bool,
+    /// Scan EOT announced to subscribers.
+    eot_released: bool,
+    /// The SteM build server is busy until this time; waves queue FIFO.
+    busy_until: Time,
+}
+
+/// One scan stream, shared by every query reading the source.
+struct ServerScan {
+    source: SourceId,
+    am: ScanAm,
+    arity: usize,
+    /// Rows emitted so far — the catch-up prefix for late admissions.
+    emitted: Vec<Arc<Row>>,
+    eot: bool,
+}
+
+/// A query instance rewired onto a shared SteM.
+struct FoldedSub {
+    entry: usize,
+    table: TableIdx,
+    /// Position in the entry's build log delivered so far.
+    cursor: usize,
+    eot_seen: bool,
+}
+
+/// A query's instances fed raw rows from a shared scan stream.
+struct RawSub {
+    scan: usize,
+    tables: Vec<TableIdx>,
+    eot_seen: bool,
+}
+
+struct QuerySlot {
+    query: QuerySpec,
+    config: ExecConfig,
+    exec: Option<EddyExecutor>,
+    admitted_at: Time,
+    active: bool,
+    folded: Vec<FoldedSub>,
+    raw: Vec<RawSub>,
+    report: Option<ServerReport>,
+}
+
+impl QuerySlot {
+    fn streams_open(&self) -> bool {
+        self.folded.iter().any(|s| !s.eot_seen) || self.raw.iter().any(|s| !s.eot_seen)
+    }
+}
+
+enum ServerEvent {
+    /// Activate an admitted query.
+    Admit(usize),
+    /// A shared scan emits its next chunk (or EOT).
+    ScanEmit(usize),
+    /// A shared SteM finished servicing a build wave: release the log
+    /// prefix `..upto` to every subscriber.
+    DeliverBuilt {
+        entry: usize,
+        upto: usize,
+        eot: bool,
+    },
+}
+
+/// How much state a server run shared (one entry/stream serving N
+/// queries is the whole point — `tests/server_folding.rs` and
+/// `bench_server` assert on these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Shared SteM registry entries created.
+    pub shared_stems: usize,
+    /// Shared scan streams created (folding mode only).
+    pub scan_streams: usize,
+    /// Rows built into shared SteMs — once per entry, not per query.
+    pub shared_builds: u64,
+}
+
+/// Concurrent multi-query executor over shared SteMs — see the module
+/// docs for the sharing and determinism contracts.
+pub struct QueryServer<'a> {
+    catalog: &'a Catalog,
+    config: ExecConfig,
+    fold: bool,
+    now: Time,
+    /// Server-global build-timestamp counter, threaded through every
+    /// folded executor so all stamps live on one total order.
+    ts_counter: Timestamp,
+    agenda: EventQueue<ServerEvent>,
+    scans: Vec<ServerScan>,
+    entries: Vec<SharedEntry>,
+    slots: Vec<QuerySlot>,
+}
+
+impl<'a> QueryServer<'a> {
+    /// A server over `catalog`. `fold` enables SteM sharing; with it off
+    /// every query runs a fully private classic executor (the bench
+    /// baseline). `config` is the default per-query configuration and
+    /// also sizes the shared scan chunks.
+    pub fn new(catalog: &'a Catalog, config: ExecConfig, fold: bool) -> Result<QueryServer<'a>> {
+        config
+            .validate()
+            .map_err(|e| stems_types::StemsError::Schema(e.to_string()))?;
+        Ok(QueryServer {
+            catalog,
+            config,
+            fold,
+            now: 0,
+            ts_counter: 0,
+            agenda: EventQueue::new(),
+            scans: Vec::new(),
+            entries: Vec::new(),
+            slots: Vec::new(),
+        })
+    }
+
+    /// Admit a query at time 0 with the server's default config.
+    pub fn admit(&mut self, query: QuerySpec) -> Result<usize> {
+        self.admit_at(0, query)
+    }
+
+    /// Admit a query at virtual time `at` (clamped to the present).
+    pub fn admit_at(&mut self, at: Time, query: QuerySpec) -> Result<usize> {
+        let config = self.config.clone();
+        self.admit_with_config(at, query, config)
+    }
+
+    /// Admit a query with its own configuration (policy, seed, plan
+    /// options...). The query folds onto a shared SteM only where its
+    /// *resolved* options match the entry's — config divergence simply
+    /// degrades to private state, never to wrong answers.
+    pub fn admit_with_config(
+        &mut self,
+        at: Time,
+        query: QuerySpec,
+        config: ExecConfig,
+    ) -> Result<usize> {
+        let exec = if self.fold {
+            EddyExecutor::build_unseeded(self.catalog, &query, config.clone())?
+        } else {
+            EddyExecutor::build(self.catalog, &query, config.clone())?
+        };
+        let idx = self.slots.len();
+        self.slots.push(QuerySlot {
+            query,
+            config,
+            exec: Some(exec),
+            admitted_at: 0,
+            active: false,
+            folded: Vec::new(),
+            raw: Vec::new(),
+            report: None,
+        });
+        self.agenda.push(at.max(self.now), ServerEvent::Admit(idx));
+        Ok(idx)
+    }
+
+    /// Run every admitted query to completion; reports come back in
+    /// admission order.
+    pub fn run(self) -> Vec<ServerReport> {
+        self.run_with_stats().0
+    }
+
+    /// [`QueryServer::run`], plus a summary of how much state the run
+    /// actually shared.
+    pub fn run_with_stats(mut self) -> (Vec<ServerReport>, ServerStats) {
+        loop {
+            let server_next = self.agenda.peek_time();
+            let exec_next = self
+                .slots
+                .iter()
+                .filter(|s| s.active)
+                .filter_map(|s| s.exec.as_ref().and_then(EddyExecutor::next_time))
+                .min();
+            let t = match (server_next, exec_next) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            self.now = t;
+            // Server events first: every wave a query can observe at `t`
+            // is delivered before any executor steps, so the interleaving
+            // is a pure function of the timeline — not of N.
+            while self.agenda.peek_time() == Some(t) {
+                let (_, ev) = self.agenda.pop().expect("peeked event");
+                match ev {
+                    ServerEvent::Admit(i) => self.on_admit(i),
+                    ServerEvent::ScanEmit(si) => self.on_scan_emit(si),
+                    ServerEvent::DeliverBuilt { entry, upto, eot } => {
+                        self.on_deliver_built(entry, upto, eot)
+                    }
+                }
+            }
+            // Then each executor drains its own events up to `t`, in
+            // admission order, threading the global timestamp counter.
+            for idx in 0..self.slots.len() {
+                if !self.slots[idx].active {
+                    continue;
+                }
+                let fold = self.fold;
+                let exec = self.slots[idx].exec.as_mut().expect("active slot");
+                if fold {
+                    exec.set_ts_counter(self.ts_counter);
+                }
+                while exec.next_time().is_some_and(|nt| nt <= t) {
+                    exec.step();
+                }
+                if fold {
+                    self.ts_counter = exec.ts_counter();
+                }
+            }
+            self.sweep_completions();
+        }
+        self.sweep_completions();
+        let stats = ServerStats {
+            shared_stems: self.entries.len(),
+            scan_streams: self.scans.len(),
+            shared_builds: self.entries.iter().map(|e| e.log.len() as u64).sum(),
+        };
+        let reports = self
+            .slots
+            .into_iter()
+            .map(|s| s.report.expect("query ran to completion"))
+            .collect();
+        (reports, stats)
+    }
+
+    /// Activate slot `idx`: decide folding per instance, rewire the plan,
+    /// subscribe to scan streams, and catch up on anything the streams
+    /// already produced.
+    fn on_admit(&mut self, idx: usize) {
+        let now = self.now;
+        self.slots[idx].admitted_at = now;
+        self.slots[idx].active = true;
+        if !self.fold {
+            // Classic executor: self-contained, scans seeded privately.
+            return;
+        }
+        let query = self.slots[idx].query.clone();
+        let plan_opts = self.slots[idx].config.resolved_plan_opts();
+        let mut claimed: Vec<usize> = Vec::new();
+        let mut raw_tables: Vec<(SourceId, Vec<TableIdx>)> = Vec::new();
+        for t in 0..query.n_tables() {
+            let ti = TableIdx(t as u8);
+            let source = query.instance(ti).source;
+            if !self.catalog.has_scan(source) {
+                // Index-only source: driven by probes, nothing to stream.
+                continue;
+            }
+            let opts = plan_opts.stem_opts_for(ti);
+            let foldable = !self.catalog.has_index(source)
+                && !opts.deferred_bounce
+                && !plan_opts.no_stem.contains(ti);
+            if foldable {
+                let key = StemKey {
+                    source,
+                    join_cols: query.join_cols_of(ti),
+                    opts,
+                };
+                let ei = match self.entries.iter().position(|e| e.key == key) {
+                    // A self-join over the same key needs two
+                    // dictionaries; the second instance stays private.
+                    Some(ei) if claimed.contains(&ei) => None,
+                    Some(ei) => Some(ei),
+                    None => Some(self.new_entry(key, ti)),
+                };
+                if let Some(ei) = ei {
+                    claimed.push(ei);
+                    self.ensure_scan(source);
+                    self.subscribe_folded(idx, ei, ti);
+                    continue;
+                }
+            }
+            match raw_tables.iter_mut().find(|(s, _)| *s == source) {
+                Some((_, tables)) => tables.push(ti),
+                None => raw_tables.push((source, vec![ti])),
+            }
+        }
+        for (source, tables) in raw_tables {
+            let si = self.ensure_scan(source);
+            self.subscribe_raw(idx, si, tables);
+        }
+    }
+
+    /// Create a shared entry for `key`, replaying any prefix its source's
+    /// scan already emitted so the newcomer's SteM matches what a
+    /// from-the-start subscriber would hold.
+    fn new_entry(&mut self, key: StemKey, instance: TableIdx) -> usize {
+        let stem = ShardedStem::new(
+            instance,
+            key.source,
+            &key.join_cols,
+            true,  // foldable requires a scan AM
+            false, // ... and no index AM
+            key.opts.clone(),
+        );
+        let ei = self.entries.len();
+        self.entries.push(SharedEntry {
+            key,
+            cell: StemCell::new(stem),
+            log: Vec::new(),
+            released: 0,
+            eot_applied: false,
+            eot_released: false,
+            busy_until: self.now,
+        });
+        let source = self.entries[ei].key.source;
+        if let Some(si) = self.scans.iter().position(|s| s.source == source) {
+            let rows = self.scans[si].emitted.clone();
+            let eot = self.scans[si].eot;
+            let arity = self.scans[si].arity;
+            if !rows.is_empty() || eot {
+                self.build_into_entry(ei, &rows, eot, arity);
+            }
+        }
+        ei
+    }
+
+    /// Rewire slot `idx`'s instance `ti` onto entry `ei` and deliver the
+    /// released log prefix (late admission catch-up).
+    fn subscribe_folded(&mut self, idx: usize, ei: usize, ti: TableIdx) {
+        let exec = self.slots[idx].exec.as_mut().expect("admitting slot");
+        exec.fold_stem(ti, &self.entries[ei].cell);
+        let entry = &self.entries[ei];
+        let stamped: Vec<Tuple> = entry.log[..entry.released]
+            .iter()
+            .map(|(row, ts)| Tuple::singleton(ti, Arc::clone(row)).with_timestamp(ti, *ts))
+            .collect();
+        if !stamped.is_empty() || entry.eot_released {
+            exec.deliver_folded_wave(self.now, ti, &stamped, entry.eot_released);
+        }
+        self.slots[idx].folded.push(FoldedSub {
+            entry: ei,
+            table: ti,
+            cursor: entry.released,
+            eot_seen: entry.eot_released,
+        });
+    }
+
+    /// Subscribe slot `idx`'s instances to scan `si` raw, catching up on
+    /// the emitted prefix (and EOT, if the scan already finished).
+    fn subscribe_raw(&mut self, idx: usize, si: usize, tables: Vec<TableIdx>) {
+        let scan = &self.scans[si];
+        let eot = scan.eot;
+        let mut tuples = Vec::new();
+        for row in &scan.emitted {
+            for &t in &tables {
+                tuples.push(Tuple::singleton(t, Arc::clone(row)));
+            }
+        }
+        if eot {
+            for &t in &tables {
+                tuples.push(Tuple::singleton(t, make_scan_eot_row(scan.arity)));
+            }
+        }
+        if !tuples.is_empty() {
+            let exec = self.slots[idx].exec.as_mut().expect("admitting slot");
+            exec.deliver_raw_wave(self.now, tuples);
+        }
+        self.slots[idx].raw.push(RawSub {
+            scan: si,
+            tables,
+            eot_seen: eot,
+        });
+    }
+
+    /// The shared scan stream for `source`, creating (and scheduling) it
+    /// on first subscription. Multiple competitive scan AMs collapse to
+    /// one stream built from the first spec.
+    fn ensure_scan(&mut self, source: SourceId) -> usize {
+        if let Some(si) = self.scans.iter().position(|s| s.source == source) {
+            return si;
+        }
+        let catalog = self.catalog;
+        let table = catalog.table_expect(source);
+        let arity = table.schema.arity();
+        let spec = catalog
+            .ams_of(source)
+            .into_iter()
+            .find_map(|(_, d)| match d {
+                AccessMethodDef::Scan(s) => Some(s),
+                _ => None,
+            })
+            .expect("scan subscription on a scan-less source");
+        // The dummy instance makes each emitted batch map 1:1 to rows;
+        // the server re-tags rows per subscriber.
+        let mut am = ScanAm::new(
+            source,
+            vec![TableIdx(0)],
+            table.rows().to_vec(),
+            arity,
+            spec,
+        );
+        am.clamp_chunk(self.config.batch_size);
+        let si = self.scans.len();
+        self.agenda
+            .push(self.now + am.first_emit_time(), ServerEvent::ScanEmit(si));
+        self.scans.push(ServerScan {
+            source,
+            am,
+            arity,
+            emitted: Vec::new(),
+            eot: false,
+        });
+        si
+    }
+
+    /// A scan wave: build it into every shared entry on the source (once
+    /// per entry — the folding win) and fan it raw to every raw sub.
+    fn on_scan_emit(&mut self, si: usize) {
+        let (batch, next) = self.scans[si].am.emit_next(self.now);
+        if let Some(nt) = next {
+            self.agenda.push(nt, ServerEvent::ScanEmit(si));
+        }
+        let mut rows: Vec<Arc<Row>> = Vec::new();
+        let mut eot = false;
+        for t in batch {
+            let row = Arc::clone(&t.components()[0].row);
+            if row.is_eot() {
+                eot = true;
+            } else {
+                rows.push(row);
+            }
+        }
+        let source = self.scans[si].source;
+        let arity = self.scans[si].arity;
+        self.scans[si].emitted.extend(rows.iter().cloned());
+        if eot {
+            self.scans[si].eot = true;
+        }
+        for ei in 0..self.entries.len() {
+            if self.entries[ei].key.source == source {
+                self.build_into_entry(ei, &rows, eot, arity);
+            }
+        }
+        for idx in 0..self.slots.len() {
+            if !self.slots[idx].active {
+                continue;
+            }
+            let mut tuples = Vec::new();
+            for sub in self.slots[idx].raw.iter_mut() {
+                if sub.scan != si {
+                    continue;
+                }
+                // Classic emission order: rows outer, instances inner.
+                for row in &rows {
+                    for &t in &sub.tables {
+                        tuples.push(Tuple::singleton(t, Arc::clone(row)));
+                    }
+                }
+                if eot {
+                    for &t in &sub.tables {
+                        tuples.push(Tuple::singleton(t, make_scan_eot_row(arity)));
+                    }
+                    sub.eot_seen = true;
+                }
+            }
+            if !tuples.is_empty() {
+                let exec = self.slots[idx].exec.as_mut().expect("active slot");
+                exec.deliver_raw_wave(self.now, tuples);
+            }
+        }
+    }
+
+    /// Build `rows` (and EOT) into entry `ei` now, consuming global
+    /// timestamps, and schedule the subscriber release for when the
+    /// SteM's build server has absorbed the wave.
+    fn build_into_entry(&mut self, ei: usize, rows: &[Arc<Row>], eot: bool, arity: usize) {
+        let apply_eot = eot && !self.entries[ei].eot_applied;
+        if rows.is_empty() && !apply_eot {
+            return;
+        }
+        let cell = self.entries[ei].cell.share();
+        let mut stem = cell.lock();
+        let instance = stem.instance;
+        let mut batch: TupleBatch = rows
+            .iter()
+            .map(|r| Tuple::singleton(instance, Arc::clone(r)))
+            .collect();
+        if apply_eot {
+            batch.push(Tuple::singleton(instance, make_scan_eot_row(arity)));
+        }
+        let states = vec![TupleState::new(); batch.len()];
+        let mut ts = self.ts_counter;
+        let results = stem.build_batch(&batch, &states, &mut ts);
+        self.ts_counter = ts;
+        drop(stem);
+        let entry = &mut self.entries[ei];
+        let mut results = results.into_iter();
+        for row in rows {
+            if let Some(BuildResult::Fresh(stamped)) = results.next() {
+                entry.log.push((Arc::clone(row), stamped.timestamp()));
+            }
+            // Duplicates are absorbed server-side: every subscriber
+            // would have absorbed them identically, so nothing ships.
+        }
+        if apply_eot {
+            entry.eot_applied = true;
+        }
+        let wave = batch.len() as u64;
+        let t_done = self.now.max(entry.busy_until) + self.config.costs.stem_build_us * wave.max(1);
+        entry.busy_until = t_done;
+        self.agenda.push(
+            t_done,
+            ServerEvent::DeliverBuilt {
+                entry: ei,
+                upto: entry.log.len(),
+                eot: apply_eot,
+            },
+        );
+    }
+
+    /// A build wave finished service: hand every subscriber its stamped
+    /// singletons (plus the EOT signal on the final wave).
+    fn on_deliver_built(&mut self, ei: usize, upto: usize, eot: bool) {
+        {
+            let entry = &mut self.entries[ei];
+            entry.released = entry.released.max(upto);
+            if eot {
+                entry.eot_released = true;
+            }
+        }
+        for idx in 0..self.slots.len() {
+            if !self.slots[idx].active {
+                continue;
+            }
+            let mut wave: Option<(TableIdx, Vec<Tuple>, bool)> = None;
+            for sub in self.slots[idx].folded.iter_mut() {
+                if sub.entry != ei {
+                    continue;
+                }
+                let stamped: Vec<Tuple> = if sub.cursor < upto {
+                    self.entries[ei].log[sub.cursor..upto]
+                        .iter()
+                        .map(|(row, ts)| {
+                            Tuple::singleton(sub.table, Arc::clone(row))
+                                .with_timestamp(sub.table, *ts)
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                sub.cursor = sub.cursor.max(upto);
+                let deliver_eot = eot && !sub.eot_seen;
+                if deliver_eot {
+                    sub.eot_seen = true;
+                }
+                if !stamped.is_empty() || deliver_eot {
+                    wave = Some((sub.table, stamped, deliver_eot));
+                }
+            }
+            if let Some((table, stamped, deliver_eot)) = wave {
+                let exec = self.slots[idx].exec.as_mut().expect("active slot");
+                exec.deliver_folded_wave(self.now, table, &stamped, deliver_eot);
+            }
+        }
+    }
+
+    /// Retire every query whose executor has drained and whose scan
+    /// streams have all closed.
+    fn sweep_completions(&mut self) {
+        for idx in 0..self.slots.len() {
+            let slot = &self.slots[idx];
+            if !slot.active
+                || slot.streams_open()
+                || slot.exec.as_ref().is_some_and(|e| e.next_time().is_some())
+            {
+                continue;
+            }
+            let exec = self.slots[idx].exec.take().expect("active slot");
+            let completed_at = exec.now();
+            let report = exec.finish();
+            self.slots[idx].report = Some(ServerReport {
+                query: idx,
+                admitted_at: self.slots[idx].admitted_at,
+                completed_at,
+                report,
+            });
+            self.slots[idx].active = false;
+        }
+    }
+}

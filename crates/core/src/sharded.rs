@@ -229,6 +229,37 @@ impl ShardedStem {
         }
     }
 
+    /// Re-point this SteM at a different table instance. All stored state
+    /// (rows, timestamps, dedup, EOT marks) is instance-agnostic — the
+    /// instance index only tags tuples routed in and out — so a SteM
+    /// built under one query can serve another whose instance numbering
+    /// differs. The query server uses this to fold N queries' probes onto
+    /// one shared SteM; callers must retarget *before* building or
+    /// probing on behalf of the new instance.
+    pub fn retarget(&mut self, instance: TableIdx) {
+        self.instance = instance;
+        for shard in &mut self.shards {
+            shard.instance = instance;
+        }
+    }
+
+    /// Lock the probe fan-out pool, recovering from poison: the pool
+    /// holds only envelope-lifetime scratch (lanes, tasks, reply arenas),
+    /// so after a prober panics mid-envelope the cheapest safe recovery
+    /// is a fresh pool — shared-SteM queries behind the panicking one
+    /// keep running.
+    fn lock_probe_pool(&self) -> std::sync::MutexGuard<'_, ProbePool> {
+        match self.probe_pool.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.probe_pool.clear_poison();
+                let mut guard = poisoned.into_inner();
+                *guard = ProbePool::default();
+                guard
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Aggregate accessors (sum / max / any-shard across the fan-out)
     // ------------------------------------------------------------------
@@ -623,7 +654,7 @@ impl ShardedStem {
         }
         let t = self.instance;
         let n_lanes = self.shards.len();
-        let mut pool = self.probe_pool.lock().expect("probe pool poisoned");
+        let mut pool = self.lock_probe_pool();
         let ProbePool {
             lanes,
             lane_of,

@@ -40,6 +40,12 @@ pub(crate) type ProbeBinding = Option<(usize, HashedKey)>;
 /// scratch out for its envelope and returns it after, so the lock is
 /// taken twice per envelope, never per tuple, and concurrent chunks
 /// never serialize on a shared buffer.
+/// Cap on the scratch free-list: a concurrency burst may check out many
+/// scratches at once, but only this many are kept when they come back —
+/// the rest are dropped so the pool's footprint tracks steady-state
+/// concurrency, not the historical high-water mark.
+const MAX_POOLED_SCRATCH: usize = 8;
+
 #[derive(Debug, Default)]
 struct ProbeScratch {
     /// Distinct probe columns of the current envelope.
@@ -56,7 +62,7 @@ struct ProbeScratch {
 }
 
 /// Configuration of one SteM.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StemOptions {
     /// Dictionary backend.
     pub store: StoreKind,
@@ -363,20 +369,43 @@ impl Stem {
         }
     }
 
-    /// Check a probe scratch out of the free-list (or grow the list).
-    fn acquire_scratch(&self) -> Box<ProbeScratch> {
-        self.scratch
-            .lock()
-            .expect("probe scratch poisoned")
-            .pop()
-            .unwrap_or_default()
+    /// Lock the scratch free-list, recovering from poison: a prober that
+    /// panicked mid-probe leaves only scratch buffers behind, and those
+    /// are pure caches — discarding them (and the poison mark) restores a
+    /// clean pool without taking down every later query on a shared SteM.
+    #[allow(clippy::vec_box)]
+    fn lock_scratch(&self) -> std::sync::MutexGuard<'_, Vec<Box<ProbeScratch>>> {
+        match self.scratch.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.scratch.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                guard
+            }
+        }
     }
 
+    /// Check a probe scratch out of the free-list (or grow the list).
+    fn acquire_scratch(&self) -> Box<ProbeScratch> {
+        self.lock_scratch().pop().unwrap_or_default()
+    }
+
+    /// Return a scratch to the free-list. The list is capped at
+    /// [`MAX_POOLED_SCRATCH`]: a burst of concurrent probers would
+    /// otherwise pin its high-water-mark capacity forever, so scratches
+    /// beyond the cap are simply dropped.
     fn release_scratch(&self, scratch: Box<ProbeScratch>) {
-        self.scratch
-            .lock()
-            .expect("probe scratch poisoned")
-            .push(scratch);
+        let mut list = self.lock_scratch();
+        if list.len() < MAX_POOLED_SCRATCH {
+            list.push(scratch);
+        }
+    }
+
+    /// Number of scratches currently pooled (test hook for the cap).
+    #[cfg(test)]
+    pub(crate) fn pooled_scratches(&self) -> usize {
+        self.lock_scratch().len()
     }
 
     /// Number of stored (non-EOT) tuples.
@@ -2054,6 +2083,47 @@ mod tests {
             seen_results += results.len();
         }
         assert!(seen_results > 0, "workload must form results");
+    }
+
+    #[test]
+    fn scratch_pool_capped_after_burst() {
+        let stem = s_stem(true, false);
+        // A burst of concurrent probers checks out far more scratches than
+        // the cap, then returns them all.
+        let burst: Vec<_> = (0..4 * MAX_POOLED_SCRATCH)
+            .map(|_| stem.acquire_scratch())
+            .collect();
+        for scratch in burst {
+            stem.release_scratch(scratch);
+        }
+        assert!(
+            stem.pooled_scratches() <= MAX_POOLED_SCRATCH,
+            "free-list kept {} scratches, cap is {MAX_POOLED_SCRATCH}",
+            stem.pooled_scratches()
+        );
+    }
+
+    #[test]
+    fn scratch_pool_recovers_from_poison() {
+        let (_c, q) = setup();
+        let mut stem = s_stem(true, false);
+        build_fresh(&mut stem, &s_tuple(10, 1), 1);
+        // Poison the scratch mutex: panic while holding the guard (the
+        // unwinding drop marks it poisoned).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = stem.scratch.lock().unwrap();
+            panic!("prober died mid-probe");
+        }));
+        assert!(result.is_err());
+        assert!(stem.scratch.is_poisoned());
+        // A later query's probe must still succeed — the pool discards the
+        // poisoned free-list instead of propagating the panic. The batch
+        // path is the one that checks scratch out of the pool.
+        let r = r_tuple(100, 10).with_timestamp(TableIdx(0), 3);
+        let mut out = ProbeReplySet::new();
+        stem.probe_batch_into(&[r], &[TupleState::new()], &q, &mut out);
+        assert_eq!(out.results.len(), 1);
+        assert!(!stem.scratch.is_poisoned(), "poison mark must be cleared");
     }
 
     use stems_types::TableSet;

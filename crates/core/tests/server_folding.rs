@@ -1,0 +1,312 @@
+//! Folding invariance for the multi-query server: every query's
+//! *observable* behaviour — ordered results, metrics, event counts, end
+//! time — must be bit-identical whether it runs alone or alongside any
+//! number of concurrent queries sharing its SteMs, swept across
+//! concurrency levels and worker counts; with folding off the server
+//! must be a pure merge of classic solo executors.
+
+use stems_catalog::{reference, Catalog, QuerySpec, ScanSpec, SourceId, TableDef, TableInstance};
+use stems_core::{EddyExecutor, ExecConfig, QueryServer, Report, ServerStats};
+use stems_types::{CmpOp, ColRef, ColumnType, PredId, Predicate, Schema, TableIdx, Value};
+
+/// R(key, a=key%10) x60, S(x, y=x%5) x10, T(z, w=z*100) x5 — all with
+/// scan AMs at distinct rates so EOTs interleave across sources.
+fn family_catalog() -> (Catalog, SourceId, SourceId, SourceId) {
+    let mut c = Catalog::new();
+    let r = c
+        .add_table(
+            TableDef::new(
+                "R",
+                Schema::of(&[("key", ColumnType::Int), ("a", ColumnType::Int)]),
+            )
+            .with_rows(
+                (0..60)
+                    .map(|k| vec![Value::Int(k), Value::Int(k % 10)])
+                    .collect(),
+            ),
+        )
+        .unwrap();
+    let s = c
+        .add_table(
+            TableDef::new(
+                "S",
+                Schema::of(&[("x", ColumnType::Int), ("y", ColumnType::Int)]),
+            )
+            .with_rows(
+                (0..10)
+                    .map(|x| vec![Value::Int(x), Value::Int(x % 5)])
+                    .collect(),
+            ),
+        )
+        .unwrap();
+    let t = c
+        .add_table(
+            TableDef::new(
+                "T",
+                Schema::of(&[("z", ColumnType::Int), ("w", ColumnType::Int)]),
+            )
+            .with_rows(
+                (0..5)
+                    .map(|z| vec![Value::Int(z), Value::Int(z * 100)])
+                    .collect(),
+            ),
+        )
+        .unwrap();
+    c.add_scan(r, ScanSpec::with_rate(2000.0)).unwrap();
+    c.add_scan(s, ScanSpec::with_rate(1000.0)).unwrap();
+    c.add_scan(t, ScanSpec::with_rate(500.0)).unwrap();
+    (c, r, s, t)
+}
+
+fn inst(source: SourceId, alias: &str) -> TableInstance {
+    TableInstance {
+        source,
+        alias: alias.into(),
+    }
+}
+
+/// A deterministic query family cycling three shapes (R⋈S⋈T, R⋈S, S⋈T)
+/// with a selection constant that flips every full cycle, so
+/// `query_for(i) == query_for(i % 6)`. R's SteM is shared between the
+/// first two shapes, T's between the first and third; S's join columns
+/// differ per shape, so its SteMs fold only between same-shape queries.
+fn query_for(c: &Catalog, r: SourceId, s: SourceId, t: SourceId, i: usize) -> QuerySpec {
+    let cut = Value::Int(if (i / 3).is_multiple_of(2) { 30 } else { 45 });
+    let r_s = |id: u16| {
+        Predicate::join(
+            PredId(id),
+            ColRef::new(TableIdx(0), 1),
+            CmpOp::Eq,
+            ColRef::new(TableIdx(1), 0),
+        )
+    };
+    match i % 3 {
+        0 => QuerySpec::new(
+            c,
+            vec![inst(r, "r"), inst(s, "s"), inst(t, "t")],
+            vec![
+                r_s(0),
+                Predicate::join(
+                    PredId(1),
+                    ColRef::new(TableIdx(1), 1),
+                    CmpOp::Eq,
+                    ColRef::new(TableIdx(2), 0),
+                ),
+                Predicate::selection(PredId(2), ColRef::new(TableIdx(0), 0), CmpOp::Lt, cut),
+            ],
+            None,
+        )
+        .unwrap(),
+        1 => QuerySpec::new(
+            c,
+            vec![inst(r, "r"), inst(s, "s")],
+            vec![
+                r_s(0),
+                Predicate::selection(PredId(1), ColRef::new(TableIdx(0), 0), CmpOp::Lt, cut),
+            ],
+            None,
+        )
+        .unwrap(),
+        _ => QuerySpec::new(
+            c,
+            vec![inst(s, "s"), inst(t, "t")],
+            vec![
+                Predicate::join(
+                    PredId(0),
+                    ColRef::new(TableIdx(0), 1),
+                    CmpOp::Eq,
+                    ColRef::new(TableIdx(1), 0),
+                ),
+                Predicate::selection(
+                    PredId(1),
+                    ColRef::new(TableIdx(0), 0),
+                    CmpOp::Lt,
+                    Value::Int(if (i / 3).is_multiple_of(2) { 6 } else { 8 }),
+                ),
+            ],
+            None,
+        )
+        .unwrap(),
+    }
+}
+
+fn server_config(workers: usize) -> ExecConfig {
+    ExecConfig {
+        check_constraints: true,
+        workers,
+        ..ExecConfig::default()
+    }
+}
+
+fn run_server(
+    c: &Catalog,
+    queries: &[QuerySpec],
+    workers: usize,
+    fold: bool,
+) -> (Vec<stems_core::ServerReport>, ServerStats) {
+    let mut srv = QueryServer::new(c, server_config(workers), fold).unwrap();
+    for q in queries {
+        srv.admit(q.clone()).unwrap();
+    }
+    srv.run_with_stats()
+}
+
+fn assert_reports_identical(got: &Report, want: &Report, ctx: &str) {
+    assert_eq!(got.results, want.results, "{ctx}: ordered results differ");
+    assert_eq!(got.end_time, want.end_time, "{ctx}: end_time differs");
+    assert_eq!(got.events, want.events, "{ctx}: event count differs");
+    assert_eq!(got.metrics, want.metrics, "{ctx}: metrics differ");
+    assert!(got.violations.is_empty(), "{ctx}: {:?}", got.violations);
+}
+
+fn assert_matches_reference(c: &Catalog, q: &QuerySpec, report: &Report, ctx: &str) {
+    let expected = reference::canonical(c, q, &reference::execute(c, q));
+    assert_eq!(report.canonical(c, q), expected, "{ctx}: wrong result set");
+}
+
+/// The tentpole invariant: under shared-SteM folding, each query's report
+/// is bit-identical to the same query admitted alone, for every
+/// concurrency level and worker count.
+#[test]
+fn folding_is_invariant_across_concurrency() {
+    let (c, r, s, t) = family_catalog();
+    for workers in [1usize, 4] {
+        let solo: Vec<Report> = (0..6)
+            .map(|i| {
+                let q = query_for(&c, r, s, t, i);
+                let (mut reports, _) = run_server(&c, std::slice::from_ref(&q), workers, true);
+                let report = reports.remove(0).report;
+                assert_matches_reference(&c, &q, &report, &format!("solo q{i} w{workers}"));
+                report
+            })
+            .collect();
+        for n in [1usize, 4, 16] {
+            let queries: Vec<QuerySpec> = (0..n).map(|i| query_for(&c, r, s, t, i)).collect();
+            let (reports, _) = run_server(&c, &queries, workers, true);
+            assert_eq!(reports.len(), n);
+            for (i, sr) in reports.iter().enumerate() {
+                assert_eq!(sr.query, i);
+                assert_eq!(sr.admitted_at, 0);
+                assert_reports_identical(
+                    &sr.report,
+                    &solo[i % 6],
+                    &format!("q{i} of N={n} w{workers}"),
+                );
+            }
+        }
+    }
+}
+
+/// Admitting more queries must create no additional shared state: the
+/// registry folds every compatible instance onto one entry, and rows are
+/// built once per entry no matter how many queries subscribe.
+#[test]
+fn folding_shares_stems_across_queries() {
+    let (c, r, s, t) = family_catalog();
+    let six: Vec<QuerySpec> = (0..6).map(|i| query_for(&c, r, s, t, i)).collect();
+    let twelve: Vec<QuerySpec> = (0..12).map(|i| query_for(&c, r, s, t, i)).collect();
+    let (_, stats6) = run_server(&c, &six, 2, true);
+    let (_, stats12) = run_server(&c, &twelve, 2, true);
+    // Entries: R[a] (shapes 0+1), S[x,y] (shape 0), S[x] (shape 1),
+    // S[y] (shape 2), T[z] (shapes 0+2).
+    assert_eq!(stats6.shared_stems, 5, "registry entries");
+    assert_eq!(stats6.scan_streams, 3, "one stream per source");
+    assert_eq!(stats6.shared_builds, 60 + 10 + 10 + 10 + 5);
+    assert_eq!(stats6, stats12, "doubling queries must add zero build work");
+}
+
+/// With folding off the server is a pure merge: every query's report is
+/// identical to a classic solo `EddyExecutor::run`, and nothing shares.
+#[test]
+fn fold_off_is_a_pure_merge_of_classic_executors() {
+    let (c, r, s, t) = family_catalog();
+    let queries: Vec<QuerySpec> = (0..4).map(|i| query_for(&c, r, s, t, i)).collect();
+    let (reports, stats) = run_server(&c, &queries, 2, false);
+    assert_eq!(stats.shared_stems, 0);
+    assert_eq!(stats.scan_streams, 0);
+    for (i, sr) in reports.iter().enumerate() {
+        let classic = EddyExecutor::build(&c, &queries[i], server_config(2))
+            .unwrap()
+            .run();
+        assert_reports_identical(&sr.report, &classic, &format!("fold-off q{i}"));
+    }
+}
+
+/// Interleaved admissions: one query admitted mid-build of every scan,
+/// one as EOTs start landing while earlier queries are still probing, and
+/// one long after every stream closed (pure catch-up replay). Each must
+/// still produce exactly the reference answer, and the whole schedule
+/// must be deterministic run-to-run.
+#[test]
+fn late_admission_catches_up_and_stays_deterministic() {
+    let (c, r, s, t) = family_catalog();
+    // Scan spans: R 60 rows @2000tps ≈ 30ms, S 10 @1000 ≈ 10ms, T 5 @500 ≈ 10ms.
+    let schedule = [(0u64, 0usize), (5_000, 1), (11_000, 2), (60_000, 3)];
+    let run = || {
+        let mut srv = QueryServer::new(&c, server_config(2), true).unwrap();
+        for &(at, i) in &schedule {
+            srv.admit_at(at, query_for(&c, r, s, t, i)).unwrap();
+        }
+        srv.run_with_stats()
+    };
+    let (a, stats_a) = run();
+    let (b, stats_b) = run();
+    assert_eq!(stats_a, stats_b, "stats must be deterministic");
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(x.admitted_at, schedule[i].0);
+        assert_eq!(x.admitted_at, y.admitted_at);
+        assert_eq!(x.completed_at, y.completed_at);
+        assert_reports_identical(&x.report, &y.report, &format!("rerun q{i}"));
+        let q = query_for(&c, r, s, t, schedule[i].1);
+        assert_matches_reference(&c, &q, &x.report, &format!("late-admit q{i}"));
+        assert!(
+            x.completed_at >= x.admitted_at,
+            "q{i} completed before admission"
+        );
+    }
+    // The late queries joined existing streams: still only one stream
+    // per source and one registry entry per distinct key.
+    assert_eq!(stats_a.scan_streams, 3);
+    assert_eq!(stats_a.shared_stems, 5);
+}
+
+/// A self-join claims its shared entry once: the first instance folds,
+/// the second stays private (two dictionaries), and a second identical
+/// query still folds onto the same single entry.
+#[test]
+fn self_join_keeps_second_instance_private() {
+    let (c, r, _s, _t) = family_catalog();
+    let q = QuerySpec::new(
+        &c,
+        vec![inst(r, "r1"), inst(r, "r2")],
+        vec![
+            Predicate::join(
+                PredId(0),
+                ColRef::new(TableIdx(0), 1),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(1), 1),
+            ),
+            Predicate::selection(
+                PredId(1),
+                ColRef::new(TableIdx(0), 0),
+                CmpOp::Lt,
+                Value::Int(5),
+            ),
+        ],
+        None,
+    )
+    .unwrap();
+    let (reports, stats) = run_server(&c, &[q.clone(), q.clone()], 2, true);
+    assert_eq!(
+        stats.shared_stems, 1,
+        "self-join must not share both instances"
+    );
+    let solo = run_server(&c, std::slice::from_ref(&q), 2, true)
+        .0
+        .remove(0)
+        .report;
+    for (i, sr) in reports.iter().enumerate() {
+        assert_matches_reference(&c, &q, &sr.report, &format!("self-join q{i}"));
+        assert_reports_identical(&sr.report, &solo, &format!("self-join q{i} vs solo"));
+    }
+}

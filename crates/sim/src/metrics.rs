@@ -76,7 +76,7 @@ impl Series {
 
 /// Metric registry for one execution: monotone counters (most of which are
 /// mirrored into series for plotting) and named series.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     series: BTreeMap<String, Series>,
