@@ -1,0 +1,88 @@
+//! Model-aware `thread::spawn`/`JoinHandle`.
+//!
+//! Inside a model execution, `spawn` registers a scheduler tid and
+//! launches a real OS thread whose first act is to park at its `Start`
+//! yield point; `join` is a yield point granted only once the target
+//! thread finished. Outside a model, both delegate to `std::thread`.
+
+use crate::sched::{self, Abort, Op, Tid};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+pub struct JoinHandle<T> {
+    model: Option<ModelJoin<T>>,
+    std: Option<std::thread::JoinHandle<T>>,
+}
+
+struct ModelJoin<T> {
+    tid: Tid,
+    result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some(ctx) = sched::current_ctx() else {
+        return JoinHandle {
+            model: None,
+            std: Some(std::thread::spawn(f)),
+        };
+    };
+    let exec = Arc::clone(&ctx.exec);
+    let tid = exec.register_thread();
+    let result = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    let exec_thread = Arc::clone(&exec);
+    let os = std::thread::Builder::new()
+        .name(format!("model-t{tid}"))
+        .spawn(move || {
+            sched::set_ctx(&exec_thread, tid);
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                exec_thread.request(tid, Op::Start);
+                f()
+            }));
+            sched::clear_ctx();
+            match r {
+                Ok(v) => {
+                    *slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Ok(v));
+                    exec_thread.finish_ok(tid);
+                }
+                Err(p) if p.is::<Abort>() => exec_thread.finish_abort(tid),
+                Err(p) => {
+                    let msg = sched::panic_msg(&*p);
+                    *slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Err(p));
+                    exec_thread.finish_panicked(tid, msg);
+                }
+            }
+        })
+        .expect("spawn model thread");
+    exec.add_os_handle(os);
+    JoinHandle {
+        model: Some(ModelJoin { tid, result }),
+        std: None,
+    }
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.model {
+            Some(mj) => {
+                let ctx = sched::current_ctx()
+                    .expect("join() on a model JoinHandle outside its model execution");
+                ctx.exec.request(ctx.tid, Op::Join(mj.tid));
+                mj.result
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("joined model thread must have stored its result")
+            }
+            None => self.std.expect("handle has std half").join(),
+        }
+    }
+}

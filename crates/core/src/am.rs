@@ -12,7 +12,7 @@
 //! in-flight coalescing) is exactly the paper's.
 
 use crate::stem::{make_eot_row, make_scan_eot_row};
-use std::sync::Arc;
+use crate::sync::Arc;
 use stems_catalog::{IndexSpec, QuerySpec, ScanSpec, SourceId};
 use stems_sim::{burst_gap, secs_f, StallWindows, Time};
 use stems_storage::fxhash::{FxHashMap, FxHashSet};

@@ -98,6 +98,20 @@
 //! asserts result-multiset equality between the two paths on randomized
 //! SPJ workloads, and `bench_batch` records the throughput win in
 //! `BENCH_1.json`.
+//!
+//! # Correctness tooling
+//!
+//! All synchronization goes through [`sync`], a shim that re-exports
+//! `std::sync` normally but routes through the `stems-check` model
+//! checker under the `model` feature — `tests/model.rs` explores every
+//! bounded interleaving of the runtime's protocols. `stems-lint`
+//! (`cargo run -p stems-lint`) enforces the shim funnel, SAFETY
+//! comments on `unsafe`, and the virtual-time discipline.
+
+// Every `unsafe` operation must be visibly scoped and argued even
+// inside unsafe fns; the lone transmute in `runtime.rs` carries the
+// model-checked soundness argument.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod am;
 pub mod engine;
@@ -110,6 +124,7 @@ pub mod server;
 pub mod sharded;
 pub mod sm;
 pub mod stem;
+pub mod sync;
 pub mod tuple_state;
 
 pub use engine::{ConfigError, EddyExecutor, ExecConfig};

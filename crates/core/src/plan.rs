@@ -16,7 +16,7 @@ use crate::am::{IndexAm, ScanAm};
 use crate::sharded::ShardedStem;
 use crate::sm::Sm;
 pub use crate::stem::StemOptions;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use crate::sync::{lock_recover, Arc, Mutex, MutexGuard, PoisonError};
 use stems_catalog::{feasible, AccessMethodDef, Catalog, QuerySpec};
 use stems_types::{PredId, Result, TableIdx, TableSet};
 
@@ -41,13 +41,9 @@ impl StemCell {
     /// state behind a poisoned lock is still valid and other queries
     /// sharing the cell keep running.
     pub fn lock(&self) -> MutexGuard<'_, ShardedStem> {
-        match self.0.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => {
-                self.0.clear_poison();
-                poisoned.into_inner()
-            }
-        }
+        // Clear the mark but keep the data untouched — envelope-atomic
+        // updates mean it is still valid (see above).
+        lock_recover(&self.0, |_| {})
     }
 
     /// A second handle on the same SteM (what the server hands to each

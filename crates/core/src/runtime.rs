@@ -36,20 +36,11 @@
 //! requested (capped at [`MAX_POOL_WORKERS`]) and parked on a condvar
 //! when idle; the pool lives for the process (workers die with it).
 
+use crate::sync::{lock_ok, wait_ok, Arc, Condvar, Mutex, OnceLock};
+use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
-
-/// Lock a pool mutex, shrugging off poison. Every task runs under
-/// `catch_unwind`, so a panic can only unwind through these locks from
-/// pool-internal code holding them across plain queue/counter updates —
-/// the protected data is still structurally valid, and the pool is
-/// process-global: propagating poison would take down every later query
-/// sharing the runtime for no safety gain.
-fn lock_ok<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 /// Hard cap on pool size. Scopes asking for more workers than this are
 /// clamped; the cap only bounds the queue array, not correctness (tests
@@ -113,15 +104,61 @@ pub fn default_parallel_min_rows() -> usize {
 /// barrier is what makes that sound (see `Scope::spawn` safety note).
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// The pool's sleep/wake protocol, factored out so `tests/model.rs` can
+/// drive the exact shipped type through the model checker.
+///
+/// The invariant it exists to uphold: a sleeper that observed "nothing
+/// to do" cannot miss a wake-up for work submitted after its scan. The
+/// scan result lives *outside* this gate (the queue mutexes), which is
+/// precisely the lost-wakeup shape — so wakers notify **while holding
+/// the gate**. Either the waker's notify happens before the sleeper
+/// locks the gate (then the sleeper's scan, which happens after, sees
+/// the submitted work and skips the wait), or after the sleeper is
+/// already parked in `wait` (then the notify lands). The model checker
+/// proves the window is closed within the preemption bound, and the
+/// seeded mutant that notifies without the gate deadlocks.
+pub struct SleepGate {
+    gate: Mutex<()>,
+    signal: Condvar,
+}
+
+impl SleepGate {
+    pub fn new() -> SleepGate {
+        SleepGate {
+            gate: Mutex::new(()),
+            signal: Condvar::new(),
+        }
+    }
+
+    /// Wake one sleeper. Notifies under the gate — see the type docs.
+    pub fn wake_one(&self) {
+        let _gate = lock_ok(&self.gate);
+        self.signal.notify_one();
+    }
+
+    /// Park the caller iff `idle()` still holds under the gate. `idle`
+    /// must read its state through its own synchronization (the queue
+    /// mutexes); the gate only orders the scan against wakers.
+    pub fn sleep_if(&self, idle: impl FnOnce() -> bool) {
+        let gate = lock_ok(&self.gate);
+        if idle() {
+            drop(wait_ok(&self.signal, gate));
+        }
+    }
+}
+
+impl Default for SleepGate {
+    fn default() -> SleepGate {
+        SleepGate::new()
+    }
+}
+
 struct Shared {
     /// One injector queue per worker slot. Affinity picks the home queue;
     /// stealing scans the rest.
     queues: Vec<Mutex<VecDeque<Job>>>,
-    /// Guards the "queues look empty → park" decision against submissions
-    /// racing with it (a submitter notifies under this lock, so a worker
-    /// holding it cannot miss the wake-up between its scan and its wait).
-    gate: Mutex<()>,
-    signal: Condvar,
+    /// Sleep/wake for idle workers; see [`SleepGate`].
+    gate: SleepGate,
 }
 
 impl Shared {
@@ -165,8 +202,7 @@ impl WorkerPool {
                 queues: (0..MAX_POOL_WORKERS)
                     .map(|_| Mutex::new(VecDeque::new()))
                     .collect(),
-                gate: Mutex::new(()),
-                signal: Condvar::new(),
+                gate: SleepGate::new(),
             }),
             spawned: Mutex::new(0),
         }
@@ -194,10 +230,9 @@ impl WorkerPool {
 
     fn push_job(&self, queue: usize, job: Job) {
         lock_ok(&self.shared.queues[queue]).push_back(job);
-        // Notify under the gate so a worker that just scanned empty
-        // queues and is about to park cannot miss this submission.
-        let _gate = lock_ok(&self.shared.gate);
-        self.shared.signal.notify_one();
+        // Gate-held notify: a worker that just scanned empty queues and
+        // is about to park cannot miss this submission.
+        self.shared.gate.wake_one();
     }
 
     /// Run `f` with a scope that can spawn borrow-carrying tasks onto the
@@ -213,7 +248,7 @@ impl WorkerPool {
         let scope = PoolScope {
             pool: self,
             workers,
-            state: Arc::new(ScopeState::default()),
+            latch: Arc::new(CompletionLatch::new()),
             _env: PhantomData,
         };
         let result = {
@@ -228,23 +263,96 @@ impl WorkerPool {
     }
 }
 
+/// The scope completion barrier, factored out so `tests/model.rs` can
+/// drive the exact shipped type through the model checker.
+///
+/// The protocol: [`register`](CompletionLatch::register) before a task
+/// is queued, [`complete`](CompletionLatch::complete) exactly once when
+/// it finishes (recording the first panic payload *and* decrementing the
+/// count in one critical section, so a waiter that observes zero also
+/// observes every payload), [`wait`](CompletionLatch::wait) blocks —
+/// helping with other work while it can — until the count is zero.
+///
+/// The invariant [`WorkerPool::scope`]'s `unsafe` transmute rests on:
+/// **`wait` returns only after every registered task has completed**.
+/// The count is incremented before a job is ever visible to a worker and
+/// decremented only after the task body returned (or unwound), so
+/// `remaining == 0` under the latch mutex means no task body can run
+/// again. The model checker explores every bounded interleaving of
+/// register/complete/wait; the seeded mutants (a `complete` that skips
+/// `notify_all`, and one that decrements before the task's effects)
+/// deadlock or fail an assertion under the checker.
 #[derive(Default)]
-struct ScopeState {
-    sync: Mutex<ScopeSync>,
+pub struct CompletionLatch {
+    sync: Mutex<LatchSync>,
     cv: Condvar,
 }
 
 #[derive(Default)]
-struct ScopeSync {
+struct LatchSync {
     remaining: usize,
-    panic: Option<Box<dyn std::any::Any + Send>>,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl CompletionLatch {
+    pub fn new() -> CompletionLatch {
+        CompletionLatch::default()
+    }
+
+    /// Account one more outstanding task. Must happen before the task
+    /// can possibly run.
+    pub fn register(&self) {
+        lock_ok(&self.sync).remaining += 1;
+    }
+
+    /// Mark one task done, recording the first panic payload. Payload
+    /// store and decrement share one critical section: a waiter that
+    /// sees the count hit zero is guaranteed to also see the payload.
+    pub fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut sync = lock_ok(&self.sync);
+        if let Some(payload) = panic {
+            sync.panic.get_or_insert(payload);
+        }
+        sync.remaining -= 1;
+        if sync.remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until every registered task completed. While the count is
+    /// nonzero, `help` is invited to make progress (run a queued job);
+    /// it returns whether it did. Only when it cannot does the caller
+    /// park — re-checking the count under the latch mutex first, so a
+    /// completion between the check and the wait cannot be lost.
+    pub fn wait(&self, mut help: impl FnMut() -> bool) {
+        loop {
+            if lock_ok(&self.sync).remaining == 0 {
+                return;
+            }
+            if help() {
+                continue;
+            }
+            let sync = lock_ok(&self.sync);
+            if sync.remaining != 0 {
+                // Every outstanding task is in flight on a worker; its
+                // `complete` notifies this condvar.
+                drop(wait_ok(&self.cv, sync));
+            }
+        }
+    }
+
+    /// Take the first recorded panic payload, if any. Meaningful after
+    /// [`wait`](CompletionLatch::wait) returned.
+    pub fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        lock_ok(&self.sync).panic.take()
+    }
 }
 
 /// Spawn handle passed to the closure of [`WorkerPool::scope`].
 pub struct PoolScope<'pool, 'env> {
     pool: &'pool WorkerPool,
     workers: usize,
-    state: Arc<ScopeState>,
+    latch: Arc<CompletionLatch>,
     _env: PhantomData<&'env mut &'env ()>,
 }
 
@@ -254,26 +362,48 @@ impl<'pool, 'env> PoolScope<'pool, 'env> {
     /// pool worker (or on the caller while it waits) before `scope`
     /// returns.
     pub fn spawn(&self, affinity: usize, task: impl FnOnce() + Send + 'env) {
-        lock_ok(&self.state.sync).remaining += 1;
-        let state = Arc::clone(&self.state);
+        self.latch.register();
+        let latch = Arc::clone(&self.latch);
         let wrapped = move || {
             let result = catch_unwind(AssertUnwindSafe(task));
-            let mut sync = lock_ok(&state.sync);
-            if let Err(payload) = result {
-                sync.panic.get_or_insert(payload);
-            }
-            sync.remaining -= 1;
-            if sync.remaining == 0 {
-                state.cv.notify_all();
-            }
+            latch.complete(result.err());
         };
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(wrapped);
-        // SAFETY: the job only borrows data outliving 'env, and the scope
-        // barrier (`ScopeBarrier`, run even on unwind) blocks until
-        // `remaining == 0` — i.e. until this job has finished running —
-        // before the 'env stack frame can be left. Erasing the lifetime
-        // for queue storage is therefore sound, exactly the
-        // `std::thread::scope` argument.
+        // SAFETY: erasing 'env to 'static for queue storage is sound
+        // because no erased job can run — or even be dropped by the
+        // queues, which live on past the scope — after 'env ends. The
+        // argument, step by step:
+        //
+        // 1. `task` only captures borrows outliving 'env (enforced by
+        //    this signature), so the job is safe to run at any point
+        //    *within* 'env; the hazard is exactly a run or drop after
+        //    the borrowed frames are popped.
+        // 2. `latch.register()` happens-before the job becomes visible
+        //    to any worker (`push_job` below), so at every moment a job
+        //    exists in a queue, the latch's `remaining` accounts for it.
+        // 3. The job's only exit paths — normal return or unwind out of
+        //    `task` — funnel through `catch_unwind` into
+        //    `latch.complete(..)`, which decrements `remaining` strictly
+        //    after the task body finished. Workers run jobs to
+        //    completion and never drop one unexecuted; queues only pop.
+        // 4. `ScopeBarrier` is constructed before the scope closure can
+        //    spawn, and its `Drop` runs `latch.wait(..)` on every exit
+        //    path from `WorkerPool::scope` — normal return *and* unwind
+        //    of the scope body (a `Drop` guard, not ordinary code after
+        //    the call, precisely so that panics cannot skip it).
+        // 5. `CompletionLatch::wait` returns only upon observing
+        //    `remaining == 0` under the latch mutex, which by (2)+(3)
+        //    means every spawned job has fully finished and no queue
+        //    holds one. That protocol — including the wait/notify
+        //    handshake and its panic paths — is model-checked in
+        //    `tests/model.rs` (`latch_barrier_is_sound_under_every_
+        //    schedule`), and the seeded mutants that would break this
+        //    step (skipped notify, early decrement) are caught there.
+        //
+        // Hence every job's run and destruction are sequenced before
+        // `scope` returns or unwinds past the barrier — the
+        // `std::thread::scope` argument, with the latch in the role of
+        // the thread-join barrier.
         let job: Job = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
         };
@@ -281,35 +411,21 @@ impl<'pool, 'env> PoolScope<'pool, 'env> {
     }
 
     /// Block until every spawned task finished, executing queued pool
-    /// tasks while waiting (caller participation).
+    /// tasks while waiting (caller participation; tasks never block on
+    /// other tasks, so running any queued job — ours or a sibling
+    /// scope's — is progress either way).
     fn wait(&self) {
-        loop {
-            if lock_ok(&self.state.sync).remaining == 0 {
-                return;
-            }
-            // Help: run any queued task (ours or a sibling scope's —
-            // progress either way; tasks never block on other tasks).
-            if let Some(job) = self.pool.shared.find_job(0) {
+        self.latch.wait(|| match self.pool.shared.find_job(0) {
+            Some(job) => {
                 job();
-                continue;
+                true
             }
-            let sync = lock_ok(&self.state.sync);
-            if sync.remaining != 0 {
-                // Every outstanding task is in flight on a worker; its
-                // completion hook notifies this condvar.
-                drop(
-                    self.state
-                        .cv
-                        .wait(sync)
-                        .unwrap_or_else(PoisonError::into_inner),
-                );
-            }
-        }
+            None => false,
+        });
     }
 
     fn check_panic(&self) {
-        let payload = lock_ok(&self.state.sync).panic.take();
-        if let Some(payload) = payload {
+        if let Some(payload) = self.latch.take_panic() {
             resume_unwind(payload);
         }
     }
@@ -333,24 +449,16 @@ fn worker_loop(id: usize, shared: Arc<Shared>) {
             job();
             continue;
         }
-        let gate = lock_ok(&shared.gate);
-        if shared.looks_empty() {
-            // Submissions notify under `gate`, so nothing pushed between
-            // our scan and this wait can be missed.
-            drop(
-                shared
-                    .signal
-                    .wait(gate)
-                    .unwrap_or_else(PoisonError::into_inner),
-            );
-        }
+        // Submissions notify under the gate, so nothing pushed between
+        // our scan and the wait can be missed.
+        shared.gate.sleep_if(|| shared.looks_empty());
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn scope_runs_every_task_and_blocks_until_done() {

@@ -54,8 +54,8 @@ use crate::plan::StemCell;
 use crate::report::ServerReport;
 use crate::sharded::ShardedStem;
 use crate::stem::{make_scan_eot_row, BuildResult, StemOptions};
+use crate::sync::Arc;
 use crate::tuple_state::TupleState;
-use std::sync::Arc;
 use stems_catalog::{AccessMethodDef, Catalog, QuerySpec, SourceId};
 use stems_sim::{EventQueue, Time};
 use stems_types::{Result, Row, TableIdx, Timestamp, Tuple, TupleBatch};

@@ -73,8 +73,8 @@ use crate::stem::{
     equi_binding, linking_for, BuildResult, ProbeBinding, ProbeReply, ProbeReplySet, ReplyMeta,
     Stem, StemOptions,
 };
+use crate::sync::{lock_recover, Arc, Mutex, MutexGuard};
 use crate::tuple_state::TupleState;
-use std::sync::{Arc, Mutex};
 use stems_catalog::{QuerySpec, SourceId};
 use stems_types::{
     HashedKey, Predicate, Row, TableIdx, TableSet, Timestamp, Tuple, TupleBatch, Value, UNBUILT_TS,
@@ -248,16 +248,8 @@ impl ShardedStem {
     /// so after a prober panics mid-envelope the cheapest safe recovery
     /// is a fresh pool — shared-SteM queries behind the panicking one
     /// keep running.
-    fn lock_probe_pool(&self) -> std::sync::MutexGuard<'_, ProbePool> {
-        match self.probe_pool.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => {
-                self.probe_pool.clear_poison();
-                let mut guard = poisoned.into_inner();
-                *guard = ProbePool::default();
-                guard
-            }
-        }
+    fn lock_probe_pool(&self) -> MutexGuard<'_, ProbePool> {
+        lock_recover(&self.probe_pool, |pool| *pool = ProbePool::default())
     }
 
     // ------------------------------------------------------------------

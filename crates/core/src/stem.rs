@@ -16,8 +16,8 @@
 //!   acknowledgements are withheld and later released clustered by hash
 //!   partition.
 
+use crate::sync::{Arc, ScratchPool};
 use crate::tuple_state::{CompletionNeed, TupleState};
-use std::sync::{Arc, Mutex};
 use stems_catalog::{QuerySpec, SourceId};
 use stems_storage::fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 use stems_storage::{index_key, CandidateBuf, DictStore, RowSet, StoreKind};
@@ -319,8 +319,7 @@ pub struct Stem {
     /// [`ProbeScratch`]): one per chunk probing this SteM concurrently.
     /// Boxed so checking a scratch in/out under the lock moves one
     /// pointer, not the ~20-vector struct.
-    #[allow(clippy::vec_box)]
-    scratch: Mutex<Vec<Box<ProbeScratch>>>,
+    scratch: ScratchPool<Box<ProbeScratch>>,
 }
 
 impl std::fmt::Debug for Stem {
@@ -365,47 +364,31 @@ impl Stem {
             deferred: Vec::new(),
             part_col: join_cols.first().copied().unwrap_or(0),
             hasher: FxBuildHasher::default(),
-            scratch: Mutex::new(Vec::new()),
-        }
-    }
-
-    /// Lock the scratch free-list, recovering from poison: a prober that
-    /// panicked mid-probe leaves only scratch buffers behind, and those
-    /// are pure caches — discarding them (and the poison mark) restores a
-    /// clean pool without taking down every later query on a shared SteM.
-    #[allow(clippy::vec_box)]
-    fn lock_scratch(&self) -> std::sync::MutexGuard<'_, Vec<Box<ProbeScratch>>> {
-        match self.scratch.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => {
-                self.scratch.clear_poison();
-                let mut guard = poisoned.into_inner();
-                guard.clear();
-                guard
-            }
+            scratch: ScratchPool::new(MAX_POOLED_SCRATCH),
         }
     }
 
     /// Check a probe scratch out of the free-list (or grow the list).
+    /// The pool recovers from poison by discarding the free-list: a
+    /// prober that panicked mid-probe leaves only scratch buffers
+    /// behind, and those are pure caches — a clean pool keeps every
+    /// later query on a shared SteM running.
     fn acquire_scratch(&self) -> Box<ProbeScratch> {
-        self.lock_scratch().pop().unwrap_or_default()
+        self.scratch.acquire()
     }
 
-    /// Return a scratch to the free-list. The list is capped at
+    /// Return a scratch to the free-list. The pool is capped at
     /// [`MAX_POOLED_SCRATCH`]: a burst of concurrent probers would
     /// otherwise pin its high-water-mark capacity forever, so scratches
     /// beyond the cap are simply dropped.
     fn release_scratch(&self, scratch: Box<ProbeScratch>) {
-        let mut list = self.lock_scratch();
-        if list.len() < MAX_POOLED_SCRATCH {
-            list.push(scratch);
-        }
+        self.scratch.release(scratch);
     }
 
     /// Number of scratches currently pooled (test hook for the cap).
     #[cfg(test)]
     pub(crate) fn pooled_scratches(&self) -> usize {
-        self.lock_scratch().len()
+        self.scratch.pooled()
     }
 
     /// Number of stored (non-EOT) tuples.
@@ -2108,11 +2091,10 @@ mod tests {
         let (_c, q) = setup();
         let mut stem = s_stem(true, false);
         build_fresh(&mut stem, &s_tuple(10, 1), 1);
-        // Poison the scratch mutex: panic while holding the guard (the
-        // unwinding drop marks it poisoned).
+        // Poison the scratch mutex: panic while holding the free-list
+        // lock (the unwinding drop marks it poisoned).
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = stem.scratch.lock().unwrap();
-            panic!("prober died mid-probe");
+            stem.scratch.with_slots(|_| panic!("prober died mid-probe"));
         }));
         assert!(result.is_err());
         assert!(stem.scratch.is_poisoned());
@@ -2124,6 +2106,77 @@ mod tests {
         stem.probe_batch_into(&[r], &[TupleState::new()], &q, &mut out);
         assert_eq!(out.results.len(), 1);
         assert!(!stem.scratch.is_poisoned(), "poison mark must be cleared");
+    }
+
+    #[test]
+    fn scratch_poisoned_while_checked_out_recovers_on_release() {
+        // A chunk holds a checked-out scratch (no lock held) while the
+        // pool's free-list is poisoned underneath it — the in-flight
+        // chunk's release must recover the pool, not deadlock or lose
+        // the poison repair.
+        let (_c, q) = setup();
+        let mut stem = s_stem(true, false);
+        build_fresh(&mut stem, &s_tuple(10, 1), 1);
+        let held = stem.acquire_scratch();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stem.scratch
+                .with_slots(|_| panic!("sibling chunk died mid-envelope"));
+        }));
+        assert!(result.is_err());
+        assert!(stem.scratch.is_poisoned());
+        // The surviving chunk finishes its envelope and returns its
+        // scratch: release goes through poison recovery and re-pools it.
+        stem.release_scratch(held);
+        assert!(!stem.scratch.is_poisoned(), "release must clear poison");
+        assert_eq!(stem.pooled_scratches(), 1);
+        let r = r_tuple(100, 10).with_timestamp(TableIdx(0), 3);
+        let mut out = ProbeReplySet::new();
+        stem.probe_batch_into(&[r], &[TupleState::new()], &q, &mut out);
+        assert_eq!(out.results.len(), 1);
+    }
+
+    #[test]
+    fn worker_panic_replay_with_concurrent_scratch_checkout() {
+        // End-to-end satellite: a pool scope where one task poisons the
+        // scratch free-list by panicking inside it while a sibling task
+        // concurrently holds a checked-out scratch and releases it
+        // mid-recovery. The panic must replay to the scope caller after
+        // the barrier (never lost, never a deadlock), and the SteM must
+        // stay fully usable afterwards.
+        let (_c, q) = setup();
+        let mut stem = s_stem(true, false);
+        build_fresh(&mut stem, &s_tuple(10, 1), 1);
+        let pool = crate::runtime::WorkerPool::global();
+        let stem_ref = &stem;
+        let q_ref = &q;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(2, |scope| {
+                scope.spawn(0, move || {
+                    stem_ref
+                        .scratch
+                        .with_slots(|_| panic!("worker died holding the free-list"));
+                });
+                scope.spawn(1, move || {
+                    // Concurrent envelope: checkout → probe → release,
+                    // racing the sibling's poisoning. Must complete
+                    // whether it runs before, during, or after.
+                    let scratch = stem_ref.acquire_scratch();
+                    let r = r_tuple(100, 10).with_timestamp(TableIdx(0), 3);
+                    let mut out = ProbeReplySet::new();
+                    stem_ref.probe_batch_into(&[r], &[TupleState::new()], q_ref, &mut out);
+                    assert_eq!(out.results.len(), 1);
+                    stem_ref.release_scratch(scratch);
+                });
+            });
+        }));
+        assert!(result.is_err(), "worker panic must replay to the caller");
+        // The pool recovered (either at the sibling's release or at the
+        // next acquire) and the SteM still probes.
+        let r = r_tuple(100, 10).with_timestamp(TableIdx(0), 3);
+        let mut out = ProbeReplySet::new();
+        stem.probe_batch_into(&[r], &[TupleState::new()], &q, &mut out);
+        assert_eq!(out.results.len(), 1);
+        assert!(!stem.scratch.is_poisoned());
     }
 
     use stems_types::TableSet;

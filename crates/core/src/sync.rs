@@ -1,0 +1,129 @@
+//! The crate's single doorway to synchronization primitives.
+//!
+//! Normally this module is a zero-cost re-export of `std::sync`. Under
+//! the `model` cargo feature the same names resolve to `stems_check`'s
+//! model-aware wrappers instead, so the very protocol types the runtime
+//! ships ([`crate::runtime::SleepGate`], [`crate::runtime::CompletionLatch`],
+//! [`ScratchPool`]) can be driven through the deterministic model checker
+//! (`tests/model.rs`) — every interleaving within a preemption bound,
+//! not just the ones the OS scheduler happens to produce.
+//!
+//! `stems-lint` enforces the funnel: no `std::sync` primitive imports
+//! outside this module, and no `.lock().unwrap()` outside the poison
+//! helpers below. The poison policy is uniform across the crate:
+//!
+//! * [`lock_ok`] — shrug the poison off and keep the data. For state
+//!   that is updated atomically with respect to panics (queue/counter
+//!   updates, envelope-atomic SteM state): the value behind the lock is
+//!   still structurally valid, and propagating poison would take down
+//!   every later query sharing the process-global runtime for no safety
+//!   gain.
+//! * [`lock_recover`] — clear the poison mark and run a caller-supplied
+//!   repair first. For state that may be mid-mutation when a prober
+//!   dies (scratch pools, reply arenas): the repair discards the
+//!   half-written caches, which are pure performance state.
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::atomic;
+#[cfg(not(feature = "model"))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(feature = "model")]
+pub use stems_check::sync::atomic;
+#[cfg(feature = "model")]
+pub use stems_check::sync::{Condvar, Mutex, MutexGuard};
+
+// Pure data-sharing / one-shot types with no scheduling behaviour worth
+// modelling; always `std`.
+pub use std::sync::{Arc, LockResult, OnceLock, PoisonError};
+
+/// Lock `mutex`, shrugging off poison and keeping the data as-is. See
+/// the module docs for when this is the right recovery.
+pub fn lock_ok<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Lock `mutex`; on poison, clear the mark, run `repair` on the data,
+/// and hand back the repaired guard. `repair` is not called on the
+/// clean path.
+pub fn lock_recover<'a, T: ?Sized>(
+    mutex: &'a Mutex<T>,
+    repair: impl FnOnce(&mut T),
+) -> MutexGuard<'a, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            mutex.clear_poison();
+            let mut guard = poisoned.into_inner();
+            repair(&mut guard);
+            guard
+        }
+    }
+}
+
+/// Wait on `cv`, shrugging off poison on re-acquisition (the poison was
+/// already handled — or deliberately shrugged — by whoever held the
+/// lock last).
+pub fn wait_ok<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A capped free-list of reusable scratch values (envelope-lifetime
+/// probe buffers and the like) shared by concurrent probers.
+///
+/// Checked-out values are plain owned `T`s — no lock is held across an
+/// envelope — and [`release`](ScratchPool::release) drops values beyond
+/// `cap` so a one-off burst of probers cannot pin its high-water-mark
+/// capacity forever. Poison recovery discards the pooled values: they
+/// are pure caches, so an empty pool is always a correct pool. The
+/// checkout/poison-recovery protocol is model-checked in
+/// `stems-core/tests/model.rs`.
+#[derive(Debug)]
+pub struct ScratchPool<T> {
+    slots: Mutex<Vec<T>>,
+    cap: usize,
+}
+
+impl<T: Default> ScratchPool<T> {
+    pub fn new(cap: usize) -> ScratchPool<T> {
+        ScratchPool {
+            slots: Mutex::new(Vec::new()),
+            cap,
+        }
+    }
+
+    /// Check a value out of the pool (or make a fresh one).
+    pub fn acquire(&self) -> T {
+        self.lock_slots().pop().unwrap_or_default()
+    }
+
+    /// Return a value; dropped silently when the pool is at `cap`.
+    pub fn release(&self, value: T) {
+        let mut slots = self.lock_slots();
+        if slots.len() < self.cap {
+            slots.push(value);
+        }
+    }
+
+    /// Values currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.lock_slots().len()
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.slots.is_poisoned()
+    }
+
+    /// Run `f` with the free-list locked. Exists for tests that need to
+    /// poison the pool deliberately (panic inside `f`); production code
+    /// goes through [`acquire`](ScratchPool::acquire) /
+    /// [`release`](ScratchPool::release).
+    #[doc(hidden)]
+    pub fn with_slots<R>(&self, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+        f(&mut self.lock_slots())
+    }
+
+    fn lock_slots(&self) -> MutexGuard<'_, Vec<T>> {
+        lock_recover(&self.slots, Vec::clear)
+    }
+}

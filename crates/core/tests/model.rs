@@ -1,0 +1,370 @@
+//! Model-checked protocol tests for the parallel runtime.
+//!
+//! Compiled only under the `model` feature, where `stems_core::sync`
+//! routes through the `stems-check` deterministic model checker — so the
+//! types under test here are the *exact shipped protocol types*
+//! ([`SleepGate`], [`CompletionLatch`], [`ScratchPool`]), not rewrites,
+//! driven through every interleaving within a preemption bound:
+//!
+//! ```text
+//! cargo test -p stems-core --features model --test model
+//! ```
+//!
+//! Two kinds of test:
+//!
+//! * **Green**: the shipped protocol holds its invariant on *every*
+//!   schedule ([`stems_check::Report::assert_ok`] also asserts the
+//!   bounded state space was exhausted).
+//! * **Seeded mutants**: a copy of the protocol with one realistic bug
+//!   (the lost-wakeup and barrier-misorder classes from ISSUE 8) that
+//!   the checker must *catch* — proving the green results mean
+//!   something.
+
+#![cfg(feature = "model")]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use stems_check::{model, FailureKind};
+use stems_core::runtime::{CompletionLatch, SleepGate};
+use stems_core::sync::atomic::{AtomicUsize, Ordering};
+use stems_core::sync::{lock_ok, wait_ok, Arc, Condvar, Mutex, ScratchPool};
+
+// ---------------------------------------------------------------------
+// WorkerPool gate sleep/wake
+// ---------------------------------------------------------------------
+
+/// The worker_loop/push_job shape: a consumer that parks via the gate
+/// when its queue scan comes up empty, and a producer that pushes and
+/// wakes. The queue lives *outside* the gate (like the pool's per-worker
+/// queue mutexes), which is exactly the shape where a carelessly placed
+/// notify loses the wakeup.
+#[test]
+fn sleep_gate_never_loses_a_wakeup() {
+    let report = model(|| {
+        let gate = Arc::new(SleepGate::new());
+        let queue = Arc::new(Mutex::new(VecDeque::new()));
+        let (gate2, queue2) = (Arc::clone(&gate), Arc::clone(&queue));
+        let producer = stems_check::thread::spawn(move || {
+            lock_ok(&queue2).push_back(7u32);
+            gate2.wake_one();
+        });
+        // Worker: scan, park-if-idle, rescan — must terminate with the
+        // item on every schedule.
+        let got = loop {
+            if let Some(v) = lock_ok(&queue).pop_front() {
+                break v;
+            }
+            gate.sleep_if(|| lock_ok(&queue).is_empty());
+        };
+        assert_eq!(got, 7);
+        producer.join().unwrap();
+    });
+    report.assert_ok();
+    assert!(
+        report.executions > 1,
+        "the race must have schedules to explore"
+    );
+}
+
+/// SEEDED MUTANT: identical protocol, but the producer's wake is not
+/// performed under the gate — the notify can land in the window between
+/// the worker's empty-scan and its park, and the worker sleeps forever.
+/// The checker must find that schedule (as a deadlock).
+#[test]
+fn mutant_gate_notify_outside_gate_is_caught() {
+    struct MutantGate {
+        gate: Mutex<()>,
+        signal: Condvar,
+    }
+    impl MutantGate {
+        // BUG (deliberate): no gate lock around the notify.
+        fn wake_one(&self) {
+            self.signal.notify_one();
+        }
+        // Sleep path identical to the real SleepGate.
+        fn sleep_if(&self, idle: impl FnOnce() -> bool) {
+            let gate = lock_ok(&self.gate);
+            if idle() {
+                drop(wait_ok(&self.signal, gate));
+            }
+        }
+    }
+    let report = model(|| {
+        let gate = Arc::new(MutantGate {
+            gate: Mutex::new(()),
+            signal: Condvar::new(),
+        });
+        let queue = Arc::new(Mutex::new(VecDeque::new()));
+        let (gate2, queue2) = (Arc::clone(&gate), Arc::clone(&queue));
+        let producer = stems_check::thread::spawn(move || {
+            lock_ok(&queue2).push_back(7u32);
+            gate2.wake_one();
+        });
+        let got = loop {
+            if let Some(v) = lock_ok(&queue).pop_front() {
+                break v;
+            }
+            gate.sleep_if(|| lock_ok(&queue).is_empty());
+        };
+        assert_eq!(got, 7);
+        producer.join().unwrap();
+    });
+    let failure = report.expect_failure();
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock(_)),
+        "a lost wakeup must surface as a deadlock: {failure}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// ScopeBarrier / CompletionLatch
+// ---------------------------------------------------------------------
+
+/// The invariant the runtime.rs scoped-job transmute rests on (see the
+/// SAFETY comment at `PoolScope::spawn`): `wait` returns only after
+/// every registered task ran to completion — so on every schedule, the
+/// waiter must observe both workers' effects once `wait` returns.
+#[test]
+fn latch_barrier_is_sound_under_every_schedule() {
+    let report = model(|| {
+        let latch = Arc::new(CompletionLatch::new());
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = Arc::new(AtomicUsize::new(0));
+        // register happens-before the task is visible to any worker —
+        // same order as PoolScope::spawn.
+        latch.register();
+        latch.register();
+        let (l1, a1) = (Arc::clone(&latch), Arc::clone(&a));
+        let t1 = stems_check::thread::spawn(move || {
+            a1.store(1, Ordering::SeqCst);
+            l1.complete(None);
+        });
+        let (l2, b1) = (Arc::clone(&latch), Arc::clone(&b));
+        let t2 = stems_check::thread::spawn(move || {
+            b1.store(1, Ordering::SeqCst);
+            l2.complete(None);
+        });
+        // Non-helping waiter: pure barrier.
+        latch.wait(|| false);
+        // Barrier soundness: every task's effects are complete.
+        assert_eq!(a.load(Ordering::SeqCst), 1, "task 1 effect lost");
+        assert_eq!(b.load(Ordering::SeqCst), 1, "task 2 effect lost");
+        assert!(latch.take_panic().is_none());
+        t1.join().unwrap();
+        t2.join().unwrap();
+    });
+    report.assert_ok();
+}
+
+/// Panic path: a task that completes with a payload must hand it to the
+/// waiter on every schedule (the payload store and the decrement share
+/// one critical section).
+#[test]
+fn latch_replays_task_panic_to_the_waiter() {
+    let report = model(|| {
+        let latch = Arc::new(CompletionLatch::new());
+        latch.register();
+        let l1 = Arc::clone(&latch);
+        let t = stems_check::thread::spawn(move || {
+            l1.complete(Some(Box::new("task boom")));
+        });
+        latch.wait(|| false);
+        let payload = latch
+            .take_panic()
+            .expect("panic payload must survive the barrier");
+        assert_eq!(*payload.downcast_ref::<&str>().unwrap(), "task boom");
+        t.join().unwrap();
+    });
+    report.assert_ok();
+}
+
+/// SEEDED MUTANT: `complete` without the wake — the classic removed
+/// `notify_all`. A waiter that parked before the last completion sleeps
+/// forever; the checker must find that schedule.
+#[test]
+fn mutant_latch_removed_notify_is_caught() {
+    struct MutantLatch {
+        sync: Mutex<usize>,
+        cv: Condvar,
+    }
+    impl MutantLatch {
+        fn register(&self) {
+            *lock_ok(&self.sync) += 1;
+        }
+        // BUG (deliberate): decrements but never notifies.
+        fn complete(&self) {
+            let mut remaining = lock_ok(&self.sync);
+            *remaining -= 1;
+        }
+        // Wait path identical to the real CompletionLatch.
+        fn wait(&self) {
+            loop {
+                let remaining = lock_ok(&self.sync);
+                if *remaining == 0 {
+                    return;
+                }
+                drop(wait_ok(&self.cv, remaining));
+            }
+        }
+    }
+    let report = model(|| {
+        let latch = Arc::new(MutantLatch {
+            sync: Mutex::new(0),
+            cv: Condvar::new(),
+        });
+        latch.register();
+        let l1 = Arc::clone(&latch);
+        let t = stems_check::thread::spawn(move || l1.complete());
+        latch.wait();
+        t.join().unwrap();
+    });
+    let failure = report.expect_failure();
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock(_)),
+        "a removed notify must surface as a deadlock: {failure}"
+    );
+}
+
+/// SEEDED MUTANT: the barrier decrement reordered before the task's
+/// effect — the worker marks itself complete and *then* writes its
+/// output slot. A waiter released by the early decrement reads the
+/// unwritten slot; the checker must find that schedule (as the waiter's
+/// assertion failure).
+#[test]
+fn mutant_latch_early_decrement_is_caught() {
+    let report = model(|| {
+        let latch = Arc::new(CompletionLatch::new());
+        let out = Arc::new(AtomicUsize::new(0));
+        latch.register();
+        let (l1, out1) = (Arc::clone(&latch), Arc::clone(&out));
+        let t = stems_check::thread::spawn(move || {
+            // BUG (deliberate): completion before the task body's write —
+            // the real PoolScope wrapper completes strictly after.
+            l1.complete(None);
+            out1.store(1, Ordering::SeqCst);
+        });
+        latch.wait(|| false);
+        assert_eq!(
+            out.load(Ordering::SeqCst),
+            1,
+            "barrier released before task effect"
+        );
+        t.join().unwrap();
+    });
+    let failure = report.expect_failure();
+    assert!(
+        matches!(&failure.kind, FailureKind::Panic(msg) if msg.contains("barrier released")),
+        "early decrement must surface as the waiter's assertion: {failure}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Scratch free-list checkout / poison recovery
+// ---------------------------------------------------------------------
+
+/// The SteM scratch protocol: checked-out values are owned (no lock held
+/// across an envelope), and a prober dying inside the free-list lock
+/// poisons it; every later acquire/release must recover by discarding
+/// the pooled caches — never deadlock, never propagate the panic —
+/// under every interleaving of the panicking prober and a healthy one.
+#[test]
+fn scratch_pool_checkout_poison_recovery_under_every_schedule() {
+    let report = model(|| {
+        let pool = Arc::new(ScratchPool::<Vec<u8>>::new(2));
+        let p2 = Arc::clone(&pool);
+        let dying = stems_check::thread::spawn(move || {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                p2.with_slots(|_| panic!("prober died in the free-list"));
+            }));
+            assert!(caught.is_err());
+        });
+        // Healthy prober runs a full envelope concurrently: checkout →
+        // (probe) → release. Must succeed before, during, or after the
+        // sibling's poisoning.
+        let scratch = pool.acquire();
+        pool.release(scratch);
+        dying.join().unwrap();
+        // After the dust settles the pool serves cleanly and the poison
+        // mark is gone.
+        let _ = pool.acquire();
+        assert!(!pool.is_poisoned(), "poison must not outlive recovery");
+    });
+    report.assert_ok();
+}
+
+// ---------------------------------------------------------------------
+// Server registry build-log replay handoff
+// ---------------------------------------------------------------------
+
+/// A closed-port of `server.rs`'s `SharedEntry` handoff: a building
+/// query appends to the shared build log and releases prefixes in
+/// delivery waves; a query folded onto the entry mid-build first replays
+/// `log[..released]` (catch-up) and then rides subsequent waves from its
+/// cursor. The invariant — every subscriber sees every released row
+/// exactly once, in log order — must hold on every interleaving of the
+/// builder and a late subscriber.
+#[test]
+fn registry_replay_handoff_delivers_exactly_once() {
+    struct Entry {
+        log: Vec<u32>,
+        released: usize,
+        done: bool,
+    }
+    let report = model(|| {
+        let entry = Arc::new(Mutex::new(Entry {
+            log: Vec::new(),
+            released: 0,
+            done: false,
+        }));
+        let cv = Arc::new(Condvar::new());
+        let (e2, cv2) = (Arc::clone(&entry), Arc::clone(&cv));
+        let builder = stems_check::thread::spawn(move || {
+            // Wave 1: one row built and released.
+            {
+                let mut e = lock_ok(&e2);
+                e.log.push(10);
+                e.released = e.log.len();
+                cv2.notify_all();
+            }
+            // Wave 2: two more rows, released together (the folded
+            // delivery pattern of on_deliver_built).
+            {
+                let mut e = lock_ok(&e2);
+                e.log.push(20);
+                e.log.push(30);
+                e.released = e.log.len();
+                cv2.notify_all();
+            }
+            let mut e = lock_ok(&e2);
+            e.done = true;
+            cv2.notify_all();
+        });
+        // Late subscriber: replay the released prefix, then ride waves.
+        let mut delivered = Vec::new();
+        let mut cursor = {
+            let e = lock_ok(&entry);
+            delivered.extend_from_slice(&e.log[..e.released]);
+            e.released
+        };
+        loop {
+            let mut e = lock_ok(&entry);
+            while e.released == cursor && !e.done {
+                e = wait_ok(&cv, e);
+            }
+            delivered.extend_from_slice(&e.log[cursor..e.released]);
+            cursor = e.released;
+            if e.done && cursor == e.released {
+                break;
+            }
+        }
+        // Exactly-once, in order, no duplicate replay of the caught-up
+        // prefix — regardless of where the subscription landed.
+        assert_eq!(
+            delivered,
+            vec![10, 20, 30],
+            "replay handoff broke exactly-once"
+        );
+        builder.join().unwrap();
+    });
+    report.assert_ok();
+}

@@ -1,0 +1,11 @@
+//~ rule: none
+//~ path: crates/storage/src/store.rs
+// This path carries the one reviewed std-thread allowlist entry: a
+// test-only cross-thread sharing smoke test.
+
+#[cfg(test)]
+fn smoke() {
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
+}

@@ -1,0 +1,32 @@
+//~ rule: none
+//~ path: crates/core/src/fake.rs
+// Everything in here is fine and must NOT fire: banned names confined
+// to comments and string literals, allowed std::sync items, an unsafe
+// block with a proper SAFETY argument.
+
+use crate::sync::{lock_ok, Mutex};
+use std::sync::{Arc, OnceLock};
+
+// A comment may talk about std::sync::Mutex, .lock().unwrap(), or
+// std::thread::spawn, or even Instant::now — none of that is code.
+
+pub fn doc_strings() -> (&'static str, &'static str) {
+    (
+        "std::sync::Condvar and .lock().unwrap() in a string are fine",
+        r#"so is std::thread::spawn or SystemTime in a raw string"#,
+    )
+}
+
+pub fn first_byte(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: asserted non-empty on the line above, so index 0 is in
+    // bounds for the lifetime of `xs`.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn shared(counter: &Mutex<u64>) -> u64 {
+    let cell: &'static OnceLock<u64> = Box::leak(Box::new(OnceLock::new()));
+    let _arc = Arc::new(());
+    let _ = cell;
+    *lock_ok(counter)
+}

@@ -1,0 +1,10 @@
+//~ rule: lock-unwrap
+//~ path: crates/core/src/fake.rs
+// Poison-blind lock acquisition: panicking here turns one worker panic
+// into a cascade. Policy lives in `lock_ok` / `lock_recover`.
+
+use crate::sync::Mutex;
+
+pub fn bump(counter: &Mutex<u64>) {
+    *counter.lock().unwrap() += 1;
+}

@@ -1,0 +1,8 @@
+//~ rule: unsafe-safety
+//~ path: crates/core/src/fake.rs
+// An `unsafe` block with no SAFETY argument anywhere above it.
+
+pub fn first_byte(xs: &[u8]) -> u8 {
+    // grabs the first element without a bounds check
+    unsafe { *xs.get_unchecked(0) }
+}

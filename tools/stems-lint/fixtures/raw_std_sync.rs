@@ -1,0 +1,13 @@
+//~ rule: std-sync-primitive
+//~ path: crates/core/src/fake.rs
+// A raw std::sync primitive import outside the shim, in the multi-line
+// rustfmt shape to exercise the use-block tracker.
+
+use std::sync::{
+    Arc,
+    Mutex,
+};
+
+pub fn shared_counter() -> Arc<Mutex<u64>> {
+    Arc::new(Mutex::new(0))
+}

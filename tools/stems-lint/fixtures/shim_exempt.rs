@@ -1,0 +1,7 @@
+//~ rule: none
+//~ path: crates/core/src/sync.rs
+// The shim itself is the one place allowed to name std::sync
+// primitives — that is its whole job.
+
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+pub use std::sync::atomic;

@@ -1,0 +1,10 @@
+//~ rule: std-thread
+//~ path: crates/core/src/engine.rs
+// Direct thread spawning outside runtime.rs bypasses the worker pool
+// (and the model checker's thread shim).
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {
+        // ...
+    });
+}

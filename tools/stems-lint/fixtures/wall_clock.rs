@@ -1,0 +1,7 @@
+//~ rule: wall-clock
+//~ path: crates/core/src/engine.rs
+// Wall-clock reads in a virtual-time crate make runs nondeterministic.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,578 @@
+//! `stems-lint` — source-level invariants the compiler can't enforce.
+//!
+//! Run from anywhere in the workspace:
+//!
+//! ```text
+//! cargo run -p stems-lint              # lint the tree (exit 1 on findings)
+//! cargo run -p stems-lint -- --self-test   # prove the rules still bite
+//! ```
+//!
+//! Rule catalog (see `fixtures/` for a negative example of each):
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | `unsafe-safety` | every `unsafe` carries a `// SAFETY:` argument |
+//! | `std-sync-primitive` | no `std::sync` scheduling primitives outside `stems_core::sync` / `stems-check` |
+//! | `lock-unwrap` | no `.lock().unwrap()` / `.lock().expect(..)` — poison policy goes through `lock_ok` / `lock_recover` |
+//! | `std-thread` | no thread spawning outside `runtime.rs` / `stems-check` |
+//! | `wall-clock` | no `Instant::now` / `SystemTime` outside `crates/bench` (virtual-time discipline) |
+//!
+//! The scanner is token-level, not syntactic: comments, strings, and
+//! char literals are stripped before matching, so banned names in docs
+//! or string literals never fire. `--self-test` runs every fixture file
+//! through the same engine and fails if any fixture stops producing
+//! exactly its expected finding — CI runs it on every leg so a silently
+//! dead rule fails the build.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Permanent, reviewed exceptions: (rule id, repo-relative path, why).
+/// Deliberately tiny, and **no `crates/core` entries** — the concurrent
+/// crate has zero exemptions.
+const ALLOWLIST: &[(&str, &str, &str)] = &[(
+    "std-thread",
+    "crates/storage/src/store.rs",
+    "test-only cross-thread Arc-sharing smoke test; no production spawn",
+)];
+
+/// Banned `std::sync` items outside the shim. `Arc`, `OnceLock`,
+/// `LockResult`, `PoisonError` stay allowed everywhere: they carry no
+/// scheduling behaviour worth modelling.
+const SYNC_PRIMITIVES: &[&str] = &[
+    "Mutex",
+    "MutexGuard",
+    "Condvar",
+    "RwLock",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+    "Barrier",
+    "mpsc",
+    "atomic",
+    "Once",
+];
+
+#[derive(Debug)]
+struct Finding {
+    rule: &'static str,
+    line: usize,
+    message: String,
+}
+
+fn main() {
+    let self_test = std::env::args().any(|a| a == "--self-test");
+    let root = workspace_root();
+    let status = if self_test {
+        run_self_test(&root)
+    } else {
+        run_lint(&root)
+    };
+    std::process::exit(status);
+}
+
+fn workspace_root() -> PathBuf {
+    // tools/stems-lint -> tools -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("stems-lint lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+// ---------------------------------------------------------------------
+// Tree walk
+// ---------------------------------------------------------------------
+
+fn run_lint(root: &Path) -> i32 {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tools"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    files.sort();
+    let mut findings_total = 0usize;
+    let mut out = String::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(text) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        for f in lint_source(&rel, &text) {
+            findings_total += 1;
+            let _ = writeln!(out, "{rel}:{}: [{}] {}", f.line, f.rule, f.message);
+        }
+    }
+    if findings_total == 0 {
+        println!(
+            "stems-lint: {} files clean ({} allowlist entries)",
+            files.len(),
+            ALLOWLIST.len()
+        );
+        0
+    } else {
+        eprint!("{out}");
+        eprintln!("stems-lint: {findings_total} finding(s)");
+        1
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `fixtures/` are deliberate violations; `target/` is build
+            // output.
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The rules
+// ---------------------------------------------------------------------
+
+/// Lint one file's source under its repo-relative `path` (the path
+/// drives scoping/exemptions — fixtures pass virtual paths).
+fn lint_source(path: &str, text: &str) -> Vec<Finding> {
+    let original: Vec<&str> = text.lines().collect();
+    let mut stripper = Stripper::default();
+    let code: Vec<String> = original.iter().map(|l| stripper.strip_line(l)).collect();
+
+    let in_check = path.starts_with("crates/check/");
+    let in_shim = path == "crates/core/src/sync.rs";
+    let in_bench = path.starts_with("crates/bench/");
+    let in_runtime = path == "crates/core/src/runtime.rs";
+
+    let mut findings = Vec::new();
+    let mut sync_use_block = false;
+    for (idx, code_line) in code.iter().enumerate() {
+        let lineno = idx + 1;
+
+        // unsafe-safety — everywhere, no exemptions.
+        if contains_word(code_line, "unsafe") && !has_safety_comment(&original, idx) {
+            findings.push(Finding {
+                rule: "unsafe-safety",
+                line: lineno,
+                message: "`unsafe` without a `// SAFETY:` argument in the preceding comment".into(),
+            });
+        }
+
+        // std-sync-primitive — the shim funnel.
+        if !in_check && !in_shim {
+            if let Some(name) = std_sync_primitive(code_line, &mut sync_use_block) {
+                findings.push(Finding {
+                    rule: "std-sync-primitive",
+                    line: lineno,
+                    message: format!(
+                        "`std::sync::{name}` outside the `stems_core::sync` shim — import it from `crate::sync`"
+                    ),
+                });
+            }
+        }
+
+        // lock-unwrap — the poison policy funnel.
+        if !in_check
+            && (code_line.contains(".lock().unwrap()") || code_line.contains(".lock().expect("))
+        {
+            findings.push(Finding {
+                rule: "lock-unwrap",
+                line: lineno,
+                message: "poison-blind lock acquisition — use `lock_ok` / `lock_recover` from `crate::sync`"
+                    .into(),
+            });
+        }
+
+        // std-thread — spawning is the runtime's business.
+        if !in_check && !in_runtime {
+            for pat in [
+                "std::thread::spawn",
+                "std::thread::scope",
+                "std::thread::Builder",
+            ] {
+                if code_line.contains(pat) && !allowlisted("std-thread", path) {
+                    findings.push(Finding {
+                        rule: "std-thread",
+                        line: lineno,
+                        message: format!(
+                            "`{pat}` outside `runtime.rs` — go through the worker pool"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // wall-clock — the virtual-time discipline (bench measures real
+        // time by design).
+        if !in_bench {
+            for pat in ["Instant::now", "SystemTime"] {
+                if code_line.contains(pat) {
+                    findings.push(Finding {
+                        rule: "wall-clock",
+                        line: lineno,
+                        message: format!(
+                            "`{pat}` in a virtual-time crate — time comes from the simulation clock"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+fn allowlisted(rule: &str, path: &str) -> bool {
+    ALLOWLIST.iter().any(|(r, p, _)| *r == rule && *p == path)
+}
+
+/// Word-boundary substring search (so `unsafe_op_in_unsafe_fn` in an
+/// attribute does not count as the keyword).
+fn contains_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after_ok = end == bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Look upward from the `unsafe` line through its contiguous run of
+/// comment/attribute lines for a `SAFETY:` marker (same line counts
+/// too — the stripper removed the comment from the code text, not the
+/// original).
+fn has_safety_comment(original: &[&str], idx: usize) -> bool {
+    if original[idx].contains("SAFETY:") {
+        return true;
+    }
+    let mut i = idx;
+    let mut budget = 60; // generous: the runtime's argument is long
+    while i > 0 && budget > 0 {
+        i -= 1;
+        budget -= 1;
+        let t = original[i].trim_start();
+        if t.starts_with("//") {
+            if t.contains("SAFETY:") {
+                return true;
+            }
+        } else if t.starts_with("#[") || t.is_empty() {
+            // attributes/blank between the argument and the block are ok
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Detect a banned `std::sync::<primitive>` mention, including the
+/// multi-line `use std::sync::{ ... }` form (tracked via
+/// `sync_use_block`). Returns the offending item name.
+fn std_sync_primitive(code_line: &str, sync_use_block: &mut bool) -> Option<&'static str> {
+    if *sync_use_block {
+        if let Some(name) = SYNC_PRIMITIVES
+            .iter()
+            .find(|name| contains_word(code_line, name))
+        {
+            if code_line.contains('}') {
+                *sync_use_block = false;
+            }
+            return Some(name);
+        }
+        if code_line.contains('}') {
+            *sync_use_block = false;
+        }
+        return None;
+    }
+    let mut from = 0;
+    while let Some(pos) = code_line[from..].find("std::sync::") {
+        let rest = &code_line[from + pos + "std::sync::".len()..];
+        let rest = rest.trim_start();
+        if let Some(inner) = rest.strip_prefix('{') {
+            // Single-line list: check it here; multi-line: arm the
+            // block tracker for the following lines.
+            if inner.contains('}') {
+                let list = &inner[..inner.find('}').unwrap()];
+                if let Some(name) = SYNC_PRIMITIVES.iter().find(|n| contains_word(list, n)) {
+                    return Some(name);
+                }
+            } else {
+                if let Some(name) = SYNC_PRIMITIVES.iter().find(|n| contains_word(inner, n)) {
+                    return Some(name);
+                }
+                *sync_use_block = true;
+            }
+        } else {
+            let ident: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if let Some(name) = SYNC_PRIMITIVES.iter().find(|n| **n == ident) {
+                return Some(name);
+            }
+        }
+        from += pos + "std::sync::".len();
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Comment/string stripping
+// ---------------------------------------------------------------------
+
+/// Line-by-line comment, string, and char-literal stripper. Carries
+/// block-comment depth and (raw-)string state across lines; stripped
+/// regions are blanked so column positions stay roughly stable.
+#[derive(Default)]
+struct Stripper {
+    block_comment_depth: usize,
+    in_string: bool,
+    /// `Some(n)` while inside a raw string closed by `"` + n `#`s.
+    raw_string_hashes: Option<usize>,
+}
+
+impl Stripper {
+    fn strip_line(&mut self, line: &str) -> String {
+        let chars: Vec<char> = line.chars().collect();
+        let mut out = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < chars.len() {
+            if let Some(hashes) = self.raw_string_hashes {
+                if chars[i] == '"'
+                    && chars[i + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|c| **c == '#')
+                        .count()
+                        == hashes
+                {
+                    self.raw_string_hashes = None;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+                out.push(' ');
+                continue;
+            }
+            if self.in_string {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        self.in_string = false;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+                out.push(' ');
+                continue;
+            }
+            if self.block_comment_depth > 0 {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    self.block_comment_depth -= 1;
+                    i += 2;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    self.block_comment_depth += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                out.push(' ');
+                continue;
+            }
+            match chars[i] {
+                '/' if chars.get(i + 1) == Some(&'/') => break, // line comment
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    self.block_comment_depth += 1;
+                    out.push(' ');
+                    i += 2;
+                }
+                '"' => {
+                    self.in_string = true;
+                    out.push(' ');
+                    i += 1;
+                }
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
+                    let mut j = i + 1;
+                    if chars.get(j) == Some(&'b') || chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let hashes = chars[j..].iter().take_while(|c| **c == '#').count();
+                    j += hashes;
+                    // chars[j] is the opening quote
+                    self.raw_string_hashes = Some(hashes);
+                    out.push(' ');
+                    i = j + 1;
+                }
+                '\'' if is_char_literal(&chars, i) => {
+                    // skip 'x' or '\x' entirely
+                    let mut j = i + 1;
+                    if chars.get(j) == Some(&'\\') {
+                        j += 1;
+                    }
+                    j += 1; // the payload char
+                    debug_assert_eq!(chars.get(j), Some(&'\''));
+                    out.push(' ');
+                    i = j + 1;
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `r"..."` / `r#"..."#` / `br"..."` — only when `r`/`b` is not part of
+/// a longer identifier.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 && (chars[i - 1].is_ascii_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+    } else if j == i {
+        return false; // plain 'b' needs 'r' or '"' next; b"..." handled by '"' arm next round
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"') && j > i
+}
+
+/// Distinguish `'a'` / `'\n'` (char literal) from `'a` (lifetime).
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 3) == Some(&'\'') || chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Self-test over fixtures
+// ---------------------------------------------------------------------
+
+/// Every fixture declares what it expects in `//~` headers:
+///
+/// ```text
+/// //~ rule: std-thread        (or `none` for a clean fixture)
+/// //~ path: crates/core/src/engine.rs
+/// ```
+///
+/// The fixture is linted under its virtual path and must fire exactly
+/// the declared rule set — a rule that stops biting, or a scanner
+/// regression that adds noise, fails the self-test.
+fn run_self_test(root: &Path) -> i32 {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut files = Vec::new();
+    collect_fixtures(&fixtures, &mut files);
+    files.sort();
+    if files.is_empty() {
+        eprintln!(
+            "stems-lint --self-test: no fixtures found at {}",
+            fixtures.display()
+        );
+        return 1;
+    }
+    let _ = root;
+    let mut failed = 0usize;
+    for file in &files {
+        let name = file
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .to_string();
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("self-test: {name}: unreadable: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        let mut expect: Vec<String> = Vec::new();
+        let mut vpath = String::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("//~ rule:") {
+                let r = rest.trim().to_string();
+                if r != "none" {
+                    expect.push(r);
+                }
+            } else if let Some(rest) = line.strip_prefix("//~ path:") {
+                vpath = rest.trim().to_string();
+            }
+        }
+        if vpath.is_empty() {
+            eprintln!("self-test: {name}: missing `//~ path:` header");
+            failed += 1;
+            continue;
+        }
+        let mut fired: Vec<String> = lint_source(&vpath, &text)
+            .into_iter()
+            .map(|f| f.rule.to_string())
+            .collect();
+        fired.sort();
+        fired.dedup();
+        expect.sort();
+        expect.dedup();
+        if fired == expect {
+            println!(
+                "self-test: {name}: ok ({})",
+                if expect.is_empty() {
+                    "clean".into()
+                } else {
+                    expect.join(", ")
+                }
+            );
+        } else {
+            eprintln!("self-test: {name}: expected {expect:?}, lint fired {fired:?}");
+            failed += 1;
+        }
+    }
+    if failed == 0 {
+        println!("stems-lint --self-test: {} fixtures ok", files.len());
+        0
+    } else {
+        eprintln!("stems-lint --self-test: {failed} fixture(s) failed");
+        1
+    }
+}
+
+fn collect_fixtures(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
