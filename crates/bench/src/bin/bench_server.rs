@@ -1,10 +1,11 @@
 //! Multi-query server throughput under shared-SteM folding, emitted as
-//! `BENCH_7.json` — the seventh point of the perf trajectory (`BENCH_5`:
-//! flat probe pipeline, `BENCH_6`: worker-pool scaling).
+//! `BENCH_8.json` — the eighth point of the perf trajectory (`BENCH_6`:
+//! worker-pool scaling, `BENCH_7`: the PR 7 serial drain at up to 100
+//! concurrent queries).
 //!
 //! Drives the 3-table chain (R ⋈ S ⋈ T) as a *query stream*: N
 //! concurrent queries, identical joins with per-query selection cuts,
-//! all admitted at once to a [`stems_core::QueryServer`] — once with
+//! all submitted at once to a [`stems_core::QueryServer`] — once with
 //! folding off (the server degenerates to N private classic executors,
 //! the baseline) and once with folding on (one shared SteM per join
 //! column set, one scan stream per source; every row is built once and
@@ -16,18 +17,24 @@
 //! from ~10 queries; `shared_builds` records the build work actually
 //! performed).
 //!
+//! New at this point: the **1000-query workload** (single run — the
+//! stream dominates wall time), exercising the active-set drain
+//! batching and, on multi-core hosts, the parallel step phase. Its
+//! fold-on wall throughput is the headline the CI gate compares against
+//! the PR 7 serial drain at N=100.
+//!
 //! Latency percentiles are *virtual* (deterministic simulation time from
 //! admission to completion), so they are reproducible on any host;
 //! wall-clock fields are noisy and deliberately ungated.
 //!
 //! Quick mode for CI smoke: `STEMS_BENCH_ROWS` (default 2000) and
 //! `STEMS_BENCH_RUNS` (default 3) shrink the workload. Output lands in
-//! `$STEMS_BENCH_OUT` or `./BENCH_7.json`.
+//! `$STEMS_BENCH_OUT` or `./BENCH_8.json`.
 
 use std::time::Instant;
 use stems_bench::{env_usize, median, render_canonical, result_hash};
 use stems_catalog::{Catalog, QuerySpec, ScanSpec, SourceId, TableInstance};
-use stems_core::{ExecConfig, QueryServer, ServerReport, ServerStats};
+use stems_core::{QueryServer, QueryStatus, ServerReport, ServerStats, Submission};
 use stems_datagen::{gen::ColGen, TableBuilder};
 use stems_types::{CmpOp, ColRef, PredId, Predicate, TableIdx, Value};
 
@@ -97,13 +104,21 @@ fn run_once(
     queries: &[QuerySpec],
     fold: bool,
 ) -> (Vec<ServerReport>, ServerStats, f64) {
-    let mut server = QueryServer::new(catalog, ExecConfig::default(), fold).unwrap();
+    let mut server = QueryServer::builder(catalog).fold(fold).build().unwrap();
     for q in queries {
-        server.admit(q.clone()).unwrap();
+        server.submit(Submission::new(q.clone())).unwrap();
     }
     let start = Instant::now();
-    let (reports, stats) = server.run_with_stats();
-    (reports, stats, start.elapsed().as_secs_f64())
+    let (handles, stats) = server.serve();
+    let wall = start.elapsed().as_secs_f64();
+    let reports = handles
+        .into_iter()
+        .map(|h| {
+            assert_eq!(h.status, QueryStatus::Completed);
+            h.report.expect("completed query has a report")
+        })
+        .collect();
+    (reports, stats, wall)
 }
 
 fn percentile(sorted: &[u64], q: f64) -> u64 {
@@ -168,10 +183,13 @@ fn main() {
     let catalog = build_catalog(rows);
 
     let mut workloads_json = Vec::new();
-    for n in [1usize, 10, 100] {
+    for n in [1usize, 10, 100, 1000] {
+        // The 1000-query stream dominates wall time; one run suffices
+        // (virtual metrics and result hashes are deterministic anyway).
+        let n_runs = if n >= 1000 { 1 } else { runs };
         let queries: Vec<QuerySpec> = (0..n).map(|i| query_for(&catalog, rows, i)).collect();
-        let off = run_series(&catalog, &queries, false, runs);
-        let on = run_series(&catalog, &queries, true, runs);
+        let off = run_series(&catalog, &queries, false, n_runs);
+        let on = run_series(&catalog, &queries, true, n_runs);
         assert_eq!(
             off.result_hash, on.result_hash,
             "folding changed the result multiset at {n} concurrent queries"
@@ -222,7 +240,7 @@ fn main() {
          \"cores\": {cores},\n  \"workers\": {ambient_workers},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         workloads_json.join(",\n"),
     );
-    let path = std::env::var("STEMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_7.json".into());
-    std::fs::write(&path, &json).expect("write BENCH_7.json");
+    let path = std::env::var("STEMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_8.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_8.json");
     println!("wrote {path}");
 }

@@ -364,6 +364,10 @@ pub struct EddyExecutor {
     ts_counter: Timestamp,
     /// A simulation guard tripped: the executor stops stepping for good.
     halted: bool,
+    /// The guard that halted us was `max_time` — the query's deadline —
+    /// rather than `max_events`. The query server reaps deadline halts
+    /// as `QueryStatus::TimedOut`.
+    timed_out: bool,
     parked: Vec<ParkedTuple>,
     results: Vec<Tuple>,
     metrics: Metrics,
@@ -433,6 +437,7 @@ impl EddyExecutor {
             now: 0,
             ts_counter: 0,
             halted: false,
+            timed_out: false,
             parked: Vec::new(),
             results: Vec::new(),
             metrics: Metrics::new(),
@@ -483,6 +488,7 @@ impl EddyExecutor {
         if let Some(max) = self.config.max_time {
             if self.now > max {
                 self.halted = true;
+                self.timed_out = true;
                 return false;
             }
         }
@@ -511,6 +517,22 @@ impl EddyExecutor {
             None
         } else {
             self.agenda.peek_time()
+        }
+    }
+
+    /// Step every pending event up to and including virtual time `t`,
+    /// returning the next pending time past the horizon (`None` when
+    /// drained or halted). The server's per-wave batch: one call per
+    /// executor per wave, so the drain loop reads each agenda head once
+    /// instead of polling around every `step`.
+    pub fn step_until(&mut self, t: Time) -> Option<Time> {
+        loop {
+            match self.next_time() {
+                Some(nt) if nt <= t => {
+                    self.step();
+                }
+                nt => return nt,
+            }
         }
     }
 
@@ -1463,6 +1485,33 @@ impl EddyExecutor {
         self.ts_counter = ts;
     }
 
+    /// Tighten this executor's deadline to `max(now) <= t` — the server
+    /// resolves per-query deadlines (submission deadline, server
+    /// default) to absolute virtual time at admission and installs the
+    /// minimum here, so one mechanism (the `max_time` guard in
+    /// [`Self::step`] and the wave-delivery paths) enforces them all.
+    pub(crate) fn clamp_max_time(&mut self, t: Time) {
+        let max = self.config.max_time.get_or_insert(t);
+        *max = (*max).min(t);
+    }
+
+    /// The executor halted because its `max_time` deadline passed (not
+    /// `max_events`): the server retires it as timed out.
+    pub(crate) fn hit_deadline(&self) -> bool {
+        self.timed_out
+    }
+
+    /// Whether instance `t` has a SteM in this plan (`no_stem`-relaxed
+    /// instances do not). The server uses this to decide whether an
+    /// executor can ever consume global build timestamps: only
+    /// stem-bearing instances *not* folded onto a shared entry route
+    /// private Build envelopes, and only those consume the counter — an
+    /// executor with none is timestamp-independent and safe to step in
+    /// parallel with its peers.
+    pub(crate) fn has_stem(&self, t: TableIdx) -> bool {
+        self.layout.stem_mid[t.as_usize()].is_some()
+    }
+
     /// Replace instance `t`'s SteM with a shared cell from the server's
     /// registry: this executor's probes now hit the SteM another query
     /// built (and its own builds would land there too — the server only
@@ -1471,6 +1520,30 @@ impl EddyExecutor {
     pub(crate) fn fold_stem(&mut self, t: TableIdx, cell: &crate::plan::StemCell) {
         let mid = self.layout.stem_mid[t.as_usize()].expect("folding a no-stem instance");
         self.modules[mid] = Module::Stem(cell.share());
+    }
+
+    /// The `max_time` guard for server-delivered waves. [`Self::step`]
+    /// checks the deadline when it pops agenda events, but the server's
+    /// wave deliveries bypass the agenda — without this mirror check a
+    /// query past its deadline would keep processing every shared wave
+    /// (the "dead knob": `max_time` was never enforced under the
+    /// server). A wave past the deadline halts the executor exactly
+    /// like a stepped event past it: `now` advances to the reap point
+    /// (so `end_time` records when the deadline was detected) and the
+    /// wave itself is dropped, matching the solo engine, which never
+    /// processes an event after the guard trips. Once halted, every
+    /// later wave is ignored.
+    fn wave_past_deadline(&mut self, now: Time) -> bool {
+        if self.halted {
+            return true;
+        }
+        if self.config.max_time.is_some_and(|max| now > max) {
+            self.now = now;
+            self.halted = true;
+            self.timed_out = true;
+            return true;
+        }
+        false
     }
 
     /// Deliver one shared-scan wave for a *folded* instance: the server
@@ -1486,6 +1559,9 @@ impl EddyExecutor {
         stamped: &[Tuple],
         eot: bool,
     ) {
+        if self.wave_past_deadline(now) {
+            return;
+        }
         self.now = now;
         let deliveries: Vec<Delivery> = stamped
             .iter()
@@ -1528,6 +1604,9 @@ impl EddyExecutor {
     /// this executor owned the scan — the rows (EOT markers included)
     /// enter unstamped and route to this query's own SteM for building.
     pub(crate) fn deliver_raw_wave(&mut self, now: Time, tuples: Vec<Tuple>) {
+        if self.wave_past_deadline(now) {
+            return;
+        }
         self.now = now;
         let deliveries: Vec<Delivery> = tuples
             .into_iter()

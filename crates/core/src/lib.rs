@@ -134,7 +134,10 @@ pub use policy::{
 };
 pub use report::{Report, ServerReport, TraceEvent, TraceKind};
 pub use runtime::WorkerPool;
-pub use server::{QueryServer, ServerStats};
+pub use server::{
+    AdmissionPolicy, QueryHandle, QueryId, QueryServer, QueryStatus, ServerBuilder, ServerError,
+    ServerStats, Submission,
+};
 pub use sharded::ShardedStem;
 pub use sm::{FusedVerdict, Sm};
 pub use tuple_state::TupleState;

@@ -102,7 +102,22 @@ pub fn default_parallel_min_rows() -> usize {
 /// A queued task. Tasks are created with a scope-bound lifetime and
 /// transmuted to `'static` for storage; [`PoolScope`]'s completion
 /// barrier is what makes that sound (see `Scope::spawn` safety note).
-type Job = Box<dyn FnOnce() + Send + 'static>;
+///
+/// `nested` marks a *composite* job: one that may itself open pool
+/// scopes or take SteM cell locks (the query server's executor-stepping
+/// jobs). Leaf jobs (`nested = false` — the sharded build/probe lanes)
+/// never block and never lock cells. The distinction exists for the
+/// help path: a thread that is *inside* a job and helping while it
+/// waits on a nested scope may already hold a `StemCell` lock, so
+/// running a sibling composite job there could re-enter the same cell's
+/// mutex on the same thread — a self-deadlock `std::sync::Mutex` does
+/// not detect. Helping threads therefore only ever pick up leaf jobs
+/// ([`Shared::find_job`] with `include_nested = false`); top-level
+/// workers, which hold no locks, run anything.
+struct Job {
+    run: Box<dyn FnOnce() + Send + 'static>,
+    nested: bool,
+}
 
 /// The pool's sleep/wake protocol, factored out so `tests/model.rs` can
 /// drive the exact shipped type through the model checker.
@@ -162,13 +177,18 @@ struct Shared {
 }
 
 impl Shared {
-    /// Pop a task: own queue first, then round-robin steal.
-    fn find_job(&self, home: usize) -> Option<Job> {
+    /// Pop a task: own queue first, then round-robin steal. With
+    /// `include_nested` off, composite jobs are skipped in place (never
+    /// reordered past each other) — the helping-thread restriction the
+    /// [`Job`] docs argue.
+    fn find_job(&self, home: usize, include_nested: bool) -> Option<Job> {
         let n = self.queues.len();
         for i in 0..n {
             let q = (home + i) % n;
-            if let Some(job) = lock_ok(&self.queues[q]).pop_front() {
-                return Some(job);
+            let mut queue = lock_ok(&self.queues[q]);
+            let pos = queue.iter().position(|j| include_nested || !j.nested);
+            if let Some(pos) = pos {
+                return queue.remove(pos);
             }
         }
         None
@@ -362,6 +382,20 @@ impl<'pool, 'env> PoolScope<'pool, 'env> {
     /// pool worker (or on the caller while it waits) before `scope`
     /// returns.
     pub fn spawn(&self, affinity: usize, task: impl FnOnce() + Send + 'env) {
+        self.spawn_inner(affinity, task, false);
+    }
+
+    /// [`PoolScope::spawn`] for *composite* tasks: ones that may open
+    /// nested pool scopes or take SteM cell locks (the query server's
+    /// executor-stepping jobs). Composite jobs run only on top-level
+    /// pool workers or the scope caller — never on a thread that is
+    /// already inside another job — so a job holding a shared cell's
+    /// mutex can never re-enter it on its own thread (see [`Job`]).
+    pub fn spawn_nested(&self, affinity: usize, task: impl FnOnce() + Send + 'env) {
+        self.spawn_inner(affinity, task, true);
+    }
+
+    fn spawn_inner(&self, affinity: usize, task: impl FnOnce() + Send + 'env, nested: bool) {
         self.latch.register();
         let latch = Arc::clone(&self.latch);
         let wrapped = move || {
@@ -404,24 +438,31 @@ impl<'pool, 'env> PoolScope<'pool, 'env> {
         // `scope` returns or unwinds past the barrier — the
         // `std::thread::scope` argument, with the latch in the role of
         // the thread-join barrier.
-        let job: Job = unsafe {
+        let run = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
         };
-        self.pool.push_job(affinity % self.workers, job);
+        self.pool
+            .push_job(affinity % self.workers, Job { run, nested });
     }
 
-    /// Block until every spawned task finished, executing queued pool
-    /// tasks while waiting (caller participation; tasks never block on
-    /// other tasks, so running any queued job — ours or a sibling
-    /// scope's — is progress either way).
+    /// Block until every spawned task finished, executing queued *leaf*
+    /// pool tasks while waiting (caller participation). Help is
+    /// restricted to leaf jobs because this wait may be reached from
+    /// inside a composite job that already holds a SteM cell lock —
+    /// running a sibling composite job on the same stack could re-lock
+    /// that cell and self-deadlock (see [`Job`]). Leaf jobs never block
+    /// and never lock cells, so helping with them is always progress;
+    /// composite jobs are drained by top-level workers, which
+    /// [`WorkerPool::scope`] guarantees exist for the requested budget.
     fn wait(&self) {
-        self.latch.wait(|| match self.pool.shared.find_job(0) {
-            Some(job) => {
-                job();
-                true
-            }
-            None => false,
-        });
+        self.latch
+            .wait(|| match self.pool.shared.find_job(0, false) {
+                Some(job) => {
+                    (job.run)();
+                    true
+                }
+                None => false,
+            });
     }
 
     fn check_panic(&self) {
@@ -443,10 +484,12 @@ impl Drop for ScopeBarrier<'_, '_, '_> {
 
 fn worker_loop(id: usize, shared: Arc<Shared>) {
     loop {
-        if let Some(job) = shared.find_job(id) {
+        // Top-level workers hold no locks, so they run any job —
+        // composite stepping jobs included.
+        if let Some(job) = shared.find_job(id, true) {
             // Task panics are captured by the scope wrapper; a raw panic
             // here would mean a bug in the pool itself.
-            job();
+            (job.run)();
             continue;
         }
         // Submissions notify under the gate, so nothing pushed between

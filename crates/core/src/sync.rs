@@ -68,6 +68,90 @@ pub fn wait_ok<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, 
     cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
 }
 
+/// The parallel step barrier for one wave of independent work items —
+/// the cross-thread protocol under the query server's parallel executor
+/// stepping ([`crate::server::QueryServer`]).
+///
+/// Between two shared-scan waves the server has `total` executors that
+/// may each be stepped by *any* thread, but each by **exactly one**
+/// thread, and the wave may not merge back into the serial timeline
+/// until **every** executor finished stepping. Rather than queueing one
+/// pool job per executor (1000 queue pushes per wave at the 1000-query
+/// point), a handful of runner jobs each drain a shared claim cursor:
+///
+/// * [`claim`](WaveBarrier::claim) hands out item indices exactly once
+///   (an atomic fetch-add — two runners can never claim the same
+///   executor, so disjoint `&mut` access per item is data-race free);
+/// * [`finish_one`](WaveBarrier::finish_one) is called strictly *after*
+///   the item's effects (the decrement shares a critical section with
+///   the completion count, so a waiter that observes `done == total`
+///   also observes every item's writes via the mutex);
+/// * [`wait`](WaveBarrier::wait) blocks — helping with other work while
+///   it can — until every claimed item has finished.
+///
+/// The protocol is model-checked in `stems-core/tests/model.rs` across
+/// every bounded schedule (exactly-once claims, no early release), and
+/// the seeded mutant with a torn load/store claim cursor is provably
+/// caught there.
+#[derive(Debug)]
+pub struct WaveBarrier {
+    cursor: atomic::AtomicUsize,
+    total: usize,
+    done: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl WaveBarrier {
+    /// A barrier over `total` work items, none yet claimed.
+    pub fn new(total: usize) -> WaveBarrier {
+        WaveBarrier {
+            cursor: atomic::AtomicUsize::new(0),
+            total,
+            done: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Claim the next unclaimed item index; `None` once all `total`
+    /// items are claimed. Each index is returned exactly once across
+    /// all claiming threads.
+    pub fn claim(&self) -> Option<usize> {
+        let i = self.cursor.fetch_add(1, atomic::Ordering::Relaxed);
+        (i < self.total).then_some(i)
+    }
+
+    /// Mark one claimed item finished. Must be called strictly after the
+    /// item's effects, exactly once per claimed index.
+    pub fn finish_one(&self) {
+        let mut done = lock_ok(&self.done);
+        *done += 1;
+        if *done == self.total {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until every item finished. While items are outstanding,
+    /// `help` is invited to make progress (run a queued job); it returns
+    /// whether it did. Only when it cannot does the caller park —
+    /// re-checking the count under the mutex first, so a completion
+    /// between the check and the wait cannot be lost (the
+    /// [`crate::runtime::CompletionLatch`] wait shape).
+    pub fn wait(&self, mut help: impl FnMut() -> bool) {
+        loop {
+            if *lock_ok(&self.done) == self.total {
+                return;
+            }
+            if help() {
+                continue;
+            }
+            let done = lock_ok(&self.done);
+            if *done != self.total {
+                drop(wait_ok(&self.cv, done));
+            }
+        }
+    }
+}
+
 /// A capped free-list of reusable scratch values (envelope-lifetime
 /// probe buffers and the like) shared by concurrent probers.
 ///

@@ -27,7 +27,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use stems_check::{model, FailureKind};
 use stems_core::runtime::{CompletionLatch, SleepGate};
 use stems_core::sync::atomic::{AtomicUsize, Ordering};
-use stems_core::sync::{lock_ok, wait_ok, Arc, Condvar, Mutex, ScratchPool};
+use stems_core::sync::{lock_ok, wait_ok, Arc, Condvar, Mutex, ScratchPool, WaveBarrier};
 
 // ---------------------------------------------------------------------
 // WorkerPool gate sleep/wake
@@ -290,6 +290,128 @@ fn scratch_pool_checkout_poison_recovery_under_every_schedule() {
         assert!(!pool.is_poisoned(), "poison must not outlive recovery");
     });
     report.assert_ok();
+}
+
+// ---------------------------------------------------------------------
+// WaveBarrier parallel step claims
+// ---------------------------------------------------------------------
+
+/// The server's parallel-step protocol ([`WaveBarrier`], the shipped
+/// type): several runners drain one claim cursor over a wave of
+/// executors, and the coordinator's wait releases only when every
+/// claimed item finished. Two invariants on every schedule:
+///
+/// * **exactly-once** — no item is ever claimed by two runners (this is
+///   what makes the per-item `&mut` executor access data-race free);
+/// * **barrier soundness** — once `wait` returns, every item's effects
+///   are visible to the coordinator.
+#[test]
+fn wave_barrier_claims_each_item_exactly_once_and_waits_for_all() {
+    const ITEMS: usize = 3;
+    let report = model(|| {
+        let barrier = Arc::new(WaveBarrier::new(ITEMS));
+        let slots: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..ITEMS).map(|_| AtomicUsize::new(0)).collect());
+        let (b2, s2) = (Arc::clone(&barrier), Arc::clone(&slots));
+        // One pool runner and the coordinator race over the cursor —
+        // the server's `drain` shape, finish strictly after the effect.
+        let runner = stems_check::thread::spawn(move || {
+            while let Some(i) = b2.claim() {
+                let prev = s2[i].fetch_add(1, Ordering::SeqCst);
+                assert_eq!(prev, 0, "item {i} claimed twice");
+                b2.finish_one();
+            }
+        });
+        while let Some(i) = barrier.claim() {
+            let prev = slots[i].fetch_add(1, Ordering::SeqCst);
+            assert_eq!(prev, 0, "item {i} claimed twice");
+            barrier.finish_one();
+        }
+        barrier.wait(|| false);
+        // Barrier soundness: every item stepped exactly once, and the
+        // coordinator observes it.
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::SeqCst), 1, "item {i} not finished");
+        }
+        runner.join().unwrap();
+    });
+    report.assert_ok();
+    assert!(
+        report.executions > 1,
+        "the claim race must have schedules to explore"
+    );
+}
+
+/// SEEDED MUTANT: the claim cursor advanced with a torn load/store
+/// instead of one atomic fetch-add. Two runners can read the same index
+/// before either stores the increment — both "claim" the same executor,
+/// which in the real server would be two threads holding `&mut` to one
+/// `EddyExecutor`. The checker must find that schedule (as the
+/// exactly-once assertion's panic).
+#[test]
+fn mutant_wave_barrier_torn_claim_cursor_is_caught() {
+    struct MutantBarrier {
+        cursor: AtomicUsize,
+        total: usize,
+        done: Mutex<usize>,
+        cv: Condvar,
+    }
+    impl MutantBarrier {
+        // BUG (deliberate): load-then-store instead of fetch_add.
+        fn claim(&self) -> Option<usize> {
+            let i = self.cursor.load(Ordering::SeqCst);
+            self.cursor.store(i + 1, Ordering::SeqCst);
+            (i < self.total).then_some(i)
+        }
+        // Finish/wait paths identical to the real WaveBarrier.
+        fn finish_one(&self) {
+            let mut done = lock_ok(&self.done);
+            *done += 1;
+            if *done >= self.total {
+                self.cv.notify_all();
+            }
+        }
+        fn wait(&self) {
+            loop {
+                let done = lock_ok(&self.done);
+                if *done >= self.total {
+                    return;
+                }
+                drop(wait_ok(&self.cv, done));
+            }
+        }
+    }
+    const ITEMS: usize = 2;
+    let report = model(|| {
+        let barrier = Arc::new(MutantBarrier {
+            cursor: AtomicUsize::new(0),
+            total: ITEMS,
+            done: Mutex::new(0),
+            cv: Condvar::new(),
+        });
+        let slots: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..ITEMS).map(|_| AtomicUsize::new(0)).collect());
+        let (b2, s2) = (Arc::clone(&barrier), Arc::clone(&slots));
+        let runner = stems_check::thread::spawn(move || {
+            while let Some(i) = b2.claim() {
+                let prev = s2[i].fetch_add(1, Ordering::SeqCst);
+                assert_eq!(prev, 0, "item {i} claimed twice");
+                b2.finish_one();
+            }
+        });
+        while let Some(i) = barrier.claim() {
+            let prev = slots[i].fetch_add(1, Ordering::SeqCst);
+            assert_eq!(prev, 0, "item {i} claimed twice");
+            barrier.finish_one();
+        }
+        barrier.wait();
+        runner.join().unwrap();
+    });
+    let failure = report.expect_failure();
+    assert!(
+        matches!(&failure.kind, FailureKind::Panic(msg) if msg.contains("claimed twice")),
+        "a torn claim must surface as a duplicate-claim panic: {failure}"
+    );
 }
 
 // ---------------------------------------------------------------------

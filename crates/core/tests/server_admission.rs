@@ -1,0 +1,364 @@
+//! Admission control, deadlines and cancellation for the multi-query
+//! server: budget boundaries (inclusive), the queue-vs-shed policy flip,
+//! eviction under byte pressure, forced progress when a budget can never
+//! free, cancellation racing a late-admission replay, the `max_time`
+//! reaper (the PR 7 dead knob), and the typed [`ServerError`] surface.
+
+use stems_catalog::{reference, Catalog, QuerySpec, ScanSpec, SourceId, TableDef, TableInstance};
+use stems_core::{
+    AdmissionPolicy, ExecConfig, QueryServer, QueryStatus, Report, ServerError, Submission,
+};
+use stems_core::{QueryHandle, QueryId, ServerStats};
+use stems_types::{CmpOp, ColRef, ColumnType, PredId, Predicate, Schema, TableIdx, Value};
+
+/// R(key, a=key%10) x60 @2000tps, S(x, y=x%5) x10 @1000, T(z, w=z*100)
+/// x5 @500 — the `server_folding.rs` family. A shape-0 query (R⋈S⋈T)
+/// builds exactly 60 + 10 + 5 = 75 shared rows across 3 registry
+/// entries, and its scans span ≈30ms of virtual time.
+fn family_catalog() -> (Catalog, SourceId, SourceId, SourceId) {
+    let mut c = Catalog::new();
+    let r = c
+        .add_table(
+            TableDef::new(
+                "R",
+                Schema::of(&[("key", ColumnType::Int), ("a", ColumnType::Int)]),
+            )
+            .with_rows(
+                (0..60)
+                    .map(|k| vec![Value::Int(k), Value::Int(k % 10)])
+                    .collect(),
+            ),
+        )
+        .unwrap();
+    let s = c
+        .add_table(
+            TableDef::new(
+                "S",
+                Schema::of(&[("x", ColumnType::Int), ("y", ColumnType::Int)]),
+            )
+            .with_rows(
+                (0..10)
+                    .map(|x| vec![Value::Int(x), Value::Int(x % 5)])
+                    .collect(),
+            ),
+        )
+        .unwrap();
+    let t = c
+        .add_table(
+            TableDef::new(
+                "T",
+                Schema::of(&[("z", ColumnType::Int), ("w", ColumnType::Int)]),
+            )
+            .with_rows(
+                (0..5)
+                    .map(|z| vec![Value::Int(z), Value::Int(z * 100)])
+                    .collect(),
+            ),
+        )
+        .unwrap();
+    c.add_scan(r, ScanSpec::with_rate(2000.0)).unwrap();
+    c.add_scan(s, ScanSpec::with_rate(1000.0)).unwrap();
+    c.add_scan(t, ScanSpec::with_rate(500.0)).unwrap();
+    (c, r, s, t)
+}
+
+fn inst(source: SourceId, alias: &str) -> TableInstance {
+    TableInstance {
+        source,
+        alias: alias.into(),
+    }
+}
+
+/// The shape-0 three-way join: R⋈S on a=x, S⋈T on y=z, R.key < 30.
+fn three_way(c: &Catalog, r: SourceId, s: SourceId, t: SourceId) -> QuerySpec {
+    QuerySpec::new(
+        c,
+        vec![inst(r, "r"), inst(s, "s"), inst(t, "t")],
+        vec![
+            Predicate::join(
+                PredId(0),
+                ColRef::new(TableIdx(0), 1),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(1), 0),
+            ),
+            Predicate::join(
+                PredId(1),
+                ColRef::new(TableIdx(1), 1),
+                CmpOp::Eq,
+                ColRef::new(TableIdx(2), 0),
+            ),
+            Predicate::selection(
+                PredId(2),
+                ColRef::new(TableIdx(0), 0),
+                CmpOp::Lt,
+                Value::Int(30),
+            ),
+        ],
+        None,
+    )
+    .unwrap()
+}
+
+fn config() -> ExecConfig {
+    ExecConfig {
+        check_constraints: true,
+        workers: 2,
+        ..ExecConfig::default()
+    }
+}
+
+/// Virtual instant comfortably after every scan closed and every build
+/// wave was delivered (the `server_folding.rs` late-admission margin).
+const AFTER_ALL_STREAMS: u64 = 60_000;
+
+fn assert_reports_identical(got: &Report, want: &Report, ctx: &str) {
+    assert_eq!(got.results, want.results, "{ctx}: ordered results differ");
+    assert_eq!(got.end_time, want.end_time, "{ctx}: end_time differs");
+    assert_eq!(got.events, want.events, "{ctx}: event count differs");
+    assert_eq!(got.metrics, want.metrics, "{ctx}: metrics differ");
+}
+
+fn assert_matches_reference(c: &Catalog, q: &QuerySpec, report: &Report, ctx: &str) {
+    let expected = reference::canonical(c, q, &reference::execute(c, q));
+    assert_eq!(report.canonical(c, q), expected, "{ctx}: wrong result set");
+}
+
+fn solo_report(c: &Catalog, q: &QuerySpec) -> Report {
+    let mut srv = QueryServer::builder(c).config(config()).build().unwrap();
+    srv.submit(Submission::new(q.clone())).unwrap();
+    let (handles, _) = srv.serve();
+    handles
+        .into_iter()
+        .next()
+        .unwrap()
+        .report
+        .expect("solo query completes")
+        .report
+}
+
+fn serve_two(
+    c: &Catalog,
+    q: &QuerySpec,
+    build: impl FnOnce(stems_core::ServerBuilder<'_>) -> stems_core::ServerBuilder<'_>,
+) -> (Vec<QueryHandle>, ServerStats) {
+    let mut srv = build(QueryServer::builder(c).config(config()))
+        .build()
+        .unwrap();
+    srv.submit(Submission::new(q.clone())).unwrap();
+    srv.submit(Submission::new(q.clone()).at(AFTER_ALL_STREAMS))
+        .unwrap();
+    srv.serve()
+}
+
+/// The budget boundary is inclusive: a late admission that finds usage
+/// *exactly at* the build budget still admits without queueing; one
+/// build under the budget queues it.
+#[test]
+fn builds_budget_boundary_is_inclusive() {
+    let (c, r, s, t) = family_catalog();
+    let q = three_way(&c, r, s, t);
+    // Exactly at: the first query built 75 rows; budget 75 admits.
+    let (handles, stats) = serve_two(&c, &q, |b| b.shared_builds_budget(75));
+    assert_eq!(stats.shared_builds, 75);
+    assert_eq!(stats.queued, 0, "usage == budget must not queue");
+    for h in &handles {
+        assert_eq!(h.status, QueryStatus::Completed);
+    }
+    assert_matches_reference(
+        &c,
+        &q,
+        &handles[1].report.as_ref().unwrap().report,
+        "boundary late admit",
+    );
+    // One under: budget 74 queues the late query. A cumulative build
+    // budget can never free, so once the server idles the head is
+    // force-admitted (fresh private entries — more builds) rather than
+    // stranded.
+    let (handles, stats) = serve_two(&c, &q, |b| b.shared_builds_budget(74));
+    assert_eq!(stats.queued, 1, "usage > budget must queue");
+    for h in &handles {
+        assert_eq!(h.status, QueryStatus::Completed, "forced progress");
+    }
+    assert_matches_reference(
+        &c,
+        &q,
+        &handles[1].report.as_ref().unwrap().report,
+        "queued late admit",
+    );
+}
+
+/// Flipping the policy to shed turns the same over-budget admission into
+/// a terminal [`QueryStatus::Shed`] with no execution and no report.
+#[test]
+fn shed_policy_rejects_what_queue_defers() {
+    let (c, r, s, t) = family_catalog();
+    let q = three_way(&c, r, s, t);
+    let (handles, stats) = serve_two(&c, &q, |b| {
+        b.shared_builds_budget(74).admission(AdmissionPolicy::Shed)
+    });
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.queued, 0);
+    assert_eq!(handles[0].status, QueryStatus::Completed);
+    assert_eq!(handles[1].status, QueryStatus::Shed);
+    assert!(handles[1].report.is_none(), "shed queries never run");
+    // Shedding the newcomer must not perturb the survivor.
+    let solo = solo_report(&c, &q);
+    assert_reports_identical(
+        &handles[0].report.as_ref().unwrap().report,
+        &solo,
+        "survivor of a shed",
+    );
+}
+
+/// Byte pressure: a zero-byte budget admits the first query (usage is
+/// observed, and zero, at its admission instant), queues the second, and
+/// frees room by evicting the first query's now-idle entries — the
+/// registry shrinks instead of the queue stranding.
+#[test]
+fn byte_budget_queues_then_evicts_idle_entries() {
+    let (c, r, s, t) = family_catalog();
+    let q = three_way(&c, r, s, t);
+    let (handles, stats) = serve_two(&c, &q, |b| b.stem_bytes_budget(0));
+    assert_eq!(stats.queued, 1);
+    assert_eq!(stats.evicted_stems, 3, "all three idle entries evicted");
+    assert_eq!(
+        stats.shared_stems, 6,
+        "the late query rebuilt the three evicted entries"
+    );
+    assert!(stats.stem_bytes_peak > 0);
+    for h in &handles {
+        assert_eq!(h.status, QueryStatus::Completed);
+    }
+    assert_matches_reference(
+        &c,
+        &q,
+        &handles[1].report.as_ref().unwrap().report,
+        "post-eviction admit",
+    );
+}
+
+/// Cancellation racing a late-admission replay, both orders. A query
+/// cancelled at its own admission instant activates (catch-up replay),
+/// then retires Cancelled with its partial report; one cancelled before
+/// its admission never runs. Either way the cancellation is invisible to
+/// the surviving query — bit-identical to its solo run.
+#[test]
+fn cancellation_races_late_admission_replay() {
+    let (c, r, s, t) = family_catalog();
+    let q = three_way(&c, r, s, t);
+    let mut srv = QueryServer::builder(&c).config(config()).build().unwrap();
+    srv.submit(Submission::new(q.clone())).unwrap();
+    // Admit and Cancel land on the same instant, FIFO: the replay wins
+    // the race, the cancellation reaps it one event later.
+    srv.submit(Submission::new(q.clone()).at(5_000).cancel_at(5_000))
+        .unwrap();
+    // Cancel lands first: the admission finds the query already
+    // terminal and is a no-op.
+    srv.submit(Submission::new(q.clone()).at(5_000).cancel_at(4_000))
+        .unwrap();
+    let (handles, stats) = srv.serve();
+    assert_eq!(stats.cancelled, 2);
+    assert_eq!(handles[1].status, QueryStatus::Cancelled);
+    assert!(
+        handles[1].report.is_some(),
+        "cancelled-while-running keeps its partial report"
+    );
+    assert_eq!(handles[2].status, QueryStatus::Cancelled);
+    assert!(
+        handles[2].report.is_none(),
+        "cancelled-before-admission never ran"
+    );
+    let solo = solo_report(&c, &q);
+    assert_eq!(handles[0].status, QueryStatus::Completed);
+    assert_reports_identical(
+        &handles[0].report.as_ref().unwrap().report,
+        &solo,
+        "survivor of two cancellations",
+    );
+}
+
+/// The PR 7 dead knob: an executor-level `max_time` admitted through the
+/// legacy `admit_with_config` was never enforced by the server loop.
+/// Both surfaces must now reap it — same partial report, terminal
+/// [`QueryStatus::TimedOut`] — and a relative [`Submission::deadline`]
+/// resolves against the admission instant.
+#[test]
+fn max_time_is_reaped_on_both_surfaces() {
+    let (c, r, s, t) = family_catalog();
+    let q = three_way(&c, r, s, t);
+    let solo = solo_report(&c, &q);
+    let capped = ExecConfig {
+        max_time: Some(10_000),
+        ..config()
+    };
+    let mut srv = QueryServer::builder(&c).config(config()).build().unwrap();
+    srv.submit(Submission::new(q.clone()).config(capped.clone()))
+        .unwrap();
+    let (handles, stats) = srv.serve();
+    assert_eq!(stats.timed_out, 1);
+    assert_eq!(handles[0].status, QueryStatus::TimedOut);
+    let reaped = handles[0].report.as_ref().expect("partial report");
+    assert!(
+        reaped.report.end_time < solo.end_time,
+        "deadline must cut the run short ({} vs {})",
+        reaped.report.end_time,
+        solo.end_time
+    );
+    // Legacy surface, same config: identical reaped report.
+    #[allow(deprecated)]
+    let legacy = {
+        let mut srv = QueryServer::new(&c, config(), true).unwrap();
+        srv.admit_with_config(0, q.clone(), capped).unwrap();
+        srv.run_with_stats().0.remove(0)
+    };
+    assert_reports_identical(&legacy.report, &reaped.report, "legacy max_time");
+    // Relative deadline: admitted at 5_000 with a 7_000µs lifetime —
+    // reaped around virtual 12_000, long before the solo end.
+    let mut srv = QueryServer::builder(&c).config(config()).build().unwrap();
+    srv.submit(Submission::new(q.clone()).at(5_000).deadline(7_000))
+        .unwrap();
+    let (handles, stats) = srv.serve();
+    assert_eq!(stats.timed_out, 1);
+    assert_eq!(handles[0].status, QueryStatus::TimedOut);
+    let h = handles[0].report.as_ref().expect("partial report");
+    assert_eq!(h.admitted_at, 5_000);
+    assert!(h.completed_at >= 5_000 && h.completed_at < solo.end_time);
+}
+
+/// Every rejection is a typed [`ServerError`], not a stringly one:
+/// zero deadlines (builder and submission), the submission cap, and
+/// cancelling an id the server never issued.
+#[test]
+fn server_errors_are_typed() {
+    let (c, r, s, t) = family_catalog();
+    let q = three_way(&c, r, s, t);
+    let err = QueryServer::builder(&c)
+        .config(config())
+        .default_deadline(0)
+        .build()
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, ServerError::InvalidDeadline { deadline: 0 }));
+    let mut srv = QueryServer::builder(&c)
+        .config(config())
+        .max_queries(1)
+        .build()
+        .unwrap();
+    let err = srv
+        .submit(Submission::new(q.clone()).deadline(0))
+        .unwrap_err();
+    assert!(matches!(err, ServerError::InvalidDeadline { deadline: 0 }));
+    srv.submit(Submission::new(q.clone())).unwrap();
+    let err = srv.submit(Submission::new(q.clone())).unwrap_err();
+    assert!(matches!(
+        err,
+        ServerError::BudgetExhausted {
+            admitted: 1,
+            max_queries: 1
+        }
+    ));
+    let err = srv.cancel(QueryId(7), 0).unwrap_err();
+    assert!(matches!(err, ServerError::UnknownQuery { id: 7 }));
+    // The messages carry the context (Display is part of the surface).
+    assert!(err.to_string().contains("unknown query id 7"));
+}

@@ -6,7 +6,9 @@
 //! must be a pure merge of classic solo executors.
 
 use stems_catalog::{reference, Catalog, QuerySpec, ScanSpec, SourceId, TableDef, TableInstance};
-use stems_core::{EddyExecutor, ExecConfig, QueryServer, Report, ServerStats};
+use stems_core::{
+    EddyExecutor, ExecConfig, QueryServer, QueryStatus, Report, ServerStats, Submission,
+};
 use stems_types::{CmpOp, ColRef, ColumnType, PredId, Predicate, Schema, TableIdx, Value};
 
 /// R(key, a=key%10) x60, S(x, y=x%5) x10, T(z, w=z*100) x5 — all with
@@ -144,11 +146,23 @@ fn run_server(
     workers: usize,
     fold: bool,
 ) -> (Vec<stems_core::ServerReport>, ServerStats) {
-    let mut srv = QueryServer::new(c, server_config(workers), fold).unwrap();
+    let mut srv = QueryServer::builder(c)
+        .config(server_config(workers))
+        .fold(fold)
+        .build()
+        .unwrap();
     for q in queries {
-        srv.admit(q.clone()).unwrap();
+        srv.submit(Submission::new(q.clone())).unwrap();
     }
-    srv.run_with_stats()
+    let (handles, stats) = srv.serve();
+    let reports = handles
+        .into_iter()
+        .map(|h| {
+            assert_eq!(h.status, QueryStatus::Completed);
+            h.report.expect("completed query has a report")
+        })
+        .collect();
+    (reports, stats)
 }
 
 fn assert_reports_identical(got: &Report, want: &Report, ctx: &str) {
@@ -243,11 +257,20 @@ fn late_admission_catches_up_and_stays_deterministic() {
     // Scan spans: R 60 rows @2000tps ≈ 30ms, S 10 @1000 ≈ 10ms, T 5 @500 ≈ 10ms.
     let schedule = [(0u64, 0usize), (5_000, 1), (11_000, 2), (60_000, 3)];
     let run = || {
-        let mut srv = QueryServer::new(&c, server_config(2), true).unwrap();
+        let mut srv = QueryServer::builder(&c)
+            .config(server_config(2))
+            .build()
+            .unwrap();
         for &(at, i) in &schedule {
-            srv.admit_at(at, query_for(&c, r, s, t, i)).unwrap();
+            srv.submit(Submission::new(query_for(&c, r, s, t, i)).at(at))
+                .unwrap();
         }
-        srv.run_with_stats()
+        let (handles, stats) = srv.serve();
+        let reports: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.report.expect("completed query has a report"))
+            .collect();
+        (reports, stats)
     };
     let (a, stats_a) = run();
     let (b, stats_b) = run();
@@ -268,6 +291,70 @@ fn late_admission_catches_up_and_stays_deterministic() {
     // per source and one registry entry per distinct key.
     assert_eq!(stats_a.scan_streams, 3);
     assert_eq!(stats_a.shared_stems, 5);
+}
+
+/// The deprecated PR 7 surface (`new` / `admit` / `admit_at` /
+/// `run_with_stats`) must remain an exact shim over the builder/handle
+/// API: identical reports, identical stats, for simultaneous and
+/// staggered admissions alike.
+#[test]
+#[allow(deprecated)]
+fn deprecated_surface_is_equivalent_to_builder_api() {
+    let (c, r, s, t) = family_catalog();
+    let schedule = [(0u64, 0usize), (0, 1), (5_000, 2), (11_000, 3)];
+    let mut old = QueryServer::new(&c, server_config(2), true).unwrap();
+    for &(at, i) in &schedule {
+        old.admit_at(at, query_for(&c, r, s, t, i)).unwrap();
+    }
+    let (old_reports, old_stats) = old.run_with_stats();
+    let mut new = QueryServer::builder(&c)
+        .config(server_config(2))
+        .build()
+        .unwrap();
+    for &(at, i) in &schedule {
+        new.submit(Submission::new(query_for(&c, r, s, t, i)).at(at))
+            .unwrap();
+    }
+    let (handles, new_stats) = new.serve();
+    assert_eq!(old_stats, new_stats, "shim stats diverged");
+    assert_eq!(old_reports.len(), handles.len());
+    for (i, (o, h)) in old_reports.iter().zip(&handles).enumerate() {
+        assert_eq!(h.id.0, i);
+        assert_eq!(h.status, QueryStatus::Completed);
+        let n = h.report.as_ref().expect("completed query has a report");
+        assert_eq!(o.admitted_at, n.admitted_at, "q{i} admitted_at");
+        assert_eq!(o.completed_at, n.completed_at, "q{i} completed_at");
+        assert_reports_identical(&o.report, &n.report, &format!("shim q{i}"));
+    }
+}
+
+/// The 1000-query point: every report still bit-identical to its solo
+/// run under parallel stepping. Debug builds skip it (the full sweep
+/// belongs to the release CI leg) unless `STEMS_SMOKE_1000` forces it.
+#[test]
+fn thousand_query_smoke_stays_bit_identical_to_solo() {
+    if cfg!(debug_assertions) && std::env::var("STEMS_SMOKE_1000").is_err() {
+        return;
+    }
+    let (c, r, s, t) = family_catalog();
+    let workers = 4;
+    let solo: Vec<Report> = (0..6)
+        .map(|i| {
+            let q = query_for(&c, r, s, t, i);
+            run_server(&c, std::slice::from_ref(&q), workers, true)
+                .0
+                .remove(0)
+                .report
+        })
+        .collect();
+    let queries: Vec<QuerySpec> = (0..1000).map(|i| query_for(&c, r, s, t, i)).collect();
+    let (reports, stats) = run_server(&c, &queries, workers, true);
+    assert_eq!(reports.len(), 1000);
+    assert_eq!(stats.shared_stems, 5, "1000 queries, still 5 entries");
+    assert_eq!(stats.scan_streams, 3);
+    for (i, sr) in reports.iter().enumerate() {
+        assert_reports_identical(&sr.report, &solo[i % 6], &format!("q{i} of N=1000"));
+    }
 }
 
 /// A self-join claims its shared entry once: the first instance folds,
