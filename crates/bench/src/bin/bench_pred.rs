@@ -1,0 +1,200 @@
+//! Expensive-predicate memoization, emitted as `BENCH_9.json` — the ninth
+//! point of the perf trajectory (`BENCH_8`: parallel server drain).
+//!
+//! Drives the full eddy engine over a high-cost selection chain — a
+//! duplicate-heavy scan filtered by `SIEVE(a, ppm, cost_us)`, the UDF-style
+//! predicate whose every *computed* verdict charges `cost_us` of virtual
+//! latency — and sweeps the two work-avoidance levers of the expensive-
+//! predicate fast path:
+//!
+//! * **udf_dedup** — one verdict computation per distinct key per routing
+//!   envelope (`Sm::apply_batch_udf`), duplicates share it;
+//! * **memo** — the sharded cross-batch verdict cache ([`stems_core`'s
+//!   `MemoCache`]): each distinct key is computed once per *query*, every
+//!   later envelope is served from the cache.
+//!
+//! The metric is **virtual end time**: the levers don't change a single
+//! verdict (the memo keys on the value's equality key, and the sieve is a
+//! pure function of it), they only avoid re-paying `cost_us`. With `d`
+//! distinct keys over `n` rows the plain cell pays `n · cost_us`, the
+//! memo+dedup cell pays `d · cost_us` — the gap is the speedup. All four
+//! memo×dedup cells must report the same `result_hash` (asserted here and
+//! by the CI `bench_check` gate), and the combined cell must finish at
+//! least [`MIN_SPEEDUP`]× sooner than the plain one.
+//!
+//! Quick mode for CI smoke: `STEMS_BENCH_ROWS` (default 20000) and
+//! `STEMS_BENCH_RUNS` (default 3) shrink the workload. Output lands in
+//! `$STEMS_BENCH_OUT` or `./BENCH_9.json`.
+
+use std::time::Instant;
+use stems_bench::{env_usize, median, result_hash};
+use stems_catalog::{Catalog, QuerySpec, ScanSpec};
+use stems_core::{EddyExecutor, ExecConfig};
+use stems_datagen::{gen::ColGen, TableBuilder};
+use stems_sql::parse_query;
+
+/// Distinct sieve keys: 20k rows repeat each key ~500 times, so the memo
+/// pays the virtual cost 40 times instead of 20000.
+const DISTINCT: i64 = 40;
+
+/// Virtual µs charged per *computed* sieve verdict.
+const COST_US: u64 = 1_000;
+
+/// The combined memo+dedup cell must beat the plain cell by at least this
+/// factor of virtual time (the acceptance bar; the analytic gap at the
+/// default shape is ~ rows/distinct = 500×).
+const MIN_SPEEDUP: f64 = 3.0;
+
+fn workload(rows: usize) -> (Catalog, QuerySpec) {
+    let mut catalog = Catalog::new();
+    TableBuilder::new("R", rows, 91)
+        .col("a", ColGen::ModShuffled(DISTINCT))
+        .register(&mut catalog)
+        .unwrap();
+    // Chunked delivery: rows land 64 at a time, so routing envelopes are
+    // real batches and the dedup-only cell has duplicates to share.
+    catalog
+        .add_scan(
+            stems_catalog::SourceId(0),
+            ScanSpec::with_rate(1e6).with_chunk(64),
+        )
+        .unwrap();
+    // Through the SQL surface: pass half the keys, 1ms per computed call.
+    let query = parse_query(
+        &catalog,
+        &format!("SELECT * FROM R WHERE SIEVE(R.a, 500, {COST_US})"),
+    )
+    .unwrap();
+    (catalog, query)
+}
+
+struct Cell {
+    label: String,
+    memo: bool,
+    dedup: bool,
+    end_time_us: u64,
+    udf_calls: u64,
+    memo_hits: u64,
+    results: usize,
+    median_secs: f64,
+    result_hash: String,
+}
+
+fn run_cell(catalog: &Catalog, query: &QuerySpec, memo: bool, dedup: bool, runs: usize) -> Cell {
+    let config = ExecConfig {
+        memo,
+        udf_dedup: dedup,
+        ..ExecConfig::default()
+    };
+    let mut secs = Vec::new();
+    let mut report = None;
+    for _ in 0..runs {
+        let exec = EddyExecutor::build(catalog, query, config.clone()).expect("plan");
+        let start = Instant::now();
+        let r = exec.run();
+        secs.push(start.elapsed().as_secs_f64());
+        if let Some(prev) = &report {
+            let prev: &stems_core::Report = prev;
+            assert_eq!(prev.end_time, r.end_time, "virtual time must be exact");
+        }
+        report = Some(r);
+    }
+    let report = report.expect("at least one run");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    let canonical = report.canonical(catalog, query);
+    let rendered: Vec<String> = canonical.iter().map(|row| format!("{row:?}")).collect();
+    Cell {
+        label: format!("memo{}_dedup{}", memo as u8, dedup as u8),
+        memo,
+        dedup,
+        end_time_us: report.end_time,
+        udf_calls: report.counter("udf_calls"),
+        memo_hits: report.counter("memo_hits"),
+        results: canonical.len(),
+        median_secs: median(secs),
+        result_hash: result_hash(rendered),
+    }
+}
+
+fn main() {
+    let rows = env_usize("STEMS_BENCH_ROWS", 20_000);
+    let runs = env_usize("STEMS_BENCH_RUNS", 3);
+    let (catalog, query) = workload(rows);
+
+    let cells: Vec<Cell> = [(false, false), (false, true), (true, false), (true, true)]
+        .into_iter()
+        .map(|(memo, dedup)| {
+            let cell = run_cell(&catalog, &query, memo, dedup, runs);
+            println!(
+                "{:<14}: end_time {:>12} µs, {:>6} udf calls, {:>6} memo hits, \
+                 {} results (median {:.4}s wall over {runs} runs)",
+                cell.label,
+                cell.end_time_us,
+                cell.udf_calls,
+                cell.memo_hits,
+                cell.results,
+                cell.median_secs,
+            );
+            cell
+        })
+        .collect();
+
+    // Observational equivalence: the levers must not change one verdict.
+    for cell in &cells[1..] {
+        assert_eq!(
+            cell.result_hash, cells[0].result_hash,
+            "{} changed the result multiset — memoization is not invisible",
+            cell.label
+        );
+        assert_eq!(cell.results, cells[0].results);
+    }
+    // The acceptance bar: memo+dedup ≥ MIN_SPEEDUP× in virtual time.
+    let plain = &cells[0];
+    let both = cells.last().expect("four cells");
+    let speedup = plain.end_time_us as f64 / both.end_time_us.max(1) as f64;
+    println!(
+        "memo+dedup speedup vs plain: {speedup:.1}x virtual time \
+         ({} µs -> {} µs)",
+        plain.end_time_us, both.end_time_us
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "memo+dedup speedup {speedup:.2}x below the {MIN_SPEEDUP}x bar"
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = stems_core::runtime::default_workers();
+    let series = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"label\": \"{}\", \"memo\": {}, \"dedup\": {}, \
+                 \"end_time_us\": {}, \"udf_calls\": {}, \"memo_hits\": {}, \
+                 \"results\": {}, \"median_secs\": {:.6}, \"result_hash\": \"{}\", \
+                 \"speedup_vs_plain\": {:.3}}}",
+                c.label,
+                c.memo,
+                c.dedup,
+                c.end_time_us,
+                c.udf_calls,
+                c.memo_hits,
+                c.results,
+                c.median_secs,
+                c.result_hash,
+                plain.end_time_us as f64 / c.end_time_us.max(1) as f64,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"benchmark\": \"memoized_expensive_predicate_{rows}x{DISTINCT}\",\n  \
+         \"metric\": \"virtual_end_time_us\",\n  \"rows\": {rows},\n  \"runs\": {runs},\n  \
+         \"distinct\": {DISTINCT},\n  \"cost_us\": {COST_US},\n  \"cores\": {cores},\n  \
+         \"workers\": {workers},\n  \"series\": [\n{series}\n  ]\n}}\n"
+    );
+    let path = std::env::var("STEMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_9.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_9.json");
+    println!("wrote {path}");
+}

@@ -79,6 +79,15 @@ pub struct IndexSpec {
     pub concurrency: usize,
     /// `[start, end)` unavailability windows in virtual µs.
     pub stall_windows: Vec<(u64, u64)>,
+    /// Reply arrival shape: `0` (the default) delivers a lookup's whole
+    /// answer as one burst at `latency_us`; `n > 0` streams it `n` tuples
+    /// per wave — the scan `chunk` cadence applied to index replies,
+    /// modeling a remote source that pages its answer back.
+    pub reply_chunk: usize,
+    /// Per-tuple gap of a chunked reply in virtual µs: a wave of `n`
+    /// tuples lands `n` gaps after its predecessor. Ignored while
+    /// `reply_chunk` is 0.
+    pub reply_gap_us: u64,
 }
 
 impl IndexSpec {
@@ -89,11 +98,22 @@ impl IndexSpec {
             latency_us,
             concurrency: 1,
             stall_windows: Vec::new(),
+            reply_chunk: 0,
+            reply_gap_us: 0,
         }
     }
 
     pub fn with_concurrency(mut self, c: usize) -> IndexSpec {
         self.concurrency = c.max(1);
+        self
+    }
+
+    /// Stream each reply `chunk` tuples per wave, `gap_us` virtual µs per
+    /// tuple (bursty/remote answer delivery; the first wave still lands
+    /// at `latency_us`).
+    pub fn with_reply_chunk(mut self, chunk: usize, gap_us: u64) -> IndexSpec {
+        self.reply_chunk = chunk.max(1);
+        self.reply_gap_us = gap_us.max(1);
         self
     }
 
@@ -164,6 +184,11 @@ impl AccessMethodDef {
                             .into(),
                     ));
                 }
+                if ix.reply_chunk > 0 && ix.reply_gap_us == 0 {
+                    return Err(StemsError::Schema(
+                        "chunked index replies need a non-zero per-tuple gap".into(),
+                    ));
+                }
             }
         }
         Ok(())
@@ -221,6 +246,22 @@ mod tests {
     fn concurrency_floor_is_one() {
         let ix = IndexSpec::new(vec![0], 10).with_concurrency(0);
         assert_eq!(ix.concurrency, 1);
+    }
+
+    #[test]
+    fn reply_chunk_builder_and_validation() {
+        // Default: whole-reply burst, no gap — the classic behavior.
+        let ix = IndexSpec::new(vec![0], 100);
+        assert_eq!((ix.reply_chunk, ix.reply_gap_us), (0, 0));
+        let chunked = IndexSpec::new(vec![0], 100).with_reply_chunk(4, 50);
+        assert_eq!((chunked.reply_chunk, chunked.reply_gap_us), (4, 50));
+        assert!(AccessMethodDef::Index(chunked).validate(&schema()).is_ok());
+        // The builder floors both knobs; a hand-built zero gap is rejected.
+        let floored = IndexSpec::new(vec![0], 100).with_reply_chunk(0, 0);
+        assert_eq!((floored.reply_chunk, floored.reply_gap_us), (1, 1));
+        let mut bad = IndexSpec::new(vec![0], 100);
+        bad.reply_chunk = 2;
+        assert!(AccessMethodDef::Index(bad).validate(&schema()).is_err());
     }
 
     #[test]

@@ -200,6 +200,25 @@ impl QuerySpec {
                     p.id.0
                 )));
             }
+            // UDF shape: a UDF-style predicate is a single-column
+            // selection (the verdict function reads exactly one value);
+            // the comparison fields are constructor-made placeholders.
+            if let stems_types::ExprKind::Udf(spec) = &p.kind {
+                if p.udf_input_col().is_none() || !p.is_selection() {
+                    return Err(StemsError::Schema(format!(
+                        "predicate {}: a UDF predicate takes a single column input",
+                        p.id.0
+                    )));
+                }
+                let stems_types::UdfKind::HashSieve { pass_per_mille } = spec.udf;
+                if pass_per_mille > 1000 {
+                    return Err(StemsError::Schema(format!(
+                        "predicate {}: sieve selectivity {pass_per_mille} exceeds 1000 per mille",
+                        p.id.0
+                    )));
+                }
+                continue;
+            }
             // IN-list shape: a constant list is only valid as the right
             // side of `col IN (...)`; IN itself also accepts a single
             // scalar constant (degenerate equality).
@@ -366,6 +385,61 @@ mod tests {
             None
         )
         .is_err());
+    }
+
+    #[test]
+    fn udf_shapes_validated() {
+        use stems_types::UdfSpec;
+        let (c, r, _s) = setup();
+        let inst = |src| {
+            vec![TableInstance {
+                source: src,
+                alias: "R".into(),
+            }]
+        };
+        let col = ColRef::new(TableIdx(0), 1);
+        // Well-formed single-column UDF selection.
+        let q = QuerySpec::new(
+            &c,
+            inst(r),
+            vec![Predicate::udf(
+                PredId(0),
+                col,
+                UdfSpec::hash_sieve(250, 500),
+            )],
+            None,
+        )
+        .unwrap();
+        assert_eq!(q.selections().count(), 1);
+        // Selectivity out of range.
+        assert!(QuerySpec::new(
+            &c,
+            inst(r),
+            vec![Predicate::udf(
+                PredId(0),
+                col,
+                UdfSpec::hash_sieve(1001, 500)
+            )],
+            None
+        )
+        .is_err());
+        // Column out of range still caught for UDF predicates.
+        assert!(QuerySpec::new(
+            &c,
+            inst(r),
+            vec![Predicate::udf(
+                PredId(0),
+                ColRef::new(TableIdx(0), 9),
+                UdfSpec::hash_sieve(250, 500)
+            )],
+            None
+        )
+        .is_err());
+        // A hand-built UDF predicate over a non-column input is rejected.
+        let mut bad = Predicate::selection(PredId(0), col, CmpOp::Eq, Value::Int(1));
+        bad.left = Operand::Const(Value::Int(1));
+        bad.kind = stems_types::ExprKind::Udf(UdfSpec::hash_sieve(250, 500));
+        assert!(QuerySpec::new(&c, inst(r), vec![bad], None).is_err());
     }
 
     #[test]

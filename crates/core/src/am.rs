@@ -415,6 +415,37 @@ impl IndexAm {
         let servers = self.spec.concurrency.max(1) as u64;
         (self.pending.len() as u64 + self.busy as u64) * self.spec.latency_us / servers
     }
+
+    /// Shape a response into arrival waves per [`IndexSpec::reply_chunk`]:
+    /// the scan `chunk` cadence applied to index replies. The first wave
+    /// lands at `now` (the lookup's completion — it accumulated during
+    /// service, like a scan's first chunk accumulates before its first
+    /// emission), each later wave of `n` tuples `n` per-tuple gaps
+    /// ([`burst_gap`]) after its predecessor. An unchunked spec
+    /// (`reply_chunk: 0`) returns the whole reply as one `now` wave — the
+    /// classic single-burst delivery. Tuple order is preserved, so the
+    /// per-instance EOTs [`IndexAm::respond`] appends stay strictly last.
+    pub fn chunk_reply(&self, tuples: Vec<Tuple>, now: Time) -> Vec<(Time, Vec<Tuple>)> {
+        let chunk = self.spec.reply_chunk;
+        if chunk == 0 || tuples.len() <= chunk {
+            return vec![(now, tuples)];
+        }
+        let mut waves = Vec::with_capacity(tuples.len().div_ceil(chunk));
+        let mut t = now;
+        let mut rest = tuples;
+        let mut first = true;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let tail = rest.split_off(take);
+            if !first {
+                t += burst_gap(self.spec.reply_gap_us, take);
+            }
+            waves.push((t, rest));
+            rest = tail;
+            first = false;
+        }
+        waves
+    }
 }
 
 #[cfg(test)]
@@ -936,6 +967,70 @@ mod tests {
         let (o, k) = one(am.probe(&r, TableIdx(1), &q, 0, false));
         assert_eq!(o, IndexProbeOutcome::Unbindable);
         assert!(k.is_none());
+    }
+
+    #[test]
+    fn chunked_reply_waves_follow_burst_gap_cadence() {
+        let (_c, q) = rs_query();
+        // 5 matching rows + 1 EOT = 6 reply tuples; chunk 4, 50µs/tuple.
+        let mut am = IndexAm::new(
+            SourceId(1),
+            vec![TableIdx(1)],
+            &rows(&[(10, 1), (10, 2), (10, 3), (10, 4), (10, 5)]),
+            2,
+            IndexSpec::new(vec![0], 1000).with_reply_chunk(4, 50),
+        );
+        let r = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1), Value::Int(10)]);
+        let (_, key) = one(am.probe(&r, TableIdx(1), &q, 0, false));
+        let reply = am.respond(&key.unwrap(), &q);
+        assert_eq!(reply.len(), 6);
+        let waves = am.chunk_reply(reply, 1000);
+        assert_eq!(waves.len(), 2);
+        // First wave at the completion instant; the 2-tuple tail two
+        // per-tuple gaps later.
+        assert_eq!(waves[0].0, 1000);
+        assert_eq!(waves[0].1.len(), 4);
+        assert_eq!(waves[1].0, 1000 + 2 * 50);
+        assert_eq!(waves[1].1.len(), 2);
+        // Order preserved: the EOT is the last tuple of the last wave.
+        assert!(waves[1].1.last().unwrap().is_eot());
+        assert!(waves
+            .iter()
+            .flat_map(|(_, w)| &w[..w.len() - usize::from(w.last().unwrap().is_eot())])
+            .all(|t| !t.is_eot()));
+    }
+
+    #[test]
+    fn unchunked_reply_is_one_immediate_wave() {
+        let (_c, q) = rs_query();
+        let mut am = IndexAm::new(
+            SourceId(1),
+            vec![TableIdx(1)],
+            &rows(&[(10, 1), (10, 2), (10, 3)]),
+            2,
+            IndexSpec::new(vec![0], 1000),
+        );
+        let r = Tuple::singleton_of(TableIdx(0), vec![Value::Int(1), Value::Int(10)]);
+        let (_, key) = one(am.probe(&r, TableIdx(1), &q, 0, false));
+        let reply = am.respond(&key.unwrap(), &q);
+        let n = reply.len();
+        let waves = am.chunk_reply(reply, 1000);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].0, 1000);
+        assert_eq!(waves[0].1.len(), n);
+        // A reply no longer than the chunk also stays a single wave.
+        let mut am2 = IndexAm::new(
+            SourceId(1),
+            vec![TableIdx(1)],
+            &rows(&[(10, 1)]),
+            2,
+            IndexSpec::new(vec![0], 1000).with_reply_chunk(8, 50),
+        );
+        let (_, key2) = one(am2.probe(&r, TableIdx(1), &q, 0, false));
+        let reply2 = am2.respond(&key2.unwrap(), &q);
+        let waves2 = am2.chunk_reply(reply2, 2000);
+        assert_eq!(waves2.len(), 1);
+        assert_eq!(waves2[0].0, 2000);
     }
 
     #[test]

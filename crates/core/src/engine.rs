@@ -140,6 +140,24 @@ pub struct ExecConfig {
     /// routing hops and envelopes. `false` reproduces the strict
     /// one-SM-per-hop cascade.
     pub fuse_selections: bool,
+    /// Verdict memoization for expensive UDF predicates: when `true`
+    /// (the default), every UDF predicate gets a [`crate::memo::MemoCache`]
+    /// so its verdict is computed — and its virtual latency paid — once
+    /// per distinct input key; the query server additionally folds one
+    /// cache across queries sharing a predicate identity. Overridable
+    /// with `STEMS_MEMO` (`0`/`1`). Verdicts are bit-identical either
+    /// way; only computed-call counts and virtual time change.
+    pub memo: bool,
+    /// Byte budget per memo cache, enforced shard-locally with
+    /// clock/second-chance eviction over `Value::approx_bytes`
+    /// accounting. Overridable with `STEMS_MEMO_BYTES`.
+    pub memo_bytes: usize,
+    /// Envelope-level dedup for UDF predicates: group an envelope's rows
+    /// by input key and evaluate one representative per distinct key
+    /// ([`crate::sm::Sm::apply_batch_udf`]). Independent of `memo` (the
+    /// four on/off combinations are swept by `bench_pred`). Overridable
+    /// with `STEMS_UDF_DEDUP` (`0`/`1`).
+    pub udf_dedup: bool,
     /// BoundedRepetition backstop.
     pub max_hops: u32,
     /// Simulation guards.
@@ -187,6 +205,20 @@ pub(crate) fn env_knob(var: &str, default: usize) -> std::result::Result<usize, 
     }
 }
 
+/// Read a boolean (`0`/`1`) environment knob. Same failure discipline as
+/// [`env_knob`]: absent falls back, set-but-invalid fails loudly.
+pub(crate) fn env_flag(var: &str, default: bool) -> std::result::Result<bool, ConfigError> {
+    match std::env::var(var) {
+        Err(std::env::VarError::NotPresent) => Ok(default),
+        Ok(s) => match s.trim() {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            _ => Err(ConfigError(format!("{var} must be 0 or 1, got {s:?}"))),
+        },
+        Err(e) => Err(ConfigError(format!("{var} is not valid unicode: {e}"))),
+    }
+}
+
 impl ExecConfig {
     /// Build the default configuration from the environment, failing on
     /// malformed knobs instead of panicking. This is what a server uses
@@ -204,6 +236,9 @@ impl ExecConfig {
             workers: crate::runtime::try_default_workers()?,
             parallel_min_rows: crate::runtime::try_default_parallel_min_rows()?,
             fuse_selections: true,
+            memo: env_flag("STEMS_MEMO", true)?,
+            memo_bytes: env_knob("STEMS_MEMO_BYTES", crate::memo::DEFAULT_MEMO_BYTES)?,
+            udf_dedup: env_flag("STEMS_UDF_DEDUP", true)?,
             max_hops: 1_000_000,
             max_events: 200_000_000,
             max_time: None,
@@ -225,6 +260,7 @@ impl ExecConfig {
             ("num_shards", self.num_shards),
             ("workers", self.workers),
             ("parallel_min_rows", self.parallel_min_rows),
+            ("memo_bytes", self.memo_bytes),
         ] {
             if value == 0 {
                 return Err(ConfigError(format!("ExecConfig.{name} must be >= 1")));
@@ -312,6 +348,11 @@ enum Event {
     AmIssue(usize),
     /// An index lookup finished; deliver matches + EOT.
     AmResponse(usize, Vec<Value>),
+    /// A later wave of a chunked index reply ([`IndexSpec::reply_chunk`]):
+    /// tuples already produced by the lookup, arriving on the burst-gap
+    /// cadence. The response event carved the reply and scheduled these;
+    /// the AM itself is not consulted again.
+    AmReplyWave(usize, Vec<Tuple>),
 }
 
 enum ParkKind {
@@ -416,7 +457,35 @@ impl EddyExecutor {
             }
         }
         let plan_opts = config.resolved_plan_opts();
-        let (modules, layout) = instantiate(catalog, query, &plan_opts)?;
+        let (mut modules, layout) = instantiate(catalog, query, &plan_opts)?;
+        // Attach a private verdict memo to every UDF SM — one cache per
+        // distinct UDF spec, shared by same-spec SMs within the query
+        // (a verdict function's memo entries are query-agnostic, keyed
+        // only on input values). The server later *replaces* these cells
+        // with registry-shared ones when folding compatible queries.
+        if config.memo {
+            let mut cells: Vec<(stems_types::UdfSpec, crate::memo::MemoCell)> = Vec::new();
+            for &(_, mid) in &layout.sm_mids {
+                let Module::Sm(sm) = &mut modules[mid] else {
+                    continue;
+                };
+                let Some(&spec) = sm.pred.udf_spec() else {
+                    continue;
+                };
+                let cell = match cells.iter().find(|(s, _)| *s == spec) {
+                    Some((_, c)) => c.clone(),
+                    None => {
+                        let c = crate::memo::MemoCache::cell(
+                            crate::memo::DEFAULT_MEMO_SHARDS,
+                            config.memo_bytes,
+                        );
+                        cells.push((spec, c.clone()));
+                        c
+                    }
+                };
+                sm.set_memo(Some(cell));
+            }
+        }
         let rt = modules
             .iter()
             .map(|_| ModuleRt {
@@ -506,6 +575,7 @@ impl EddyExecutor {
                 self.metrics.bump("index_probes", self.now, 1);
             }
             Event::AmResponse(mid, key) => self.on_am_response(mid, key),
+            Event::AmReplyWave(mid, tuples) => self.on_am_reply_wave(mid, tuples),
         }
         true
     }
@@ -640,24 +710,35 @@ impl EddyExecutor {
     fn on_am_response(&mut self, mid: usize, key: Vec<Value>) {
         let mut module = std::mem::replace(&mut self.modules[mid], Module::Hole);
         let mut next = None;
-        let tuples = match &mut module {
-            Module::IndexAm(am) => {
-                let tuples = am.respond(&key, &self.query);
-                // The freed server picks up the next pending lookup
-                // (prioritized first, §4.1).
-                next = am.dequeue_pending(self.now);
-                tuples
-            }
-            _ => Vec::new(),
-        };
+        let mut waves = Vec::new();
+        if let Module::IndexAm(am) = &mut module {
+            let tuples = am.respond(&key, &self.query);
+            // The freed server picks up the next pending lookup
+            // (prioritized first, §4.1).
+            next = am.dequeue_pending(self.now);
+            // A chunked-reply spec streams the answer back on the
+            // burst-gap cadence; the default is one wave at `now`.
+            waves = am.chunk_reply(tuples, self.now);
+        }
         self.modules[mid] = module;
         if let Some((key2, start, complete)) = next {
             self.agenda.push(start, Event::AmIssue(mid));
             self.agenda.push(complete, Event::AmResponse(mid, key2));
         }
         self.metrics.bump("am_responses", self.now, 1);
-        // The whole response re-enters the eddy as one wave: its matches
-        // share a destination and route as a batch.
+        for (at, tuples) in waves {
+            if at <= self.now {
+                self.on_am_reply_wave(mid, tuples);
+            } else {
+                self.agenda.push(at, Event::AmReplyWave(mid, tuples));
+            }
+        }
+    }
+
+    /// One arrival wave of an index reply re-enters the eddy together:
+    /// its matches share a destination and route as a batch. An unchunked
+    /// reply is a single wave fired inline by the response event.
+    fn on_am_reply_wave(&mut self, mid: usize, tuples: Vec<Tuple>) {
         let deliveries = tuples
             .into_iter()
             .map(|t| self.ingest(t, Some(mid)))
@@ -892,6 +973,14 @@ impl EddyExecutor {
         sm: &crate::sm::Sm,
         env: Envelope,
     ) -> (u64, Vec<Delivery>, Vec<UnparkSignal>) {
+        // Expensive UDF predicates take their own path: per-call cost
+        // charging, envelope dedup, and the verdict memo. They are also
+        // excluded from fusion chains (below) — fusing one would tangle
+        // a milliseconds-scale call into a cheap comparison cascade and
+        // bypass the dedup/memo accounting.
+        if sm.is_udf() {
+            return self.select_udf(sm, env);
+        }
         // Conjunction fusion: sibling SMs pinned to the same table
         // instance whose predicate every envelope member is still eligible
         // for ride this pass, in ascending predicate order (the order the
@@ -910,7 +999,8 @@ impl EddyExecutor {
                 })
                 .filter(|other| {
                     let p = &other.pred;
-                    p.tables() == sm.pred.tables()
+                    !other.is_udf()
+                        && p.tables() == sm.pred.tables()
                         && env.states.iter().all(|s| !s.done.contains(p.id))
                         && env.batch.iter().all(|t| p.evaluable_on(t.span()))
                 })
@@ -1005,6 +1095,79 @@ impl EddyExecutor {
                 }
             }
         }
+        (dur, deliveries, Vec::new())
+    }
+
+    /// The Select hop for an expensive UDF predicate: evaluate through
+    /// the dedup/memo pipeline ([`crate::sm::Sm::apply_batch_udf`]),
+    /// charge the configured per-call virtual latency only for verdicts
+    /// actually *computed*, and feed the observed envelope cost back to
+    /// the routing policy so benefit/cost ranking learns to defer
+    /// expensive selections behind selective joins. Verdict handling and
+    /// `Selected` feedback are identical to [`Self::select_single`] —
+    /// memo and dedup change time, never semantics.
+    fn select_udf(
+        &mut self,
+        sm: &crate::sm::Sm,
+        env: Envelope,
+    ) -> (u64, Vec<Delivery>, Vec<UnparkSignal>) {
+        let spec = *sm.pred.udf_spec().expect("select_udf on a UDF SM");
+        let out = sm.apply_batch_udf(&env.batch, self.config.udf_dedup);
+        let dur =
+            self.config.costs.sm_us * env.batch.len().max(1) as u64 + spec.cost_us * out.computed;
+        self.metrics.bump("udf_calls", self.now, out.computed);
+        if out.memo.hits > 0 {
+            self.metrics.bump("memo_hits", self.now, out.memo.hits);
+        }
+        if out.memo.misses > 0 {
+            self.metrics.bump("memo_misses", self.now, out.memo.misses);
+        }
+        if out.memo.evictions > 0 {
+            self.metrics
+                .bump("memo_evictions", self.now, out.memo.evictions);
+        }
+        let rows = env.batch.len();
+        let mut deliveries = Vec::new();
+        for ((tuple, mut state), verdict) in env.batch.into_iter().zip(env.states).zip(out.verdicts)
+        {
+            match verdict {
+                Some(true) => {
+                    self.metrics.bump("sm_applied", self.now, 1);
+                    self.policy.feedback(&Feedback::Selected {
+                        pred: sm.pred_id(),
+                        passed: true,
+                    });
+                    state.done.insert(sm.pred_id());
+                    deliveries.push(Delivery {
+                        tuple,
+                        state,
+                        clustered: false,
+                    });
+                }
+                Some(false) => {
+                    self.metrics.bump("sm_applied", self.now, 1);
+                    self.policy.feedback(&Feedback::Selected {
+                        pred: sm.pred_id(),
+                        passed: false,
+                    });
+                    self.metrics.bump("filtered", self.now, 1);
+                }
+                None => {
+                    self.violations.push(format!(
+                        "selection {} not evaluable on routed tuple",
+                        sm.describe()
+                    ));
+                }
+            }
+        }
+        // Observed cost: what this envelope actually charged, per row —
+        // with an effective memo this decays toward `sm_us`, without one
+        // it stays near `cost_us`, and the policy's EWMA tracks it.
+        self.policy.feedback(&Feedback::SelectCost {
+            pred: sm.pred_id(),
+            rows,
+            cost_us: dur,
+        });
         (dur, deliveries, Vec::new())
     }
 
@@ -1400,7 +1563,18 @@ impl EddyExecutor {
             Action::ProbeStem { mid, .. } => {
                 c.stem_probe_us * (1 + self.rt[*mid].queue.len() as u64)
             }
-            Action::Select { mid, .. } => c.sm_us * (1 + self.rt[*mid].queue.len() as u64),
+            Action::Select { mid, .. } => {
+                // Expensive UDF predicates carry a declared per-verdict
+                // latency on top of the SM service cost. The hint stays a
+                // static worst case (memo/dedup savings are reported back
+                // through `Feedback::SelectCost` instead) so routing
+                // decisions are identical across memo configurations.
+                let per_row = match &self.modules[*mid] {
+                    Module::Sm(sm) => c.sm_us + sm.pred.udf_spec().map_or(0, |s| s.cost_us),
+                    _ => c.sm_us,
+                };
+                per_row * (1 + self.rt[*mid].queue.len() as u64)
+            }
             Action::ProbeAm { mid, .. } => {
                 let backlog = match &self.modules[*mid] {
                     Module::IndexAm(am) => am.queue_delay(self.now) + am.spec.latency_us,
@@ -1520,6 +1694,48 @@ impl EddyExecutor {
     pub(crate) fn fold_stem(&mut self, t: TableIdx, cell: &crate::plan::StemCell) {
         let mid = self.layout.stem_mid[t.as_usize()].expect("folding a no-stem instance");
         self.modules[mid] = Module::Stem(cell.share());
+    }
+
+    /// Whether this executor memoizes UDF verdicts ([`ExecConfig::memo`]):
+    /// the server only folds memo cells between queries that both opted
+    /// in, so a memo-off query keeps paying full price — and keeps its
+    /// bit-identical memo-off timeline.
+    pub(crate) fn memo_enabled(&self) -> bool {
+        self.config.memo
+    }
+
+    /// The distinct UDF specs among this query's selection predicates —
+    /// the server's memo-folding identities. A verdict is a pure function
+    /// of (spec, input value), so any two queries running the same spec
+    /// can share one cache regardless of which column or table they
+    /// filter.
+    pub(crate) fn udf_specs(&self) -> Vec<stems_types::UdfSpec> {
+        let mut specs = Vec::new();
+        for &(_, mid) in &self.layout.sm_mids {
+            if let Module::Sm(sm) = &self.modules[mid] {
+                if let Some(&spec) = sm.pred.udf_spec() {
+                    if !specs.contains(&spec) {
+                        specs.push(spec);
+                    }
+                }
+            }
+        }
+        specs
+    }
+
+    /// Replace every `spec`-matching SM's memo cell with a shared one
+    /// from the server's registry — the memo analogue of
+    /// [`Self::fold_stem`]: query B never re-pays a verdict query A
+    /// bought. Only meaningful when [`ExecConfig::memo`] is on.
+    pub(crate) fn fold_memo(&mut self, spec: stems_types::UdfSpec, cell: &crate::memo::MemoCell) {
+        for i in 0..self.layout.sm_mids.len() {
+            let mid = self.layout.sm_mids[i].1;
+            if let Module::Sm(sm) = &mut self.modules[mid] {
+                if sm.pred.udf_spec() == Some(&spec) {
+                    sm.set_memo(Some(cell.clone()));
+                }
+            }
+        }
     }
 
     /// The `max_time` guard for server-delivered waves. [`Self::step`]

@@ -115,6 +115,7 @@
 
 pub mod am;
 pub mod engine;
+pub mod memo;
 pub mod plan;
 pub mod policy;
 pub mod report;
@@ -128,6 +129,7 @@ pub mod sync;
 pub mod tuple_state;
 
 pub use engine::{ConfigError, EddyExecutor, ExecConfig};
+pub use memo::{MemoCache, MemoCell, MemoCounters};
 pub use plan::{PlanLayout, StemCell, StemOptions};
 pub use policy::{
     BenefitCostPolicy, FixedOrderPolicy, LotteryPolicy, RoutingPolicy, RoutingPolicyKind,

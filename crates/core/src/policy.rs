@@ -49,6 +49,19 @@ pub enum Feedback {
     /// (fresh) or absorbed as a duplicate? Freshness decays as the scan
     /// fills the SteM — the hybridization signal.
     AmBuild { mid: usize, fresh: bool },
+    /// An expensive (UDF) selection envelope finished: `rows` tuples cost
+    /// `cost_us` of virtual time *in total*, memoization and dedup
+    /// included. Emitted only by the UDF fast path, so cheap comparison
+    /// selections keep their purely hint-driven cost. Lets benefit/cost
+    /// ranking learn the *observed* per-row price of an expensive
+    /// predicate — high when every verdict is computed, decaying toward
+    /// the plain SM cost as the memo warms — and defer it behind
+    /// selective joins.
+    SelectCost {
+        pred: stems_types::PredId,
+        rows: usize,
+        cost_us: Time,
+    },
 }
 
 /// A routing policy: pick one of the legal candidate actions.
@@ -250,6 +263,9 @@ impl RoutingPolicy for LotteryPolicy {
                 *t = (*t * 0.95 + reward).clamp(0.05, 100.0);
             }
             Feedback::AmBuild { .. } => {}
+            // The lottery already rewards selections only for dropping
+            // tuples; observed cost has no ticket to adjust.
+            Feedback::SelectCost { .. } => {}
         }
     }
 
@@ -278,6 +294,10 @@ pub struct BenefitCostPolicy {
     drop_rate: f64,
     stem_yield: FxHashMap<TableIdx, Ewma>,
     sel_pass: FxHashMap<stems_types::PredId, Ewma>,
+    /// Observed per-row cost (µs) of expensive selections, from
+    /// [`Feedback::SelectCost`]. Absent for cheap comparison predicates,
+    /// whose cost stays hint-driven.
+    sel_cost: FxHashMap<stems_types::PredId, Ewma>,
     am_fresh: FxHashMap<usize, Ewma>,
 }
 
@@ -304,6 +324,7 @@ impl BenefitCostPolicy {
             drop_rate,
             stem_yield: FxHashMap::default(),
             sel_pass: FxHashMap::default(),
+            sel_cost: FxHashMap::default(),
             am_fresh: FxHashMap::default(),
         }
     }
@@ -319,6 +340,12 @@ impl BenefitCostPolicy {
             }
             Action::Select { pred, .. } => {
                 let pass = self.sel_pass.get(pred).map(|e| e.value).unwrap_or(0.5);
+                // Expensive predicates report their observed per-row cost;
+                // take the worse of the hint and the observation so a warm
+                // memo can cheapen the arm but a cold one never hides its
+                // price behind an optimistic static estimate.
+                let obs_us = self.sel_cost.get(pred).map(|e| e.value).unwrap_or(0.0);
+                let secs = (h.est_cost_us.max(1) as f64).max(obs_us) / 1e6;
                 // Benefit of a selection is pruning early: (1 - pass).
                 ((1.0 - pass) + 0.05) / secs
             }
@@ -373,6 +400,17 @@ impl RoutingPolicy for BenefitCostPolicy {
                     .entry(*mid)
                     .or_insert_with(|| Ewma::new(1.0, 0.05))
                     .update(if *fresh { 1.0 } else { 0.0 });
+            }
+            Feedback::SelectCost {
+                pred,
+                rows,
+                cost_us,
+            } => {
+                let per_row = *cost_us as f64 / (*rows).max(1) as f64;
+                self.sel_cost
+                    .entry(*pred)
+                    .or_insert_with(|| Ewma::new(per_row, 0.2))
+                    .update(per_row);
             }
         }
     }
@@ -615,6 +653,55 @@ mod tests {
             .count();
         // ~ epsilon/2 of choices explore the AM arm.
         assert!(am_picks > 30 && am_picks < 300, "am_picks={am_picks}");
+    }
+
+    #[test]
+    fn benefit_cost_learns_to_defer_expensive_selection() {
+        let mut p = BenefitCostPolicy::new(0.0, 0.0);
+        // An unselective, nominally-cheap selection vs a selective join
+        // probe. On the static hint alone the selection wins (cheap
+        // filters first).
+        let acts = vec![
+            (
+                Action::Select {
+                    mid: 1,
+                    pred: PredId(0),
+                },
+                h(10),
+            ),
+            (
+                Action::ProbeStem {
+                    mid: 2,
+                    table: TableIdx(1),
+                },
+                h(500),
+            ),
+        ];
+        let mut rng = SimRng::new(5);
+        let i = p.choose(&dummy_tuple(), &TupleState::new(), &acts, &mut rng);
+        assert!(matches!(acts[i].0, Action::Select { .. }));
+        // Observations arrive: the selection passes almost everything and
+        // each envelope reports a huge per-row cost (a cold expensive
+        // UDF), while the probe's yield stays modest.
+        for _ in 0..50 {
+            p.feedback(&Feedback::Selected {
+                pred: PredId(0),
+                passed: true,
+            });
+            p.feedback(&Feedback::SelectCost {
+                pred: PredId(0),
+                rows: 10,
+                cost_us: 10_000 * 10,
+            });
+            p.feedback(&Feedback::StemProbe {
+                table: TableIdx(1),
+                emitted: 1,
+            });
+        }
+        // The learned cost overrides the optimistic hint: defer the
+        // selection behind the join.
+        let i = p.choose(&dummy_tuple(), &TupleState::new(), &acts, &mut rng);
+        assert!(matches!(acts[i].0, Action::ProbeStem { .. }));
     }
 
     #[test]

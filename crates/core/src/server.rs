@@ -117,6 +117,7 @@
 
 use crate::am::ScanAm;
 use crate::engine::{ConfigError, EddyExecutor, ExecConfig};
+use crate::memo::{MemoCache, MemoCell, DEFAULT_MEMO_SHARDS};
 use crate::plan::StemCell;
 use crate::report::ServerReport;
 use crate::runtime::WorkerPool;
@@ -257,6 +258,10 @@ pub struct ServerStats {
     pub stem_bytes_peak: usize,
     /// Subscriber-less entries evicted under budget pressure.
     pub evicted_stems: usize,
+    /// UDF memo-cell folds onto an already-registered cell: each count is
+    /// one query subscribed to a verdict cache another query created —
+    /// that query never re-pays a verdict the earlier one bought.
+    pub shared_memos: usize,
     /// Admissions deferred to the queue at least once.
     pub queued: usize,
     /// Queries shed at admission (budget exceeded, shed policy).
@@ -467,6 +472,8 @@ impl<'a> ServerBuilder<'a> {
             agenda: EventQueue::new(),
             scans: Vec::new(),
             entries: Vec::new(),
+            memo_cells: Vec::new(),
+            shared_memos: 0,
             slots: Vec::new(),
             active_set: Vec::new(),
             pending: VecDeque::new(),
@@ -559,6 +566,13 @@ pub struct QueryServer<'a> {
     /// The shared-SteM registry. `None` slots are evicted entries;
     /// indices stay stable because subscriptions hold them.
     entries: Vec<Option<SharedEntry>>,
+    /// The shared UDF memo registry: one verdict cache per
+    /// `(spec, budget)` identity, handed to every memo-enabled query
+    /// running that spec ([`EddyExecutor::fold_memo`]). Verdicts are pure
+    /// functions of (spec, input value), so sharing is column- and
+    /// query-agnostic.
+    memo_cells: Vec<(stems_types::UdfSpec, usize, MemoCell)>,
+    shared_memos: usize,
     slots: Vec<QuerySlot>,
     /// Indices of active slots, ascending — the drain loop scans this
     /// instead of all slots, so a 1000-query run's per-wave cost tracks
@@ -764,6 +778,7 @@ impl<'a> QueryServer<'a> {
             shared_builds: self.builds_total,
             stem_bytes_peak: self.bytes_peak,
             evicted_stems: self.evicted,
+            shared_memos: self.shared_memos,
             queued: self.queued,
             shed: self.shed,
             timed_out: self.timed_out,
@@ -1040,16 +1055,48 @@ impl<'a> QueryServer<'a> {
             let si = self.ensure_scan(source);
             self.subscribe_raw(idx, si, tables);
         }
+        // Memo folding: every memo-enabled query running a UDF spec gets
+        // the registry's shared verdict cache for that (spec, budget)
+        // identity — created by the first such query, subscribed to by
+        // the rest.
+        let mut memo_folded = false;
+        let exec = self.slots[idx].exec.as_ref().expect("admitting slot");
+        if exec.memo_enabled() {
+            let budget = self.slots[idx].config.memo_bytes;
+            for spec in exec.udf_specs() {
+                let cell = match self
+                    .memo_cells
+                    .iter()
+                    .find(|(s, b, _)| *s == spec && *b == budget)
+                {
+                    Some((_, _, c)) => {
+                        self.shared_memos += 1;
+                        c.clone()
+                    }
+                    None => {
+                        let c = MemoCache::cell(DEFAULT_MEMO_SHARDS, budget);
+                        self.memo_cells.push((spec, budget, c.clone()));
+                        c
+                    }
+                };
+                let exec = self.slots[idx].exec.as_mut().expect("admitting slot");
+                exec.fold_memo(spec, &cell);
+                memo_folded = true;
+            }
+        }
         // An executor consumes the global timestamp counter iff it can
         // route private Build envelopes — a stem-bearing instance the
         // server did not fold. Everything else steps in the parallel
-        // phase.
+        // phase — except memo-folded executors: their hit/miss/eviction
+        // observations depend on who reached the shared cache first, so
+        // they step serially (admission order) to stay deterministic at
+        // every worker budget.
         let exec = self.slots[idx].exec.as_ref().expect("admitting slot");
         let threads = (0..query.n_tables()).any(|t| {
             let ti = TableIdx(t as u8);
             exec.has_stem(ti) && !folded_tables.contains(&ti)
         });
-        self.slots[idx].threads_ts = threads;
+        self.slots[idx].threads_ts = threads || memo_folded;
         self.note_exec_next(idx);
     }
 

@@ -19,7 +19,22 @@
 //! observation per evaluation actually performed, none for predicates a
 //! row never reached.
 
-use stems_types::{ConstKernel, PredId, PredSet, Predicate, Tuple, TupleBatch};
+//! # Expensive UDF predicates
+//!
+//! A UDF-style predicate ([`stems_types::ExprKind::Udf`]) charges a
+//! virtual latency per *computed* verdict, so the SM takes a dedicated
+//! batch path ([`Sm::apply_batch_udf`]) that (a) groups the envelope's
+//! rows by input key ([`HashedKey`], the hash-once plumbing) and
+//! evaluates one representative per distinct key, scattering the verdict
+//! to every duplicate, and (b) consults an optional [`MemoCell`] shared
+//! across envelopes — and, under the query server, across queries — so a
+//! verdict is computed once per distinct key ever seen. Both layers are
+//! verdict-for-verdict identical to the scalar cascade
+//! (`tests/prop_memo_equivalence.rs`); only the computed-call count (and
+//! therefore virtual time) changes.
+
+use crate::memo::{MemoCell, MemoCounters};
+use stems_types::{ConstKernel, HashedKey, PredId, PredSet, Predicate, Tuple, TupleBatch};
 
 /// A selection module wrapping one predicate. The predicate's columnar
 /// kernel is derived **once** here — IN-list kernels sort and dedup their
@@ -29,6 +44,25 @@ use stems_types::{ConstKernel, PredId, PredSet, Predicate, Tuple, TupleBatch};
 pub struct Sm {
     pub pred: Predicate,
     kernel: Option<ConstKernel>,
+    /// Verdict memo for UDF predicates (`None`: memoization off or not a
+    /// UDF). Shared handles mean shared entries (server folding).
+    memo: Option<MemoCell>,
+}
+
+/// Outcome of one UDF batch: per-row verdicts plus the cost accounting
+/// the engine needs to charge virtual latency for the calls actually
+/// made and to surface memo observability counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdfOutcome {
+    /// One verdict per batch member, in batch order — identical to
+    /// mapping [`Sm::apply`] over the batch.
+    pub verdicts: Vec<Option<bool>>,
+    /// Verdict-function invocations actually performed (each one costs
+    /// the predicate's `cost_us` of virtual time).
+    pub computed: u64,
+    /// Memo hit/miss/eviction counts for this batch (all zero when the
+    /// SM has no memo attached).
+    pub memo: MemoCounters,
 }
 
 /// Per-tuple outcome of a fused selection cascade.
@@ -50,11 +84,35 @@ impl Sm {
     pub fn new(pred: Predicate) -> Sm {
         debug_assert!(pred.is_selection(), "SMs wrap selection predicates");
         let kernel = pred.const_kernel();
-        Sm { pred, kernel }
+        Sm {
+            pred,
+            kernel,
+            memo: None,
+        }
     }
 
     pub fn pred_id(&self) -> PredId {
         self.pred.id
+    }
+
+    /// Whether this SM wraps an expensive UDF-style predicate (routed
+    /// through [`Sm::apply_batch_udf`] and excluded from conjunction
+    /// fusion).
+    pub fn is_udf(&self) -> bool {
+        self.pred.udf_spec().is_some()
+    }
+
+    /// Attach (or replace) the verdict memo. The engine attaches a
+    /// private cell per UDF spec; the query server folds a shared cell
+    /// across compatible queries.
+    pub fn set_memo(&mut self, memo: Option<MemoCell>) {
+        debug_assert!(memo.is_none() || self.is_udf(), "memo on a non-UDF SM");
+        self.memo = memo;
+    }
+
+    /// The attached memo cell, if any.
+    pub fn memo_cell(&self) -> Option<&MemoCell> {
+        self.memo.as_ref()
     }
 
     /// Apply the predicate. `Some(true)` = passes (mark done and bounce
@@ -134,6 +192,82 @@ impl Sm {
                         alive_count -= 1;
                     }
                 }
+            }
+        }
+        out
+    }
+
+    /// Evaluate a UDF predicate over a batch: verdict-for-verdict
+    /// identical to mapping [`Sm::apply`], but computing the verdict
+    /// function as few times as the configuration allows.
+    ///
+    /// * `dedup: true` groups rows by input key first and evaluates one
+    ///   representative per distinct key (the envelope-level dedup);
+    /// * an attached memo (see [`Sm::set_memo`]) is consulted before any
+    ///   computation and learns every computed verdict (the cross-batch,
+    ///   cross-query layer).
+    ///
+    /// NULL/EOT inputs short-circuit to `Some(false)` without invoking —
+    /// or charging for — the verdict function, matching
+    /// [`stems_types::UdfSpec::verdict`]; rows that do not span the
+    /// predicate's table yield `None` exactly like every other selection.
+    pub fn apply_batch_udf(&self, batch: &TupleBatch, dedup: bool) -> UdfOutcome {
+        let spec = *self.pred.udf_spec().expect("apply_batch_udf on a UDF SM");
+        let n = batch.len();
+        let mut out = UdfOutcome {
+            verdicts: vec![None; n],
+            computed: 0,
+            memo: MemoCounters::default(),
+        };
+        // Rows with a hashable key, annotated once (hash-once pipeline);
+        // `groups` maps a key hash to the representative rows seen so far
+        // when dedup is on.
+        let mut keyed: Vec<(usize, HashedKey)> = Vec::new();
+        for (i, t) in batch.iter().enumerate() {
+            let Some(v) = self.pred.left.resolve(t) else {
+                continue; // wrong span: not evaluable
+            };
+            if v.is_null() || v.is_eot() {
+                out.verdicts[i] = Some(false);
+                continue;
+            }
+            keyed.push((i, HashedKey::new(v.clone())));
+        }
+        let mut groups: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        let verdict_of = |hk: &HashedKey, out: &mut UdfOutcome| -> bool {
+            if let Some(memo) = &self.memo {
+                if let Some(v) = memo.lookup(hk) {
+                    out.memo.hits += 1;
+                    return v;
+                }
+                let v = spec.verdict(hk.raw());
+                out.computed += 1;
+                out.memo.misses += 1;
+                out.memo.evictions += memo.insert(hk, v);
+                return v;
+            }
+            out.computed += 1;
+            spec.verdict(hk.raw())
+        };
+        if dedup {
+            for k in 0..keyed.len() {
+                let (i, ref hk) = keyed[k];
+                let hash = hk.hash().expect("keyed rows are hashable").get();
+                let chain = groups.entry(hash).or_default();
+                if let Some(&rep) = chain.iter().find(|&&r| keyed[r].1.same_lookup(hk)) {
+                    // Duplicate of an earlier row: scatter its verdict.
+                    out.verdicts[i] = out.verdicts[keyed[rep].0];
+                    continue;
+                }
+                chain.push(k);
+                let v = verdict_of(hk, &mut out);
+                out.verdicts[i] = Some(v);
+            }
+        } else {
+            for (i, hk) in &keyed {
+                let v = verdict_of(hk, &mut out);
+                out.verdicts[*i] = Some(v);
             }
         }
         out
@@ -235,6 +369,50 @@ mod tests {
         assert_eq!(out[2].verdict, Some(false));
         assert!(out[2].passed.contains(PredId(0)));
         assert_eq!(out[2].evals, vec![(PredId(0), true), (PredId(1), false)]);
+    }
+
+    #[test]
+    fn udf_batch_dedup_and_memo_agree_with_scalar() {
+        use crate::memo::MemoCache;
+        use stems_types::UdfSpec;
+        let spec = UdfSpec::hash_sieve(500, 1000);
+        let pred = Predicate::udf(PredId(0), ColRef::new(TableIdx(0), 0), spec);
+        let batch: TupleBatch = [7, 3, 7, 7, 3, 11]
+            .iter()
+            .map(|&v| Tuple::singleton_of(TableIdx(0), vec![Value::Int(v)]))
+            .chain([
+                Tuple::singleton_of(TableIdx(0), vec![Value::Null]),
+                Tuple::singleton_of(TableIdx(1), vec![Value::Int(7)]), // wrong span
+            ])
+            .collect();
+        let plain = Sm::new(pred.clone());
+        let want: Vec<_> = batch.iter().map(|t| plain.apply(t)).collect();
+
+        // No memo, no dedup: one call per evaluable non-null row.
+        let out = plain.apply_batch_udf(&batch, false);
+        assert_eq!(out.verdicts, want);
+        assert_eq!(out.computed, 6);
+        assert_eq!(out.memo, crate::memo::MemoCounters::default());
+
+        // Dedup alone: one call per distinct key (7, 3, 11).
+        let out = plain.apply_batch_udf(&batch, true);
+        assert_eq!(out.verdicts, want);
+        assert_eq!(out.computed, 3);
+
+        // Memo alone: first batch misses per row until the cache warms
+        // within the batch (row-at-a-time memo consult).
+        let mut memoed = Sm::new(pred.clone());
+        memoed.set_memo(Some(MemoCache::cell(2, 1 << 16)));
+        let out = memoed.apply_batch_udf(&batch, false);
+        assert_eq!(out.verdicts, want);
+        assert_eq!(out.computed, 3, "duplicates hit the warming memo");
+        assert_eq!(out.memo.hits, 3);
+        assert_eq!(out.memo.misses, 3);
+        // Second batch: all hits, nothing computed.
+        let out = memoed.apply_batch_udf(&batch, true);
+        assert_eq!(out.verdicts, want);
+        assert_eq!(out.computed, 0);
+        assert_eq!(out.memo.hits, 3, "one lookup per distinct key");
     }
 
     #[test]

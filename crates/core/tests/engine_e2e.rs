@@ -9,7 +9,7 @@ use stems_catalog::{
 };
 use stems_core::{EddyExecutor, ExecConfig, RoutingPolicyKind};
 use stems_types::{
-    CmpOp, ColRef, ColumnType, PredId, Predicate, Schema, TableIdx, TableSet, Value,
+    CmpOp, ColRef, ColumnType, PredId, Predicate, Schema, TableIdx, TableSet, UdfSpec, Value,
 };
 
 fn int_rows(rows: &[(i64, i64)]) -> Vec<Vec<Value>> {
@@ -454,6 +454,132 @@ fn empty_tables_terminate_cleanly() {
     let q = rs_query(&c, r, s, vec![]);
     let report = assert_matches_reference(&c, &q, checked_config());
     assert_eq!(report.results.len(), 0);
+}
+
+#[test]
+fn udf_selection_memo_and_dedup_are_observably_invisible() {
+    // A duplicate-heavy scan through an expensive sieve: 60 rows over 6
+    // distinct sieve inputs, 5ms per computed verdict. Memoization and
+    // dedup may only change *time*, never results.
+    let mut c = Catalog::new();
+    let r = c
+        .add_table(
+            TableDef::new(
+                "R",
+                Schema::of(&[("key", ColumnType::Int), ("a", ColumnType::Int)]),
+            )
+            .with_rows(r_rows(60, 6)),
+        )
+        .unwrap();
+    c.add_scan(r, ScanSpec::with_rate(2000.0)).unwrap();
+    let q = QuerySpec::new(
+        &c,
+        vec![TableInstance {
+            source: r,
+            alias: "r".into(),
+        }],
+        vec![Predicate::udf(
+            PredId(0),
+            ColRef::new(TableIdx(0), 1),
+            UdfSpec::hash_sieve(500, 5_000),
+        )],
+        None,
+    )
+    .unwrap();
+    let mut cells = Vec::new();
+    for (memo, dedup) in [(false, false), (false, true), (true, false), (true, true)] {
+        let config = ExecConfig {
+            memo,
+            udf_dedup: dedup,
+            batch_size: 16,
+            ..checked_config()
+        };
+        let report = assert_matches_reference(&c, &q, config);
+        cells.push((memo, dedup, report));
+    }
+    let baseline = cells[0].2.canonical(&c, &q);
+    for (memo, dedup, report) in &cells {
+        assert_eq!(
+            report.canonical(&c, &q),
+            baseline,
+            "results diverged at memo={memo} dedup={dedup}"
+        );
+        // Every cell applies the predicate to every routed row…
+        assert_eq!(report.counter("sm_applied"), 60);
+    }
+    // …but only the plain cell computes a verdict per row.
+    let plain = &cells[0].2;
+    let memo_only = &cells[2].2;
+    let both = &cells[3].2;
+    assert_eq!(plain.counter("udf_calls"), 60);
+    assert_eq!(plain.counter("memo_hits"), 0);
+    assert_eq!(
+        memo_only.counter("udf_calls"),
+        6,
+        "memo should pay once per key"
+    );
+    assert_eq!(
+        memo_only.counter("memo_hits") + memo_only.counter("memo_misses"),
+        60
+    );
+    assert_eq!(both.counter("udf_calls"), 6);
+    // Skipped verdicts are skipped virtual time: the fast path finishes
+    // strictly earlier on a duplicate-heavy input.
+    assert!(
+        both.end_time < plain.end_time,
+        "memo+dedup {} !< plain {}",
+        both.end_time,
+        plain.end_time
+    );
+}
+
+#[test]
+fn chunked_index_replies_match_reference() {
+    // The fig-7 index topology, but the index streams each answer back 2
+    // tuples per wave instead of one burst — arrival shape changes,
+    // results must not.
+    let (mut c, r, s) = two_table_catalog(
+        r_rows(30, 6),
+        int_rows(&[
+            (0, 100),
+            (0, 101),
+            (0, 102),
+            (2, 102),
+            (2, 103),
+            (4, 104),
+            (5, 105),
+        ]),
+    );
+    c.add_scan(r, ScanSpec::with_rate(2000.0)).unwrap();
+    c.add_index(s, IndexSpec::new(vec![0], 50_000)).unwrap();
+    let q = rs_query(&c, r, s, vec![]);
+    let burst = assert_matches_reference(&c, &q, checked_config());
+
+    let (mut c2, r2, s2) = two_table_catalog(
+        r_rows(30, 6),
+        int_rows(&[
+            (0, 100),
+            (0, 101),
+            (0, 102),
+            (2, 102),
+            (2, 103),
+            (4, 104),
+            (5, 105),
+        ]),
+    );
+    c2.add_scan(r2, ScanSpec::with_rate(2000.0)).unwrap();
+    c2.add_index(s2, IndexSpec::new(vec![0], 50_000).with_reply_chunk(2, 100))
+        .unwrap();
+    let q2 = rs_query(&c2, r2, s2, vec![]);
+    let chunked = assert_matches_reference(&c2, &q2, checked_config());
+    assert_eq!(chunked.canonical(&c2, &q2), burst.canonical(&c, &q));
+    // The trailing waves land strictly after the lookup completion, so
+    // the chunked run cannot finish earlier.
+    assert!(chunked.end_time >= burst.end_time);
+    assert_eq!(
+        chunked.counter("am_responses"),
+        burst.counter("am_responses")
+    );
 }
 
 #[test]

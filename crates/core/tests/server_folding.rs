@@ -9,7 +9,7 @@ use stems_catalog::{reference, Catalog, QuerySpec, ScanSpec, SourceId, TableDef,
 use stems_core::{
     EddyExecutor, ExecConfig, QueryServer, QueryStatus, Report, ServerStats, Submission,
 };
-use stems_types::{CmpOp, ColRef, ColumnType, PredId, Predicate, Schema, TableIdx, Value};
+use stems_types::{CmpOp, ColRef, ColumnType, PredId, Predicate, Schema, TableIdx, UdfSpec, Value};
 
 /// R(key, a=key%10) x60, S(x, y=x%5) x10, T(z, w=z*100) x5 — all with
 /// scan AMs at distinct rates so EOTs interleave across sources.
@@ -354,6 +354,133 @@ fn thousand_query_smoke_stays_bit_identical_to_solo() {
     assert_eq!(stats.scan_streams, 3);
     for (i, sr) in reports.iter().enumerate() {
         assert_reports_identical(&sr.report, &solo[i % 6], &format!("q{i} of N=1000"));
+    }
+}
+
+/// R filtered by an expensive hash sieve on `a` (10 distinct keys over
+/// 60 rows): the canonical testbed for shared verdict memos.
+fn udf_query(c: &Catalog, r: SourceId) -> QuerySpec {
+    QuerySpec::new(
+        c,
+        vec![inst(r, "r")],
+        vec![Predicate::udf(
+            PredId(0),
+            ColRef::new(TableIdx(0), 1),
+            UdfSpec::hash_sieve(500, 5_000),
+        )],
+        None,
+    )
+    .unwrap()
+}
+
+/// Memo folding: compatible queries share one verdict cache per predicate
+/// identity. A late second query finds every key already cached — it pays
+/// zero UDF calls — and `shared_memos` records the subscription. The
+/// canonical answer is invariant across fold on/off and worker counts,
+/// and the whole schedule is deterministic.
+#[test]
+fn memo_folding_shares_verdict_caches() {
+    let (c, r, _s, _t) = family_catalog();
+    let q = udf_query(&c, r);
+    let run = |workers: usize, fold: bool| {
+        let mut srv = QueryServer::builder(&c)
+            .config(server_config(workers))
+            .fold(fold)
+            .build()
+            .unwrap();
+        srv.submit(Submission::new(q.clone())).unwrap();
+        // Late enough that R's scan (60 rows @2000tps ≈ 30ms) is done:
+        // the second query replays the raw table against a warm memo.
+        srv.submit(Submission::new(q.clone()).at(60_000)).unwrap();
+        let (handles, stats) = srv.serve();
+        let reports: Vec<Report> = handles
+            .into_iter()
+            .map(|h| h.report.expect("completed query has a report"))
+            .map(|sr| sr.report)
+            .collect();
+        (reports, stats)
+    };
+    let expected = reference::canonical(&c, &q, &reference::execute(&c, &q));
+    for workers in [1usize, 4] {
+        let (folded, stats) = run(workers, true);
+        assert_eq!(
+            stats.shared_memos, 1,
+            "second query must subscribe to the first query's memo"
+        );
+        let first = &folded[0];
+        let second = &folded[1];
+        assert_eq!(
+            first.counter("udf_calls"),
+            10,
+            "first query pays once per distinct key"
+        );
+        assert_eq!(
+            second.counter("udf_calls"),
+            0,
+            "second query must be served entirely from the shared memo"
+        );
+        assert!(second.counter("memo_hits") >= 10, "warm memo never hit");
+        for (i, rep) in folded.iter().enumerate() {
+            assert!(rep.violations.is_empty(), "q{i} w{workers}");
+            assert_eq!(
+                rep.canonical(&c, &q),
+                expected,
+                "memo-folded q{i} w{workers}: wrong result set"
+            );
+        }
+        // Unfolded server: private memos, no sharing, same answer.
+        let (private, lone_stats) = run(workers, false);
+        assert_eq!(lone_stats.shared_memos, 0);
+        for (i, rep) in private.iter().enumerate() {
+            assert_eq!(rep.counter("udf_calls"), 10, "private memo q{i}");
+            assert_eq!(
+                rep.canonical(&c, &q),
+                expected,
+                "fold-off q{i} w{workers}: wrong result set"
+            );
+        }
+        // Determinism: the exact same schedule twice, stats and all.
+        let (again, stats_again) = run(workers, true);
+        assert_eq!(stats, stats_again, "stats must be deterministic");
+        for (x, y) in folded.iter().zip(&again) {
+            assert_reports_identical(x, y, &format!("memo rerun w{workers}"));
+        }
+    }
+}
+
+/// Memo folding keys on predicate identity *and* byte budget: a query
+/// with a different sieve or a different `memo_bytes` must get its own
+/// cell, never a false share.
+#[test]
+fn memo_folding_respects_predicate_identity_and_budget() {
+    let (c, r, _s, _t) = family_catalog();
+    let q = udf_query(&c, r);
+    let other = QuerySpec::new(
+        &c,
+        vec![inst(r, "r")],
+        vec![Predicate::udf(
+            PredId(0),
+            ColRef::new(TableIdx(0), 1),
+            UdfSpec::hash_sieve(250, 5_000),
+        )],
+        None,
+    )
+    .unwrap();
+    let mut srv = QueryServer::builder(&c)
+        .config(server_config(1))
+        .build()
+        .unwrap();
+    srv.submit(Submission::new(q.clone())).unwrap();
+    srv.submit(Submission::new(other.clone())).unwrap();
+    let (handles, stats) = srv.serve();
+    assert_eq!(
+        stats.shared_memos, 0,
+        "different sieves must not share a verdict cache"
+    );
+    for (spec, h) in [&q, &other].into_iter().zip(&handles) {
+        let rep = &h.report.as_ref().expect("completed").report;
+        let expected = reference::canonical(&c, spec, &reference::execute(&c, spec));
+        assert_eq!(rep.canonical(&c, spec), expected);
     }
 }
 

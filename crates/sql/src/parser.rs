@@ -2,7 +2,9 @@
 
 use crate::token::{tokenize, Token};
 use stems_catalog::{Catalog, QuerySpec, TableInstance};
-use stems_types::{CmpOp, ColRef, Operand, PredId, Predicate, Result, StemsError, TableIdx, Value};
+use stems_types::{
+    CmpOp, ColRef, Operand, PredId, Predicate, Result, StemsError, TableIdx, UdfSpec, Value,
+};
 
 /// Parse an SPJ query and resolve names against `catalog`.
 ///
@@ -12,6 +14,7 @@ use stems_types::{CmpOp, ColRef, Operand, PredId, Predicate, Result, StemsError,
 /// proj    := * | colref (, colref)*
 /// table   := ident [[AS] ident]
 /// pred    := operand cmp operand | colref IN ( const (, const)* )
+///          | SIEVE ( colref , int , int )
 /// operand := colref | const
 /// const   := int | float | string
 /// colref  := [ident .] ident
@@ -172,6 +175,29 @@ impl<'a> Parser<'a> {
         catalog: &Catalog,
         idx: usize,
     ) -> Result<Predicate> {
+        // `SIEVE(col, pass_per_mille, cost_us)` — an expensive UDF-style
+        // selection. The function-name-then-LParen shape disambiguates it
+        // from a bare column reference.
+        if self.peek_kw("SIEVE") && self.toks.get(self.pos + 1) == Some(&Token::LParen) {
+            self.pos += 2;
+            let raw = self.parse_rawcol()?;
+            let col = resolve_col(&raw, tables, catalog)?;
+            self.expect_tok(&Token::Comma, "expected , after SIEVE input column")?;
+            let ppm = self.take_uint("SIEVE pass-per-mille")?;
+            if ppm > 1000 {
+                return Err(StemsError::Parse(format!(
+                    "SIEVE pass-per-mille {ppm} exceeds 1000"
+                )));
+            }
+            self.expect_tok(&Token::Comma, "expected , after SIEVE selectivity")?;
+            let cost_us = self.take_uint("SIEVE cost")?;
+            self.expect_tok(&Token::RParen, "expected ) closing SIEVE call")?;
+            return Ok(Predicate::udf(
+                PredId(idx as u16),
+                col,
+                UdfSpec::hash_sieve(ppm as u16, cost_us),
+            ));
+        }
         let left = self.parse_operand(tables, catalog)?;
         if self.peek_kw("IN") {
             self.pos += 1;
@@ -217,6 +243,28 @@ impl<'a> Parser<'a> {
             return Err(StemsError::Parse("predicate compares two constants".into()));
         }
         Ok(Predicate::new(PredId(idx as u16), left, op, right))
+    }
+
+    fn expect_tok(&mut self, tok: &Token, msg: &str) -> Result<()> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(StemsError::Parse(format!("{msg}, found {:?}", self.peek())))
+        }
+    }
+
+    fn take_uint(&mut self, what: &str) -> Result<u64> {
+        match self.peek() {
+            Some(Token::Int(v)) if *v >= 0 => {
+                let v = *v as u64;
+                self.pos += 1;
+                Ok(v)
+            }
+            other => Err(StemsError::Parse(format!(
+                "{what} must be a non-negative integer, found {other:?}"
+            ))),
+        }
     }
 
     fn parse_const(&mut self) -> Result<Value> {
@@ -412,6 +460,56 @@ mod tests {
         assert!(parse_query(&c, "SELECT * FROM R WHERE 1 IN (1, 2)").is_err());
         assert!(parse_query(&c, "SELECT * FROM R WHERE R.a IN (R.key)").is_err());
         assert!(parse_query(&c, "SELECT * FROM R WHERE R.a IN 1").is_err());
+    }
+
+    #[test]
+    fn sieve_udf_predicates() {
+        use stems_types::ExprKind;
+        let c = catalog();
+        let q = parse_query(&c, "SELECT * FROM R WHERE SIEVE(R.a, 250, 1500)").unwrap();
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(
+            q.predicates[0].kind,
+            ExprKind::Udf(UdfSpec::hash_sieve(250, 1500))
+        );
+        assert_eq!(
+            q.predicates[0].udf_input_col(),
+            Some(ColRef::new(TableIdx(0), 1))
+        );
+        // Case-insensitive, bare column, composed with other predicates.
+        let q = parse_query(
+            &c,
+            "select * from R, S where R.a = S.x and sieve(y, 1000, 1)",
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        assert!(q.predicates[1].udf_spec().is_some());
+        // A column actually named `sieve` still parses as a comparison
+        // when not followed by `(`.
+        let mut c2 = Catalog::new();
+        let t = c2
+            .add_table(TableDef::new(
+                "T",
+                Schema::of(&[("sieve", ColumnType::Int)]),
+            ))
+            .unwrap();
+        c2.add_scan(t, ScanSpec::default()).unwrap();
+        let q = parse_query(&c2, "SELECT * FROM T WHERE sieve > 3").unwrap();
+        assert_eq!(q.predicates[0].op, CmpOp::Gt);
+        assert!(q.predicates[0].udf_spec().is_none());
+    }
+
+    #[test]
+    fn sieve_udf_errors() {
+        let c = catalog();
+        // Selectivity over 1000, negative arguments, malformed calls.
+        assert!(parse_query(&c, "SELECT * FROM R WHERE SIEVE(R.a, 1001, 5)").is_err());
+        assert!(parse_query(&c, "SELECT * FROM R WHERE SIEVE(R.a, -1, 5)").is_err());
+        assert!(parse_query(&c, "SELECT * FROM R WHERE SIEVE(R.a, 10, -5)").is_err());
+        assert!(parse_query(&c, "SELECT * FROM R WHERE SIEVE(R.a, 10)").is_err());
+        assert!(parse_query(&c, "SELECT * FROM R WHERE SIEVE(R.a, 10, 5").is_err());
+        assert!(parse_query(&c, "SELECT * FROM R WHERE SIEVE(1, 10, 5)").is_err());
+        assert!(parse_query(&c, "SELECT * FROM R WHERE SIEVE(R.zzz, 10, 5)").is_err());
     }
 
     #[test]

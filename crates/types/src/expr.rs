@@ -224,17 +224,79 @@ impl fmt::Display for Operand {
     }
 }
 
+/// The deterministic verdict function of a UDF-style predicate. Every
+/// variant must be a pure function of the input value's *equality key*
+/// (see [`Value::equality_key`]) so that memoizing verdicts per distinct
+/// key — and sharing the memo across queries — is semantically invisible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UdfKind {
+    /// Passes iff `stable_key_hash(v) % 1000 < pass_per_mille`. A
+    /// deterministic stand-in for an expensive black-box predicate (ML
+    /// inference, remote lookup) with a tunable selectivity.
+    HashSieve { pass_per_mille: u16 },
+}
+
+/// An expensive UDF-style selection: a deterministic verdict function plus
+/// a per-call virtual latency, charged through the simulator's service
+/// clock each time the verdict is actually *computed* (memo hits and
+/// deduplicated rows pay nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdfSpec {
+    pub udf: UdfKind,
+    /// Virtual microseconds per computed verdict.
+    pub cost_us: u64,
+}
+
+impl UdfSpec {
+    pub fn hash_sieve(pass_per_mille: u16, cost_us: u64) -> UdfSpec {
+        UdfSpec {
+            udf: UdfKind::HashSieve { pass_per_mille },
+            cost_us,
+        }
+    }
+
+    /// The verdict on one input value. NULL/EOT inputs never pass (SQL
+    /// semantics: the function is never invoked on NULL), and cost is not
+    /// charged for them. Otherwise the verdict depends only on the value's
+    /// equality key, so `5` and `5.0` agree.
+    pub fn verdict(&self, v: &Value) -> bool {
+        match self.udf {
+            UdfKind::HashSieve { pass_per_mille } => match v.stable_key_hash() {
+                Some(h) => h % 1000 < pass_per_mille as u64,
+                None => false,
+            },
+        }
+    }
+}
+
+/// What kind of expression a [`Predicate`] evaluates: a plain comparison
+/// (the default, and the only kind until UDF predicates landed) or an
+/// expensive UDF-style verdict function over the left column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExprKind {
+    /// `left op right` under SQL comparison semantics.
+    Cmp,
+    /// `udf(left)` — the comparison fields are ignored for evaluation; the
+    /// verdict comes from [`UdfSpec::verdict`] on the resolved left value.
+    Udf(UdfSpec),
+}
+
 /// A comparison predicate over at most two table instances.
 ///
 /// * selections: `col op const` (one table) — become Selection Modules;
 /// * join predicates: `col op col` over two tables — enforced at SteMs and
 ///   index AMs (paper §2.1.4).
+///
+/// `kind` upgrades a selection to a UDF-style expensive predicate (see
+/// [`ExprKind`]); every comparison constructor leaves it at
+/// [`ExprKind::Cmp`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Predicate {
     pub id: PredId,
     pub left: Operand,
     pub op: CmpOp,
     pub right: Operand,
+    pub kind: ExprKind,
 }
 
 impl Predicate {
@@ -244,6 +306,7 @@ impl Predicate {
             left,
             op,
             right,
+            kind: ExprKind::Cmp,
         }
     }
 
@@ -260,6 +323,36 @@ impl Predicate {
     /// Shorthand for a membership selection `col IN (items...)`.
     pub fn in_list(id: PredId, col: ColRef, items: Vec<Value>) -> Predicate {
         Predicate::new(id, Operand::Col(col), CmpOp::In, Operand::List(items))
+    }
+
+    /// An expensive UDF-style selection `udf(col)`. The comparison fields
+    /// are placeholders (`col = TRUE`) never consulted for evaluation —
+    /// the verdict comes from [`UdfSpec::verdict`].
+    pub fn udf(id: PredId, col: ColRef, spec: UdfSpec) -> Predicate {
+        let mut p = Predicate::new(
+            id,
+            Operand::Col(col),
+            CmpOp::Eq,
+            Operand::Const(Value::Bool(true)),
+        );
+        p.kind = ExprKind::Udf(spec);
+        p
+    }
+
+    /// The UDF spec when this is a UDF-style predicate.
+    pub fn udf_spec(&self) -> Option<&UdfSpec> {
+        match &self.kind {
+            ExprKind::Udf(spec) => Some(spec),
+            ExprKind::Cmp => None,
+        }
+    }
+
+    /// For a UDF predicate, the input column (always the left operand).
+    pub fn udf_input_col(&self) -> Option<ColRef> {
+        match (&self.kind, &self.left) {
+            (ExprKind::Udf(_), Operand::Col(c)) => Some(*c),
+            _ => None,
+        }
     }
 
     /// The set of table instances the predicate mentions.
@@ -315,6 +408,10 @@ impl Predicate {
     /// member (so NULL/EOT on the left never match, and an empty list
     /// matches nothing).
     pub fn eval(&self, t: &Tuple) -> Option<bool> {
+        if let ExprKind::Udf(spec) = &self.kind {
+            let l = self.left.resolve(t)?;
+            return Some(spec.verdict(l));
+        }
         if self.op == CmpOp::In {
             if let Operand::List(items) = &self.right {
                 let l = self.left.resolve(t)?;
@@ -329,6 +426,14 @@ impl Predicate {
 
 impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let ExprKind::Udf(spec) = &self.kind {
+            let UdfKind::HashSieve { pass_per_mille } = spec.udf;
+            return write!(
+                f,
+                "p{}: sieve({}, {}, {})",
+                self.id.0, self.left, pass_per_mille, spec.cost_us
+            );
+        }
         write!(
             f,
             "p{}: {} {} {}",
@@ -506,6 +611,37 @@ mod tests {
         );
         assert_eq!(single.eval(&r_tuple(0, 5)), Some(true));
         assert_eq!(single.eval(&r_tuple(0, 6)), Some(false));
+    }
+
+    #[test]
+    fn udf_verdict_is_deterministic_and_key_normalized() {
+        let spec = UdfSpec::hash_sieve(500, 1000);
+        let p = Predicate::udf(PredId(1), ColRef::new(TableIdx(0), 1), spec);
+        assert!(p.is_selection());
+        assert_eq!(p.udf_spec(), Some(&spec));
+        assert_eq!(p.udf_input_col(), Some(ColRef::new(TableIdx(0), 1)));
+        // Deterministic: same input, same verdict, matching the spec.
+        for a in 0..50 {
+            let want = spec.verdict(&Value::Int(a));
+            assert_eq!(p.eval(&r_tuple(0, a)), Some(want));
+            assert_eq!(p.eval(&r_tuple(0, a)), Some(want));
+        }
+        // Equality-key normalization: Int(7) and Float(7.0) agree.
+        assert_eq!(
+            spec.verdict(&Value::Int(7)),
+            spec.verdict(&Value::Float(7.0))
+        );
+        // NULL/EOT/NaN never pass and never error.
+        assert!(!spec.verdict(&Value::Null));
+        assert!(!spec.verdict(&Value::Eot));
+        let null_t = Tuple::singleton(TableIdx(0), Row::shared(vec![Value::Int(0), Value::Null]));
+        assert_eq!(p.eval(&null_t), Some(false));
+        // Wrong span: not evaluable, same as any other selection.
+        assert_eq!(p.eval(&s_tuple(3)), None);
+        // Selectivity endpoints.
+        assert!(!UdfSpec::hash_sieve(0, 1).verdict(&Value::Int(3)));
+        assert!(UdfSpec::hash_sieve(1000, 1).verdict(&Value::Int(3)));
+        assert_eq!(p.to_string(), "p1: sieve(t0.c1, 500, 1000)");
     }
 
     #[test]

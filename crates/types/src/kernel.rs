@@ -132,6 +132,12 @@ impl Predicate {
     /// Recognize a vectorizable constant-selection shape (see the module
     /// docs for the dispatch rules). `None` for every other predicate.
     pub fn const_kernel(&self) -> Option<ConstKernel> {
+        // UDF predicates carry placeholder comparison fields that must not
+        // be mistaken for a `col = const` shape; their verdicts go through
+        // the scalar path (and the memo/dedup pipeline in stems-core).
+        if !matches!(self.kind, crate::ExprKind::Cmp) {
+            return None;
+        }
         // Membership against a constant list.
         if self.op == CmpOp::In {
             if let (Operand::Col(c), Operand::List(items)) = (&self.left, &self.right) {

@@ -34,7 +34,9 @@ mod value;
 
 pub use batch::TupleBatch;
 pub use error::{Result, StemsError};
-pub use expr::{CmpOp, ColRef, Operand, PredId, PredSet, Predicate, MAX_PREDS};
+pub use expr::{
+    CmpOp, ColRef, ExprKind, Operand, PredId, PredSet, Predicate, UdfKind, UdfSpec, MAX_PREDS,
+};
 pub use kernel::{ConstKernel, PartialGather};
 pub use key::{HashedKey, KeyHash};
 pub use row::Row;

@@ -168,11 +168,22 @@ impl Value {
         }
     }
 
-    /// Approximate heap footprint in bytes, used for SteM memory accounting.
+    /// Approximate heap footprint in bytes, used for SteM and memo-cache
+    /// memory accounting.
+    ///
+    /// Convention for interned strings: every `Str` handle charges the
+    /// full payload *plus* the `Arc<str>` allocation header (strong +
+    /// weak refcounts), even when several handles share one allocation.
+    /// Budgets therefore over-count shared strings rather than depending
+    /// on sharing structure — the estimate for a value is a pure function
+    /// of the value, so SteM and memo budgets agree on what a key costs
+    /// no matter which of them interned it first.
     pub fn approx_bytes(&self) -> usize {
+        // Two usize refcount slots precede the payload in an ArcInner.
+        const ARC_HEADER: usize = 2 * std::mem::size_of::<usize>();
         std::mem::size_of::<Value>()
             + match self {
-                Value::Str(s) => s.len(),
+                Value::Str(s) => ARC_HEADER + s.len(),
                 _ => 0,
             }
     }
@@ -357,6 +368,20 @@ mod tests {
     #[test]
     fn approx_bytes_counts_string_payload() {
         assert!(Value::str("hello").approx_bytes() > Value::Int(1).approx_bytes());
+    }
+
+    #[test]
+    fn approx_bytes_charges_arc_header_per_handle() {
+        // The convention: each handle pays enum + Arc header + payload,
+        // independent of how many handles share the allocation.
+        let inline = std::mem::size_of::<Value>();
+        let header = 2 * std::mem::size_of::<usize>();
+        let a = Value::str("hello");
+        let b = a.clone(); // shares the Arc<str> allocation
+        assert_eq!(a.approx_bytes(), inline + header + 5);
+        assert_eq!(b.approx_bytes(), a.approx_bytes());
+        assert_eq!(Value::Int(1).approx_bytes(), inline);
+        assert_eq!(Value::Null.approx_bytes(), inline);
     }
 
     #[test]
